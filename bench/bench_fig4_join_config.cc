@@ -1,0 +1,42 @@
+// Figure 4: the configuration surface for join processing with Bloom
+// filters — z = 0.0432*(IA/IB) + 2*(p/IB) against the viability plane
+// z = 0.75 (primary-key/foreign-key case with m = 8*IB filter bits).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/models.h"
+
+namespace authdb {
+namespace {
+
+void Run() {
+  bench::Header("Figure 4: Configuration for Join Processing with Bloom "
+                "Filters",
+                "BF is viable while z < 0.75; entries marked * exceed the "
+                "plane");
+  std::printf("%10s |", "IA/IB \\ IB/p");
+  const double ib_over_p[] = {2, 2.83, 4, 6.29, 8, 10};
+  for (double c : ib_over_p) std::printf("%9.2f", c);
+  std::printf("\n");
+  for (double r : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+    std::printf("%10.1f  |", r);
+    for (double c : ib_over_p) {
+      double z = models::ViabilityZ(r, c);
+      std::printf("%8.3f%c", z, z < 0.75 ? ' ' : '*');
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper's anchors: IB/p >= 2.83 suffices at IA/IB = 1; IB/p >= 6.29 "
+      "at IA/IB = 10.\n");
+  std::printf("z(1, 2.83) = %.3f, z(10, 6.29) = %.3f (both ~0.75)\n",
+              models::ViabilityZ(1, 2.83), models::ViabilityZ(10, 6.29));
+}
+
+}  // namespace
+}  // namespace authdb
+
+int main() {
+  authdb::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 1: height of the ASign index versus the EMB-tree as N grows.
+// The paper's analytic model (Section 3.2) is printed next to measured
+// heights of the real disk-resident B+-tree at laptop-feasible N.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/models.h"
+#include "index/btree.h"
+
+namespace authdb {
+namespace {
+
+void Run() {
+  bench::Header("Table 1: Height of Index Tree versus N",
+                "paper model: ceil(log_f(3/2 * ceil(N/146))), f=341 (ASign) "
+                "/ 97 (EMB-)");
+  std::printf("%-12s %8s %8s\n", "N", "ASign", "EMB-");
+  for (uint64_t n : {10'000ull, 100'000ull, 1'000'000ull, 10'000'000ull,
+                     100'000'000ull}) {
+    std::printf("%-12" PRIu64 " %8d %8d\n", n, models::AsignHeight(n),
+                models::EmbHeight(n));
+  }
+
+  std::printf(
+      "\nMeasured heights of the real B+-tree (72-byte ASign payload, "
+      "8-byte keys => leaf cap 51, internal fanout 340):\n");
+  std::printf("%-12s %8s\n", "N", "height");
+  for (uint64_t n : {1'000ull, 10'000ull, 100'000ull}) {
+    DiskManager dm("");
+    BufferPool pool(&dm, 1024);
+    BPlusTree tree(&pool, 72);
+    std::vector<uint8_t> payload(72, 0);
+    for (uint64_t k = 0; k < n; ++k)
+      (void)tree.Insert(static_cast<int64_t>(k), Slice(payload));
+    std::printf("%-12" PRIu64 " %8u\n", n, tree.height());
+  }
+}
+
+}  // namespace
+}  // namespace authdb
+
+int main() {
+  authdb::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 3: costs of the cryptographic primitives — BAS (160-bit group) vs
+// condensed RSA (1024-bit) vs SHA hashing, measured on this machine with
+// the library's own implementations.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/calibration.h"
+
+namespace authdb {
+namespace {
+
+void Run() {
+  bench::Header("Table 3: Costs of Cryptographic Primitives",
+                "(paper's 'Current' column regenerated with the in-tree "
+                "implementations; 256-bit supersingular curve, 160-bit "
+                "subgroup, Tate pairing)");
+  auto ctx = BasContext::Default();
+  CryptoCosts c = MeasureCryptoCosts(ctx, /*quick=*/false);
+  std::printf("Bilinear Aggregate Signature\n");
+  std::printf("  Individual signing        %10.3f ms\n", c.bas_sign * 1e3);
+  std::printf("  Individual verification   %10.3f ms\n", c.bas_verify * 1e3);
+  std::printf("  1000-sig aggregation      %10.3f ms\n",
+              c.bas_aggregate_1000 * 1e3);
+  std::printf("  1000-sig agg verification %10.3f ms\n",
+              c.bas_verify_1000 * 1e3);
+  std::printf("Condensed RSA (1024-bit)\n");
+  std::printf("  Individual signing        %10.3f ms\n", c.rsa_sign * 1e3);
+  std::printf("  Individual verification   %10.3f ms\n", c.rsa_verify * 1e3);
+  std::printf("  1000-sig aggregation      %10.3f ms\n",
+              c.rsa_aggregate_1000 * 1e3);
+  std::printf("  1000-sig agg verification %10.3f ms\n",
+              c.rsa_verify_1000 * 1e3);
+  std::printf("Secure Hashing Algorithm (SHA-1)\n");
+  std::printf("  256-byte message          %10.3f us\n", c.sha_256b * 1e6);
+  std::printf("  512-byte message          %10.3f us\n", c.sha_512b * 1e6);
+  std::printf("  1024-byte message         %10.3f us\n", c.sha_1024b * 1e6);
+  std::printf("\nShape checks vs paper: RSA verify << BAS verify; "
+              "aggregation cheap for both; hashing orders of magnitude "
+              "below signing.\n");
+}
+
+}  // namespace
+}  // namespace authdb
+
+int main() {
+  authdb::Run();
+  return 0;
+}

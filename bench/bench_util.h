@@ -1,0 +1,28 @@
+#ifndef AUTHDB_BENCH_BENCH_UTIL_H_
+#define AUTHDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace authdb {
+namespace bench {
+
+/// AUTHDB_BENCH_SCALE divides the paper's dataset sizes so the full harness
+/// finishes in minutes on a laptop; set it to 1 to run at paper scale.
+inline uint64_t ScaleDivisor(uint64_t def = 16) {
+  const char* env = std::getenv("AUTHDB_BENCH_SCALE");
+  if (env == nullptr) return def;
+  uint64_t v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? def : v;
+}
+
+inline void Header(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+}  // namespace bench
+}  // namespace authdb
+
+#endif  // AUTHDB_BENCH_BENCH_UTIL_H_

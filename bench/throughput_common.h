@@ -1,0 +1,139 @@
+#ifndef AUTHDB_BENCH_THROUGHPUT_COMMON_H_
+#define AUTHDB_BENCH_THROUGHPUT_COMMON_H_
+
+// Shared machinery for the Figure 7 / Figure 9 throughput experiments:
+// calibrated per-job demands for the EMB baseline and the BAS scheme at
+// N = 1M records, fed through the discrete-event simulator.
+
+#include <cstdio>
+#include <functional>
+
+#include "core/models.h"
+#include "sim/calibration.h"
+#include "sim/throughput_sim.h"
+
+namespace authdb {
+namespace bench {
+
+struct ThroughputSetup {
+  uint64_t n = 1'000'000;
+  uint32_t rec_len = 512;
+  uint64_t query_cardinality = 1;  // sf * N
+  double upd_fraction = 0.1;
+  CryptoCosts costs;
+  SystemConfig sys;
+  /// Sequential transfer rate for leaf scans (2009-era disk); index
+  /// descents and scattered writes pay full random I/Os.
+  double seq_bytes_per_sec = 50e6;
+
+  /// Random descents + sequential leaf scan for q records.
+  double ScanIoSeconds(double height, uint64_t q) const {
+    return (height + 1) * sys.io_seconds +
+           static_cast<double>(q) * rec_len / seq_bytes_per_sec;
+  }
+};
+
+/// EMB-: root-locked updates, shared-root queries, digest-path hashing,
+/// O(log) digest VO, RSA root signature.
+inline std::function<JobDemand(bool, Rng*)> EmbDemand(
+    const ThroughputSetup& s) {
+  return [s](bool is_update, Rng* rng) {
+    (void)rng;
+    JobDemand d;
+    d.is_update = is_update;
+    double h = models::EmbHeight(s.n);
+    double merkle_depth = 20.0;  // log2(1M) digest recomputations
+    uint64_t q = s.query_cardinality;
+    if (is_update) {
+      // Update transactions touch q records (Table 4's range updates) and
+      // hold the root exclusively throughout, including the re-signature.
+      d.exclusive_root = true;
+      d.da_cpu_seconds = s.costs.rsa_sign;  // root re-signature
+      d.update_bytes = s.rec_len + 128 + 20.0 * merkle_depth;
+      d.qs_io_seconds = s.ScanIoSeconds(h, q) + (h + 1) * s.sys.io_seconds;
+      d.qs_cpu_seconds = merkle_depth * s.costs.sha_512b * q;
+    } else {
+      d.shared_root = true;
+      d.qs_io_seconds = s.ScanIoSeconds(h, q);
+      d.qs_cpu_seconds = q * s.costs.sha_512b;
+      double vo_bytes = 440 + (q > 1 ? 280 : 0);  // paper's measured VOs
+      d.reply_bytes = q * s.rec_len + vo_bytes;
+      d.verify_seconds =
+          s.costs.rsa_verify + (q + 2 * merkle_depth) * s.costs.sha_512b;
+    }
+    return d;
+  };
+}
+
+/// BAS: record-level locking only; aggregation additions at the QS; 2
+/// pairings + per-record hash-to-point at the client.
+inline std::function<JobDemand(bool, Rng*)> BasDemand(
+    const ThroughputSetup& s) {
+  return [s](bool is_update, Rng* rng) {
+    (void)rng;
+    JobDemand d;
+    d.is_update = is_update;
+    double h = models::AsignHeight(s.n);
+    uint64_t q = s.query_cardinality;
+    if (is_update) {
+      // Same q-record transaction, but only the touched records are
+      // locked: no root serialization (Section 3.2).
+      d.da_cpu_seconds = s.costs.bas_sign;
+      d.update_bytes = s.rec_len + 20 + 16;
+      d.qs_io_seconds = s.ScanIoSeconds(h, q) + (h + 1) * s.sys.io_seconds;
+      d.qs_cpu_seconds = 0;  // signatures replaced in place
+    } else {
+      d.qs_io_seconds = s.ScanIoSeconds(h, q);
+      d.qs_cpu_seconds = (q > 0 ? q - 1 : 0) * s.costs.point_add;
+      d.reply_bytes = q * s.rec_len + 28 + 375;  // VO + periodic summary
+      d.verify_seconds = s.costs.bas_verify + q * s.costs.hash_to_point;
+    }
+    return d;
+  };
+}
+
+inline void RunThroughputFigure(const char* title, uint64_t cardinality,
+                                const std::vector<double>& rates,
+                                const std::vector<double>& breakdown_rates) {
+  auto ctx = BasContext::Default();
+  ThroughputSetup setup;
+  setup.query_cardinality = cardinality;
+  setup.costs = MeasureCryptoCosts(ctx, /*quick=*/true);
+
+  ThroughputSimulator sim(setup.sys);
+  std::printf("\n%s\n", title);
+  std::printf("%8s %12s %12s %12s %12s   (msec)\n", "rate", "EMB-(Q)",
+              "EMB-(U)", "BAS(Q)", "BAS(U)");
+  for (double rate : rates) {
+    Rng r1(7), r2(7);
+    size_t jobs = static_cast<size_t>(std::max(2000.0, rate * 30));
+    auto emb = sim.Run(rate, jobs, setup.upd_fraction, EmbDemand(setup), &r1);
+    auto bas = sim.Run(rate, jobs, setup.upd_fraction, BasDemand(setup), &r2);
+    std::printf("%8.0f %12.1f %12.1f %12.1f %12.1f\n", rate,
+                emb.mean_query_response * 1e3, emb.mean_update_response * 1e3,
+                bas.mean_query_response * 1e3,
+                bas.mean_update_response * 1e3);
+  }
+  std::printf("\nQuery response breakdown (msec):\n");
+  std::printf("%8s %6s %9s %9s %9s %9s %9s\n", "rate", "scheme", "locking",
+              "queueing", "process", "transmit", "verify");
+  for (double rate : breakdown_rates) {
+    Rng r1(7), r2(7);
+    size_t jobs = static_cast<size_t>(std::max(2000.0, rate * 30));
+    auto emb = sim.Run(rate, jobs, setup.upd_fraction, EmbDemand(setup), &r1);
+    auto bas = sim.Run(rate, jobs, setup.upd_fraction, BasDemand(setup), &r2);
+    std::printf("%8.0f %6s %9.1f %9.1f %9.1f %9.1f %9.1f\n", rate, "EMB-",
+                emb.query_locking * 1e3, emb.query_queueing * 1e3,
+                emb.query_processing * 1e3, emb.query_transmission * 1e3,
+                emb.query_verification * 1e3);
+    std::printf("%8.0f %6s %9.1f %9.1f %9.1f %9.1f %9.1f\n", rate, "BAS",
+                bas.query_locking * 1e3, bas.query_queueing * 1e3,
+                bas.query_processing * 1e3, bas.query_transmission * 1e3,
+                bas.query_verification * 1e3);
+  }
+}
+
+}  // namespace bench
+}  // namespace authdb
+
+#endif  // AUTHDB_BENCH_THROUGHPUT_COMMON_H_

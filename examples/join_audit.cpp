@@ -1,0 +1,81 @@
+// Join audit: authenticated equi-join with certified Bloom filters
+// (Section 3.5). A broker joins its watchlist (R.A values) against the
+// exchange's Holding table (S), and verifies both the matches *and* the
+// absences — with a proof ~60% smaller than the boundary-value baseline.
+//
+// Build & run:  ./build/examples/join_audit
+#include <cstdio>
+
+#include "common/clock.h"
+#include "core/data_aggregator.h"
+#include "core/join.h"
+#include "workload/tpce.h"
+
+using namespace authdb;
+
+int main() {
+  auto ctx = BasContext::Default();
+  SystemClock clock;
+  Rng rng(99);
+
+  // The exchange (DA) certifies the Holding table: B values with
+  // duplicates, indexed on composite keys.
+  DataAggregator::Options opt;
+  opt.record_len = 64;
+  opt.buffer_pages = 2048;
+  DataAggregator da(ctx, &clock, &rng, opt);
+  TpceJoinWorkload::Config wcfg;
+  wcfg.scale_divisor = 64;  // demo-size: ~14k rows, ~53 distinct values
+  TpceJoinWorkload workload(wcfg);
+  auto stream = da.BulkLoad(workload.MakeHoldingRows());
+  if (!stream.ok()) return 1;
+  std::printf("Holding table: %llu rows, %zu distinct B values\n",
+              static_cast<unsigned long long>(workload.ns()),
+              workload.distinct_b().size());
+
+  // The DA certifies one Bloom filter per 4-value partition (8 bits/value).
+  JoinAuthority authority(ctx, da.private_key(), BasContext::HashMode::kFast);
+  auto partitions = authority.BuildPartitions(workload.distinct_b(),
+                                              /*values_per_partition=*/4,
+                                              /*bits_per_value=*/8.0,
+                                              clock.NowMicros());
+  std::printf("certified %zu partition filters\n", partitions.size());
+
+  // Watchlist: half the values match, half do not.
+  auto watchlist = workload.MakeSecurityValues(/*alpha=*/0.5, /*n=*/40);
+
+  JoinProver prover(ctx, &da.table(), &partitions);
+  JoinVerifier verifier(&da.public_key(), BasContext::HashMode::kFast);
+  SizeModel sm;
+
+  for (JoinMethod method :
+       {JoinMethod::kBoundaryValues, JoinMethod::kBloomFilter}) {
+    auto ans = prover.Join(watchlist, method);
+    if (!ans.ok()) return 1;
+    Status ok = verifier.Verify(watchlist, ans.value());
+    size_t s_rows = 0;
+    for (const auto& m : ans.value().matches) s_rows += m.s_records.size();
+    std::printf(
+        "%-16s matches=%zu (S rows %zu) negatives=%zu fallbacks=%zu "
+        "VO=%zu bytes -> %s\n",
+        method == JoinMethod::kBloomFilter ? "Bloom filter:" : "boundary "
+                                                               "values:",
+        ans.value().matches.size(), s_rows,
+        ans.value().negative_probes.size(),
+        ans.value().absence_proofs.size(),
+        ans.value().vo_size_paper(sm), ok.ToString().c_str());
+  }
+
+  // Tampering: the server hides one matching row.
+  auto ans = prover.Join(watchlist, JoinMethod::kBloomFilter);
+  auto tampered = ans.value();
+  for (auto& m : tampered.matches) {
+    if (m.s_records.size() > 1) {
+      m.s_records.pop_back();
+      break;
+    }
+  }
+  Status bad = verifier.Verify(watchlist, tampered);
+  std::printf("hidden join row: %s\n", bad.ToString().c_str());
+  return bad.ok() ? 1 : 0;
+}

@@ -1,0 +1,63 @@
+#ifndef AUTHDB_COMMON_CLOCK_H_
+#define AUTHDB_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace authdb {
+
+/// Abstract time source. The freshness protocol (Section 3.1 of the paper)
+/// timestamps every record certification; tests and the discrete-event
+/// simulator need to control time explicitly, so all protocol components
+/// take a Clock rather than reading the wall clock directly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual uint64_t NowMicros() const = 0;
+  double NowSeconds() const { return NowMicros() * 1e-6; }
+};
+
+/// Real wall-clock time.
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for tests and simulation.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_micros = 0) : now_(start_micros) {}
+  uint64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(uint64_t d) { now_ += d; }
+  void AdvanceSeconds(double s) { now_ += static_cast<uint64_t>(s * 1e6); }
+  void SetMicros(uint64_t t) { now_ = t; }
+
+ private:
+  uint64_t now_;
+};
+
+/// Stopwatch over the wall clock, for micro-benchmark calibration.
+class Stopwatch {
+ public:
+  Stopwatch() { Reset(); }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_COMMON_CLOCK_H_

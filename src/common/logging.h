@@ -1,0 +1,29 @@
+#ifndef AUTHDB_COMMON_LOGGING_H_
+#define AUTHDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace authdb {
+
+/// Abort the process with a message; used for invariant violations that
+/// indicate a programming error rather than a recoverable condition.
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const char* expr) {
+  std::fprintf(stderr, "[authdb] FATAL %s:%d: check failed: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace authdb
+
+/// Always-on invariant check (database code keeps checks in release builds;
+/// the cost is negligible next to crypto and I/O).
+#define AUTHDB_CHECK(cond)                                   \
+  do {                                                       \
+    if (!(cond)) ::authdb::FatalError(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define AUTHDB_DCHECK(cond) AUTHDB_CHECK(cond)
+
+#endif  // AUTHDB_COMMON_LOGGING_H_

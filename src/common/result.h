@@ -1,0 +1,60 @@
+#ifndef AUTHDB_COMMON_RESULT_H_
+#define AUTHDB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace authdb {
+
+/// Value-or-Status container, in the style of arrow::Result.
+///
+/// A Result<T> holds either a T (when the producing operation succeeded) or a
+/// non-OK Status explaining why it failed.
+template <typename T>
+class Result {
+ public:
+  /// Construct a successful result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Construct a failed result. `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    AUTHDB_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Dies if the result holds an error.
+  const T& value() const& {
+    AUTHDB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    AUTHDB_CHECK(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    AUTHDB_CHECK(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+#define AUTHDB_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto AUTHDB_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!AUTHDB_CONCAT_(_res_, __LINE__).ok())      \
+    return AUTHDB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = AUTHDB_CONCAT_(_res_, __LINE__).MoveValue()
+
+#define AUTHDB_CONCAT_(a, b) AUTHDB_CONCAT_IMPL_(a, b)
+#define AUTHDB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace authdb
+
+#endif  // AUTHDB_COMMON_RESULT_H_

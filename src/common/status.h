@@ -1,0 +1,95 @@
+#ifndef AUTHDB_COMMON_STATUS_H_
+#define AUTHDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace authdb {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning a Status instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,        ///< on-disk or in-transit data failed an integrity check
+  kVerificationFailed,///< a cryptographic proof did not verify
+  kIOError,
+  kOutOfRange,
+  kResourceExhausted,
+  kAborted,           ///< transaction aborted (e.g. lock conflict)
+  kInternal,
+};
+
+/// Lightweight status object carried by fallible operations.
+///
+/// Usage:
+///   Status s = tree.Insert(k, v);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status VerificationFailed(std::string m) {
+    return Status(StatusCode::kVerificationFailed, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsVerificationFailed() const {
+    return code_ == StatusCode::kVerificationFailed;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define AUTHDB_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::authdb::Status _s = (expr);              \
+    if (!_s.ok()) return _s;                   \
+  } while (0)
+
+}  // namespace authdb
+
+#endif  // AUTHDB_COMMON_STATUS_H_

@@ -1,0 +1,224 @@
+#include "core/data_aggregator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/chain.h"
+
+namespace authdb {
+
+DataAggregator::DataAggregator(std::shared_ptr<const BasContext> ctx,
+                               const Clock* clock, Rng* rng,
+                               const Options& options)
+    : ctx_(ctx),
+      clock_(clock),
+      options_(options),
+      key_(BasPrivateKey::Generate(ctx, rng)),
+      data_disk_(""),
+      index_disk_(""),
+      data_pool_(&data_disk_, options.buffer_pages),
+      index_pool_(&index_disk_, options.buffer_pages),
+      table_(&data_pool_, &index_pool_, &ctx->curve(), options.record_len),
+      summary_(&codec_) {}
+
+BasSignature DataAggregator::SignChained(const Record& rec, int64_t left,
+                                         int64_t right) {
+  ++signatures_issued_;
+  return key_.Sign(ChainMessage(rec, left, right).AsSlice(),
+                   options_.hash_mode);
+}
+
+Result<std::vector<SignedRecordUpdate>> DataAggregator::BulkLoad(
+    std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.key() < b.key(); });
+  uint64_t now = clock_->NowMicros();
+  std::vector<SignedRecordUpdate> out;
+  out.reserve(records.size());
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].key() == records[i - 1].key())
+      return Status::InvalidArgument("duplicate indexed key in bulk load");
+  }
+  // Assign rids sequentially; chain each record to its in-batch neighbors.
+  for (size_t i = 0; i < records.size(); ++i) {
+    Record& rec = records[i];
+    rec.ts = now;
+    rec.rid = table_.records().rid_upper_bound();
+    int64_t left = i > 0 ? records[i - 1].key() : kChainMinusInf;
+    int64_t right =
+        i + 1 < records.size() ? records[i + 1].key() : kChainPlusInf;
+    BasSignature sig = SignChained(rec, left, right);
+    AUTHDB_RETURN_NOT_OK(table_.Insert(rec, sig));
+    summary_.MarkUpdated(rec.rid);  // inserts appear in the period's bitmap
+    SignedRecordUpdate msg;
+    msg.kind = SignedRecordUpdate::Kind::kInsert;
+    msg.key = rec.key();
+    msg.record = CertifiedRecord{rec, sig};
+    out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+Result<SignedRecordUpdate> DataAggregator::ModifyRecord(
+    int64_t key, std::vector<int64_t> attrs) {
+  if (attrs.empty() || attrs[0] != key)
+    return Status::InvalidArgument("attrs[0] must equal the indexed key");
+  AUTHDB_ASSIGN_OR_RETURN(AuthTable::Item existing, table_.GetByKey(key));
+  Record rec;
+  rec.rid = existing.record.rid;
+  rec.ts = clock_->NowMicros();
+  rec.attrs = std::move(attrs);
+  auto [left, right] = table_.NeighborKeys(key);
+  BasSignature sig = SignChained(rec, left, right);
+  AUTHDB_RETURN_NOT_OK(table_.Update(rec, sig));
+  summary_.MarkUpdated(rec.rid);
+  SignedRecordUpdate msg;
+  msg.kind = SignedRecordUpdate::Kind::kModify;
+  msg.key = key;
+  msg.record = CertifiedRecord{rec, sig};
+  if (options_.piggyback_renewal) PiggybackRenewal(rec.rid, &msg.recertified);
+  return msg;
+}
+
+Result<SignedRecordUpdate> DataAggregator::InsertRecord(
+    std::vector<int64_t> attrs) {
+  if (attrs.empty()) return Status::InvalidArgument("no attributes");
+  int64_t key = attrs[0];
+  if (table_.ContainsKey(key))
+    return Status::AlreadyExists("key " + std::to_string(key));
+  Record rec;
+  rec.rid = table_.records().rid_upper_bound();
+  rec.ts = clock_->NowMicros();
+  rec.attrs = std::move(attrs);
+  auto [left, right] = table_.NeighborKeys(key);
+  BasSignature sig = SignChained(rec, left, right);
+  AUTHDB_RETURN_NOT_OK(table_.Insert(rec, sig));
+  summary_.MarkUpdated(rec.rid);
+  SignedRecordUpdate msg;
+  msg.kind = SignedRecordUpdate::Kind::kInsert;
+  msg.key = key;
+  msg.record = CertifiedRecord{rec, sig};
+  // The neighbors' chains now point at the new record: re-certify both.
+  if (left != kChainMinusInf) Recertify(left, &msg.recertified);
+  if (right != kChainPlusInf) Recertify(right, &msg.recertified);
+  return msg;
+}
+
+Result<SignedRecordUpdate> DataAggregator::DeleteRecord(int64_t key) {
+  AUTHDB_ASSIGN_OR_RETURN(AuthTable::Item victim, table_.GetByKey(key));
+  auto [left, right] = table_.NeighborKeys(key);
+  AUTHDB_RETURN_NOT_OK(table_.Delete(key));
+  summary_.MarkUpdated(victim.record.rid);
+  SignedRecordUpdate msg;
+  msg.kind = SignedRecordUpdate::Kind::kDelete;
+  msg.key = key;
+  // The ex-neighbors now chain to each other.
+  if (left != kChainMinusInf) Recertify(left, &msg.recertified);
+  if (right != kChainPlusInf) Recertify(right, &msg.recertified);
+  return msg;
+}
+
+void DataAggregator::Recertify(int64_t key,
+                               std::vector<CertifiedRecord>* out) {
+  auto item = table_.GetByKey(key);
+  if (!item.ok()) return;
+  Record rec = item.value().record;
+  rec.ts = clock_->NowMicros();
+  auto [left, right] = table_.NeighborKeys(key);
+  BasSignature sig = SignChained(rec, left, right);
+  Status s = table_.Update(rec, sig);
+  AUTHDB_CHECK(s.ok());
+  summary_.MarkUpdated(rec.rid);
+  out->push_back(CertifiedRecord{rec, sig});
+}
+
+void DataAggregator::PiggybackRenewal(uint64_t around_rid,
+                                      std::vector<CertifiedRecord>* out) {
+  // The disk block holding `around_rid` is already in memory: re-certify
+  // any cohabitant whose signature is older than rho' (Section 3.1).
+  uint64_t now = clock_->NowMicros();
+  for (RecordId rid : table_.records().RidsInSamePage(around_rid)) {
+    if (rid == around_rid) continue;
+    auto bytes = table_.records().Read(rid);
+    if (!bytes.ok()) continue;
+    Record rec = Record::Deserialize(Slice(bytes.value()));
+    if (now - rec.ts > options_.rho_prime_micros) {
+      Recertify(rec.key(), out);
+    }
+  }
+}
+
+DataAggregator::PeriodOutput DataAggregator::PublishSummary() {
+  PeriodOutput out;
+  std::vector<uint64_t> multi = summary_.MultiUpdatedRids();
+  out.summary = summary_.BuildAndSign(summary_seq_++, clock_->NowMicros(),
+                                      table_.records().rid_upper_bound(),
+                                      key_, options_.hash_mode);
+  // Re-certify multi-updated records in the new period so their stale
+  // intermediate versions are invalidated by the next summary.
+  for (uint64_t rid : multi) {
+    auto bytes = table_.records().Read(rid);
+    if (!bytes.ok()) continue;  // deleted meanwhile
+    Record rec = Record::Deserialize(Slice(bytes.value()));
+    SignedRecordUpdate msg;
+    msg.kind = SignedRecordUpdate::Kind::kRecertify;
+    msg.key = rec.key();
+    Recertify(rec.key(), &msg.recertified);
+    if (!msg.recertified.empty()) out.recertifications.push_back(std::move(msg));
+  }
+  return out;
+}
+
+std::vector<SignedRecordUpdate> DataAggregator::BackgroundRenewal(
+    size_t budget) {
+  std::vector<SignedRecordUpdate> out;
+  uint64_t upper = table_.records().rid_upper_bound();
+  if (upper == 0) return out;
+  uint64_t now = clock_->NowMicros();
+  uint64_t scanned = 0;
+  while (budget > 0 && scanned < upper) {
+    uint64_t rid = renewal_cursor_++ % upper;
+    ++scanned;
+    auto bytes = table_.records().Read(rid);
+    if (!bytes.ok()) continue;
+    Record rec = Record::Deserialize(Slice(bytes.value()));
+    if (now - rec.ts > options_.rho_prime_micros) {
+      SignedRecordUpdate msg;
+      msg.kind = SignedRecordUpdate::Kind::kRecertify;
+      msg.key = rec.key();
+      Recertify(rec.key(), &msg.recertified);
+      if (!msg.recertified.empty()) {
+        out.push_back(std::move(msg));
+        --budget;
+      }
+    }
+  }
+  return out;
+}
+
+ByteBuffer DataAggregator::AttributeMessage(uint64_t rid, uint32_t attr_index,
+                                            int64_t value, uint64_t ts) {
+  ByteBuffer buf;
+  buf.PutString("attr");
+  buf.PutU64(rid);
+  buf.PutU32(attr_index);
+  buf.PutI64(value);
+  buf.PutU64(ts);
+  return buf;
+}
+
+std::vector<BasSignature> DataAggregator::SignAttributes(
+    const Record& rec) const {
+  std::vector<BasSignature> out;
+  out.reserve(rec.attrs.size());
+  for (size_t i = 0; i < rec.attrs.size(); ++i) {
+    out.push_back(key_.Sign(
+        AttributeMessage(rec.rid, static_cast<uint32_t>(i), rec.attrs[i],
+                         rec.ts)
+            .AsSlice(),
+        options_.hash_mode));
+  }
+  return out;
+}
+
+}  // namespace authdb

@@ -1,0 +1,104 @@
+#ifndef AUTHDB_CORE_FRESHNESS_H_
+#define AUTHDB_CORE_FRESHNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/bas.h"
+#include "crypto/bitmap.h"
+
+namespace authdb {
+
+/// A certified bitmap update summary (Section 3.1): one bit per record
+/// (indexed by rid), set iff the record was inserted / modified / deleted /
+/// re-certified during the rho-period that the summary closes. Compressed
+/// with a sparse-bitmap codec and signed by the data aggregator.
+struct UpdateSummary {
+  uint64_t seq = 0;            ///< period index (consecutive)
+  uint64_t publish_ts = 0;     ///< certification time (micros)
+  uint64_t nbits = 0;          ///< rid space covered
+  std::vector<uint8_t> compressed_bitmap;
+  BasSignature sig;
+
+  ByteBuffer SignedMessage() const {
+    ByteBuffer buf;
+    buf.PutString("summary");
+    buf.PutU64(seq);
+    buf.PutU64(publish_ts);
+    buf.PutU64(nbits);
+    buf.PutBytes(Slice(compressed_bitmap));
+    return buf;
+  }
+  size_t wire_size() const { return compressed_bitmap.size() + 8 * 3 + 20; }
+};
+
+/// DA-side accumulator for the current rho-period.
+class SummaryBuilder {
+ public:
+  explicit SummaryBuilder(const BitmapCodec* codec) : codec_(codec) {}
+
+  /// Record `rid` was updated (or re-certified) in this period.
+  void MarkUpdated(uint64_t rid);
+  /// rids marked more than once this period — they must be re-certified in
+  /// the next period so the summary granularity suffices (Section 3.1,
+  /// "Multiple Updates to a Record within the Same rho-Period").
+  std::vector<uint64_t> MultiUpdatedRids() const;
+
+  /// Close the period: build, sign, reset. `nbits` is the rid upper bound.
+  UpdateSummary BuildAndSign(uint64_t seq, uint64_t publish_ts,
+                             uint64_t nbits, const BasPrivateKey& key,
+                             BasContext::HashMode mode);
+
+  size_t pending_updates() const { return marks_.size(); }
+
+ private:
+  const BitmapCodec* codec_;
+  std::map<uint64_t, uint32_t> marks_;  // rid -> update count this period
+};
+
+/// Client-side freshness checker. Collects verified summaries and answers:
+/// "is record (rid, ts) fresh as of now, and with what staleness bound?"
+class FreshnessChecker {
+ public:
+  explicit FreshnessChecker(const BasPublicKey* da_pub,
+                            const BitmapCodec* codec,
+                            BasContext::HashMode mode)
+      : da_pub_(da_pub), codec_(codec), mode_(mode) {}
+
+  /// Verify the signature; decompress and retain. Idempotent: summaries
+  /// already held (same seq) are ignored, so servers may re-attach
+  /// overlapping summary runs to successive answers.
+  Status AddSummary(const UpdateSummary& summary);
+
+  /// Freshness rule of Section 3.1:
+  ///  * r.ts newer than the latest summary  -> fresh (bound < rho).
+  ///  * else r must be unmarked in every summary published since r.ts;
+  ///    a mark means the server returned a superseded version -> reject.
+  /// The held summaries must cover [record_ts, latest] without sequence
+  /// gaps, otherwise the absence of marks proves nothing.
+  /// `max_staleness_micros` (out, optional) receives the bound.
+  Status CheckRecord(uint64_t rid, uint64_t record_ts, uint64_t now,
+                     uint64_t* max_staleness_micros = nullptr) const;
+
+  size_t summary_count() const { return summaries_.size(); }
+  uint64_t latest_publish_ts() const {
+    return summaries_.empty() ? 0 : summaries_.rbegin()->second.publish_ts;
+  }
+
+ private:
+  const BasPublicKey* da_pub_;
+  const BitmapCodec* codec_;
+  BasContext::HashMode mode_;
+  struct Held {
+    uint64_t publish_ts;
+    Bitmap bitmap;
+  };
+  std::map<uint64_t, Held> summaries_;  // seq -> summary
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_FRESHNESS_H_

@@ -1,0 +1,313 @@
+#include "core/join.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "core/chain.h"
+
+namespace authdb {
+
+// ---------------------------------------------------------------------------
+// JoinAuthority
+
+CertifiedPartition JoinAuthority::Certify(CertifiedPartition part) const {
+  part.sig = key_->Sign(part.SignedMessage().AsSlice(), mode_);
+  return part;
+}
+
+std::vector<CertifiedPartition> JoinAuthority::BuildPartitions(
+    const std::vector<int64_t>& sorted_distinct_b,
+    size_t values_per_partition, double bits_per_value, uint64_t ts) const {
+  AUTHDB_CHECK(values_per_partition >= 1);
+  AUTHDB_CHECK(std::is_sorted(sorted_distinct_b.begin(),
+                              sorted_distinct_b.end()));
+  std::vector<CertifiedPartition> out;
+  size_t n = sorted_distinct_b.size();
+  size_t p = (n + values_per_partition - 1) / values_per_partition;
+  for (size_t i = 0; i < p; ++i) {
+    size_t begin = i * values_per_partition;
+    size_t end = std::min(n, begin + values_per_partition);
+    CertifiedPartition part;
+    part.idx = static_cast<uint32_t>(i);
+    part.ts = ts;
+    // Outer partitions extend to the key-domain edges so that every probe
+    // value falls into exactly one partition.
+    part.lo_b = i == 0 ? std::numeric_limits<int64_t>::min()
+                       : sorted_distinct_b[begin];
+    part.hi_b = i + 1 == p ? std::numeric_limits<int64_t>::max()
+                           : sorted_distinct_b[end] - 1;
+    part.filter = BloomFilter::WithBitsPerKey(end - begin, bits_per_value);
+    for (size_t v = begin; v < end; ++v)
+      part.filter.AddInt64(sorted_distinct_b[v]);
+    out.push_back(Certify(std::move(part)));
+  }
+  return out;
+}
+
+CertifiedPartition JoinAuthority::RebuildPartition(
+    const CertifiedPartition& old,
+    const std::vector<int64_t>& remaining_values, uint64_t ts) const {
+  CertifiedPartition part;
+  part.idx = old.idx;
+  part.lo_b = old.lo_b;
+  part.hi_b = old.hi_b;
+  part.ts = ts;
+  part.filter = BloomFilter(old.filter.bit_count(), old.filter.hash_count());
+  for (int64_t v : remaining_values) part.filter.AddInt64(v);
+  return Certify(std::move(part));
+}
+
+// ---------------------------------------------------------------------------
+// JoinProver
+
+Result<JoinMatch> JoinProver::MatchGroup(int64_t a) const {
+  int64_t lo = JoinCompositeKey(a, 0);
+  int64_t hi = JoinCompositeKey(a, (1u << kJoinDupShift) - 1);
+  AuthTable::RangeOut scan = s_->Scan(lo, hi);
+  JoinMatch match;
+  match.a_value = a;
+  match.left_key =
+      scan.left_boundary ? scan.left_boundary->record.key() : kChainMinusInf;
+  match.right_key =
+      scan.right_boundary ? scan.right_boundary->record.key() : kChainPlusInf;
+  for (const auto& item : scan.items) match.s_records.push_back(item.record);
+  return match;
+}
+
+Result<AbsenceProof> JoinProver::ProveAbsence(int64_t a) const {
+  int64_t lo = JoinCompositeKey(a, 0);
+  int64_t hi = JoinCompositeKey(a, (1u << kJoinDupShift) - 1);
+  AuthTable::RangeOut scan = s_->Scan(lo, hi);
+  AUTHDB_CHECK(scan.items.empty());
+  const AuthTable::Item* witness =
+      scan.left_boundary ? &*scan.left_boundary
+                         : (scan.right_boundary ? &*scan.right_boundary
+                                                : nullptr);
+  if (witness == nullptr) return Status::NotFound("S is empty");
+  auto [wl, wr] = s_->NeighborKeys(witness->record.key());
+  AbsenceProof proof;
+  proof.a_value = a;
+  proof.rec_key = witness->record.key();
+  proof.rec_digest = witness->record.Digest();
+  proof.left_key = wl;
+  proof.right_key = wr;
+  return proof;
+}
+
+Result<JoinAnswer> JoinProver::Join(const std::vector<int64_t>& r_values,
+                                    JoinMethod method) const {
+  std::vector<int64_t> values = r_values;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  JoinAnswer ans;
+  ans.method = method;
+  std::set<uint32_t> used_partitions;
+  // Chain signatures included in the aggregate, deduplicated by composite
+  // key (a record may serve as both a match member and an absence witness).
+  std::set<int64_t> included_keys;
+  std::vector<BasSignature> parts;
+
+  auto include_record = [&](const AuthTable::Item& item) {
+    if (included_keys.insert(item.record.key()).second)
+      parts.push_back(item.sig);
+  };
+
+  for (int64_t a : values) {
+    AUTHDB_ASSIGN_OR_RETURN(JoinMatch match, MatchGroup(a));
+    if (!match.s_records.empty()) {
+      for (const Record& r : match.s_records) {
+        auto item = s_->GetByKey(r.key());
+        AUTHDB_CHECK(item.ok());
+        include_record(item.value());
+      }
+      ans.matches.push_back(std::move(match));
+      continue;
+    }
+    bool need_boundary = true;
+    if (method == JoinMethod::kBloomFilter) {
+      // Locate the (unique) partition covering `a` and probe its filter.
+      const CertifiedPartition* part = nullptr;
+      for (const auto& p : *partitions_) {
+        if (p.lo_b <= a && a <= p.hi_b) {
+          part = &p;
+          break;
+        }
+      }
+      if (part != nullptr) {
+        used_partitions.insert(part->idx);
+        if (!part->filter.MayContainInt64(a)) {
+          ans.negative_probes.push_back({a, part->idx});
+          need_boundary = false;
+        }
+        // else: false positive — fall back to boundary proof below.
+      }
+    }
+    if (need_boundary) {
+      AUTHDB_ASSIGN_OR_RETURN(AbsenceProof proof, ProveAbsence(a));
+      auto item = s_->GetByKey(proof.rec_key);
+      AUTHDB_CHECK(item.ok());
+      include_record(item.value());
+      ans.absence_proofs.push_back(std::move(proof));
+    }
+  }
+  for (uint32_t idx : used_partitions) {
+    for (const auto& p : *partitions_) {
+      if (p.idx == idx) {
+        ans.partitions.push_back(p);
+        parts.push_back(p.sig);
+        break;
+      }
+    }
+  }
+  ans.agg_sig = ctx_->Aggregate(parts);
+  return ans;
+}
+
+// ---------------------------------------------------------------------------
+// JoinVerifier
+
+Status JoinVerifier::Verify(const std::vector<int64_t>& r_values,
+                            const JoinAnswer& ans) const {
+  std::vector<int64_t> values = r_values;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::set<int64_t> pending(values.begin(), values.end());
+
+  std::set<int64_t> included_keys;
+  std::vector<ByteBuffer> messages;
+  auto include_message = [&](int64_t key, const Digest160& digest,
+                             int64_t left, int64_t right) {
+    if (included_keys.insert(key).second)
+      messages.push_back(ChainMessage(key, digest, left, right));
+  };
+
+  // 1. Match groups: every row's B must equal a_value; keys strictly
+  //    ascending; boundaries enclose the value's composite range.
+  for (const JoinMatch& m : ans.matches) {
+    if (!pending.erase(m.a_value))
+      return Status::VerificationFailed("match for unqueried value");
+    if (m.s_records.empty())
+      return Status::VerificationFailed("empty match group");
+    if (m.left_key != kChainMinusInf &&
+        JoinBValue(m.left_key) >= m.a_value)
+      return Status::VerificationFailed("match left boundary inside group");
+    if (m.right_key != kChainPlusInf && JoinBValue(m.right_key) <= m.a_value)
+      return Status::VerificationFailed("match right boundary inside group");
+    for (size_t i = 0; i < m.s_records.size(); ++i) {
+      const Record& r = m.s_records[i];
+      if (JoinBValue(r.key()) != m.a_value)
+        return Status::VerificationFailed("match row with wrong B value");
+      if (i > 0 && m.s_records[i - 1].key() >= r.key())
+        return Status::VerificationFailed("match rows out of order");
+      int64_t left = i == 0 ? m.left_key : m.s_records[i - 1].key();
+      int64_t right =
+          i + 1 == m.s_records.size() ? m.right_key : m.s_records[i + 1].key();
+      include_message(r.key(), r.Digest(), left, right);
+    }
+  }
+
+  // 2. Negative probes: the certified filter must actually answer "no".
+  for (const auto& [a, pidx] : ans.negative_probes) {
+    if (!pending.erase(a))
+      return Status::VerificationFailed("negative probe for unqueried value");
+    const CertifiedPartition* part = nullptr;
+    for (const auto& p : ans.partitions) {
+      if (p.idx == pidx) {
+        part = &p;
+        break;
+      }
+    }
+    if (part == nullptr)
+      return Status::VerificationFailed("probe against missing partition");
+    if (a < part->lo_b || a > part->hi_b)
+      return Status::VerificationFailed("probe outside partition range");
+    if (part->filter.MayContainInt64(a))
+      return Status::VerificationFailed(
+          "filter contains a value claimed absent");
+  }
+
+  // 3. Absence witnesses: the witness chain must bracket the value.
+  for (const AbsenceProof& p : ans.absence_proofs) {
+    if (!pending.erase(p.a_value))
+      return Status::VerificationFailed("absence proof for unqueried value");
+    int64_t wb = JoinBValue(p.rec_key);
+    bool left_witness =
+        wb < p.a_value &&
+        (p.right_key == kChainPlusInf || JoinBValue(p.right_key) > p.a_value);
+    bool right_witness =
+        wb > p.a_value &&
+        (p.left_key == kChainMinusInf || JoinBValue(p.left_key) < p.a_value);
+    if (!left_witness && !right_witness)
+      return Status::VerificationFailed("witness does not bracket the value");
+    include_message(p.rec_key, p.rec_digest, p.left_key, p.right_key);
+  }
+
+  if (!pending.empty())
+    return Status::VerificationFailed(
+        std::to_string(pending.size()) + " R values unaccounted for");
+
+  // 4. One aggregate over every chained record + partition certification.
+  std::vector<Slice> views;
+  views.reserve(messages.size() + ans.partitions.size());
+  for (const ByteBuffer& m : messages) views.push_back(m.AsSlice());
+  std::vector<ByteBuffer> part_msgs;
+  part_msgs.reserve(ans.partitions.size());
+  for (const auto& p : ans.partitions) part_msgs.push_back(p.SignedMessage());
+  for (const ByteBuffer& m : part_msgs) views.push_back(m.AsSlice());
+  if (!da_pub_->VerifyAggregate(views, ans.agg_sig, mode_))
+    return Status::VerificationFailed("join aggregate signature mismatch");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// VO sizes
+
+size_t JoinAnswer::vo_size_paper(const SizeModel& sm) const {
+  // The BV-style accounting of [24]: each boundary witness contributes its
+  // content digest (the verifier rebuilds the chain message from it) plus
+  // the bracketing S.B values; witnesses shared between adjacent unmatched
+  // values are deduplicated. Match groups add their two boundary values.
+  std::set<int64_t> boundary_vals;
+  auto add_key = [&](int64_t composite) {
+    if (composite != kChainMinusInf && composite != kChainPlusInf)
+      boundary_vals.insert(JoinBValue(composite));
+  };
+  for (const JoinMatch& m : matches) {
+    add_key(m.left_key);
+    add_key(m.right_key);
+  }
+  std::set<int64_t> witnesses;
+  for (const AbsenceProof& p : absence_proofs) {
+    witnesses.insert(p.rec_key);
+    add_key(p.rec_key);
+    add_key(p.left_key);
+    add_key(p.right_key);
+  }
+  size_t bytes = boundary_vals.size() * sm.join_attr_bytes +
+                 witnesses.size() * sm.digest_bytes;
+  std::set<int64_t> part_bounds;
+  for (const CertifiedPartition& p : partitions) {
+    bytes += (p.filter.bit_count() + 7) / 8;
+    if (p.lo_b != std::numeric_limits<int64_t>::min())
+      part_bounds.insert(p.lo_b);
+    if (p.hi_b != std::numeric_limits<int64_t>::max())
+      part_bounds.insert(p.hi_b);
+  }
+  bytes += part_bounds.size() * sm.join_attr_bytes;
+  bytes += sm.signature_bytes;  // the single aggregate
+  return bytes;
+}
+
+size_t JoinAnswer::wire_size(const SizeModel& sm) const {
+  size_t bytes = 2 * 32;  // aggregate signature point (uncompressed)
+  for (const JoinMatch& m : matches) bytes += 2 * 8;
+  for (const CertifiedPartition& p : partitions)
+    bytes += p.filter.byte_size() + 2 * 8 + 16 + 64;
+  bytes += negative_probes.size() * 12;
+  bytes += absence_proofs.size() * (sm.digest_bytes + 3 * 8 + 8);
+  return bytes;
+}
+
+}  // namespace authdb

@@ -1,0 +1,165 @@
+#ifndef AUTHDB_CORE_JOIN_H_
+#define AUTHDB_CORE_JOIN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/auth_table.h"
+#include "core/vo_size.h"
+#include "crypto/bloom.h"
+
+namespace authdb {
+
+/// Authenticated equi-join R ><(R.A = S.B) S — Section 3.5.
+///
+/// S.B contains duplicates, but the authenticated index requires unique
+/// keys, so S rows are indexed on a *composite* sort key
+///   kc = (B << kJoinDupShift) | dup_index,
+/// which preserves B order; the B value of any composite key is recovered
+/// with JoinBValue(). Chain signatures over composite-key order give the
+/// same completeness semantics per distinct B value.
+constexpr int kJoinDupShift = 20;
+
+inline int64_t JoinCompositeKey(int64_t b, uint32_t dup_index) {
+  return (b << kJoinDupShift) | static_cast<int64_t>(dup_index);
+}
+inline int64_t JoinBValue(int64_t composite_key) {
+  return composite_key >> kJoinDupShift;
+}
+
+/// A DA-certified Bloom filter over the distinct S.B values of one
+/// horizontal partition [lo_b, hi_b] of S (Section 3.5, "Authenticating
+/// with Bloom Filters").
+struct CertifiedPartition {
+  uint32_t idx = 0;
+  int64_t lo_b = 0, hi_b = 0;  ///< inclusive range of B values covered
+  uint64_t ts = 0;
+  BloomFilter filter{8, 1};
+  BasSignature sig;
+
+  ByteBuffer SignedMessage() const {
+    ByteBuffer buf;
+    buf.PutString("bfpart");
+    buf.PutU32(idx);
+    buf.PutI64(lo_b);
+    buf.PutI64(hi_b);
+    buf.PutU64(ts);
+    buf.PutU64(filter.bit_count());
+    buf.PutU32(static_cast<uint32_t>(filter.hash_count()));
+    buf.PutBytes(filter.CertificationDigest().AsSlice());
+    return buf;
+  }
+};
+
+/// DA-side partition construction and maintenance.
+class JoinAuthority {
+ public:
+  JoinAuthority(std::shared_ptr<const BasContext> ctx,
+                const BasPrivateKey* key, BasContext::HashMode mode)
+      : ctx_(std::move(ctx)), key_(key), mode_(mode) {}
+
+  /// Partition the sorted distinct B values into chunks of
+  /// `values_per_partition` (the paper's IB/p) and certify one filter per
+  /// partition with `bits_per_value` bits per distinct value (m/IB).
+  /// The first/last partitions extend to -inf/+inf so every probe value
+  /// falls in exactly one partition.
+  std::vector<CertifiedPartition> BuildPartitions(
+      const std::vector<int64_t>& sorted_distinct_b,
+      size_t values_per_partition, double bits_per_value, uint64_t ts) const;
+
+  /// Rebuild one partition after an S update (deletions cannot be removed
+  /// from a Bloom filter — the whole partition filter is recomputed, which
+  /// is why finer partitions update faster; Figure 11c).
+  CertifiedPartition RebuildPartition(
+      const CertifiedPartition& old,
+      const std::vector<int64_t>& remaining_values, uint64_t ts) const;
+
+ private:
+  CertifiedPartition Certify(CertifiedPartition part) const;
+  std::shared_ptr<const BasContext> ctx_;
+  const BasPrivateKey* key_;
+  BasContext::HashMode mode_;
+};
+
+/// Proof that no S row has B == a: a chained record adjacent to the gap.
+/// 36 bytes of evidence (digest + keys) rather than a full record.
+struct AbsenceProof {
+  int64_t a_value = 0;          ///< the unmatched R.A value proven absent
+  int64_t rec_key = 0;          ///< composite key of the witness record
+  Digest160 rec_digest;         ///< witness content digest
+  int64_t left_key = 0, right_key = 0;  ///< witness chain neighbors
+};
+
+/// Matching S rows for one distinct R.A value, with group boundaries.
+struct JoinMatch {
+  int64_t a_value = 0;
+  std::vector<Record> s_records;         ///< all S rows with B == a_value
+  int64_t left_key = 0, right_key = 0;   ///< composite boundary keys
+};
+
+enum class JoinMethod { kBoundaryValues, kBloomFilter };
+
+struct JoinAnswer {
+  JoinMethod method = JoinMethod::kBloomFilter;
+  std::vector<JoinMatch> matches;
+  /// BF: values proven unmatched by a negative filter probe (with the
+  /// partition index that answered).
+  std::vector<std::pair<int64_t, uint32_t>> negative_probes;
+  /// The certified partitions shipped to the user (deduplicated).
+  std::vector<CertifiedPartition> partitions;
+  /// BV: every unmatched value; BF: only filter false positives.
+  std::vector<AbsenceProof> absence_proofs;
+  /// One aggregate over: all match-group S-record chain messages, all
+  /// absence-witness chain messages, and all partition certifications.
+  BasSignature agg_sig;
+
+  /// VO size under the paper's accounting (Section 3.5 / Figure 11):
+  /// boundary values at |S.B| bytes (deduplicated), filter bits, partition
+  /// boundaries, plus one aggregate signature.
+  size_t vo_size_paper(const SizeModel& sm) const;
+  /// Actual bytes our wire format would ship for the proof artifacts.
+  size_t wire_size(const SizeModel& sm) const;
+};
+
+/// QS-side join proof construction over the authenticated S table.
+class JoinProver {
+ public:
+  JoinProver(std::shared_ptr<const BasContext> ctx, const AuthTable* s_table,
+             const std::vector<CertifiedPartition>* partitions)
+      : ctx_(std::move(ctx)), s_(s_table), partitions_(partitions) {}
+
+  /// Join the (already selected and separately proven) distinct R.A values
+  /// against S.
+  Result<JoinAnswer> Join(const std::vector<int64_t>& r_values,
+                          JoinMethod method) const;
+
+ private:
+  Result<JoinMatch> MatchGroup(int64_t a) const;
+  Result<AbsenceProof> ProveAbsence(int64_t a) const;
+
+  std::shared_ptr<const BasContext> ctx_;
+  const AuthTable* s_;
+  const std::vector<CertifiedPartition>* partitions_;
+};
+
+/// Client-side join verification: every R.A value must be accounted for by
+/// exactly one proof (match group, negative probe, or absence witness), and
+/// the single aggregate signature must cover every artifact.
+class JoinVerifier {
+ public:
+  JoinVerifier(const BasPublicKey* da_pub, BasContext::HashMode mode)
+      : da_pub_(da_pub), mode_(mode) {}
+
+  Status Verify(const std::vector<int64_t>& r_values,
+                const JoinAnswer& ans) const;
+
+ private:
+  const BasPublicKey* da_pub_;
+  BasContext::HashMode mode_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_JOIN_H_

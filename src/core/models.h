@@ -1,0 +1,57 @@
+#ifndef AUTHDB_CORE_MODELS_H_
+#define AUTHDB_CORE_MODELS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace authdb {
+
+/// Analytic models lifted straight from the paper (Sections 3.2 and 3.5);
+/// they regenerate Table 1 and Figure 4 and provide the Eq. (2)/(3) VO-size
+/// predictions that Figure 11 measurements are compared against.
+namespace models {
+
+/// Height of the ASign / EMB- index (Table 1): ceil(log_f(3/2 * ceil(N/146)))
+/// with 146 data entries per leaf, 2/3 utilization, and effective internal
+/// fanout f = 341 (ASign, plain B+-tree internals) or f = 97 (EMB-, internal
+/// nodes carry one digest per child entry).
+inline int TreeHeight(uint64_t n_records, double fanout) {
+  double leaves = 1.5 * std::ceil(static_cast<double>(n_records) / 146.0);
+  return static_cast<int>(std::max(1.0, std::ceil(std::log(leaves) /
+                                                  std::log(fanout))));
+}
+inline int AsignHeight(uint64_t n) { return TreeHeight(n, 341.0); }
+inline int EmbHeight(uint64_t n) { return TreeHeight(n, 97.0); }
+
+/// Eq. (2): expected boundary-value bytes for BV over the unmatched part.
+inline double VoBV(double alpha, double ia, double ib, double sb_bytes) {
+  return (1.0 - alpha) * ia * std::min(2.0, ib / ia) * sb_bytes;
+}
+
+/// Expected false-positive rate at m/IB bits per distinct value with the
+/// optimal k: 0.6185^(m/IB) (Section 2.1).
+inline double BloomFp(double bits_per_value) {
+  return std::pow(0.6185, bits_per_value);
+}
+
+/// Eq. (3): expected BF proof bytes for the unmatched fraction.
+/// `m_bits` is the total size of the probed partition filters in bits.
+inline double VoBF(double alpha, double ia, double m_bits, double p,
+                   double fp, double sb_bytes) {
+  double filters = (1.0 - alpha) * m_bits / 8.0;
+  double bounds = std::min(1.0, 2.0 * (1.0 - alpha)) * p * sb_bytes;
+  double fps = (1.0 - alpha) * ia * fp * 2.0 * sb_bytes;
+  return filters + bounds + fps;
+}
+
+/// Figure 4's configuration surface: z = 0.0432*(IA/IB) + 2*(p/IB); the BF
+/// method wins while z < 0.75 (primary-key/foreign-key case, m = 8*IB).
+inline double ViabilityZ(double ia_over_ib, double ib_over_p) {
+  return 0.0432 * ia_over_ib + 2.0 / ib_over_p;
+}
+
+}  // namespace models
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_MODELS_H_

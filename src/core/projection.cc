@@ -1,0 +1,50 @@
+#include "core/projection.h"
+
+#include "common/logging.h"
+#include "core/data_aggregator.h"
+
+namespace authdb {
+
+ProjectionAnswer ProjectionProver::Project(
+    const std::vector<Record>& tuples,
+    const std::vector<std::vector<BasSignature>>& attr_sigs,
+    const std::vector<uint32_t>& projected_indices) const {
+  AUTHDB_CHECK(tuples.size() == attr_sigs.size());
+  ProjectionAnswer ans;
+  std::vector<BasSignature> parts;
+  for (size_t t = 0; t < tuples.size(); ++t) {
+    const Record& rec = tuples[t];
+    ProjectedTuple out;
+    out.rid = rec.rid;
+    out.ts = rec.ts;
+    for (uint32_t i : projected_indices) {
+      AUTHDB_CHECK(i < rec.attrs.size());
+      out.attr_indices.push_back(i);
+      out.values.push_back(rec.attrs[i]);
+      parts.push_back(attr_sigs[t][i]);
+    }
+    ans.tuples.push_back(std::move(out));
+  }
+  ans.agg_sig = ctx_->Aggregate(parts);
+  return ans;
+}
+
+Status ProjectionVerifier::Verify(const ProjectionAnswer& ans) const {
+  std::vector<ByteBuffer> messages;
+  for (const ProjectedTuple& t : ans.tuples) {
+    if (t.attr_indices.size() != t.values.size())
+      return Status::VerificationFailed("malformed projected tuple");
+    for (size_t i = 0; i < t.attr_indices.size(); ++i) {
+      messages.push_back(DataAggregator::AttributeMessage(
+          t.rid, t.attr_indices[i], t.values[i], t.ts));
+    }
+  }
+  std::vector<Slice> views;
+  views.reserve(messages.size());
+  for (const ByteBuffer& m : messages) views.push_back(m.AsSlice());
+  if (!da_pub_->VerifyAggregate(views, ans.agg_sig, mode_))
+    return Status::VerificationFailed("projection aggregate mismatch");
+  return Status::OK();
+}
+
+}  // namespace authdb

@@ -1,0 +1,63 @@
+#ifndef AUTHDB_CORE_PROTOCOL_H_
+#define AUTHDB_CORE_PROTOCOL_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/freshness.h"
+#include "core/record.h"
+#include "core/vo_size.h"
+#include "crypto/bas.h"
+
+namespace authdb {
+
+/// A record together with its current chain signature.
+struct CertifiedRecord {
+  Record record;
+  BasSignature sig;
+};
+
+/// DA -> QS update message. Fresh records and signatures are pushed
+/// immediately (decoupled from the periodic summaries — the key design
+/// decision of Section 3.1).
+struct SignedRecordUpdate {
+  enum class Kind { kInsert, kModify, kDelete, kRecertify };
+  Kind kind = Kind::kModify;
+  int64_t key = 0;  // target key (primary payload key, or delete victim)
+  std::optional<CertifiedRecord> record;  // kInsert / kModify payload
+  /// Neighbor re-chaining (insert/delete) and active signature renewals:
+  /// full re-certified contents (new ts) with fresh signatures.
+  std::vector<CertifiedRecord> recertified;
+
+  size_t wire_size(const SizeModel& sm, size_t record_len) const {
+    size_t n = record ? 1 : 0;
+    n += recertified.size();
+    return n * (record_len + sm.signature_bytes) + 16;
+  }
+};
+
+/// QS -> user selection answer (Section 3.3). The VO is one aggregate
+/// signature plus the boundary index-attribute values; for empty results a
+/// single proof record demonstrates adjacency across the queried range.
+struct SelectionAnswer {
+  std::vector<Record> records;
+  BasSignature agg_sig;
+  int64_t left_key = 0;   ///< index value left of the range (or -inf sentinel)
+  int64_t right_key = 0;  ///< index value right of the range (or +inf)
+  /// Set when `records` is empty: a record proving no key lies in [lo, hi].
+  std::optional<Record> proof_record;
+  /// Freshness evidence: summaries since the oldest result signature.
+  std::vector<UpdateSummary> summaries;
+
+  /// VO size under the paper's constants: one aggregate signature + two
+  /// boundary values (independent of selectivity — Section 3.3).
+  size_t vo_size(const SizeModel& sm) const {
+    size_t bytes = sm.signature_bytes + 2 * sm.key_bytes;
+    for (const auto& s : summaries) bytes += s.wire_size();
+    return bytes;
+  }
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_PROTOCOL_H_

@@ -1,0 +1,158 @@
+#include "core/query_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/chain.h"
+
+namespace authdb {
+
+QueryServer::QueryServer(std::shared_ptr<const BasContext> ctx,
+                         const Options& options)
+    : ctx_(std::move(ctx)),
+      data_disk_(""),
+      index_disk_(""),
+      data_pool_(&data_disk_, options.buffer_pages),
+      index_pool_(&index_disk_, options.buffer_pages),
+      table_(&data_pool_, &index_pool_, &ctx_->curve(), options.record_len),
+      options_(options) {}
+
+size_t QueryServer::RankOf(int64_t key) const {
+  return std::lower_bound(sorted_keys_.begin(), sorted_keys_.end(), key) -
+         sorted_keys_.begin();
+}
+
+Status QueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
+  using Kind = SignedRecordUpdate::Kind;
+  switch (msg.kind) {
+    case Kind::kInsert: {
+      if (!msg.record) return Status::InvalidArgument("insert without record");
+      AUTHDB_RETURN_NOT_OK(table_.Insert(msg.record->record, msg.record->sig));
+      sorted_keys_.insert(
+          sorted_keys_.begin() + RankOf(msg.record->record.key()),
+          msg.record->record.key());
+      // Rank shifts invalidate the positional cache wholesale; the paper's
+      // cache experiments run on modification-only workloads.
+      if (sigcache_) sigcache_.reset();
+      break;
+    }
+    case Kind::kModify: {
+      if (!msg.record) return Status::InvalidArgument("modify without record");
+      int64_t key = msg.record->record.key();
+      if (sigcache_) {
+        auto old_item = table_.GetByKey(key);
+        if (old_item.ok()) {
+          sigcache_->OnLeafUpdate(RankOf(key), old_item.value().sig,
+                                  msg.record->sig);
+        }
+      }
+      AUTHDB_RETURN_NOT_OK(table_.Update(msg.record->record, msg.record->sig));
+      break;
+    }
+    case Kind::kDelete: {
+      AUTHDB_RETURN_NOT_OK(table_.Delete(msg.key));
+      auto it = std::lower_bound(sorted_keys_.begin(), sorted_keys_.end(),
+                                 msg.key);
+      if (it != sorted_keys_.end() && *it == msg.key) sorted_keys_.erase(it);
+      if (sigcache_) sigcache_.reset();
+      break;
+    }
+    case Kind::kRecertify:
+      break;  // payload carried entirely in `recertified`
+  }
+  for (const CertifiedRecord& cr : msg.recertified) {
+    if (sigcache_) {
+      auto old_item = table_.GetByKey(cr.record.key());
+      if (old_item.ok()) {
+        sigcache_->OnLeafUpdate(RankOf(cr.record.key()), old_item.value().sig,
+                                cr.sig);
+      }
+    }
+    AUTHDB_RETURN_NOT_OK(table_.Update(cr.record, cr.sig));
+  }
+  return Status::OK();
+}
+
+void QueryServer::AddSummary(UpdateSummary summary) {
+  summaries_.push_back(std::move(summary));
+  while (summaries_.size() > options_.summaries_retained)
+    summaries_.pop_front();
+}
+
+BasSignature QueryServer::LeafSignature(size_t rank) const {
+  AUTHDB_CHECK(rank < sorted_keys_.size());
+  auto item = table_.GetByKey(sorted_keys_[rank]);
+  AUTHDB_CHECK(item.ok());
+  return item.value().sig;
+}
+
+Result<SelectionAnswer> QueryServer::Select(int64_t lo, int64_t hi) const {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  if (lo == kChainMinusInf || hi == kChainPlusInf)
+    return Status::InvalidArgument("range touches chain sentinels");
+  if (table_.size() == 0) return Status::NotFound("empty relation");
+
+  AuthTable::RangeOut scan = table_.Scan(lo, hi);
+  SelectionAnswer ans;
+  uint64_t oldest_ts = ~uint64_t{0};
+
+  if (scan.items.empty()) {
+    // Empty result: one boundary record proves that its chain spans the
+    // whole queried interval.
+    const AuthTable::Item* proof =
+        scan.left_boundary ? &*scan.left_boundary : &*scan.right_boundary;
+    AUTHDB_CHECK(proof != nullptr);
+    auto [left, right] = table_.NeighborKeys(proof->record.key());
+    ans.proof_record = proof->record;
+    ans.left_key = left;
+    ans.right_key = right;
+    ans.agg_sig = proof->sig;
+    oldest_ts = proof->record.ts;
+  } else {
+    ans.left_key =
+        scan.left_boundary ? scan.left_boundary->record.key() : kChainMinusInf;
+    ans.right_key = scan.right_boundary ? scan.right_boundary->record.key()
+                                        : kChainPlusInf;
+    ans.records.reserve(scan.items.size());
+    for (const auto& item : scan.items) {
+      ans.records.push_back(item.record);
+      oldest_ts = std::min(oldest_ts, item.record.ts);
+    }
+    last_adds_ = 0;
+    if (sigcache_ != nullptr && !sorted_keys_.empty()) {
+      size_t rank_lo = RankOf(scan.items.front().record.key());
+      size_t rank_hi = rank_lo + scan.items.size() - 1;
+      SigCache::AggStats stats;
+      ans.agg_sig = sigcache_->RangeAggregate(rank_lo, rank_hi, &stats);
+      last_adds_ = stats.point_adds;
+    } else {
+      std::vector<ECPoint> pts;
+      pts.reserve(scan.items.size());
+      for (const auto& item : scan.items) pts.push_back(item.sig.point);
+      ans.agg_sig = BasSignature{ctx_->curve().Sum(pts)};
+      last_adds_ = pts.empty() ? 0 : pts.size() - 1;
+    }
+  }
+  // Freshness evidence: every summary published at/after the oldest result
+  // certification (Section 3.1: "the certified summaries published after
+  // the oldest result record").
+  for (const UpdateSummary& s : summaries_) {
+    if (s.publish_ts >= oldest_ts) ans.summaries.push_back(s);
+  }
+  return ans;
+}
+
+void QueryServer::EnableSigCache(
+    const std::vector<SigCachePlanner::Choice>& plan,
+    SigCache::RefreshMode mode) {
+  // Rebuild the rank mirror from the index.
+  sorted_keys_.clear();
+  for (const auto& item : table_.ScanAll())
+    sorted_keys_.push_back(item.record.key());
+  sigcache_ = std::make_unique<SigCache>(
+      ctx_, sorted_keys_.size(), mode,
+      [this](size_t pos) { return LeafSignature(pos); });
+  sigcache_->PinPlan(plan);
+}
+
+}  // namespace authdb

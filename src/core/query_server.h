@@ -1,0 +1,70 @@
+#ifndef AUTHDB_CORE_QUERY_SERVER_H_
+#define AUTHDB_CORE_QUERY_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/auth_table.h"
+#include "core/protocol.h"
+#include "core/sigcache.h"
+
+namespace authdb {
+
+/// The untrusted query server (QS): mirrors the DA's relation and
+/// authentication data, serves selection queries with proofs, and retains
+/// the published summaries for freshness evidence. Optionally accelerates
+/// proof construction with SigCache (Section 4).
+class QueryServer {
+ public:
+  struct Options {
+    uint32_t record_len = 512;
+    size_t buffer_pages = 256;
+    size_t summaries_retained = 4096;
+  };
+
+  QueryServer(std::shared_ptr<const BasContext> ctx, const Options& options);
+
+  /// Replay a DA update message (also used for the initial bulk stream).
+  Status ApplyUpdate(const SignedRecordUpdate& msg);
+  /// Retain a freshly published summary.
+  void AddSummary(UpdateSummary summary);
+
+  /// Range selection with proof (Section 3.3). `oldest_needed_ts` selects
+  /// which summaries ride along (all summaries published at/after the
+  /// oldest result signature).
+  Result<SelectionAnswer> Select(int64_t lo, int64_t hi) const;
+
+  /// Enable SigCache with the given cached-node plan (Section 4).
+  void EnableSigCache(const std::vector<SigCachePlanner::Choice>& plan,
+                      SigCache::RefreshMode mode);
+  SigCache* sigcache() { return sigcache_.get(); }
+
+  /// Point additions performed building the last Select's aggregate.
+  size_t last_aggregation_adds() const { return last_adds_; }
+
+  const AuthTable& table() const { return table_; }
+  uint64_t size() const { return table_.size(); }
+  const IoStats& data_io() const { return data_disk_.stats(); }
+  const IoStats& index_io() const { return index_disk_.stats(); }
+
+ private:
+  /// Rank of `key` in the current key order (for SigCache intervals).
+  size_t RankOf(int64_t key) const;
+  BasSignature LeafSignature(size_t rank) const;
+
+  std::shared_ptr<const BasContext> ctx_;
+  DiskManager data_disk_, index_disk_;
+  BufferPool data_pool_, index_pool_;
+  AuthTable table_;
+  std::deque<UpdateSummary> summaries_;
+  Options options_;
+  // In-memory key order mirror (rank structure for SigCache intervals).
+  std::vector<int64_t> sorted_keys_;
+  std::unique_ptr<SigCache> sigcache_;
+  mutable size_t last_adds_ = 0;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_QUERY_SERVER_H_

@@ -1,0 +1,145 @@
+#ifndef AUTHDB_CORE_SIGCACHE_H_
+#define AUTHDB_CORE_SIGCACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/vo_size.h"
+#include "crypto/bas.h"
+
+namespace authdb {
+
+/// Query-cardinality distribution P(q) for q in [1, N] (Section 4.1). The
+/// paper evaluates the truncated-harmonic ("skewed") distribution
+/// P(q) = (1/q) / H_N, which favors short ranges, and the uniform
+/// distribution P(q) = 1/N.
+class CardinalityDist {
+ public:
+  static CardinalityDist Harmonic(uint64_t n);
+  static CardinalityDist Uniform(uint64_t n);
+  /// Uniform over [lo, hi] cardinalities, zero elsewhere (e.g. the paper's
+  /// selectivity band [sf/2, 3sf/2] of Section 5.1).
+  static CardinalityDist UniformRange(uint64_t n, uint64_t lo, uint64_t hi);
+
+  double P(uint64_t q) const { return p_[q]; }
+  uint64_t N() const { return p_.size() - 1; }
+
+ private:
+  explicit CardinalityDist(std::vector<double> p) : p_(std::move(p)) {}
+  std::vector<double> p_;  // index 1..N; p_[0] unused
+};
+
+/// Exact xi(T_{i,j} | q): the number of cardinality-q range queries whose
+/// aggregate signature derives from node j of level `level` in the
+/// conceptual signature tree over N records (Section 4.1's case analysis).
+/// N must be a power of two.
+uint64_t SigTreeXi(uint64_t n, int level, uint64_t j, uint64_t q);
+
+/// Offline cache planning — Algorithm 1 with the two optimizations the
+/// paper describes: early termination and mirror-pair symmetry. Candidate
+/// nodes are restricted to an edge band per level (the analysis shows
+/// high-utility nodes sit near the edges; the band is validated by tests
+/// against exhaustive search on small N).
+class SigCachePlanner {
+ public:
+  struct Choice {
+    int level = 0;
+    uint64_t j = 0;
+    double utility = 0;
+  };
+  struct PlanResult {
+    /// Chosen nodes in selection order; mirror partners adjacent.
+    std::vector<Choice> chosen;
+    /// Expected aggregation cost (EC additions per query) after caching the
+    /// first k pairs; index 0 = no caching.
+    std::vector<double> cost_after_pairs;
+    double base_cost = 0;  ///< expected additions without caching
+  };
+
+  static PlanResult Plan(uint64_t n, const CardinalityDist& dist,
+                         size_t max_pairs, size_t edge_band = 64);
+
+  /// P(T_{i,j}) = sum_q xi / (N-q+1) * P(q) — exact, O(1) per node after an
+  /// O(N) prefix-sum setup (exposed for brute-force validation in tests).
+  static double NodeProbability(uint64_t n, const CardinalityDist& dist,
+                                int level, uint64_t j);
+};
+
+/// Runtime cache of aggregate signatures at the query server (Sections 4.2,
+/// 4.3). Positions are ranks in index-key order; node (level, j) covers
+/// positions [j*2^level, (j+1)*2^level).
+class SigCache {
+ public:
+  enum class RefreshMode { kEager, kLazy };
+  /// Supplies the signature of the record at a rank (the query server backs
+  /// this with its scanned range or its index).
+  using LeafProvider = std::function<BasSignature(size_t pos)>;
+
+  SigCache(std::shared_ptr<const BasContext> ctx, uint64_t n_positions,
+           RefreshMode mode, LeafProvider leaves);
+
+  /// Pin a node into the cache (initially invalid; filled on first use or
+  /// by eager refresh).
+  void Pin(int level, uint64_t j);
+  void PinPlan(const std::vector<SigCachePlanner::Choice>& plan);
+  /// Materialize every pinned entry now (the offline initialization of
+  /// Section 4.2) instead of charging the first queries with the fills.
+  void WarmAll();
+
+  struct AggStats {
+    size_t point_adds = 0;    ///< EC additions performed
+    size_t leaf_fetches = 0;  ///< individual signatures pulled
+    size_t cache_hits = 0;    ///< cached nodes used
+    size_t refreshes = 0;     ///< lazy refreshes triggered
+  };
+
+  /// Aggregate signature over positions [lo, hi] using the best cached
+  /// cover; falls back to leaf signatures where no node applies.
+  BasSignature RangeAggregate(size_t lo, size_t hi, AggStats* stats);
+
+  /// A record at `pos` changed signature. Eager mode patches every cached
+  /// ancestor (old out, new in: 2 additions each); lazy mode invalidates.
+  void OnLeafUpdate(size_t pos, const BasSignature& old_sig,
+                    const BasSignature& new_sig);
+
+  /// Adaptive revision (Section 4.2): keep the `keep` highest observed-
+  /// utility nodes (access_count * savings), evict the rest.
+  void Revise(size_t keep);
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t cache_bytes(const SizeModel& sm) const {
+    return entries_.size() * sm.signature_bytes;
+  }
+  uint64_t eager_patch_adds() const { return eager_patch_adds_; }
+
+ private:
+  struct Key {
+    int level;
+    uint64_t j;
+    bool operator<(const Key& o) const {
+      return level != o.level ? level < o.level : j < o.j;
+    }
+  };
+  struct Entry {
+    BasSignature sig;
+    bool valid = false;
+    uint64_t access_count = 0;
+  };
+
+  BasSignature ComputeNode(const Key& key, AggStats* stats);
+
+  std::shared_ptr<const BasContext> ctx_;
+  uint64_t n_;
+  int max_level_;
+  RefreshMode mode_;
+  LeafProvider leaves_;
+  std::map<Key, Entry> entries_;
+  uint64_t eager_patch_adds_ = 0;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_SIGCACHE_H_

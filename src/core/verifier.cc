@@ -1,0 +1,69 @@
+#include "core/verifier.h"
+
+#include "core/chain.h"
+
+namespace authdb {
+
+Status ClientVerifier::VerifySelectionStatic(int64_t lo, int64_t hi,
+                                             const SelectionAnswer& ans) const {
+  if (lo > hi || lo == kChainMinusInf || hi == kChainPlusInf)
+    return Status::InvalidArgument("bad query range");
+
+  std::vector<ByteBuffer> messages;
+  if (ans.records.empty()) {
+    // Empty result: the proof record's chain must span the whole range.
+    if (!ans.proof_record)
+      return Status::VerificationFailed("empty answer without proof record");
+    const Record& pr = *ans.proof_record;
+    bool left_of_range = pr.key() < lo && ans.right_key > hi;
+    bool right_of_range = pr.key() > hi && ans.left_key < lo;
+    if (!left_of_range && !right_of_range)
+      return Status::VerificationFailed(
+          "proof record does not demonstrate an empty range");
+    messages.push_back(ChainMessage(pr, ans.left_key, ans.right_key));
+  } else {
+    // Completeness: boundaries enclose the range...
+    if (ans.left_key >= lo)
+      return Status::VerificationFailed("left boundary inside range");
+    if (ans.right_key <= hi)
+      return Status::VerificationFailed("right boundary inside range");
+    // ...and the results are sorted, in-range, and chained gaplessly.
+    for (size_t i = 0; i < ans.records.size(); ++i) {
+      int64_t k = ans.records[i].key();
+      if (k < lo || k > hi)
+        return Status::VerificationFailed("record outside query range");
+      if (i > 0 && ans.records[i - 1].key() >= k)
+        return Status::VerificationFailed("records not in key order");
+    }
+    for (size_t i = 0; i < ans.records.size(); ++i) {
+      int64_t left = i == 0 ? ans.left_key : ans.records[i - 1].key();
+      int64_t right = i + 1 == ans.records.size() ? ans.right_key
+                                                  : ans.records[i + 1].key();
+      messages.push_back(ChainMessage(ans.records[i], left, right));
+    }
+  }
+  std::vector<Slice> views;
+  views.reserve(messages.size());
+  for (const ByteBuffer& m : messages) views.push_back(m.AsSlice());
+  if (!da_pub_->VerifyAggregate(views, ans.agg_sig, mode_))
+    return Status::VerificationFailed("aggregate signature mismatch");
+  return Status::OK();
+}
+
+Status ClientVerifier::VerifySelection(int64_t lo, int64_t hi,
+                                       const SelectionAnswer& ans,
+                                       uint64_t now) {
+  AUTHDB_RETURN_NOT_OK(VerifySelectionStatic(lo, hi, ans));
+  for (const UpdateSummary& s : ans.summaries) {
+    Status st = freshness_.AddSummary(s);
+    if (!st.ok()) return st;
+  }
+  auto check = [&](const Record& r) {
+    return freshness_.CheckRecord(r.rid, r.ts, now);
+  };
+  for (const Record& r : ans.records) AUTHDB_RETURN_NOT_OK(check(r));
+  if (ans.proof_record) AUTHDB_RETURN_NOT_OK(check(*ans.proof_record));
+  return Status::OK();
+}
+
+}  // namespace authdb

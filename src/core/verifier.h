@@ -1,0 +1,46 @@
+#ifndef AUTHDB_CORE_VERIFIER_H_
+#define AUTHDB_CORE_VERIFIER_H_
+
+#include <memory>
+
+#include "core/freshness.h"
+#include "core/protocol.h"
+
+namespace authdb {
+
+/// User-side verification (the third party in the paper's model). Checks
+/// the three correctness properties of a selection answer:
+///  * authenticity  — the aggregate signature matches the chained records;
+///  * completeness  — boundary keys enclose the range and the chain is
+///                    gapless;
+///  * freshness     — no result record is marked in any summary published
+///                    after its certification (Section 3.1).
+class ClientVerifier {
+ public:
+  ClientVerifier(const BasPublicKey* da_pub, const BitmapCodec* codec,
+                 BasContext::HashMode mode)
+      : da_pub_(da_pub),
+        mode_(mode),
+        freshness_(da_pub, codec, mode) {}
+
+  /// Full pipeline for one answer. `now` is the verification time;
+  /// summaries attached to the answer are ingested first.
+  Status VerifySelection(int64_t lo, int64_t hi, const SelectionAnswer& ans,
+                         uint64_t now);
+
+  /// Authenticity + completeness only (no freshness), for callers driving
+  /// the freshness checker themselves.
+  Status VerifySelectionStatic(int64_t lo, int64_t hi,
+                               const SelectionAnswer& ans) const;
+
+  FreshnessChecker& freshness() { return freshness_; }
+
+ private:
+  const BasPublicKey* da_pub_;
+  BasContext::HashMode mode_;
+  FreshnessChecker freshness_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_VERIFIER_H_

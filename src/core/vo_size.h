@@ -1,0 +1,28 @@
+#ifndef AUTHDB_CORE_VO_SIZE_H_
+#define AUTHDB_CORE_VO_SIZE_H_
+
+#include <cstddef>
+
+namespace authdb {
+
+/// Size constants for verification-object accounting, matching the paper's
+/// experiment configuration (Table 2 and Section 3.5): 160-bit signatures
+/// and digests, 4-byte join attribute values.
+///
+/// Note: the implementation's wire format serializes an EC point as
+/// 2 x 32 bytes (uncompressed). VO *sizes reported by experiments* use
+/// these paper constants so Figure 11 / Table 4 are directly comparable;
+/// point compression to 160 bits is standard and orthogonal.
+struct SizeModel {
+  size_t signature_bytes = 20;   ///< |sign| = 160 bits (BAS / ECC)
+  size_t digest_bytes = 20;      ///< |digest| = 160 bits (SHA-1)
+  size_t rsa_signature_bytes = 128;  ///< 1024-bit RSA (condensed RSA, EMB root)
+  size_t join_attr_bytes = 4;    ///< |S.B| (Section 3.5)
+  size_t key_bytes = 4;          ///< index attribute value in VOs
+  size_t rid_bytes = 4;
+  size_t timestamp_bytes = 8;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_VO_SIZE_H_

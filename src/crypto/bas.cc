@@ -1,0 +1,184 @@
+#include "crypto/bas.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+#include "crypto/sha.h"
+
+namespace authdb {
+
+namespace {
+constexpr int kWindowBits = 4;
+constexpr int kWindowCount = 40;  // 160-bit scalars
+}  // namespace
+
+std::shared_ptr<const BasContext> BasContext::Generate(int p_bits, int r_bits,
+                                                       Rng* rng) {
+  BigInt r = BigInt::GeneratePrime(r_bits, rng);
+  int c_bits = p_bits - r_bits;
+  AUTHDB_CHECK(c_bits >= 3);
+  BigInt p, c;
+  while (true) {
+    c = BigInt::Random(c_bits, rng);
+    // Force c = 0 (mod 4) so that p = c*r - 1 = 3 (mod 4).
+    c = BigInt::ShiftLeft(BigInt::ShiftRight(c, 2), 2);
+    if (c.IsZero()) continue;
+    p = BigInt::Sub(BigInt::Mul(c, r), BigInt(1));
+    if (p.BitLength() != p_bits) continue;
+    if (BigInt::IsProbablePrime(p, rng)) break;
+  }
+  auto ctx = std::shared_ptr<BasContext>(new BasContext());
+  ctx->curve_ = std::make_unique<CurveGroup>(p, /*a=*/1, /*b=*/0, r, c);
+  ctx->pairing_ = std::make_unique<TatePairing>(ctx->curve_.get());
+  ctx->generator_ = ctx->curve_->FindGenerator();
+  AUTHDB_CHECK(ctx->curve_->ScalarMult(ctx->generator_, r).infinity);
+  ctx->BuildFixedBaseTable();
+  return ctx;
+}
+
+std::shared_ptr<const BasContext> BasContext::Default() {
+  static std::shared_ptr<const BasContext>* ctx = [] {
+    Rng rng(0x4261735f64656661ULL);  // fixed seed: deterministic parameters
+    return new std::shared_ptr<const BasContext>(
+        Generate(/*p_bits=*/256, /*r_bits=*/160, &rng));
+  }();
+  return *ctx;
+}
+
+void BasContext::BuildFixedBaseTable() {
+  fixed_base_.resize(kWindowCount);
+  ECPoint base = generator_;
+  for (int w = 0; w < kWindowCount; ++w) {
+    fixed_base_[w].resize((1 << kWindowBits) - 1);
+    ECPoint acc = base;
+    for (int j = 0; j < (1 << kWindowBits) - 1; ++j) {
+      fixed_base_[w][j] = acc;
+      acc = curve_->Add(acc, base);
+    }
+    // base <- 2^kWindowBits * base
+    for (int d = 0; d < kWindowBits; ++d) base = curve_->Double(base);
+  }
+}
+
+ECPoint BasContext::FixedBaseMult(const BigInt& k) const {
+  BigInt scalar = BigInt::Compare(k, curve_->order()) >= 0
+                      ? BigInt::Mod(k, curve_->order())
+                      : k;
+  CurveGroup::Jacobian acc = curve_->ToJacobian(ECPoint{});
+  for (int w = 0; w < kWindowCount; ++w) {
+    uint32_t nibble = 0;
+    for (int b = 0; b < kWindowBits; ++b)
+      nibble |= static_cast<uint32_t>(scalar.Bit(w * kWindowBits + b)) << b;
+    if (nibble != 0)
+      acc = curve_->JacAddAffine(acc, fixed_base_[w][nibble - 1]);
+  }
+  return curve_->ToAffine(acc);
+}
+
+BigInt BasContext::HashToScalar(Slice msg) const {
+  Digest256 d = Sha256::Hash(msg);
+  return BigInt::Mod(BigInt::FromBytes(d.AsSlice()), curve_->order());
+}
+
+ECPoint BasContext::HashToPoint(Slice msg, HashMode mode) const {
+  if (mode == HashMode::kFast) return FixedBaseMult(HashToScalar(msg));
+  const PrimeField& f = curve_->field();
+  for (uint32_t ctr = 0;; ++ctr) {
+    Sha256 h;
+    uint8_t ctr_be[4] = {static_cast<uint8_t>(ctr >> 24),
+                         static_cast<uint8_t>(ctr >> 16),
+                         static_cast<uint8_t>(ctr >> 8),
+                         static_cast<uint8_t>(ctr)};
+    h.Update(Slice(ctr_be, 4));
+    h.Update(msg);
+    Digest256 d = h.Finish();
+    BigInt x_plain = BigInt::Mod(BigInt::FromBytes(d.AsSlice()),
+                                 curve_->field().p());
+    BigInt x = f.FromPlain(x_plain);
+    BigInt rhs = curve_->CurveRhs(x);
+    if (rhs.IsZero() || !f.IsSquare(rhs)) continue;
+    BigInt y = f.Sqrt(rhs);
+    if (d.bytes[31] & 1) y = f.Neg(y);
+    ECPoint pt{x, y, false};
+    AUTHDB_DCHECK(curve_->IsOnCurve(pt));
+    ECPoint cleared = curve_->ScalarMult(pt, curve_->cofactor());
+    if (!cleared.infinity) return cleared;
+  }
+}
+
+BasSignature BasContext::Aggregate(
+    const std::vector<BasSignature>& sigs) const {
+  std::vector<ECPoint> pts;
+  pts.reserve(sigs.size());
+  for (const auto& s : sigs) pts.push_back(s.point);
+  return BasSignature{curve_->Sum(pts)};
+}
+
+BasSignature BasContext::Combine(const BasSignature& a,
+                                 const BasSignature& b) const {
+  return BasSignature{curve_->Add(a.point, b.point)};
+}
+
+BasSignature BasContext::Remove(const BasSignature& acc,
+                                const BasSignature& s) const {
+  return BasSignature{curve_->Add(acc.point, curve_->Negate(s.point))};
+}
+
+// ---------------------------------------------------------------------------
+
+BasPrivateKey BasPrivateKey::Generate(std::shared_ptr<const BasContext> ctx,
+                                      Rng* rng) {
+  BasPrivateKey key;
+  key.x_ = BigInt::RandomBelow(ctx->order(), rng);
+  ECPoint pk = ctx->FixedBaseMult(key.x_);
+  key.pub_ = BasPublicKey(ctx, pk);
+  key.ctx_ = std::move(ctx);
+  return key;
+}
+
+BasSignature BasPrivateKey::Sign(Slice message,
+                                 BasContext::HashMode mode) const {
+  if (mode == BasContext::HashMode::kFast) {
+    // sigma = (x * h) * G via the fixed-base table; identical group element
+    // to x * H(m) with H(m) = h * G.
+    BigInt h = ctx_->HashToScalar(message);
+    BigInt e = BigInt::Mod(BigInt::Mul(x_, h), ctx_->order());
+    return BasSignature{ctx_->FixedBaseMult(e)};
+  }
+  ECPoint hm = ctx_->HashToPoint(message, mode);
+  return BasSignature{ctx_->curve().ScalarMult(hm, x_)};
+}
+
+bool BasPublicKey::Verify(Slice message, const BasSignature& sig,
+                          BasContext::HashMode mode) const {
+  const TatePairing& e = ctx_->pairing();
+  Fp2Elem lhs = e.Pair(sig.point, ctx_->generator());
+  Fp2Elem rhs = e.Pair(ctx_->HashToPoint(message, mode), pk_);
+  return e.Equal(lhs, rhs);
+}
+
+bool BasPublicKey::VerifyAggregate(const std::vector<Slice>& messages,
+                                   const BasSignature& agg,
+                                   BasContext::HashMode mode) const {
+  const CurveGroup& curve = ctx_->curve();
+  std::vector<ECPoint> hashed;
+  hashed.reserve(messages.size());
+  if (mode == BasContext::HashMode::kFast) {
+    // Sum exponents in Z_r, one fixed-base multiplication.
+    BigInt sum;
+    for (const Slice& m : messages)
+      sum = BigInt::Mod(BigInt::Add(sum, ctx_->HashToScalar(m)),
+                        ctx_->order());
+    hashed.push_back(ctx_->FixedBaseMult(sum));
+  } else {
+    for (const Slice& m : messages)
+      hashed.push_back(ctx_->HashToPoint(m, mode));
+  }
+  ECPoint h_sum = curve.Sum(hashed);
+  const TatePairing& e = ctx_->pairing();
+  Fp2Elem lhs = e.Pair(agg.point, ctx_->generator());
+  Fp2Elem rhs = e.Pair(h_sum, pk_);
+  return e.Equal(lhs, rhs);
+}
+
+}  // namespace authdb

@@ -1,0 +1,120 @@
+#ifndef AUTHDB_CRYPTO_BAS_H_
+#define AUTHDB_CRYPTO_BAS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "crypto/ec.h"
+#include "crypto/pairing.h"
+
+namespace authdb {
+
+/// A BAS (Bilinear Aggregate Signature) signature: one point in the
+/// prime-order subgroup. The paper equates its 160-bit compressed size with
+/// one SHA digest; VO size accounting uses that constant (see SizeModel in
+/// core/vo_size.h).
+struct BasSignature {
+  ECPoint point;
+};
+
+/// Shared, immutable BAS domain parameters: a supersingular curve
+/// y^2 = x^3 + x over F_p (p = 3 mod 4, 256 bits), a 160-bit prime subgroup
+/// order r with p + 1 = cofactor * r, the Tate pairing, a generator, and a
+/// fixed-base window table for fast exponent-hash signing.
+///
+/// Hash-to-group modes:
+///  * kSecure — try-and-increment hash-to-point with cofactor clearing; this
+///    is the real BLS construction and the default.
+///  * kFast — H(m) = (SHA-256(m) mod r) * G via the fixed-base table. The
+///    group element is structurally identical and all aggregation and
+///    pairing-verification code paths are identical, but the discrete log of
+///    H(m) is public, so this mode is NOT cryptographically secure. It
+///    exists to bulk-load million-record experiment databases (documented
+///    substitution #2 in DESIGN.md).
+class BasContext {
+ public:
+  enum class HashMode { kSecure, kFast };
+
+  /// Deterministic default parameter set (fixed seed). Built once, shared.
+  static std::shared_ptr<const BasContext> Default();
+  /// Generate fresh parameters with the given rng (exposed for tests).
+  static std::shared_ptr<const BasContext> Generate(int p_bits, int r_bits,
+                                                    Rng* rng);
+
+  const CurveGroup& curve() const { return *curve_; }
+  const TatePairing& pairing() const { return *pairing_; }
+  const ECPoint& generator() const { return generator_; }
+  const BigInt& order() const { return curve_->order(); }
+
+  /// Map a message to a point of the order-r subgroup.
+  ECPoint HashToPoint(Slice msg, HashMode mode) const;
+  /// SHA-256(msg) reduced into Z_r (the exponent used by kFast).
+  BigInt HashToScalar(Slice msg) const;
+  /// k * G through the fixed-base window table (~40 mixed additions).
+  ECPoint FixedBaseMult(const BigInt& k) const;
+
+  /// Aggregate signatures by point addition (associative & commutative).
+  BasSignature Aggregate(const std::vector<BasSignature>& sigs) const;
+  /// Incremental aggregation: acc += s.
+  BasSignature Combine(const BasSignature& a, const BasSignature& b) const;
+  /// Remove one component: acc -= s (used by SigCache eager refresh).
+  BasSignature Remove(const BasSignature& acc, const BasSignature& s) const;
+
+ private:
+  BasContext() = default;
+  void BuildFixedBaseTable();
+
+  std::unique_ptr<CurveGroup> curve_;
+  std::unique_ptr<TatePairing> pairing_;
+  ECPoint generator_;
+  // fixed_base_[w][j] = j * 2^(4w) * G for j in [1, 15], affine.
+  std::vector<std::vector<ECPoint>> fixed_base_;
+};
+
+class BasPublicKey {
+ public:
+  BasPublicKey() = default;
+  BasPublicKey(std::shared_ptr<const BasContext> ctx, ECPoint pk)
+      : ctx_(std::move(ctx)), pk_(std::move(pk)) {}
+
+  /// Verify one signature: e(sigma, G) == e(H(m), pk).
+  bool Verify(Slice message, const BasSignature& sig,
+              BasContext::HashMode mode = BasContext::HashMode::kSecure) const;
+
+  /// Verify an aggregate signature over messages all signed by this key:
+  /// e(sigma_agg, G) == e(sum_i H(m_i), pk).
+  bool VerifyAggregate(
+      const std::vector<Slice>& messages, const BasSignature& agg,
+      BasContext::HashMode mode = BasContext::HashMode::kSecure) const;
+
+  const ECPoint& point() const { return pk_; }
+  const BasContext& context() const { return *ctx_; }
+
+ private:
+  std::shared_ptr<const BasContext> ctx_;
+  ECPoint pk_;
+};
+
+class BasPrivateKey {
+ public:
+  static BasPrivateKey Generate(std::shared_ptr<const BasContext> ctx,
+                                Rng* rng);
+
+  /// sigma = x * H(m).
+  BasSignature Sign(Slice message,
+                    BasContext::HashMode mode =
+                        BasContext::HashMode::kSecure) const;
+
+  const BasPublicKey& public_key() const { return pub_; }
+
+ private:
+  std::shared_ptr<const BasContext> ctx_;
+  BigInt x_;
+  BasPublicKey pub_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CRYPTO_BAS_H_

@@ -1,0 +1,83 @@
+#include "crypto/bloom.h"
+
+#include "common/logging.h"
+
+namespace authdb {
+
+BloomFilter::BloomFilter(size_t m_bits, int k) : m_bits_(m_bits), k_(k) {
+  AUTHDB_CHECK(m_bits > 0 && k > 0);
+  bits_.assign((m_bits + 7) / 8, 0);
+}
+
+BloomFilter BloomFilter::WithBitsPerKey(size_t n_keys, double bits_per_key) {
+  size_t m = std::max<size_t>(8, static_cast<size_t>(
+                                     std::ceil(n_keys * bits_per_key)));
+  int k = std::max(1, static_cast<int>(std::round(bits_per_key * 0.6931)));
+  return BloomFilter(m, k);
+}
+
+double BloomFilter::ExpectedFpRate(size_t m_bits, size_t b_keys, int k) {
+  double exponent = -static_cast<double>(k) * b_keys / m_bits;
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+void BloomFilter::Positions(Slice key, std::vector<size_t>* out) const {
+  Digest256 d = Sha256::Hash(key);
+  uint64_t h1 = 0, h2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    h1 = (h1 << 8) | d.bytes[i];
+    h2 = (h2 << 8) | d.bytes[8 + i];
+  }
+  h2 |= 1;  // make the step odd so probes cover the table
+  out->clear();
+  for (int i = 0; i < k_; ++i) {
+    out->push_back((h1 + static_cast<uint64_t>(i) * h2) % m_bits_);
+  }
+}
+
+void BloomFilter::Add(Slice key) {
+  std::vector<size_t> pos;
+  Positions(key, &pos);
+  for (size_t p : pos) bits_[p / 8] |= 1u << (p % 8);
+}
+
+bool BloomFilter::MayContain(Slice key) const {
+  std::vector<size_t> pos;
+  Positions(key, &pos);
+  for (size_t p : pos) {
+    if (!(bits_[p / 8] & (1u << (p % 8)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::AddInt64(int64_t key) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint64_t>(key) >> (8 * i);
+  Add(Slice(buf, 8));
+}
+
+bool BloomFilter::MayContainInt64(int64_t key) const {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint64_t>(key) >> (8 * i);
+  return MayContain(Slice(buf, 8));
+}
+
+size_t BloomFilter::ones() const {
+  size_t n = 0;
+  for (uint8_t b : bits_) n += __builtin_popcount(b);
+  return n;
+}
+
+void BloomFilter::Clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+Digest160 BloomFilter::CertificationDigest() const {
+  Sha1 h;
+  ByteBuffer header;
+  header.PutU64(m_bits_);
+  header.PutU32(static_cast<uint32_t>(k_));
+  h.Update(header.AsSlice());
+  h.Update(Slice(bits_));
+  return h.Finish();
+}
+
+}  // namespace authdb

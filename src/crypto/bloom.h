@@ -1,0 +1,59 @@
+#ifndef AUTHDB_CRYPTO_BLOOM_H_
+#define AUTHDB_CRYPTO_BLOOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "crypto/sha.h"
+
+namespace authdb {
+
+/// Bloom filter (Bloom, CACM'70) with k hash functions derived by double
+/// hashing from a SHA-256 of the key. Used by the paper's BF equi-join
+/// verification (Section 3.5): the data aggregator certifies per-partition
+/// filters over S.B so unmatched R records can be proven absent.
+class BloomFilter {
+ public:
+  /// `m_bits` filter bits, `k` hash functions.
+  BloomFilter(size_t m_bits, int k);
+
+  /// Configuration with `bits_per_key` bits per distinct key and the
+  /// FP-optimal k = m/b * ln 2 (Section 2.1 of the paper).
+  static BloomFilter WithBitsPerKey(size_t n_keys, double bits_per_key);
+
+  /// Expected false-positive rate (1 - e^{-kb/m})^k from Eq. (1).
+  static double ExpectedFpRate(size_t m_bits, size_t b_keys, int k);
+  /// FP rate at the optimal k: 0.6185^{m/b}.
+  static double OptimalFpRate(double bits_per_key) {
+    return std::pow(0.6185, bits_per_key);
+  }
+
+  void Add(Slice key);
+  bool MayContain(Slice key) const;
+
+  void AddInt64(int64_t key);
+  bool MayContainInt64(int64_t key) const;
+
+  size_t bit_count() const { return m_bits_; }
+  int hash_count() const { return k_; }
+  size_t byte_size() const { return bits_.size(); }
+  size_t ones() const;
+  void Clear();
+
+  /// Raw bit array (for serialization / certification).
+  const std::vector<uint8_t>& bytes() const { return bits_; }
+  /// Digest over (m, k, bits) — what the data aggregator signs.
+  Digest160 CertificationDigest() const;
+
+ private:
+  void Positions(Slice key, std::vector<size_t>* out) const;
+  size_t m_bits_;
+  int k_;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CRYPTO_BLOOM_H_

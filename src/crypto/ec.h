@@ -1,0 +1,81 @@
+#ifndef AUTHDB_CRYPTO_EC_H_
+#define AUTHDB_CRYPTO_EC_H_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/fp.h"
+
+namespace authdb {
+
+/// Affine point on an elliptic curve over F_p (coordinates in Montgomery
+/// form). The default-constructed point is the point at infinity.
+struct ECPoint {
+  BigInt x, y;
+  bool infinity = true;
+};
+
+/// Short-Weierstrass curve group y^2 = x^3 + a*x + b over F_p, with a
+/// designated prime-order-r subgroup (cofactor c, #E = c*r).
+///
+/// For the BAS scheme (crypto/bas.h) we instantiate the supersingular curve
+/// y^2 = x^3 + x (a=1, b=0) with p = 3 (mod 4), for which #E(F_p) = p + 1
+/// and the distortion map (x,y) -> (-x, i*y) gives a usable pairing.
+class CurveGroup {
+ public:
+  CurveGroup(const BigInt& p, uint64_t a, uint64_t b, const BigInt& order_r,
+             const BigInt& cofactor);
+
+  const PrimeField& field() const { return *fp_; }
+  const BigInt& order() const { return r_; }
+  const BigInt& cofactor() const { return cofactor_; }
+  const BigInt& a_mont() const { return a_; }
+
+  bool IsOnCurve(const ECPoint& pt) const;
+  bool Equal(const ECPoint& p1, const ECPoint& p2) const;
+  ECPoint Negate(const ECPoint& p) const;
+
+  /// Group law (affine interface; internally Jacobian where it matters).
+  ECPoint Add(const ECPoint& p1, const ECPoint& p2) const;
+  ECPoint Double(const ECPoint& p) const;
+  ECPoint ScalarMult(const ECPoint& p, const BigInt& k) const;
+
+  /// Sum of many points (the signature-aggregation inner loop). Performs the
+  /// whole accumulation in Jacobian coordinates with a single final
+  /// inversion, so aggregating n signatures costs n point additions.
+  ECPoint Sum(const std::vector<ECPoint>& points) const;
+
+  /// Deterministically derive a generator of the order-r subgroup: first
+  /// valid x on the curve, cofactor-cleared.
+  ECPoint FindGenerator() const;
+
+  /// Map y^2 = rhs(x): returns rhs = x^3 + a*x + b (Montgomery form).
+  BigInt CurveRhs(const BigInt& x) const;
+
+  /// Serialize a point as 2*field_bytes big-endian bytes (x||y), or all
+  /// zeros for infinity; used for hashing/certifying points.
+  std::vector<uint8_t> Serialize(const ECPoint& pt) const;
+  ECPoint Deserialize(const std::vector<uint8_t>& bytes) const;
+
+  // -- Jacobian internals, exposed for the pairing Miller loop and for bulk
+  //    accumulation. x = X/Z^2, y = Y/Z^3; Z=0 encodes infinity.
+  struct Jacobian {
+    BigInt X, Y, Z;
+  };
+  Jacobian ToJacobian(const ECPoint& p) const;
+  ECPoint ToAffine(const Jacobian& j) const;
+  Jacobian JacDouble(const Jacobian& p) const;
+  Jacobian JacAdd(const Jacobian& p, const Jacobian& q) const;
+  /// Mixed addition with an affine (non-infinity) second operand.
+  Jacobian JacAddAffine(const Jacobian& p, const ECPoint& q) const;
+  bool JacIsInfinity(const Jacobian& j) const { return j.Z.IsZero(); }
+
+ private:
+  std::shared_ptr<PrimeField> fp_;
+  BigInt a_, b_;  // curve coefficients, Montgomery form
+  BigInt r_, cofactor_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CRYPTO_EC_H_

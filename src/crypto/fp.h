@@ -1,0 +1,80 @@
+#ifndef AUTHDB_CRYPTO_FP_H_
+#define AUTHDB_CRYPTO_FP_H_
+
+#include <memory>
+
+#include "crypto/bignum.h"
+
+namespace authdb {
+
+/// Prime field F_p. Elements are BigInts kept in Montgomery form; all
+/// arithmetic is constant-allocation Montgomery arithmetic. Conversions
+/// happen only at serialization boundaries.
+class PrimeField {
+ public:
+  explicit PrimeField(const BigInt& p)
+      : p_(p), mont_(std::make_shared<MontgomeryContext>(p)) {
+    // Precompute exponents for Euler criterion and sqrt (p = 3 mod 4).
+    p_minus_1_half_ = BigInt::ShiftRight(BigInt::Sub(p_, BigInt(1)), 1);
+    p_plus_1_quarter_ = BigInt::ShiftRight(BigInt::Add(p_, BigInt(1)), 2);
+  }
+
+  const BigInt& p() const { return p_; }
+  int element_bytes() const { return (p_.BitLength() + 7) / 8; }
+
+  /// Montgomery-form constants.
+  BigInt Zero() const { return BigInt(); }
+  BigInt One() const { return mont_->OneMont(); }
+
+  BigInt FromPlain(const BigInt& a) const {
+    return mont_->ToMont(BigInt::Compare(a, p_) >= 0 ? BigInt::Mod(a, p_) : a);
+  }
+  BigInt ToPlain(const BigInt& a) const { return mont_->FromMont(a); }
+  BigInt FromU64(uint64_t v) const { return FromPlain(BigInt(v)); }
+
+  BigInt Add(const BigInt& a, const BigInt& b) const { return mont_->Add(a, b); }
+  BigInt Sub(const BigInt& a, const BigInt& b) const { return mont_->Sub(a, b); }
+  BigInt Mul(const BigInt& a, const BigInt& b) const { return mont_->Mul(a, b); }
+  BigInt Sqr(const BigInt& a) const { return mont_->Mul(a, a); }
+  BigInt Neg(const BigInt& a) const {
+    return a.IsZero() ? a : BigInt::Sub(p_, a);
+  }
+  BigInt Dbl(const BigInt& a) const { return Add(a, a); }
+
+  /// Multiplicative inverse (extended binary GCD on the plain value; faster
+  /// than a Fermat exponentiation at our field sizes). Zero maps to zero.
+  BigInt Inv(const BigInt& a) const {
+    if (a.IsZero()) return a;
+    return mont_->ToMont(BigInt::ModInverse(mont_->FromMont(a), p_));
+  }
+
+  /// a^e with a in Montgomery form; result in Montgomery form.
+  BigInt Exp(const BigInt& a, const BigInt& e) const {
+    return mont_->ExpMont(a, e);
+  }
+
+  /// Euler criterion: true iff `a` is a quadratic residue (or zero).
+  bool IsSquare(const BigInt& a) const {
+    if (a.IsZero()) return true;
+    BigInt t = Exp(a, p_minus_1_half_);
+    return BigInt::Compare(t, One()) == 0;
+  }
+
+  /// Square root for p = 3 (mod 4): a^((p+1)/4). Caller must ensure `a` is a
+  /// quadratic residue.
+  BigInt Sqrt(const BigInt& a) const { return Exp(a, p_plus_1_quarter_); }
+
+  bool Equal(const BigInt& a, const BigInt& b) const {
+    return BigInt::Compare(a, b) == 0;
+  }
+
+ private:
+  BigInt p_;
+  std::shared_ptr<MontgomeryContext> mont_;
+  BigInt p_minus_1_half_;
+  BigInt p_plus_1_quarter_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CRYPTO_FP_H_

@@ -1,0 +1,82 @@
+#include "crypto/pairing.h"
+
+#include "common/logging.h"
+
+namespace authdb {
+
+TatePairing::TatePairing(const CurveGroup* curve)
+    : curve_(curve), fp2_(&curve->field()) {}
+
+Fp2Elem TatePairing::FinalExponentiation(const Fp2Elem& f) const {
+  // (p^2 - 1)/r = (p - 1) * cofactor, since p + 1 = cofactor * r.
+  // f^(p-1) = conj(f) / f  (Frobenius is conjugation for p = 3 mod 4).
+  Fp2Elem g = fp2_.Mul(fp2_.Conj(f), fp2_.Inv(f));
+  return fp2_.Exp(g, curve_->cofactor());
+}
+
+Fp2Elem TatePairing::Pair(const ECPoint& p, const ECPoint& q) const {
+  if (p.infinity || q.infinity) return fp2_.One();
+  const PrimeField& f = curve_->field();
+
+  // psi(Q) = (-xq, i*yq). Line values at psi(Q):
+  //   non-vertical line through (xt, yt) with slope lam:
+  //     l = i*yq - yt - lam*(-xq - xt)
+  //       = [lam*(xq + xt) - yt] + i*[yq]
+  // The imaginary part yq is nonzero (Q has odd prime order, so yq != 0),
+  // hence line values are never zero. Vertical lines evaluate into F_p and
+  // are skipped (denominator elimination, embedding degree 2).
+  const BigInt& xq = q.x;
+  const BigInt& yq = q.y;
+  const BigInt three = f.FromU64(3);
+
+  Fp2Elem acc = fp2_.One();
+  BigInt xt = p.x, yt = p.y;
+  bool t_infinity = false;
+  const BigInt& r = curve_->order();
+
+  for (int i = r.BitLength() - 2; i >= 0; --i) {
+    if (t_infinity) break;
+    // Doubling step. yt != 0 because the subgroup order is odd.
+    AUTHDB_DCHECK(!yt.IsZero());
+    BigInt lam = f.Mul(f.Add(f.Mul(three, f.Sqr(xt)), curve_->a_mont()),
+                       f.Inv(f.Dbl(yt)));
+    Fp2Elem line = fp2_.Make(f.Sub(f.Mul(lam, f.Add(xq, xt)), yt), yq);
+    acc = fp2_.Mul(fp2_.Sqr(acc), line);
+    BigInt x2 = f.Sub(f.Sqr(lam), f.Dbl(xt));
+    yt = f.Sub(f.Mul(lam, f.Sub(xt, x2)), yt);
+    xt = x2;
+
+    if (r.Bit(i)) {
+      // Addition step: line through T and P.
+      if (f.Equal(xt, p.x)) {
+        if (f.Equal(yt, p.y)) {
+          // T == P: tangent doubling (cannot happen for prime r > 2, but
+          // handle defensively).
+          BigInt lam2 =
+              f.Mul(f.Add(f.Mul(three, f.Sqr(xt)), curve_->a_mont()),
+                    f.Inv(f.Dbl(yt)));
+          Fp2Elem l2 = fp2_.Make(f.Sub(f.Mul(lam2, f.Add(xq, xt)), yt), yq);
+          acc = fp2_.Mul(acc, l2);
+          BigInt x3 = f.Sub(f.Sqr(lam2), f.Dbl(xt));
+          yt = f.Sub(f.Mul(lam2, f.Sub(xt, x3)), yt);
+          xt = x3;
+        } else {
+          // T == -P: vertical line (an F_p value) — skip; T becomes O.
+          // This is the final addition of the loop (T = (r-1)P).
+          t_infinity = true;
+        }
+      } else {
+        BigInt lam2 = f.Mul(f.Sub(p.y, yt), f.Inv(f.Sub(p.x, xt)));
+        Fp2Elem line2 =
+            fp2_.Make(f.Sub(f.Mul(lam2, f.Add(xq, p.x)), p.y), yq);
+        acc = fp2_.Mul(acc, line2);
+        BigInt x3 = f.Sub(f.Sub(f.Sqr(lam2), xt), p.x);
+        yt = f.Sub(f.Mul(lam2, f.Sub(xt, x3)), yt);
+        xt = x3;
+      }
+    }
+  }
+  return FinalExponentiation(acc);
+}
+
+}  // namespace authdb

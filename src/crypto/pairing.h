@@ -1,0 +1,48 @@
+#ifndef AUTHDB_CRYPTO_PAIRING_H_
+#define AUTHDB_CRYPTO_PAIRING_H_
+
+#include "crypto/ec.h"
+#include "crypto/fp2.h"
+
+namespace authdb {
+
+/// Reduced Tate pairing with distortion map on the supersingular curve
+/// y^2 = x^3 + x over F_p, p = 3 (mod 4):
+///
+///   e(P, Q) = f_{r,P}( psi(Q) )^((p^2-1)/r),   psi(x, y) = (-x, i*y).
+///
+/// Both arguments are points in the prime-order-r subgroup of E(F_p); the
+/// result lives in the order-r subgroup mu_r of F_p^2*. This is the pairing
+/// underlying the Bilinear Aggregate Signature scheme (BAS, Boneh et al.)
+/// adopted by the paper.
+///
+/// Denominator elimination: the embedding degree is 2, so line denominators
+/// and vertical lines evaluate into F_p and are annihilated by the final
+/// exponentiation (p^2-1)/r = (p-1) * cofactor; they are skipped.
+class TatePairing {
+ public:
+  /// The curve must have been constructed with a=1, b=0 and cofactor
+  /// c = (p+1)/r.
+  explicit TatePairing(const CurveGroup* curve);
+
+  /// Compute e(P, Q). Returns 1 (the Fp2 one) if either point is infinity.
+  Fp2Elem Pair(const ECPoint& p, const ECPoint& q) const;
+
+  /// Pairing-value equality, the verification predicate.
+  bool Equal(const Fp2Elem& a, const Fp2Elem& b) const {
+    return fp2_.Equal(a, b);
+  }
+
+  const Fp2Field& fp2() const { return fp2_; }
+
+ private:
+  /// f^((p^2-1)/r) = (conj(f)/f)^cofactor.
+  Fp2Elem FinalExponentiation(const Fp2Elem& f) const;
+
+  const CurveGroup* curve_;
+  Fp2Field fp2_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CRYPTO_PAIRING_H_

@@ -1,0 +1,97 @@
+#include "crypto/rsa.h"
+
+#include "common/logging.h"
+#include "crypto/sha.h"
+
+namespace authdb {
+
+namespace {
+/// Expand a message into modulus-width pseudo-random bytes with a SHA-256
+/// counter construction (a simplified full-domain hash; structurally the
+/// same as the FDH used in condensed-RSA).
+BigInt FullDomainHash(Slice message, const BigInt& n) {
+  int width = (n.BitLength() + 7) / 8;
+  std::vector<uint8_t> material;
+  material.reserve(width + 32);
+  uint32_t counter = 0;
+  while (static_cast<int>(material.size()) < width) {
+    Sha256 h;
+    uint8_t ctr[4] = {static_cast<uint8_t>(counter >> 24),
+                      static_cast<uint8_t>(counter >> 16),
+                      static_cast<uint8_t>(counter >> 8),
+                      static_cast<uint8_t>(counter)};
+    h.Update(Slice(ctr, 4));
+    h.Update(message);
+    Digest256 d = h.Finish();
+    material.insert(material.end(), d.bytes.begin(), d.bytes.end());
+    ++counter;
+  }
+  material.resize(width);
+  material[0] &= 0x3f;  // keep the hash below the modulus
+  return BigInt::FromBytes(Slice(material.data(), material.size()));
+}
+}  // namespace
+
+RsaPublicKey::RsaPublicKey(BigInt n, BigInt e)
+    : n_(std::move(n)),
+      e_(std::move(e)),
+      mont_(std::make_shared<MontgomeryContext>(n_)) {}
+
+BigInt RsaPublicKey::HashToModulus(Slice message) const {
+  return FullDomainHash(message, n_);
+}
+
+bool RsaPublicKey::Verify(Slice message, const RsaSignature& sig) const {
+  BigInt expected = FullDomainHash(message, n_);
+  BigInt recovered = mont_->Exp(sig.value, e_);
+  return BigInt::Compare(expected, recovered) == 0;
+}
+
+bool RsaPublicKey::VerifyCondensed(const std::vector<Slice>& messages,
+                                   const RsaSignature& condensed) const {
+  BigInt prod_mont = mont_->OneMont();
+  for (const Slice& m : messages) {
+    BigInt h = FullDomainHash(m, n_);
+    prod_mont = mont_->Mul(prod_mont, mont_->ToMont(h));
+  }
+  BigInt expected = mont_->FromMont(prod_mont);
+  BigInt recovered = mont_->Exp(condensed.value, e_);
+  return BigInt::Compare(expected, recovered) == 0;
+}
+
+RsaSignature RsaPublicKey::Aggregate(
+    const std::vector<RsaSignature>& sigs) const {
+  BigInt acc_mont = mont_->OneMont();
+  for (const RsaSignature& s : sigs) {
+    acc_mont = mont_->Mul(acc_mont, mont_->ToMont(s.value));
+  }
+  return RsaSignature{mont_->FromMont(acc_mont)};
+}
+
+RsaPrivateKey RsaPrivateKey::Generate(int bits, Rng* rng) {
+  AUTHDB_CHECK(bits >= 128);
+  const BigInt e(65537);
+  while (true) {
+    BigInt p = BigInt::GeneratePrime(bits / 2, rng);
+    BigInt q = BigInt::GeneratePrime(bits - bits / 2, rng);
+    if (p == q) continue;
+    BigInt n = BigInt::Mul(p, q);
+    BigInt phi = BigInt::Mul(BigInt::Sub(p, BigInt(1)),
+                             BigInt::Sub(q, BigInt(1)));
+    BigInt d = BigInt::ModInverse(e, phi);
+    if (d.IsZero()) continue;  // gcd(e, phi) != 1; re-draw primes
+    RsaPrivateKey key;
+    key.n_ = n;
+    key.d_ = d;
+    key.pub_ = RsaPublicKey(n, e);
+    key.mont_ = std::make_shared<MontgomeryContext>(n);
+    return key;
+  }
+}
+
+RsaSignature RsaPrivateKey::Sign(Slice message) const {
+  BigInt h = pub_.HashToModulus(message);
+  return RsaSignature{mont_->Exp(h, d_)};
+}
+
+}  // namespace authdb

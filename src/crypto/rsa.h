@@ -1,0 +1,67 @@
+#ifndef AUTHDB_CRYPTO_RSA_H_
+#define AUTHDB_CRYPTO_RSA_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/bignum.h"
+
+namespace authdb {
+
+/// An RSA signature (the full modulus width, 128 bytes at 1024 bits).
+struct RsaSignature {
+  BigInt value;
+};
+
+/// RSA public key with batch ("condensed RSA") verification support
+/// (Mykletun, Narasimha & Tsudik, TOS'06 — the paper's RSA baseline).
+class RsaPublicKey {
+ public:
+  RsaPublicKey() = default;
+  RsaPublicKey(BigInt n, BigInt e);
+
+  /// Verify a single signature over `message`.
+  bool Verify(Slice message, const RsaSignature& sig) const;
+
+  /// Verify a condensed signature against the batch of messages it covers:
+  /// (prod sigma_i)^e == prod H(m_i) mod n.
+  bool VerifyCondensed(const std::vector<Slice>& messages,
+                       const RsaSignature& condensed) const;
+
+  /// Multiply signatures modulo n — condensed-RSA aggregation.
+  RsaSignature Aggregate(const std::vector<RsaSignature>& sigs) const;
+
+  const BigInt& n() const { return n_; }
+  int modulus_bytes() const { return (n_.BitLength() + 7) / 8; }
+
+  /// Full-domain-ish hash of a message into Z_n.
+  BigInt HashToModulus(Slice message) const;
+
+ private:
+  BigInt n_, e_;
+  std::shared_ptr<MontgomeryContext> mont_;
+};
+
+/// RSA private key (sign side, held by the data aggregator).
+class RsaPrivateKey {
+ public:
+  /// Generate a fresh key pair with `bits`-bit modulus (default 1024, the
+  /// security level the paper equates to 160-bit ECC).
+  static RsaPrivateKey Generate(int bits, Rng* rng);
+
+  RsaSignature Sign(Slice message) const;
+  const RsaPublicKey& public_key() const { return pub_; }
+
+ private:
+  RsaPrivateKey() = default;
+  BigInt n_, d_;
+  RsaPublicKey pub_;
+  std::shared_ptr<MontgomeryContext> mont_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CRYPTO_RSA_H_

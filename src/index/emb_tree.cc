@@ -1,0 +1,239 @@
+#include "index/emb_tree.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace authdb {
+
+namespace {
+constexpr uint32_t kIndexPayload = 28;  // digest(20) | rid(8)
+
+std::vector<uint8_t> IndexPayload(const Digest160& d, RecordId rid) {
+  std::vector<uint8_t> out(kIndexPayload);
+  std::copy(d.bytes.begin(), d.bytes.end(), out.begin());
+  for (int i = 0; i < 8; ++i) out[20 + i] = rid >> (8 * i);
+  return out;
+}
+}  // namespace
+
+EmbTree::EmbTree(BufferPool* data_pool, BufferPool* index_pool,
+                 const RsaPrivateKey* da_key, uint32_t record_len)
+    : records_(data_pool, record_len),
+      index_(index_pool, kIndexPayload),
+      da_key_(da_key) {}
+
+ByteBuffer EmbTree::RootMessage() const {
+  ByteBuffer buf;
+  buf.PutString("emb-root");
+  buf.PutBytes(merkle_->root().AsSlice());
+  buf.PutU64(merkle_->leaf_count());
+  return buf;
+}
+
+Status EmbTree::SignRoot() {
+  root_sig_ = da_key_->Sign(RootMessage().AsSlice());
+  ++root_signatures_;
+  return Status::OK();
+}
+
+Status EmbTree::BulkLoad(const std::vector<Record>& sorted_records) {
+  AUTHDB_CHECK(keys_.empty());
+  std::vector<Digest160> leaves;
+  leaves.reserve(sorted_records.size());
+  for (const Record& rec : sorted_records) {
+    if (!keys_.empty() && rec.key() <= keys_.back())
+      return Status::InvalidArgument("records not sorted by unique key");
+    AUTHDB_ASSIGN_OR_RETURN(RecordId rid,
+                            records_.Insert(Slice(rec.Serialize(
+                                records_.record_len()))));
+    AUTHDB_RETURN_NOT_OK(
+        index_.Insert(rec.key(), Slice(IndexPayload(rec.Digest(), rid))));
+    keys_.push_back(rec.key());
+    rids_.push_back(rid);
+    leaves.push_back(rec.Digest());
+  }
+  merkle_.emplace(std::move(leaves));
+  return SignRoot();
+}
+
+void EmbTree::RebuildMerkle() {
+  std::vector<Digest160> leaves;
+  leaves.reserve(rids_.size());
+  for (RecordId rid : rids_) {
+    auto rec = records_.Read(rid);
+    AUTHDB_CHECK(rec.ok());
+    leaves.push_back(Record::Deserialize(Slice(rec.value())).Digest());
+  }
+  merkle_.emplace(std::move(leaves));
+}
+
+Status EmbTree::UpdateRecord(const Record& rec) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), rec.key());
+  if (it == keys_.end() || *it != rec.key())
+    return Status::NotFound("key " + std::to_string(rec.key()));
+  size_t pos = it - keys_.begin();
+  RecordId rid = rids_[pos];
+  AUTHDB_RETURN_NOT_OK(
+      records_.Update(rid, Slice(rec.Serialize(records_.record_len()))));
+  AUTHDB_RETURN_NOT_OK(
+      index_.Update(rec.key(), Slice(IndexPayload(rec.Digest(), rid))));
+  last_digest_ops_ = merkle_->UpdateLeaf(pos, rec.Digest());
+  return SignRoot();
+}
+
+Status EmbTree::InsertRecord(const Record& rec) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), rec.key());
+  if (it != keys_.end() && *it == rec.key())
+    return Status::AlreadyExists("key " + std::to_string(rec.key()));
+  AUTHDB_ASSIGN_OR_RETURN(
+      RecordId rid,
+      records_.Insert(Slice(rec.Serialize(records_.record_len()))));
+  AUTHDB_RETURN_NOT_OK(
+      index_.Insert(rec.key(), Slice(IndexPayload(rec.Digest(), rid))));
+  size_t pos = it - keys_.begin();
+  keys_.insert(it, rec.key());
+  rids_.insert(rids_.begin() + pos, rid);
+  RebuildMerkle();
+  return SignRoot();
+}
+
+Status EmbTree::DeleteRecord(int64_t key) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key)
+    return Status::NotFound("key " + std::to_string(key));
+  size_t pos = it - keys_.begin();
+  AUTHDB_RETURN_NOT_OK(records_.Delete(rids_[pos]));
+  AUTHDB_RETURN_NOT_OK(index_.Delete(key));
+  keys_.erase(it);
+  rids_.erase(rids_.begin() + pos);
+  RebuildMerkle();
+  return SignRoot();
+}
+
+Result<Record> EmbTree::FetchByPos(size_t pos) const {
+  AUTHDB_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                          records_.Read(rids_[pos]));
+  return Record::Deserialize(Slice(bytes));
+}
+
+Result<EmbTree::RangeAnswer> EmbTree::RangeQuery(int64_t lo,
+                                                 int64_t hi) const {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  if (keys_.empty()) return Status::NotFound("empty relation");
+  RangeAnswer ans;
+  // Index descent (charges the B+-tree I/Os); the Merkle positions come
+  // from the in-memory key order.
+  size_t first = std::lower_bound(keys_.begin(), keys_.end(), lo) -
+                 keys_.begin();
+  size_t last_excl = std::upper_bound(keys_.begin(), keys_.end(), hi) -
+                     keys_.begin();
+  // Boundary records p- and p+ (Section 2.2).
+  size_t proof_lo = first, proof_hi_excl = last_excl;
+  if (first > 0) {
+    AUTHDB_ASSIGN_OR_RETURN(Record b, FetchByPos(first - 1));
+    ans.vo.left_boundary = b;
+    proof_lo = first - 1;
+  }
+  if (last_excl < keys_.size()) {
+    AUTHDB_ASSIGN_OR_RETURN(Record b, FetchByPos(last_excl));
+    ans.vo.right_boundary = b;
+    proof_hi_excl = last_excl + 1;
+  }
+  for (size_t pos = first; pos < last_excl; ++pos) {
+    AUTHDB_ASSIGN_OR_RETURN(Record r, FetchByPos(pos));
+    // Touch the index as a real server would to locate each page.
+    ans.records.push_back(std::move(r));
+  }
+  ans.vo.n_leaves = merkle_->leaf_count();
+  ans.vo.lo_pos = proof_lo;
+  ans.vo.proof = merkle_->RangeProof(proof_lo, proof_hi_excl - 1);
+  ans.vo.root_sig = root_sig_;
+  return ans;
+}
+
+Status EmbTree::VerifyRange(const RsaPublicKey& da_pub, int64_t lo,
+                            int64_t hi, const RangeAnswer& ans) {
+  const RangeVO& vo = ans.vo;
+  // 1. Result records must all fall inside [lo, hi], sorted by key.
+  for (size_t i = 0; i < ans.records.size(); ++i) {
+    int64_t k = ans.records[i].key();
+    if (k < lo || k > hi)
+      return Status::VerificationFailed("result record outside range");
+    if (i > 0 && ans.records[i - 1].key() >= k)
+      return Status::VerificationFailed("result records not sorted");
+  }
+  // 2. Boundaries must enclose the range; absent boundaries are only legal
+  //    at the domain edges (checked positionally below).
+  if (vo.left_boundary && vo.left_boundary->key() >= lo)
+    return Status::VerificationFailed("left boundary inside range");
+  if (vo.right_boundary && vo.right_boundary->key() <= hi)
+    return Status::VerificationFailed("right boundary inside range");
+  if (!vo.left_boundary && vo.lo_pos != 0)
+    return Status::VerificationFailed("missing left boundary");
+  // 3. Recompute leaf digests in order.
+  std::vector<Digest160> leaves;
+  if (vo.left_boundary) leaves.push_back(vo.left_boundary->Digest());
+  for (const Record& r : ans.records) leaves.push_back(r.Digest());
+  if (vo.right_boundary) leaves.push_back(vo.right_boundary->Digest());
+  if (leaves.empty()) return Status::VerificationFailed("empty proof");
+  if (!vo.right_boundary &&
+      vo.lo_pos + leaves.size() != vo.n_leaves)
+    return Status::VerificationFailed("missing right boundary");
+  // 4. Reconstruct the MHT root from the leaves + proof, then check the
+  //    owner signature over h("emb-root" | root | n_leaves).
+  Digest160 computed;
+  {
+    struct Ctx {
+      size_t lo, hi, pos = 0;
+      const std::vector<Digest160>* leaves;
+      const std::vector<Digest160>* proof;
+      bool failed = false;
+    } ctx;
+    ctx.lo = vo.lo_pos;
+    ctx.hi = vo.lo_pos + leaves.size() - 1;
+    ctx.leaves = &leaves;
+    ctx.proof = &vo.proof;
+    size_t cap = 1;
+    while (cap < std::max<uint64_t>(1, vo.n_leaves)) cap <<= 1;
+    if (ctx.hi >= vo.n_leaves)
+      return Status::VerificationFailed("range exceeds relation");
+    std::function<Digest160(size_t, size_t)> rec =
+        [&](size_t span_lo, size_t span_hi) -> Digest160 {
+      if (span_hi <= ctx.lo || span_lo > ctx.hi) {
+        if (ctx.pos >= ctx.proof->size()) {
+          ctx.failed = true;
+          return Digest160{};
+        }
+        return (*ctx.proof)[ctx.pos++];
+      }
+      if (span_hi - span_lo == 1) return (*ctx.leaves)[span_lo - ctx.lo];
+      size_t mid = (span_lo + span_hi) / 2;
+      Digest160 l = rec(span_lo, mid);
+      Digest160 r = rec(mid, span_hi);
+      return Sha1::HashPair(l, r);
+    };
+    computed = rec(0, cap);
+    if (ctx.failed || ctx.pos != vo.proof.size())
+      return Status::VerificationFailed("malformed Merkle proof");
+  }
+  ByteBuffer msg;
+  msg.PutString("emb-root");
+  msg.PutBytes(computed.AsSlice());
+  msg.PutU64(vo.n_leaves);
+  if (!da_pub.Verify(msg.AsSlice(), vo.root_sig))
+    return Status::VerificationFailed("root signature mismatch");
+  return Status::OK();
+}
+
+size_t EmbTree::VoSizeBytes(const RangeVO& vo) {
+  size_t bytes = vo.proof.size() * 20;  // digests
+  bytes += 128;                         // RSA-1024 root signature
+  if (vo.left_boundary) bytes += vo.left_boundary->WireSize();
+  if (vo.right_boundary) bytes += vo.right_boundary->WireSize();
+  bytes += 16;  // n_leaves + lo_pos
+  return bytes;
+}
+
+}  // namespace authdb

@@ -1,0 +1,101 @@
+#ifndef AUTHDB_INDEX_EMB_TREE_H_
+#define AUTHDB_INDEX_EMB_TREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/record.h"
+#include "crypto/rsa.h"
+#include "index/btree.h"
+#include "index/merkle.h"
+#include "storage/record_file.h"
+
+namespace authdb {
+
+/// The EMB-tree baseline (Li et al., SIGMOD'06) — the representative
+/// Merkle-hash-tree scheme for disk-resident data that the paper compares
+/// against (Sections 2.2, 3.2, 5.3).
+///
+/// Composition: a disk-based B+-tree indexes <key, digest, rid>; the
+/// physical records live in a RecordFile; a Merkle hash tree over the
+/// records in key order carries the authentication digests, and the data
+/// aggregator signs the MHT root. Every record update propagates digests
+/// from the leaf to the root and forces a root re-signature — the
+/// concurrency bottleneck the paper's scheme removes (each update must hold
+/// the root in exclusive mode).
+///
+/// The digest layer is maintained in memory while the B+-tree and record
+/// file are disk-backed; the per-update digest-recomputation count and
+/// B+-tree I/Os are exposed for the calibrated simulator.
+class EmbTree {
+ public:
+  /// `data_pool` backs the record file, `index_pool` the B+-tree. The
+  /// signing key belongs to the data aggregator.
+  EmbTree(BufferPool* data_pool, BufferPool* index_pool,
+          const RsaPrivateKey* da_key, uint32_t record_len = 512);
+
+  /// Load records (sorted by key, unique keys) and sign the root.
+  Status BulkLoad(const std::vector<Record>& sorted_records);
+
+  /// Replace the record with the same indexed key. Recomputes the digest
+  /// path and re-signs the root.
+  Status UpdateRecord(const Record& rec);
+  /// Insert a new record (O(N) Merkle rebuild: position shifts).
+  Status InsertRecord(const Record& rec);
+  /// Delete by key (O(N) Merkle rebuild).
+  Status DeleteRecord(int64_t key);
+
+  /// Verification object for a range answer: boundary records, the Merkle
+  /// range proof, and the signed root.
+  struct RangeVO {
+    std::optional<Record> left_boundary, right_boundary;
+    uint64_t n_leaves = 0;
+    uint64_t lo_pos = 0;  // Merkle position of the first proven leaf
+    std::vector<Digest160> proof;
+    RsaSignature root_sig;
+  };
+  struct RangeAnswer {
+    std::vector<Record> records;
+    RangeVO vo;
+  };
+
+  Result<RangeAnswer> RangeQuery(int64_t lo, int64_t hi) const;
+
+  /// Client-side check: authenticity (digests chain to the signed root) and
+  /// completeness (boundaries enclose the range; positions contiguous).
+  static Status VerifyRange(const RsaPublicKey& da_pub, int64_t lo,
+                            int64_t hi, const RangeAnswer& ans);
+
+  /// VO size in bytes under the paper's size constants (one digest = 20 B,
+  /// one RSA signature = 128 B, boundary records at record wire size).
+  static size_t VoSizeBytes(const RangeVO& vo);
+
+  uint64_t size() const { return keys_.size(); }
+  uint32_t index_height() const { return index_.height(); }
+  /// Digest recomputations performed by the last update (leaf-to-root path).
+  size_t last_update_digest_ops() const { return last_digest_ops_; }
+  uint64_t root_signatures() const { return root_signatures_; }
+
+ private:
+  Status SignRoot();
+  ByteBuffer RootMessage() const;
+  Result<Record> FetchByPos(size_t pos) const;
+  /// Rebuild merkle_ + position maps from scratch (insert/delete path).
+  void RebuildMerkle();
+
+  RecordFile records_;
+  BPlusTree index_;  // key -> digest(20) | rid(8)
+  const RsaPrivateKey* da_key_;
+  // In-memory key order: keys_[pos] is the key of Merkle leaf pos.
+  std::vector<int64_t> keys_;
+  std::vector<RecordId> rids_;
+  std::optional<MerkleTree> merkle_;
+  RsaSignature root_sig_;
+  size_t last_digest_ops_ = 0;
+  uint64_t root_signatures_ = 0;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_INDEX_EMB_TREE_H_

@@ -1,0 +1,128 @@
+#include "index/merkle.h"
+
+#include "common/logging.h"
+
+namespace authdb {
+
+namespace {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Digest160> leaves) {
+  n_leaves_ = leaves.size();
+  cap_ = NextPow2(std::max<size_t>(1, n_leaves_));
+  nodes_.assign(2 * cap_, Digest160{});
+  for (size_t i = 0; i < n_leaves_; ++i) nodes_[cap_ + i] = leaves[i];
+  Rebuild();
+}
+
+void MerkleTree::Rebuild() {
+  for (size_t i = cap_ - 1; i >= 1; --i)
+    nodes_[i] = Sha1::HashPair(nodes_[2 * i], nodes_[2 * i + 1]);
+}
+
+const Digest160& MerkleTree::root() const { return nodes_[1]; }
+
+const Digest160& MerkleTree::leaf(size_t i) const {
+  AUTHDB_CHECK(i < n_leaves_);
+  return nodes_[cap_ + i];
+}
+
+size_t MerkleTree::UpdateLeaf(size_t i, const Digest160& d) {
+  AUTHDB_CHECK(i < n_leaves_);
+  size_t node = cap_ + i;
+  nodes_[node] = d;
+  size_t recomputed = 0;
+  for (node /= 2; node >= 1; node /= 2) {
+    nodes_[node] = Sha1::HashPair(nodes_[2 * node], nodes_[2 * node + 1]);
+    ++recomputed;
+  }
+  return recomputed;
+}
+
+std::vector<Digest160> MerkleTree::RangeProof(size_t lo, size_t hi) const {
+  AUTHDB_CHECK(lo <= hi && hi < n_leaves_);
+  std::vector<Digest160> proof;
+  // Iterative stack mirrors VerifyRange's recursion order exactly.
+  struct Frame {
+    size_t node, span_lo, span_hi;  // span is [span_lo, span_hi)
+  };
+  std::vector<Frame> stack = {{1, 0, cap_}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.span_hi <= lo || f.span_lo > hi) {
+      proof.push_back(nodes_[f.node]);
+      continue;
+    }
+    if (lo <= f.span_lo && f.span_hi <= hi + 1) continue;  // inside range
+    size_t mid = (f.span_lo + f.span_hi) / 2;
+    // Push right first so the left child is processed first (stack order),
+    // matching the verifier's left-to-right recursion.
+    stack.push_back({2 * f.node + 1, mid, f.span_hi});
+    stack.push_back({2 * f.node, f.span_lo, mid});
+  }
+  return proof;
+}
+
+size_t MerkleTree::RangeProofSize(size_t lo, size_t hi) const {
+  return RangeProof(lo, hi).size();
+}
+
+namespace {
+struct VerifyCtx {
+  size_t lo, hi;
+  const std::vector<Digest160>* leaves;
+  const std::vector<Digest160>* proof;
+  size_t proof_pos = 0;
+  bool failed = false;
+};
+
+Digest160 Reconstruct(VerifyCtx* ctx, size_t span_lo, size_t span_hi) {
+  if (ctx->failed) return Digest160{};
+  if (span_hi <= ctx->lo || span_lo > ctx->hi) {
+    if (ctx->proof_pos >= ctx->proof->size()) {
+      ctx->failed = true;
+      return Digest160{};
+    }
+    return (*ctx->proof)[ctx->proof_pos++];
+  }
+  if (span_hi - span_lo == 1) {
+    // A single leaf inside the queried range.
+    size_t idx = span_lo - ctx->lo;
+    if (idx >= ctx->leaves->size()) {
+      ctx->failed = true;
+      return Digest160{};
+    }
+    return (*ctx->leaves)[idx];
+  }
+  size_t mid = (span_lo + span_hi) / 2;
+  Digest160 l = Reconstruct(ctx, span_lo, mid);
+  Digest160 r = Reconstruct(ctx, mid, span_hi);
+  return Sha1::HashPair(l, r);
+}
+}  // namespace
+
+bool MerkleTree::VerifyRange(const Digest160& root, size_t n_leaves,
+                             size_t lo,
+                             const std::vector<Digest160>& range_leaves,
+                             const std::vector<Digest160>& proof) {
+  if (range_leaves.empty()) return false;
+  size_t hi = lo + range_leaves.size() - 1;
+  if (hi >= n_leaves) return false;
+  size_t cap = NextPow2(std::max<size_t>(1, n_leaves));
+  VerifyCtx ctx;
+  ctx.lo = lo;
+  ctx.hi = hi;
+  ctx.leaves = &range_leaves;
+  ctx.proof = &proof;
+  Digest160 computed = Reconstruct(&ctx, 0, cap);
+  if (ctx.failed || ctx.proof_pos != proof.size()) return false;
+  return computed == root;
+}
+
+}  // namespace authdb

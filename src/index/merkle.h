@@ -1,0 +1,54 @@
+#ifndef AUTHDB_INDEX_MERKLE_H_
+#define AUTHDB_INDEX_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha.h"
+
+namespace authdb {
+
+/// In-memory Merkle hash tree (Merkle, Crypto'89; Figure 1 of the paper).
+/// Leaves are message digests; each internal node is h(left | right).
+/// Capacity is padded to a power of two with all-zero digests.
+///
+/// Supports O(log n) leaf updates (the EMB baseline's per-update digest
+/// propagation) and contiguous-range membership proofs (the EMB range VO).
+class MerkleTree {
+ public:
+  explicit MerkleTree(std::vector<Digest160> leaves);
+
+  const Digest160& root() const;
+  size_t leaf_count() const { return n_leaves_; }
+  const Digest160& leaf(size_t i) const;
+
+  /// Replace leaf i and recompute the path to the root. Returns the number
+  /// of digest recomputations (= tree height), the cost the paper charges
+  /// each MHT update with.
+  size_t UpdateLeaf(size_t i, const Digest160& d);
+
+  /// Proof that leaves [lo, hi] (inclusive) are the exact contents of those
+  /// positions: the digests of all maximal subtrees disjoint from the range,
+  /// emitted in deterministic recursion order.
+  std::vector<Digest160> RangeProof(size_t lo, size_t hi) const;
+
+  /// Reconstruct the root from claimed range leaves + proof and compare.
+  static bool VerifyRange(const Digest160& root, size_t n_leaves, size_t lo,
+                          const std::vector<Digest160>& range_leaves,
+                          const std::vector<Digest160>& proof);
+
+  /// Number of digests RangeProof would emit (VO-size accounting).
+  size_t RangeProofSize(size_t lo, size_t hi) const;
+
+ private:
+  void Rebuild();
+  size_t cap_ = 1;       // padded leaf capacity (power of two)
+  size_t n_leaves_ = 0;  // real leaves
+  // Heap layout: nodes_[1] = root; children of i are 2i, 2i+1; leaves start
+  // at cap_.
+  std::vector<Digest160> nodes_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_INDEX_MERKLE_H_

@@ -1,0 +1,90 @@
+#include "sim/throughput_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace authdb {
+
+ThroughputSimulator::Stats ThroughputSimulator::Run(
+    double arrival_rate_per_sec, size_t n_jobs, double upd_fraction,
+    const std::function<JobDemand(bool, Rng*)>& demand_gen, Rng* rng) const {
+  Stats stats;
+  // Per-resource availability clocks.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      cores;
+  for (int i = 0; i < config_.cpu_cores; ++i) cores.push(0.0);
+  double wan_avail = 0;
+  double root_write_end = 0;    // when the last exclusive holder finishes
+  double root_readers_end = 0;  // max finish over current shared holders
+
+  double t = 0;
+  double sum_q = 0, sum_u = 0;
+  for (size_t i = 0; i < n_jobs; ++i) {
+    t += rng->Exponential(arrival_rate_per_sec);
+    bool is_update = rng->NextDouble() < upd_fraction;
+    JobDemand d = demand_gen(is_update, rng);
+
+    double ready = t;
+    // Updates originate at the DA: signing plus the WAN hop precede the QS.
+    if (d.is_update) {
+      ready += d.da_cpu_seconds;
+      double xstart = std::max(ready, wan_avail);
+      double xend = xstart + d.update_bytes * 8.0 / config_.wan_bps;
+      wan_avail = xend;
+      ready = xend;
+    }
+
+    // Root lock (EMB only): writers exclude everyone, readers exclude
+    // writers. FCFS grant order = arrival order.
+    double lock_start = ready;
+    if (d.exclusive_root) {
+      lock_start = std::max({ready, root_write_end, root_readers_end});
+    } else if (d.shared_root) {
+      lock_start = std::max(ready, root_write_end);
+    }
+    double lock_wait = lock_start - ready;
+
+    // CPU + disk at the QS (held core; I/O folded into occupancy).
+    double core_free = cores.top();
+    cores.pop();
+    double proc_start = std::max(lock_start, core_free);
+    double cpu_wait = proc_start - lock_start;
+    double proc_end = proc_start + d.qs_io_seconds + d.qs_cpu_seconds;
+    cores.push(proc_end);
+    if (d.exclusive_root) root_write_end = proc_end;
+    if (d.shared_root) root_readers_end = std::max(root_readers_end, proc_end);
+
+    if (d.is_update) {
+      // Update response: fresh data available at the QS.
+      sum_u += proc_end - t;
+      ++stats.updates;
+      continue;
+    }
+    // Reply to the user over that user's own LAN link (each user has a
+    // dedicated 3.5G/HSDPA downlink in the paper's model), then client
+    // verification.
+    double xstart = proc_end;
+    double xend = xstart + d.reply_bytes * 8.0 / config_.lan_bps;
+    double done = xend + d.verify_seconds;
+    sum_q += done - t;
+    ++stats.queries;
+    stats.query_locking += lock_wait;
+    stats.query_queueing += cpu_wait + (xstart - proc_end);
+    stats.query_processing += d.qs_io_seconds + d.qs_cpu_seconds;
+    stats.query_transmission += xend - xstart;
+    stats.query_verification += d.verify_seconds;
+  }
+  if (stats.queries > 0) {
+    stats.mean_query_response = sum_q / stats.queries;
+    stats.query_locking /= stats.queries;
+    stats.query_queueing /= stats.queries;
+    stats.query_processing /= stats.queries;
+    stats.query_transmission /= stats.queries;
+    stats.query_verification /= stats.queries;
+  }
+  if (stats.updates > 0) stats.mean_update_response = sum_u / stats.updates;
+  return stats;
+}
+
+}  // namespace authdb

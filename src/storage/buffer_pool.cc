@@ -1,0 +1,85 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace authdb {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  AUTHDB_CHECK(capacity_pages > 0);
+}
+
+Page* BufferPool::GetFrame() {
+  if (frames_.size() < capacity_) {
+    frames_.push_back(std::make_unique<Page>());
+    return frames_.back().get();
+  }
+  // Evict the least-recently-used unpinned page.
+  AUTHDB_CHECK(!lru_.empty() && "buffer pool exhausted: all pages pinned");
+  Page* victim = lru_.back();
+  lru_.pop_back();
+  lru_pos_.erase(victim);
+  if (victim->dirty) {
+    Status s = disk_->WritePage(victim->id, victim->bytes());
+    AUTHDB_CHECK(s.ok());
+    victim->dirty = false;
+  }
+  table_.erase(victim->id);
+  return victim;
+}
+
+Page* BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++hits_;
+    Page* page = it->second;
+    auto pos = lru_pos_.find(page);
+    if (pos != lru_pos_.end()) {  // was unpinned; remove from LRU list
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+    ++page->pin_count;
+    return page;
+  }
+  ++misses_;
+  Page* frame = GetFrame();
+  Status s = disk_->ReadPage(id, frame->bytes());
+  AUTHDB_CHECK(s.ok());
+  frame->id = id;
+  frame->pin_count = 1;
+  frame->dirty = false;
+  table_[id] = frame;
+  return frame;
+}
+
+Page* BufferPool::New() {
+  PageId id = disk_->AllocatePage();
+  Page* frame = GetFrame();
+  frame->data.fill(0);
+  frame->id = id;
+  frame->pin_count = 1;
+  frame->dirty = true;
+  table_[id] = frame;
+  return frame;
+}
+
+void BufferPool::Unpin(Page* page, bool dirty) {
+  AUTHDB_CHECK(page->pin_count > 0);
+  if (dirty) page->dirty = true;
+  if (--page->pin_count == 0) {
+    lru_.push_front(page);
+    lru_pos_[page] = lru_.begin();
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& frame : frames_) {
+    if (frame->id != kInvalidPageId && frame->dirty) {
+      AUTHDB_RETURN_NOT_OK(disk_->WritePage(frame->id, frame->bytes()));
+      frame->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace authdb

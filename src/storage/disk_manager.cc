@@ -1,0 +1,66 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace authdb {
+
+DiskManager::DiskManager(const std::string& path) : path_(path) {
+  if (path_.empty()) return;  // in-memory mode
+  file_ = std::fopen(path_.c_str(), "r+b");
+  if (file_ == nullptr) file_ = std::fopen(path_.c_str(), "w+b");
+  AUTHDB_CHECK(file_ != nullptr);
+  std::fseek(file_, 0, SEEK_END);
+  long size = std::ftell(file_);
+  page_count_ = static_cast<PageId>(size / kPageSize);
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status DiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= page_count_)
+    return Status::OutOfRange("page " + std::to_string(id));
+  ++stats_.reads;
+  if (file_ == nullptr) {
+    std::memcpy(out, mem_[id].get(), kPageSize);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0)
+    return Status::IOError("seek");
+  if (std::fread(out, 1, kPageSize, file_) != kPageSize)
+    return Status::IOError("short read");
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= page_count_)
+    return Status::OutOfRange("page " + std::to_string(id));
+  ++stats_.writes;
+  if (file_ == nullptr) {
+    std::memcpy(mem_[id].get(), data, kPageSize);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0)
+    return Status::IOError("seek");
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize)
+    return Status::IOError("short write");
+  return Status::OK();
+}
+
+PageId DiskManager::AllocatePage() {
+  PageId id = page_count_++;
+  if (file_ == nullptr) {
+    mem_.push_back(std::make_unique<uint8_t[]>(kPageSize));
+    std::memset(mem_.back().get(), 0, kPageSize);
+  } else {
+    uint8_t zeros[kPageSize] = {0};
+    std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET);
+    AUTHDB_CHECK(std::fwrite(zeros, 1, kPageSize, file_) == kPageSize);
+  }
+  return id;
+}
+
+}  // namespace authdb

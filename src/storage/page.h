@@ -1,0 +1,42 @@
+#ifndef AUTHDB_STORAGE_PAGE_H_
+#define AUTHDB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace authdb {
+
+/// 4-KByte pages, matching the paper's experiment configuration (NTFS
+/// default block size; Section 5.1).
+constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// A buffer-pool frame: raw page bytes plus bookkeeping.
+struct Page {
+  std::array<uint8_t, kPageSize> data{};
+  PageId id = kInvalidPageId;
+  int pin_count = 0;
+  bool dirty = false;
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+
+  // Little-endian fixed-width accessors used by node/file layouts.
+  template <typename T>
+  T ReadAt(size_t off) const {
+    T v;
+    std::memcpy(&v, data.data() + off, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(size_t off, T v) {
+    std::memcpy(data.data() + off, &v, sizeof(T));
+  }
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_STORAGE_PAGE_H_

@@ -1,0 +1,138 @@
+#include "storage/record_file.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace authdb {
+
+RecordFile::RecordFile(BufferPool* pool, uint32_t record_len)
+    : pool_(pool), record_len_(record_len) {
+  AUTHDB_CHECK(record_len >= 1 && record_len <= kPageSize - 16);
+  // Solve slots * record_len + ceil(slots/8) + 2 <= kPageSize.
+  slots_per_page_ = (kPageSize - 2) * 8 / (record_len_ * 8 + 1);
+  AUTHDB_CHECK(slots_per_page_ >= 1);
+  bitmap_bytes_ = (slots_per_page_ + 7) / 8;
+  // Reattach: find the highest occupied slot across existing pages.
+  DiskManager* disk = pool_->disk();
+  for (PageId pid = 0; pid < disk->page_count(); ++pid) {
+    Page* page = pool_->Fetch(pid);
+    for (uint32_t s = 0; s < slots_per_page_; ++s) {
+      if (SlotOccupied(*page, s)) {
+        ++live_records_;
+        next_rid_ = std::max<uint64_t>(next_rid_,
+                                       uint64_t{pid} * slots_per_page_ + s + 1);
+      }
+    }
+    pool_->Unpin(page, false);
+  }
+  if (disk->page_count() > 0) {
+    next_rid_ = std::max<uint64_t>(
+        next_rid_, uint64_t{disk->page_count() - 1} * slots_per_page_);
+  }
+}
+
+RecordFile::Location RecordFile::Locate(RecordId rid) const {
+  return Location{static_cast<PageId>(rid / slots_per_page_),
+                  static_cast<uint32_t>(rid % slots_per_page_)};
+}
+
+bool RecordFile::SlotOccupied(const Page& page, uint32_t slot) const {
+  return (page.data[2 + slot / 8] >> (slot % 8)) & 1;
+}
+
+void RecordFile::SetSlot(Page* page, uint32_t slot, bool occupied) {
+  if (occupied) {
+    page->data[2 + slot / 8] |= 1u << (slot % 8);
+  } else {
+    page->data[2 + slot / 8] &= ~(1u << (slot % 8));
+  }
+}
+
+Result<RecordId> RecordFile::Insert(Slice data) {
+  if (data.size() != record_len_)
+    return Status::InvalidArgument("record length mismatch");
+  RecordId rid = next_rid_++;
+  Location loc = Locate(rid);
+  Page* page;
+  if (loc.page >= pool_->disk()->page_count()) {
+    page = pool_->New();
+    AUTHDB_CHECK(page->id == loc.page);
+  } else {
+    page = pool_->Fetch(loc.page);
+  }
+  std::memcpy(page->bytes() + 2 + bitmap_bytes_ + loc.slot * record_len_,
+              data.data(), record_len_);
+  SetSlot(page, loc.slot, true);
+  pool_->Unpin(page, true);
+  ++live_records_;
+  return rid;
+}
+
+Status RecordFile::Update(RecordId rid, Slice data) {
+  if (data.size() != record_len_)
+    return Status::InvalidArgument("record length mismatch");
+  if (rid >= next_rid_) return Status::NotFound("rid out of range");
+  Location loc = Locate(rid);
+  Page* page = pool_->Fetch(loc.page);
+  if (!SlotOccupied(*page, loc.slot)) {
+    pool_->Unpin(page, false);
+    return Status::NotFound("record deleted");
+  }
+  std::memcpy(page->bytes() + 2 + bitmap_bytes_ + loc.slot * record_len_,
+              data.data(), record_len_);
+  pool_->Unpin(page, true);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RecordFile::Read(RecordId rid) const {
+  if (rid >= next_rid_) return Status::NotFound("rid out of range");
+  Location loc = Locate(rid);
+  Page* page = pool_->Fetch(loc.page);
+  if (!SlotOccupied(*page, loc.slot)) {
+    pool_->Unpin(page, false);
+    return Status::NotFound("record deleted");
+  }
+  const uint8_t* src = page->bytes() + 2 + bitmap_bytes_ + loc.slot * record_len_;
+  std::vector<uint8_t> out(src, src + record_len_);
+  pool_->Unpin(page, false);
+  return out;
+}
+
+Status RecordFile::Delete(RecordId rid) {
+  if (rid >= next_rid_) return Status::NotFound("rid out of range");
+  Location loc = Locate(rid);
+  Page* page = pool_->Fetch(loc.page);
+  if (!SlotOccupied(*page, loc.slot)) {
+    pool_->Unpin(page, false);
+    return Status::NotFound("record already deleted");
+  }
+  SetSlot(page, loc.slot, false);
+  pool_->Unpin(page, true);
+  --live_records_;
+  return Status::OK();
+}
+
+bool RecordFile::Exists(RecordId rid) const {
+  if (rid >= next_rid_) return false;
+  Location loc = Locate(rid);
+  Page* page = pool_->Fetch(loc.page);
+  bool occupied = SlotOccupied(*page, loc.slot);
+  pool_->Unpin(page, false);
+  return occupied;
+}
+
+std::vector<RecordId> RecordFile::RidsInSamePage(RecordId rid) const {
+  std::vector<RecordId> out;
+  if (rid >= next_rid_) return out;
+  Location loc = Locate(rid);
+  Page* page = pool_->Fetch(loc.page);
+  for (uint32_t s = 0; s < slots_per_page_; ++s) {
+    if (SlotOccupied(*page, s))
+      out.push_back(uint64_t{loc.page} * slots_per_page_ + s);
+  }
+  pool_->Unpin(page, false);
+  return out;
+}
+
+}  // namespace authdb

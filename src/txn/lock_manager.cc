@@ -1,0 +1,127 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace authdb {
+
+void LockManager::SkipAbandoned(ResourceState* s) {
+  while (s->abandoned_tickets.count(s->serving_ticket)) {
+    s->abandoned_tickets.erase(s->serving_ticket);
+    ++s->serving_ticket;
+  }
+}
+
+bool LockManager::Compatible(const ResourceState& s, TxnId txn,
+                             LockMode mode) const {
+  if (mode == LockMode::kShared) {
+    return !s.has_exclusive || s.exclusive_holder == txn;
+  }
+  bool others_shared =
+      !s.shared_holders.empty() &&
+      !(s.shared_holders.size() == 1 && s.shared_holders.count(txn));
+  return !others_shared && (!s.has_exclusive || s.exclusive_holder == txn);
+}
+
+Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode,
+                            uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ResourceState& s = table_[res];
+  // Idempotent re-acquire in a compatible mode.
+  if (mode == LockMode::kShared && s.shared_holders.count(txn))
+    return Status::OK();
+  if (s.has_exclusive && s.exclusive_holder == txn) return Status::OK();
+
+  uint64_t ticket = s.next_ticket++;
+  bool waited = false;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    ResourceState& cur = table_[res];
+    // FIFO: only the front of the queue may take the grant. A granted
+    // shared request advances serving_ticket so shared requests queued
+    // behind it are admitted concurrently.
+    if (cur.serving_ticket == ticket && Compatible(cur, txn, mode)) break;
+    waited = true;
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      ResourceState& st = table_[res];
+      st.abandoned_tickets.insert(ticket);
+      SkipAbandoned(&st);
+      cv_.notify_all();
+      return Status::Aborted("lock timeout on resource " +
+                             std::to_string(res));
+    }
+  }
+  ResourceState& granted = table_[res];
+  ++granted.serving_ticket;
+  SkipAbandoned(&granted);
+  if (mode == LockMode::kShared) {
+    granted.shared_holders.insert(txn);
+  } else {
+    granted.has_exclusive = true;
+    granted.exclusive_holder = txn;
+  }
+  held_[txn].insert(res);
+  if (waited) ++contention_;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void LockManager::Release(TxnId txn, ResourceId res) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(res);
+  if (it == table_.end()) return;
+  ResourceState& s = it->second;
+  s.shared_holders.erase(txn);
+  if (s.has_exclusive && s.exclusive_holder == txn) {
+    s.has_exclusive = false;
+    s.exclusive_holder = 0;
+  }
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) hit->second.erase(res);
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  for (ResourceId res : hit->second) {
+    auto it = table_.find(res);
+    if (it == table_.end()) continue;
+    it->second.shared_holders.erase(txn);
+    if (it->second.has_exclusive && it->second.exclusive_holder == txn) {
+      it->second.has_exclusive = false;
+      it->second.exclusive_holder = 0;
+    }
+  }
+  held_.erase(hit);
+  cv_.notify_all();
+}
+
+uint64_t LockManager::contention_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return contention_;
+}
+
+Status Transaction::Lock(ResourceId res, LockMode mode) {
+  if (finished_) return Status::Internal("transaction already finished");
+  if (any_ && res <= last_res_ && res != last_res_)
+    return Status::InvalidArgument(
+        "2PL ordered acquisition violated: resource " + std::to_string(res) +
+        " after " + std::to_string(last_res_));
+  Status s = lm_->Acquire(id_, res, mode);
+  if (s.ok()) {
+    last_res_ = res;
+    any_ = true;
+  }
+  return s;
+}
+
+void Transaction::Finish() {
+  if (!finished_) {
+    lm_->ReleaseAll(id_);
+    finished_ = true;
+  }
+}
+
+}  // namespace authdb

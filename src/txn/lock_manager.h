@@ -1,0 +1,95 @@
+#ifndef AUTHDB_TXN_LOCK_MANAGER_H_
+#define AUTHDB_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace authdb {
+
+using TxnId = uint64_t;
+using ResourceId = uint64_t;
+
+/// The index-wide resource that MHT schemes must lock exclusively on every
+/// update (the root digest); the paper's scheme locks only record-level
+/// resources.
+constexpr ResourceId kRootResource = 0;
+inline ResourceId RecordResource(uint64_t rid) { return rid + 1; }
+
+enum class LockMode { kShared, kExclusive };
+
+/// Blocking shared/exclusive lock table with FIFO fairness, the concurrency
+/// substrate for two-phase locking (Section 5.1: "all the transactions at
+/// the QS follow the two-phase locking protocol").
+///
+/// Deadlock handling: acquisition in increasing resource order never
+/// deadlocks (Transaction enforces it); out-of-order acquisition is
+/// additionally guarded by a wound-free timeout that returns kAborted.
+class LockManager {
+ public:
+  /// Blocks until granted (or timeout). Re-entrant upgrades are not
+  /// supported; acquiring a lock already held (same mode) is a no-op.
+  Status Acquire(TxnId txn, ResourceId res, LockMode mode,
+                 uint64_t timeout_ms = 10'000);
+  void Release(TxnId txn, ResourceId res);
+  void ReleaseAll(TxnId txn);
+
+  /// Observability: number of acquisitions that had to wait.
+  uint64_t contention_count() const;
+
+ private:
+  struct ResourceState {
+    std::set<TxnId> shared_holders;
+    TxnId exclusive_holder = 0;
+    bool has_exclusive = false;
+    uint64_t next_ticket = 0;    // FIFO fairness
+    uint64_t serving_ticket = 0;
+    std::set<uint64_t> abandoned_tickets;  // timed-out waiters to skip
+  };
+  static void SkipAbandoned(ResourceState* s);
+  bool Compatible(const ResourceState& s, TxnId txn, LockMode mode) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<ResourceId, ResourceState> table_;
+  std::map<TxnId, std::set<ResourceId>> held_;
+  uint64_t contention_ = 0;
+};
+
+/// Two-phase-locking transaction handle: locks accumulate during the
+/// growing phase and release together at Commit/Abort. Lock requests must
+/// be issued in increasing resource order (checked) so that concurrent
+/// transactions cannot deadlock.
+class Transaction {
+ public:
+  Transaction(LockManager* lm, TxnId id) : lm_(lm), id_(id) {}
+  ~Transaction() { Finish(); }
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Status LockShared(ResourceId res) { return Lock(res, LockMode::kShared); }
+  Status LockExclusive(ResourceId res) {
+    return Lock(res, LockMode::kExclusive);
+  }
+  /// Release every lock (commit and abort are identical at this layer).
+  void Finish();
+
+  TxnId id() const { return id_; }
+
+ private:
+  Status Lock(ResourceId res, LockMode mode);
+  LockManager* lm_;
+  TxnId id_;
+  ResourceId last_res_ = 0;
+  bool any_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_TXN_LOCK_MANAGER_H_

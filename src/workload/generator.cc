@@ -1,0 +1,48 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace authdb {
+
+std::vector<Record> WorkloadGenerator::MakeRecords() const {
+  Rng rng(config_.seed ^ 0x9e3779b9);
+  std::vector<Record> out;
+  out.reserve(config_.n_records);
+  for (uint64_t k = 0; k < config_.n_records; ++k) {
+    Record r;
+    r.attrs.resize(config_.n_attrs);
+    r.attrs[0] = static_cast<int64_t>(k);
+    for (uint32_t a = 1; a < config_.n_attrs; ++a)
+      r.attrs[a] = static_cast<int64_t>(rng.Next() >> 16);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::pair<int64_t, int64_t> WorkloadGenerator::NextRange() {
+  double sf = config_.selectivity * (0.5 + rng_.NextDouble());  // [sf/2,3sf/2)
+  uint64_t q = std::max<uint64_t>(
+      1, static_cast<uint64_t>(sf * config_.n_records));
+  return NextRangeWithCardinality(q);
+}
+
+std::pair<int64_t, int64_t> WorkloadGenerator::NextRangeWithCardinality(
+    uint64_t q) {
+  q = std::min<uint64_t>(q, config_.n_records);
+  uint64_t lo = rng_.Uniform(config_.n_records - q + 1);
+  return {static_cast<int64_t>(lo), static_cast<int64_t>(lo + q - 1)};
+}
+
+int64_t WorkloadGenerator::NextUpdateKey() {
+  return static_cast<int64_t>(rng_.Uniform(config_.n_records));
+}
+
+std::vector<int64_t> WorkloadGenerator::NextUpdateValues(int64_t key) {
+  std::vector<int64_t> attrs(config_.n_attrs);
+  attrs[0] = key;
+  for (uint32_t a = 1; a < config_.n_attrs; ++a)
+    attrs[a] = static_cast<int64_t>(rng_.Next() >> 16);
+  return attrs;
+}
+
+}  // namespace authdb

@@ -1,0 +1,56 @@
+#ifndef AUTHDB_WORKLOAD_GENERATOR_H_
+#define AUTHDB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/record.h"
+
+namespace authdb {
+
+/// Workload machinery of Section 5.1: N uniformly generated records of
+/// RecLen bytes with integer keys, selection queries uniform over the key
+/// domain with selectivity in [sf/2, 3sf/2], and an Upd% update mix.
+class WorkloadGenerator {
+ public:
+  struct Config {
+    uint64_t n_records = 1'000'000;
+    uint32_t record_len = 512;
+    uint32_t n_attrs = 4;        ///< attrs[0] is the indexed key
+    double selectivity = 0.001;  ///< sf (fraction of records per range query)
+    double update_fraction = 0.1;
+    uint64_t seed = 42;
+  };
+
+  explicit WorkloadGenerator(const Config& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Records with dense keys 0..N-1 and uniform attribute values.
+  std::vector<Record> MakeRecords() const;
+
+  /// Range [lo, hi] with selectivity drawn from [sf/2, 3sf/2], uniform
+  /// placement (Section 5.1).
+  std::pair<int64_t, int64_t> NextRange();
+  /// Exact-cardinality range (point query: q = 1).
+  std::pair<int64_t, int64_t> NextRangeWithCardinality(uint64_t q);
+
+  /// Key of the next record to update (uniform).
+  int64_t NextUpdateKey();
+  /// Fresh attribute values for an update of `key`.
+  std::vector<int64_t> NextUpdateValues(int64_t key);
+
+  bool NextIsUpdate() { return rng_.NextDouble() < config_.update_fraction; }
+
+  const Config& config() const { return config_; }
+  Rng* rng() { return &rng_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,64 @@
+#include "workload/tpce.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "core/join.h"
+
+namespace authdb {
+
+TpceJoinWorkload::TpceJoinWorkload(const Config& config) : cfg_(config) {
+  AUTHDB_CHECK(cfg_.scale_divisor >= 1);
+  // Distinct B values spaced 4 apart: every pair of consecutive values
+  // leaves unmatched integers in between for the alpha sweep.
+  uint64_t n = ib();
+  distinct_b_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i)
+    distinct_b_.push_back(static_cast<int64_t>(4 * (i + 1)));
+}
+
+std::vector<Record> TpceJoinWorkload::MakeHoldingRows() const {
+  Rng rng(cfg_.seed);
+  uint64_t rows = ns();
+  uint64_t n_b = distinct_b_.size();
+  // Each distinct B value receives at least one row; the remainder are
+  // assigned uniformly (the paper's Holding subset averages ns/ib ~ 261
+  // rows per value).
+  std::vector<uint32_t> per_value(n_b, 1);
+  for (uint64_t i = n_b; i < rows; ++i) ++per_value[rng.Uniform(n_b)];
+  std::vector<Record> out;
+  out.reserve(rows);
+  for (uint64_t v = 0; v < n_b; ++v) {
+    for (uint32_t d = 0; d < per_value[v]; ++d) {
+      Record r;
+      r.attrs = {JoinCompositeKey(distinct_b_[v], d), distinct_b_[v],
+                 static_cast<int64_t>(rng.Uniform(10'000))};
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> TpceJoinWorkload::MakeSecurityValues(double alpha,
+                                                          uint64_t n) const {
+  AUTHDB_CHECK(alpha >= 0 && alpha <= 1);
+  Rng rng(cfg_.seed ^ 0xA1FA);
+  uint64_t matched = static_cast<uint64_t>(alpha * n + 0.5);
+  matched = std::min(matched, n);
+  std::set<int64_t> values;
+  // Matched values: sampled from the B domain.
+  while (values.size() < matched) {
+    values.insert(distinct_b_[rng.Uniform(distinct_b_.size())]);
+    if (values.size() >= distinct_b_.size()) break;  // domain exhausted
+  }
+  // Unmatched values: integers in the gaps (B values are multiples of 4;
+  // offsets 1..3 never match).
+  while (values.size() < n) {
+    int64_t base = distinct_b_[rng.Uniform(distinct_b_.size())];
+    values.insert(base + 1 + static_cast<int64_t>(rng.Uniform(3)));
+  }
+  return std::vector<int64_t>(values.begin(), values.end());
+}
+
+}  // namespace authdb

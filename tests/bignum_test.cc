@@ -1,0 +1,202 @@
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace authdb {
+namespace {
+
+TEST(BigIntTest, U64Roundtrip) {
+  EXPECT_EQ(BigInt(0).ToU64(), 0u);
+  EXPECT_EQ(BigInt(1).ToU64(), 1u);
+  EXPECT_EQ(BigInt(0xdeadbeefcafebabeULL).ToU64(), 0xdeadbeefcafebabeULL);
+  EXPECT_TRUE(BigInt(0).IsZero());
+  EXPECT_FALSE(BigInt(7).IsZero());
+}
+
+TEST(BigIntTest, HexRoundtrip) {
+  const char* kCases[] = {"1", "ff", "deadbeef", "123456789abcdef0123456789",
+                          "ffffffffffffffffffffffffffffffff"};
+  for (const char* c : kCases) {
+    EXPECT_EQ(BigInt::FromHex(c).ToHex(), c) << c;
+  }
+}
+
+TEST(BigIntTest, BytesRoundtrip) {
+  BigInt v = BigInt::FromHex("0123456789abcdef00ff");
+  auto bytes = v.ToBytes(16);
+  EXPECT_EQ(BigInt::Compare(BigInt::FromBytes(Slice(bytes)), v), 0);
+  // Leading zero padding must not change the value.
+  auto wide = v.ToBytes(32);
+  EXPECT_EQ(BigInt::Compare(BigInt::FromBytes(Slice(wide)), v), 0);
+}
+
+TEST(BigIntTest, BitLengthAndBit) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0);
+  EXPECT_EQ(BigInt(1).BitLength(), 1);
+  EXPECT_EQ(BigInt(255).BitLength(), 8);
+  EXPECT_EQ(BigInt(256).BitLength(), 9);
+  BigInt v = BigInt::FromHex("10000000000000000");  // 2^64
+  EXPECT_EQ(v.BitLength(), 65);
+  EXPECT_TRUE(v.Bit(64));
+  EXPECT_FALSE(v.Bit(63));
+  EXPECT_FALSE(v.Bit(1000));
+}
+
+TEST(BigIntTest, AddSubProperties) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::Random(1 + rng.Uniform(300), &rng);
+    BigInt b = BigInt::Random(1 + rng.Uniform(300), &rng);
+    BigInt s = BigInt::Add(a, b);
+    EXPECT_EQ(BigInt::Compare(BigInt::Sub(s, b), a), 0);
+    EXPECT_EQ(BigInt::Compare(BigInt::Sub(s, a), b), 0);
+    EXPECT_EQ(BigInt::Compare(BigInt::Add(a, b), BigInt::Add(b, a)), 0);
+  }
+}
+
+TEST(BigIntTest, SmallArithmeticMatchesU64) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t a = rng.Next() >> 33, b = rng.Next() >> 33;
+    EXPECT_EQ(BigInt::Add(BigInt(a), BigInt(b)).ToU64(), a + b);
+    EXPECT_EQ(BigInt::Mul(BigInt(a), BigInt(b)).ToU64(), a * b);
+    if (b != 0) {
+      EXPECT_EQ(BigInt::Div(BigInt(a), BigInt(b)).ToU64(), a / b);
+      EXPECT_EQ(BigInt::Mod(BigInt(a), BigInt(b)).ToU64(), a % b);
+    }
+  }
+}
+
+TEST(BigIntTest, MulDistributesOverAdd) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::Random(200, &rng);
+    BigInt b = BigInt::Random(150, &rng);
+    BigInt c = BigInt::Random(100, &rng);
+    BigInt lhs = BigInt::Mul(a, BigInt::Add(b, c));
+    BigInt rhs = BigInt::Add(BigInt::Mul(a, b), BigInt::Mul(a, c));
+    EXPECT_EQ(BigInt::Compare(lhs, rhs), 0);
+  }
+}
+
+TEST(BigIntTest, DivModInvariant) {
+  Rng rng(44);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::Random(1 + rng.Uniform(512), &rng);
+    BigInt d = BigInt::Random(1 + rng.Uniform(256), &rng);
+    if (d.IsZero()) continue;
+    BigInt q, r;
+    BigInt::DivMod(a, d, &q, &r);
+    EXPECT_LT(BigInt::Compare(r, d), 0);
+    EXPECT_EQ(BigInt::Compare(BigInt::Add(BigInt::Mul(q, d), r), a), 0);
+  }
+}
+
+TEST(BigIntTest, Shifts) {
+  Rng rng(45);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::Random(200, &rng);
+    int s = static_cast<int>(rng.Uniform(130));
+    BigInt left = BigInt::ShiftLeft(a, s);
+    EXPECT_EQ(BigInt::Compare(BigInt::ShiftRight(left, s), a), 0);
+    EXPECT_EQ(left.BitLength(), a.BitLength() + s);
+  }
+}
+
+TEST(BigIntTest, ModInverse) {
+  Rng rng(46);
+  BigInt p = BigInt::FromHex("fffffffffffffffffffffffffffffff1");  // odd
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(p, &rng);
+    BigInt inv = BigInt::ModInverse(a, p);
+    if (inv.IsZero()) continue;  // a shares a factor with p
+    EXPECT_EQ(BigInt::MulMod(a, inv, p).ToU64(), 1u);
+  }
+}
+
+TEST(BigIntTest, ModInverseNonInvertible) {
+  BigInt m(100);
+  EXPECT_TRUE(BigInt::ModInverse(BigInt(10), m).IsZero());
+  EXPECT_TRUE(BigInt::ModInverse(BigInt(0), m).IsZero());
+}
+
+TEST(BigIntTest, MontgomeryMulMatchesPlain) {
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    BigInt n = BigInt::Random(128 + rng.Uniform(256), &rng);
+    if (!n.IsOdd()) n = BigInt::Add(n, BigInt(1));
+    MontgomeryContext mont(n);
+    for (int i = 0; i < 10; ++i) {
+      BigInt a = BigInt::RandomBelow(n, &rng);
+      BigInt b = BigInt::RandomBelow(n, &rng);
+      BigInt am = mont.ToMont(a);
+      EXPECT_EQ(BigInt::Compare(mont.FromMont(am), a), 0);
+      BigInt prod = mont.FromMont(mont.Mul(am, mont.ToMont(b)));
+      EXPECT_EQ(BigInt::Compare(prod, BigInt::MulMod(a, b, n)), 0);
+    }
+  }
+}
+
+TEST(BigIntTest, MontgomeryExpMatchesNaive) {
+  Rng rng(48);
+  BigInt n = BigInt::Random(192, &rng);
+  if (!n.IsOdd()) n = BigInt::Add(n, BigInt(1));
+  MontgomeryContext mont(n);
+  for (int i = 0; i < 20; ++i) {
+    BigInt base = BigInt::RandomBelow(n, &rng);
+    uint64_t e = rng.Uniform(50);
+    BigInt expect(1);
+    for (uint64_t j = 0; j < e; ++j) expect = BigInt::MulMod(expect, base, n);
+    EXPECT_EQ(BigInt::Compare(mont.Exp(base, BigInt(e)), expect), 0)
+        << "e=" << e;
+  }
+}
+
+TEST(BigIntTest, FermatLittleTheorem) {
+  Rng rng(49);
+  BigInt p = BigInt::GeneratePrime(128, &rng);
+  MontgomeryContext mont(p);
+  BigInt pm1 = BigInt::Sub(p, BigInt(1));
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = BigInt::RandomBelow(p, &rng);
+    EXPECT_EQ(mont.Exp(a, pm1).ToU64(), 1u);
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownValues) {
+  Rng rng(50);
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(2), &rng));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(3), &rng));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(1), &rng));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(561), &rng));  // Carmichael
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(2147483647), &rng));  // 2^31-1
+  EXPECT_FALSE(BigInt::IsProbablePrime(
+      BigInt::Mul(BigInt(2147483647), BigInt(2147483647)), &rng));
+  // 2^127 - 1 is a Mersenne prime.
+  BigInt m127 = BigInt::Sub(BigInt::ShiftLeft(BigInt(1), 127), BigInt(1));
+  EXPECT_TRUE(BigInt::IsProbablePrime(m127, &rng));
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedLength) {
+  Rng rng(51);
+  for (int bits : {64, 96, 128}) {
+    BigInt p = BigInt::GeneratePrime(bits, &rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(BigInt::IsProbablePrime(p, &rng));
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  Rng rng(52);
+  BigInt n(1000);
+  for (int i = 0; i < 100; ++i) {
+    BigInt v = BigInt::RandomBelow(n, &rng);
+    EXPECT_FALSE(v.IsZero());
+    EXPECT_LT(BigInt::Compare(v, n), 0);
+  }
+}
+
+}  // namespace
+}  // namespace authdb

@@ -1,0 +1,78 @@
+#include "crypto/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace authdb {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(8 * 1024, 5);
+  for (int64_t k = 0; k < 1000; ++k) bf.AddInt64(k * 7 + 1);
+  for (int64_t k = 0; k < 1000; ++k) EXPECT_TRUE(bf.MayContainInt64(k * 7 + 1));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearExpected) {
+  const size_t kKeys = 2000;
+  const double kBitsPerKey = 8.0;
+  BloomFilter bf = BloomFilter::WithBitsPerKey(kKeys, kBitsPerKey);
+  for (size_t k = 0; k < kKeys; ++k) bf.AddInt64(static_cast<int64_t>(k));
+  size_t fp = 0;
+  const size_t kProbes = 20000;
+  for (size_t k = 0; k < kProbes; ++k) {
+    if (bf.MayContainInt64(static_cast<int64_t>(1000000 + k))) ++fp;
+  }
+  double rate = static_cast<double>(fp) / kProbes;
+  double expected =
+      BloomFilter::ExpectedFpRate(bf.bit_count(), kKeys, bf.hash_count());
+  // Within 3x of the analytic estimate (generous; randomness).
+  EXPECT_LT(rate, expected * 3 + 0.01);
+  EXPECT_GT(rate, 0.0);  // at 8 bits/key some false positives are expected
+}
+
+TEST(BloomFilterTest, Formula1MatchesPaperConstant) {
+  // Paper Section 3.5: m = 8 * IB bits per key gives FP = 0.0216.
+  EXPECT_NEAR(BloomFilter::OptimalFpRate(8.0), 0.0216, 0.001);
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter bf(1024, 4);
+  for (int64_t k = 0; k < 100; ++k) EXPECT_FALSE(bf.MayContainInt64(k));
+}
+
+TEST(BloomFilterTest, ClearResets) {
+  BloomFilter bf(1024, 4);
+  bf.AddInt64(42);
+  EXPECT_TRUE(bf.MayContainInt64(42));
+  bf.Clear();
+  EXPECT_FALSE(bf.MayContainInt64(42));
+  EXPECT_EQ(bf.ones(), 0u);
+}
+
+TEST(BloomFilterTest, CertificationDigestDetectsTampering) {
+  BloomFilter a(1024, 4), b(1024, 4);
+  a.AddInt64(1);
+  b.AddInt64(2);
+  EXPECT_NE(a.CertificationDigest(), b.CertificationDigest());
+  BloomFilter c(1024, 4);
+  c.AddInt64(1);
+  EXPECT_EQ(a.CertificationDigest(), c.CertificationDigest());
+}
+
+TEST(BloomFilterTest, WithBitsPerKeyChoosesOptimalK) {
+  BloomFilter bf = BloomFilter::WithBitsPerKey(1000, 8.0);
+  // k = 8 * ln2 = 5.5 -> 6
+  EXPECT_EQ(bf.hash_count(), 6);
+  EXPECT_GE(bf.bit_count(), 8000u);
+}
+
+TEST(BloomFilterTest, StringAndIntKeysIndependent) {
+  BloomFilter bf(4096, 4);
+  std::string key = "hello";
+  bf.Add(Slice(key));
+  EXPECT_TRUE(bf.MayContain(Slice(key)));
+}
+
+}  // namespace
+}  // namespace authdb

@@ -1,0 +1,163 @@
+#include "crypto/ec.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/bas.h"
+
+namespace authdb {
+namespace {
+
+// Small deterministic parameter set (96-bit field) keeps the suite fast.
+class EcTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(1234);
+    ctx_ = new std::shared_ptr<const BasContext>(
+        BasContext::Generate(/*p_bits=*/96, /*r_bits=*/64, &rng));
+  }
+  const CurveGroup& curve() { return (*ctx_)->curve(); }
+  const ECPoint& G() { return (*ctx_)->generator(); }
+  static std::shared_ptr<const BasContext>* ctx_;
+};
+std::shared_ptr<const BasContext>* EcTest::ctx_ = nullptr;
+
+TEST_F(EcTest, GeneratorIsOnCurveWithOrderR) {
+  EXPECT_FALSE(G().infinity);
+  EXPECT_TRUE(curve().IsOnCurve(G()));
+  EXPECT_TRUE(curve().ScalarMult(G(), curve().order()).infinity);
+}
+
+TEST_F(EcTest, IdentityLaws) {
+  ECPoint inf;
+  EXPECT_TRUE(curve().Equal(curve().Add(G(), inf), G()));
+  EXPECT_TRUE(curve().Equal(curve().Add(inf, G()), G()));
+  EXPECT_TRUE(curve().Add(inf, inf).infinity);
+  EXPECT_TRUE(curve().Add(G(), curve().Negate(G())).infinity);
+}
+
+TEST_F(EcTest, AdditionIsCommutative) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    ECPoint a = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1000)));
+    ECPoint b = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1000)));
+    EXPECT_TRUE(curve().Equal(curve().Add(a, b), curve().Add(b, a)));
+  }
+}
+
+TEST_F(EcTest, AdditionIsAssociative) {
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    ECPoint a = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1000)));
+    ECPoint b = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1000)));
+    ECPoint c = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1000)));
+    ECPoint lhs = curve().Add(curve().Add(a, b), c);
+    ECPoint rhs = curve().Add(a, curve().Add(b, c));
+    EXPECT_TRUE(curve().Equal(lhs, rhs));
+  }
+}
+
+TEST_F(EcTest, DoubleMatchesAdd) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    ECPoint a = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(100000)));
+    EXPECT_TRUE(curve().Equal(curve().Double(a), curve().Add(a, a)));
+  }
+}
+
+TEST_F(EcTest, ScalarMultDistributesOverScalarAddition) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    uint64_t a = 1 + rng.Uniform(1u << 20), b = 1 + rng.Uniform(1u << 20);
+    ECPoint lhs = curve().ScalarMult(G(), BigInt(a + b));
+    ECPoint rhs = curve().Add(curve().ScalarMult(G(), BigInt(a)),
+                              curve().ScalarMult(G(), BigInt(b)));
+    EXPECT_TRUE(curve().Equal(lhs, rhs));
+  }
+}
+
+TEST_F(EcTest, ScalarMultComposes) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    uint64_t a = 1 + rng.Uniform(1u << 16), b = 1 + rng.Uniform(1u << 16);
+    ECPoint lhs = curve().ScalarMult(curve().ScalarMult(G(), BigInt(a)),
+                                     BigInt(b));
+    ECPoint rhs = curve().ScalarMult(G(), BigInt(a * b));
+    EXPECT_TRUE(curve().Equal(lhs, rhs));
+  }
+}
+
+TEST_F(EcTest, ScalarMultByOrderMinusOneIsNegation) {
+  BigInt rm1 = BigInt::Sub(curve().order(), BigInt(1));
+  ECPoint p = curve().ScalarMult(G(), BigInt(12345));
+  ECPoint lhs = curve().ScalarMult(p, rm1);
+  EXPECT_TRUE(curve().Equal(lhs, curve().Negate(p)));
+}
+
+TEST_F(EcTest, SumMatchesIteratedAdd) {
+  Rng rng(10);
+  std::vector<ECPoint> pts;
+  ECPoint expect;  // infinity
+  for (int i = 0; i < 50; ++i) {
+    ECPoint p = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1u << 18)));
+    pts.push_back(p);
+    expect = curve().Add(expect, p);
+  }
+  EXPECT_TRUE(curve().Equal(curve().Sum(pts), expect));
+}
+
+TEST_F(EcTest, SumSkipsInfinity) {
+  ECPoint p = curve().ScalarMult(G(), BigInt(77));
+  std::vector<ECPoint> pts = {ECPoint{}, p, ECPoint{}};
+  EXPECT_TRUE(curve().Equal(curve().Sum(pts), p));
+  EXPECT_TRUE(curve().Sum({}).infinity);
+}
+
+TEST_F(EcTest, SerializeRoundtrip) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    ECPoint p = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1u << 30)));
+    auto bytes = curve().Serialize(p);
+    EXPECT_EQ(bytes.size(), 2u * curve().field().element_bytes());
+    EXPECT_TRUE(curve().Equal(curve().Deserialize(bytes), p));
+  }
+  // Infinity roundtrip.
+  auto inf_bytes = curve().Serialize(ECPoint{});
+  EXPECT_TRUE(curve().Deserialize(inf_bytes).infinity);
+}
+
+TEST_F(EcTest, IsOnCurveRejectsForgedPoint) {
+  ECPoint p = curve().ScalarMult(G(), BigInt(99));
+  p.x = curve().field().Add(p.x, curve().field().One());
+  EXPECT_FALSE(curve().IsOnCurve(p));
+}
+
+TEST_F(EcTest, NegateIsInvolution) {
+  ECPoint p = curve().ScalarMult(G(), BigInt(31337));
+  EXPECT_TRUE(curve().Equal(curve().Negate(curve().Negate(p)), p));
+}
+
+TEST(PrimeFieldTest, BasicArithmetic) {
+  Rng rng(12);
+  BigInt p = BigInt::GeneratePrime(96, &rng);
+  while (!p.Bit(0) || BigInt::Mod(p, BigInt(4)).ToU64() != 3)
+    p = BigInt::GeneratePrime(96, &rng);
+  PrimeField f(p);
+  for (int i = 0; i < 30; ++i) {
+    BigInt a = f.FromPlain(BigInt::RandomBelow(p, &rng));
+    BigInt b = f.FromPlain(BigInt::RandomBelow(p, &rng));
+    // a + b - b == a
+    EXPECT_TRUE(f.Equal(f.Sub(f.Add(a, b), b), a));
+    // a * inv(a) == 1
+    if (!a.IsZero()) {
+      EXPECT_TRUE(f.Equal(f.Mul(a, f.Inv(a)), f.One()));
+    }
+    // sqrt(a^2) == +-a
+    BigInt s = f.Sqrt(f.Sqr(a));
+    EXPECT_TRUE(f.Equal(s, a) || f.Equal(s, f.Neg(a)));
+    // Euler criterion consistency
+    EXPECT_TRUE(f.IsSquare(f.Sqr(a)));
+  }
+}
+
+}  // namespace
+}  // namespace authdb

@@ -1,0 +1,170 @@
+#include "index/emb_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace authdb {
+namespace {
+
+Record MakeRecord(uint64_t rid, int64_t key, int64_t value, uint64_t ts) {
+  Record r;
+  r.rid = rid;
+  r.ts = ts;
+  r.attrs = {key, value, value * 2, value * 3};
+  return r;
+}
+
+class EmbTreeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0x1111);
+    key_ = new RsaPrivateKey(RsaPrivateKey::Generate(512, &rng));
+  }
+  void SetUp() override {
+    data_dm_ = std::make_unique<DiskManager>("");
+    index_dm_ = std::make_unique<DiskManager>("");
+    data_pool_ = std::make_unique<BufferPool>(data_dm_.get(), 64);
+    index_pool_ = std::make_unique<BufferPool>(index_dm_.get(), 64);
+    tree_ = std::make_unique<EmbTree>(data_pool_.get(), index_pool_.get(),
+                                      key_, 128);
+    std::vector<Record> records;
+    for (int64_t k = 0; k < 200; ++k)
+      records.push_back(MakeRecord(k, k * 2, k * 100, 1));  // even keys
+    ASSERT_TRUE(tree_->BulkLoad(records).ok());
+  }
+
+  static RsaPrivateKey* key_;
+  std::unique_ptr<DiskManager> data_dm_, index_dm_;
+  std::unique_ptr<BufferPool> data_pool_, index_pool_;
+  std::unique_ptr<EmbTree> tree_;
+};
+RsaPrivateKey* EmbTreeTest::key_ = nullptr;
+
+TEST_F(EmbTreeTest, RangeQueryVerifies) {
+  auto ans = tree_->RangeQuery(100, 140);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().records.size(), 21u);
+  EXPECT_TRUE(EmbTree::VerifyRange(key_->public_key(), 100, 140, ans.value())
+                  .ok());
+}
+
+TEST_F(EmbTreeTest, PointQueryVerifies) {
+  auto ans = tree_->RangeQuery(50, 50);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().records.size(), 1u);
+  EXPECT_TRUE(
+      EmbTree::VerifyRange(key_->public_key(), 50, 50, ans.value()).ok());
+}
+
+TEST_F(EmbTreeTest, EmptyRangeStillProvable) {
+  auto ans = tree_->RangeQuery(101, 101);  // odd: no match
+  ASSERT_TRUE(ans.ok());
+  EXPECT_TRUE(ans.value().records.empty());
+  EXPECT_TRUE(
+      EmbTree::VerifyRange(key_->public_key(), 101, 101, ans.value()).ok());
+}
+
+TEST_F(EmbTreeTest, DomainEdgeRanges) {
+  auto lo = tree_->RangeQuery(-100, 10);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_FALSE(lo.value().vo.left_boundary.has_value());
+  EXPECT_TRUE(
+      EmbTree::VerifyRange(key_->public_key(), -100, 10, lo.value()).ok());
+  auto hi = tree_->RangeQuery(390, 10000);
+  ASSERT_TRUE(hi.ok());
+  EXPECT_FALSE(hi.value().vo.right_boundary.has_value());
+  EXPECT_TRUE(
+      EmbTree::VerifyRange(key_->public_key(), 390, 10000, hi.value()).ok());
+}
+
+TEST_F(EmbTreeTest, DroppedRecordDetected) {
+  auto ans = tree_->RangeQuery(100, 140);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  tampered.records.erase(tampered.records.begin() + 3);
+  EXPECT_FALSE(
+      EmbTree::VerifyRange(key_->public_key(), 100, 140, tampered).ok());
+}
+
+TEST_F(EmbTreeTest, ModifiedRecordDetected) {
+  auto ans = tree_->RangeQuery(100, 140);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  tampered.records[2].attrs[1] = 999999;  // fake value
+  EXPECT_FALSE(
+      EmbTree::VerifyRange(key_->public_key(), 100, 140, tampered).ok());
+}
+
+TEST_F(EmbTreeTest, ShrunkBoundaryDetected) {
+  // Server tries to hide qualifying records by narrowing with a fake
+  // boundary record inside the range.
+  auto ans = tree_->RangeQuery(100, 140);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  tampered.vo.right_boundary = tampered.records.back();
+  tampered.records.pop_back();
+  EXPECT_FALSE(
+      EmbTree::VerifyRange(key_->public_key(), 100, 140, tampered).ok());
+}
+
+TEST_F(EmbTreeTest, UpdatePropagatesToRoot) {
+  uint64_t sigs_before = tree_->root_signatures();
+  Record updated = MakeRecord(55, 110, 42424242, 2);
+  ASSERT_TRUE(tree_->UpdateRecord(updated).ok());
+  EXPECT_EQ(tree_->root_signatures(), sigs_before + 1);
+  EXPECT_GE(tree_->last_update_digest_ops(), 8u);  // log2(200) = 7.6
+  // Fresh query reflects the update and verifies under the new root.
+  auto ans = tree_->RangeQuery(110, 110);
+  ASSERT_TRUE(ans.ok());
+  ASSERT_EQ(ans.value().records.size(), 1u);
+  EXPECT_EQ(ans.value().records[0].attrs[1], 42424242);
+  EXPECT_TRUE(
+      EmbTree::VerifyRange(key_->public_key(), 110, 110, ans.value()).ok());
+}
+
+TEST_F(EmbTreeTest, StaleAnswerAfterUpdateRejected) {
+  auto stale = tree_->RangeQuery(110, 110);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_TRUE(tree_->UpdateRecord(MakeRecord(55, 110, 777, 2)).ok());
+  // The old answer carries the old root signature; after the update the
+  // verifier comparing against it still passes (it was valid then) — but a
+  // *mixed* answer (old record, new root signature) must fail.
+  auto fresh = tree_->RangeQuery(110, 110);
+  ASSERT_TRUE(fresh.ok());
+  auto mixed = stale.value();
+  mixed.vo.root_sig = fresh.value().vo.root_sig;
+  EXPECT_FALSE(
+      EmbTree::VerifyRange(key_->public_key(), 110, 110, mixed).ok());
+}
+
+TEST_F(EmbTreeTest, InsertAndDelete) {
+  ASSERT_TRUE(tree_->InsertRecord(MakeRecord(1000, 101, 5, 3)).ok());
+  auto ans = tree_->RangeQuery(100, 102);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().records.size(), 3u);  // 100, 101, 102
+  EXPECT_TRUE(
+      EmbTree::VerifyRange(key_->public_key(), 100, 102, ans.value()).ok());
+
+  ASSERT_TRUE(tree_->DeleteRecord(101).ok());
+  auto after = tree_->RangeQuery(100, 102);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().records.size(), 2u);
+  EXPECT_TRUE(
+      EmbTree::VerifyRange(key_->public_key(), 100, 102, after.value()).ok());
+}
+
+TEST_F(EmbTreeTest, UpdateUnknownKeyFails) {
+  EXPECT_TRUE(tree_->UpdateRecord(MakeRecord(9, 99999, 1, 1)).IsNotFound());
+}
+
+TEST_F(EmbTreeTest, VoSizeGrowsWithProof) {
+  auto point = tree_->RangeQuery(100, 100);
+  auto range = tree_->RangeQuery(0, 398);
+  ASSERT_TRUE(point.ok() && range.ok());
+  size_t point_size = EmbTree::VoSizeBytes(point.value().vo);
+  EXPECT_GT(point_size, 128u);  // at least the root signature
+  // A full scan needs almost no sibling digests.
+  EXPECT_LT(range.value().vo.proof.size(), point.value().vo.proof.size());
+}
+
+}  // namespace
+}  // namespace authdb

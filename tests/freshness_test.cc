@@ -1,0 +1,135 @@
+#include "core/freshness.h"
+
+#include <gtest/gtest.h>
+
+namespace authdb {
+namespace {
+
+using HashMode = BasContext::HashMode;
+
+class FreshnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0x5555);
+    ctx_ = new std::shared_ptr<const BasContext>(
+        BasContext::Generate(96, 64, &rng));
+    Rng krng(7);
+    key_ = new BasPrivateKey(BasPrivateKey::Generate(*ctx_, &krng));
+  }
+  UpdateSummary Publish(SummaryBuilder* b, uint64_t seq, uint64_t ts,
+                        uint64_t nbits = 1000) {
+    return b->BuildAndSign(seq, ts, nbits, *key_, HashMode::kFast);
+  }
+  static std::shared_ptr<const BasContext>* ctx_;
+  static BasPrivateKey* key_;
+  VarintGapCodec codec_;
+};
+std::shared_ptr<const BasContext>* FreshnessTest::ctx_ = nullptr;
+BasPrivateKey* FreshnessTest::key_ = nullptr;
+
+TEST_F(FreshnessTest, FreshRecordPasses) {
+  SummaryBuilder builder(&codec_);
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 0, 1000)).ok());
+  // Record certified after the summary: fresh by definition.
+  uint64_t staleness = 0;
+  EXPECT_TRUE(checker.CheckRecord(5, 1500, 2000, &staleness).ok());
+  EXPECT_EQ(staleness, 500u);
+}
+
+TEST_F(FreshnessTest, UnmarkedOldRecordPasses) {
+  SummaryBuilder builder(&codec_);
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  builder.MarkUpdated(7);  // some other record
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 0, 1000)).ok());
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 1, 2000)).ok());
+  uint64_t staleness = 0;
+  EXPECT_TRUE(checker.CheckRecord(5, 500, 2400, &staleness).ok());
+  EXPECT_EQ(staleness, 400u);  // bounded by the latest summary age
+}
+
+TEST_F(FreshnessTest, StaleRecordDetected) {
+  SummaryBuilder builder(&codec_);
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  builder.MarkUpdated(5);  // record 5 certified at ts=500 (period 0)
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 0, 1000)).ok());
+  builder.MarkUpdated(5);  // record 5 updated again in period 1
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 1, 2000)).ok());
+  // Server returns the version certified at ts=500; the period-1 mark
+  // (a period that began after ts=500) proves a newer version exists.
+  Status s = checker.CheckRecord(5, 500, 2500);
+  EXPECT_TRUE(s.IsVerificationFailed());
+}
+
+TEST_F(FreshnessTest, OwnPeriodMarkIsNotStaleness) {
+  // The summary closing the period that *contains* the certification marks
+  // the record because of that very certification — it must not be treated
+  // as evidence of a newer version.
+  SummaryBuilder builder(&codec_);
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  builder.MarkUpdated(5);  // the record's own certification at ts=500
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 0, 1000)).ok());
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 1, 2000)).ok());
+  EXPECT_TRUE(checker.CheckRecord(5, 500, 2500).ok());
+}
+
+TEST_F(FreshnessTest, TamperedSummaryRejected) {
+  SummaryBuilder builder(&codec_);
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  builder.MarkUpdated(5);
+  UpdateSummary summary = Publish(&builder, 0, 1000);
+  // The compromised server tries to erase the update mark.
+  Bitmap empty(1000);
+  summary.compressed_bitmap = codec_.Encode(empty);
+  EXPECT_TRUE(checker.AddSummary(summary).IsVerificationFailed());
+}
+
+TEST_F(FreshnessTest, DuplicateSummariesIgnored) {
+  SummaryBuilder builder(&codec_);
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  UpdateSummary s0 = Publish(&builder, 0, 1000);
+  ASSERT_TRUE(checker.AddSummary(s0).ok());
+  ASSERT_TRUE(checker.AddSummary(s0).ok());
+  EXPECT_EQ(checker.summary_count(), 1u);
+}
+
+TEST_F(FreshnessTest, CoverageGapDetected) {
+  SummaryBuilder builder(&codec_);
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 0, 1000)).ok());
+  // seq 1 (published at 2000) never arrives.
+  ASSERT_TRUE(checker.AddSummary(Publish(&builder, 2, 3000)).ok());
+  // A record certified at 500 needs coverage across the gap: reject.
+  EXPECT_TRUE(checker.CheckRecord(5, 500, 3500).IsVerificationFailed());
+  // A record newer than the latest summary is still fine.
+  EXPECT_TRUE(checker.CheckRecord(5, 3200, 3500).ok());
+}
+
+TEST_F(FreshnessTest, MultiUpdateTrackingForRecertification) {
+  SummaryBuilder builder(&codec_);
+  builder.MarkUpdated(3);
+  builder.MarkUpdated(3);
+  builder.MarkUpdated(4);
+  auto multi = builder.MultiUpdatedRids();
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_EQ(multi[0], 3u);
+}
+
+TEST_F(FreshnessTest, SummarySizeTracksUpdateCount) {
+  SummaryBuilder builder(&codec_);
+  for (uint64_t rid = 0; rid < 10; ++rid) builder.MarkUpdated(rid * 97);
+  UpdateSummary small = Publish(&builder, 0, 1000, 1'000'000);
+  for (uint64_t rid = 0; rid < 1000; ++rid) builder.MarkUpdated(rid * 97);
+  UpdateSummary large = Publish(&builder, 1, 2000, 1'000'000);
+  EXPECT_LT(small.compressed_bitmap.size(), large.compressed_bitmap.size());
+  // Size is proportional to updates, insensitive to the 1M-record domain.
+  EXPECT_LT(large.compressed_bitmap.size(), 4096u);
+}
+
+TEST_F(FreshnessTest, NoSummariesMeansEverythingFresh) {
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  EXPECT_TRUE(checker.CheckRecord(1, 100, 200).ok());
+}
+
+}  // namespace
+}  // namespace authdb

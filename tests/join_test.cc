@@ -1,0 +1,233 @@
+#include "core/join.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/data_aggregator.h"
+
+namespace authdb {
+namespace {
+
+using HashMode = BasContext::HashMode;
+
+// S holds B values {10, 10, 10, 20, 30, 30, 50, 70} (duplicates included),
+// indexed on composite keys.
+class JoinTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0x1011);
+    ctx_ = new std::shared_ptr<const BasContext>(
+        BasContext::Generate(96, 64, &rng));
+  }
+  void SetUp() override {
+    clock_.SetMicros(1'000'000);
+    rng_ = std::make_unique<Rng>(3);
+    DataAggregator::Options opt;
+    opt.record_len = 128;
+    da_ = std::make_unique<DataAggregator>(*ctx_, &clock_, rng_.get(), opt);
+
+    std::vector<int64_t> b_values = {10, 10, 10, 20, 30, 30, 50, 70};
+    std::vector<Record> records;
+    std::map<int64_t, uint32_t> dup_count;
+    for (int64_t b : b_values) {
+      Record r;
+      r.attrs = {JoinCompositeKey(b, dup_count[b]++), b, b * 11};
+      records.push_back(r);
+    }
+    auto stream = da_->BulkLoad(std::move(records));
+    ASSERT_TRUE(stream.ok());
+
+    distinct_b_ = {10, 20, 30, 50, 70};
+    authority_ = std::make_unique<JoinAuthority>(
+        *ctx_, da_->private_key(), HashMode::kFast);
+    partitions_ = authority_->BuildPartitions(distinct_b_,
+                                              /*values_per_partition=*/2,
+                                              /*bits_per_value=*/8.0,
+                                              clock_.NowMicros());
+    prover_ = std::make_unique<JoinProver>(*ctx_, &da_->table(), &partitions_);
+    verifier_ = std::make_unique<JoinVerifier>(&da_->public_key(),
+                                               HashMode::kFast);
+  }
+
+  static std::shared_ptr<const BasContext>* ctx_;
+  ManualClock clock_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<DataAggregator> da_;
+  std::vector<int64_t> distinct_b_;
+  std::unique_ptr<JoinAuthority> authority_;
+  std::vector<CertifiedPartition> partitions_;
+  std::unique_ptr<JoinProver> prover_;
+  std::unique_ptr<JoinVerifier> verifier_;
+};
+std::shared_ptr<const BasContext>* JoinTest::ctx_ = nullptr;
+
+TEST_F(JoinTest, MatchedValuesReturnAllDuplicates) {
+  auto ans = prover_->Join({10, 30}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  ASSERT_EQ(ans.value().matches.size(), 2u);
+  EXPECT_EQ(ans.value().matches[0].s_records.size(), 3u);  // B=10 x3
+  EXPECT_EQ(ans.value().matches[1].s_records.size(), 2u);  // B=30 x2
+  EXPECT_TRUE(verifier_->Verify({10, 30}, ans.value()).ok());
+}
+
+TEST_F(JoinTest, MixedMatchedAndUnmatchedVerifies) {
+  std::vector<int64_t> r_values = {10, 15, 20, 41, 70, 99};
+  for (JoinMethod method :
+       {JoinMethod::kBloomFilter, JoinMethod::kBoundaryValues}) {
+    auto ans = prover_->Join(r_values, method);
+    ASSERT_TRUE(ans.ok());
+    EXPECT_EQ(ans.value().matches.size(), 3u);  // 10, 20, 70
+    EXPECT_TRUE(verifier_->Verify(r_values, ans.value()).ok());
+  }
+}
+
+TEST_F(JoinTest, BloomNegativesAvoidBoundaryProofs) {
+  // Find probe values the filters answer negative for (the common case).
+  std::vector<int64_t> unmatched;
+  for (int64_t v = 100; unmatched.size() < 5; ++v) {
+    if (std::find(distinct_b_.begin(), distinct_b_.end(), v) ==
+        distinct_b_.end())
+      unmatched.push_back(v);
+  }
+  auto bf = prover_->Join(unmatched, JoinMethod::kBloomFilter);
+  auto bv = prover_->Join(unmatched, JoinMethod::kBoundaryValues);
+  ASSERT_TRUE(bf.ok() && bv.ok());
+  // BV needs one absence proof per value; BF mostly needs none.
+  EXPECT_EQ(bv.value().absence_proofs.size(), unmatched.size());
+  EXPECT_LT(bf.value().absence_proofs.size(), unmatched.size());
+  EXPECT_GT(bf.value().negative_probes.size(), 0u);
+  EXPECT_TRUE(verifier_->Verify(unmatched, bf.value()).ok());
+  EXPECT_TRUE(verifier_->Verify(unmatched, bv.value()).ok());
+}
+
+TEST_F(JoinTest, FalsePositiveFallsBackToBoundaryProof) {
+  // Hunt for a value that false-positives on its partition filter.
+  int64_t fp_value = -1;
+  for (int64_t v = 11; v < 1000000 && fp_value < 0; ++v) {
+    if (std::find(distinct_b_.begin(), distinct_b_.end(), v) !=
+        distinct_b_.end())
+      continue;
+    for (const auto& part : partitions_) {
+      if (part.lo_b <= v && v <= part.hi_b) {
+        if (part.filter.MayContainInt64(v)) fp_value = v;
+        break;
+      }
+    }
+  }
+  if (fp_value < 0) GTEST_SKIP() << "no false positive found in probe range";
+  auto ans = prover_->Join({fp_value}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().absence_proofs.size(), 1u);
+  EXPECT_TRUE(ans.value().negative_probes.empty());
+  EXPECT_TRUE(verifier_->Verify({fp_value}, ans.value()).ok());
+}
+
+TEST_F(JoinTest, DuplicateRValuesDeduplicated) {
+  auto ans = prover_->Join({10, 10, 10, 15, 15}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().matches.size(), 1u);
+  EXPECT_TRUE(verifier_->Verify({10, 10, 10, 15, 15}, ans.value()).ok());
+}
+
+// --- Adversarial servers -------------------------------------------------
+
+TEST_F(JoinTest, HiddenMatchRowDetected) {
+  auto ans = prover_->Join({10}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  tampered.matches[0].s_records.pop_back();
+  EXPECT_FALSE(verifier_->Verify({10}, tampered).ok());
+}
+
+TEST_F(JoinTest, ModifiedMatchRowDetected) {
+  auto ans = prover_->Join({20}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  tampered.matches[0].s_records[0].attrs[2] = 666;
+  EXPECT_FALSE(verifier_->Verify({20}, tampered).ok());
+}
+
+TEST_F(JoinTest, ClaimingMatchedValueAbsentDetected) {
+  // 20 IS in S. A negative-probe claim must fail because the genuine
+  // certified filter contains 20.
+  auto ans = prover_->Join({20}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  tampered.matches.clear();
+  const CertifiedPartition* part = nullptr;
+  for (const auto& p : partitions_) {
+    if (p.lo_b <= 20 && 20 <= p.hi_b) part = &p;
+  }
+  ASSERT_NE(part, nullptr);
+  tampered.partitions = {*part};
+  tampered.negative_probes = {{20, part->idx}};
+  tampered.agg_sig = part->sig;
+  EXPECT_FALSE(verifier_->Verify({20}, tampered).ok());
+}
+
+TEST_F(JoinTest, ForgedFilterDetected) {
+  // The server builds its own (uncertified) empty filter to claim absence.
+  auto ans = prover_->Join({20}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  tampered.matches.clear();
+  CertifiedPartition forged;
+  forged.idx = 77;
+  forged.lo_b = 0;
+  forged.hi_b = 1000;
+  forged.ts = clock_.NowMicros();
+  forged.filter = BloomFilter(64, 2);  // empty: probes answer negative
+  forged.sig = partitions_[0].sig;     // stolen signature
+  tampered.partitions = {forged};
+  tampered.negative_probes = {{20, 77}};
+  tampered.agg_sig = forged.sig;
+  EXPECT_FALSE(verifier_->Verify({20}, tampered).ok());
+}
+
+TEST_F(JoinTest, NonBracketingWitnessDetected) {
+  auto ans = prover_->Join({15}, JoinMethod::kBoundaryValues);
+  ASSERT_TRUE(ans.ok());
+  auto tampered = ans.value();
+  // Shift the claimed value: witness for 15 cannot prove absence of 25.
+  EXPECT_FALSE(verifier_->Verify({25}, tampered).ok());
+}
+
+TEST_F(JoinTest, UnaccountedValueDetected) {
+  auto ans = prover_->Join({15}, JoinMethod::kBloomFilter);
+  ASSERT_TRUE(ans.ok());
+  // The verifier expects proofs for both 15 and 25.
+  EXPECT_FALSE(verifier_->Verify({15, 25}, ans.value()).ok());
+}
+
+TEST_F(JoinTest, PartitionRebuildAfterDeletion) {
+  // Deleting B=50 from S requires rebuilding its partition filter.
+  const CertifiedPartition* part = nullptr;
+  for (const auto& p : partitions_) {
+    if (p.lo_b <= 50 && 50 <= p.hi_b) part = &p;
+  }
+  ASSERT_NE(part, nullptr);
+  CertifiedPartition rebuilt = authority_->RebuildPartition(
+      *part, /*remaining_values=*/{30}, clock_.NowMicros() + 1);
+  EXPECT_FALSE(rebuilt.filter.MayContainInt64(50));
+  // The rebuilt filter is certified and usable.
+  EXPECT_TRUE(da_->public_key().Verify(rebuilt.SignedMessage().AsSlice(),
+                                       rebuilt.sig, HashMode::kFast));
+}
+
+TEST_F(JoinTest, VoSizeBfSmallerThanBvWhenMostlyUnmatched) {
+  SizeModel sm;
+  std::vector<int64_t> unmatched;
+  for (int64_t v = 1000; v < 1050; ++v) unmatched.push_back(v);
+  auto bf = prover_->Join(unmatched, JoinMethod::kBloomFilter);
+  auto bv = prover_->Join(unmatched, JoinMethod::kBoundaryValues);
+  ASSERT_TRUE(bf.ok() && bv.ok());
+  EXPECT_TRUE(verifier_->Verify(unmatched, bf.value()).ok());
+  EXPECT_TRUE(verifier_->Verify(unmatched, bv.value()).ok());
+  // All 50 probes hit the rightmost partition; one small filter beats 50
+  // boundary-value proofs under wire accounting.
+  EXPECT_LT(bf.value().wire_size(sm), bv.value().wire_size(sm));
+}
+
+}  // namespace
+}  // namespace authdb

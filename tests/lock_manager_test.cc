@@ -1,0 +1,125 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace authdb {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kRootResource, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, kRootResource, LockMode::kShared).ok());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ExclusiveExcludesShared) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kRootResource, LockMode::kExclusive).ok());
+  // A second transaction times out quickly while txn 1 holds X.
+  Status s = lm.Acquire(2, kRootResource, LockMode::kShared, 50);
+  EXPECT_TRUE(s.IsAborted());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(2, kRootResource, LockMode::kShared).ok());
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReacquireIsIdempotent) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 5, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 5, LockMode::kExclusive).ok());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(2, 5, LockMode::kExclusive, 50).ok());
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ExclusiveHandoffAfterRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 7, LockMode::kExclusive).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(lm.Acquire(2, 7, LockMode::kExclusive, 5000).ok());
+    granted = true;
+    lm.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  lm.Release(1, 7);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, ConcurrentCountersAreSerializedByExclusiveLocks) {
+  LockManager lm;
+  int counter = 0;  // unsynchronized: correctness depends on the lock
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&lm, &counter, t] {
+      for (int i = 0; i < 500; ++i) {
+        TxnId txn = t * 1000 + i + 1;
+        ASSERT_TRUE(lm.Acquire(txn, 9, LockMode::kExclusive, 30000).ok());
+        ++counter;
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 2000);
+}
+
+TEST(LockManagerTest, RootLockContentionMirrorsEmbBehaviour) {
+  // The MHT pattern: updates X-lock the root, queries S-lock it. Many
+  // concurrent queries proceed together; one update serializes them.
+  LockManager lm;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> max_concurrent{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      TxnId txn = 100 + t;
+      ASSERT_TRUE(lm.Acquire(txn, kRootResource, LockMode::kShared).ok());
+      int now = ++concurrent_readers;
+      int prev = max_concurrent.load();
+      while (now > prev && !max_concurrent.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      --concurrent_readers;
+      lm.ReleaseAll(txn);
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_GE(max_concurrent.load(), 2);  // shared locks overlapped
+  EXPECT_EQ(lm.contention_count(), 0u);
+}
+
+TEST(TransactionTest, TwoPhaseLockingReleasesTogether) {
+  LockManager lm;
+  {
+    Transaction txn(&lm, 1);
+    ASSERT_TRUE(txn.LockExclusive(RecordResource(10)).ok());
+    ASSERT_TRUE(txn.LockExclusive(RecordResource(20)).ok());
+    // Both held until Finish: another txn cannot take either.
+    EXPECT_TRUE(lm.Acquire(2, RecordResource(10), LockMode::kShared, 50)
+                    .IsAborted());
+    EXPECT_TRUE(lm.Acquire(2, RecordResource(20), LockMode::kShared, 50)
+                    .IsAborted());
+  }  // destructor releases
+  EXPECT_TRUE(lm.Acquire(2, RecordResource(10), LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, RecordResource(20), LockMode::kShared).ok());
+  lm.ReleaseAll(2);
+}
+
+TEST(TransactionTest, OrderedAcquisitionEnforced) {
+  LockManager lm;
+  Transaction txn(&lm, 1);
+  ASSERT_TRUE(txn.LockShared(RecordResource(20)).ok());
+  Status s = txn.LockShared(RecordResource(10));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace authdb

@@ -1,0 +1,123 @@
+#include "crypto/pairing.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/bas.h"
+
+namespace authdb {
+namespace {
+
+class PairingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(777);
+    ctx_ = new std::shared_ptr<const BasContext>(
+        BasContext::Generate(/*p_bits=*/96, /*r_bits=*/64, &rng));
+  }
+  const CurveGroup& curve() { return (*ctx_)->curve(); }
+  const TatePairing& e() { return (*ctx_)->pairing(); }
+  const Fp2Field& fp2() { return (*ctx_)->pairing().fp2(); }
+  const ECPoint& G() { return (*ctx_)->generator(); }
+  static std::shared_ptr<const BasContext>* ctx_;
+};
+std::shared_ptr<const BasContext>* PairingTest::ctx_ = nullptr;
+
+TEST_F(PairingTest, NonDegenerate) {
+  Fp2Elem v = e().Pair(G(), G());
+  EXPECT_FALSE(fp2().Equal(v, fp2().One()));
+  EXPECT_FALSE(fp2().IsZero(v));
+}
+
+TEST_F(PairingTest, InfinityPairsToOne) {
+  EXPECT_TRUE(fp2().Equal(e().Pair(ECPoint{}, G()), fp2().One()));
+  EXPECT_TRUE(fp2().Equal(e().Pair(G(), ECPoint{}), fp2().One()));
+}
+
+TEST_F(PairingTest, PairingValueHasOrderR) {
+  Fp2Elem v = e().Pair(G(), G());
+  EXPECT_TRUE(fp2().Equal(fp2().Exp(v, curve().order()), fp2().One()));
+}
+
+TEST_F(PairingTest, BilinearInFirstArgument) {
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) {
+    uint64_t a = 2 + rng.Uniform(1u << 20);
+    ECPoint aG = curve().ScalarMult(G(), BigInt(a));
+    Fp2Elem lhs = e().Pair(aG, G());
+    Fp2Elem rhs = fp2().Exp(e().Pair(G(), G()), BigInt(a));
+    EXPECT_TRUE(fp2().Equal(lhs, rhs)) << "a=" << a;
+  }
+}
+
+TEST_F(PairingTest, BilinearInSecondArgument) {
+  Rng rng(2);
+  for (int i = 0; i < 8; ++i) {
+    uint64_t b = 2 + rng.Uniform(1u << 20);
+    ECPoint bG = curve().ScalarMult(G(), BigInt(b));
+    Fp2Elem lhs = e().Pair(G(), bG);
+    Fp2Elem rhs = fp2().Exp(e().Pair(G(), G()), BigInt(b));
+    EXPECT_TRUE(fp2().Equal(lhs, rhs)) << "b=" << b;
+  }
+}
+
+TEST_F(PairingTest, FullBilinearity) {
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    uint64_t a = 2 + rng.Uniform(1u << 16);
+    uint64_t b = 2 + rng.Uniform(1u << 16);
+    ECPoint aG = curve().ScalarMult(G(), BigInt(a));
+    ECPoint bG = curve().ScalarMult(G(), BigInt(b));
+    Fp2Elem lhs = e().Pair(aG, bG);
+    Fp2Elem rhs = fp2().Exp(e().Pair(G(), G()), BigInt(a * b));
+    EXPECT_TRUE(fp2().Equal(lhs, rhs)) << a << " " << b;
+  }
+}
+
+TEST_F(PairingTest, MultiplicativeInFirstArgument) {
+  // e(P+Q, R) == e(P,R) * e(Q,R)
+  Rng rng(4);
+  ECPoint P = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1u << 20)));
+  ECPoint Q = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1u << 20)));
+  ECPoint R = curve().ScalarMult(G(), BigInt(1 + rng.Uniform(1u << 20)));
+  Fp2Elem lhs = e().Pair(curve().Add(P, Q), R);
+  Fp2Elem rhs = fp2().Mul(e().Pair(P, R), e().Pair(Q, R));
+  EXPECT_TRUE(fp2().Equal(lhs, rhs));
+}
+
+TEST_F(PairingTest, NegationInvertsPairing) {
+  ECPoint P = curve().ScalarMult(G(), BigInt(123));
+  Fp2Elem v = e().Pair(P, G());
+  Fp2Elem vn = e().Pair(curve().Negate(P), G());
+  EXPECT_TRUE(fp2().Equal(fp2().Mul(v, vn), fp2().One()));
+}
+
+TEST(Fp2FieldTest, FieldAxioms) {
+  Rng rng(5);
+  BigInt p = BigInt::GeneratePrime(96, &rng);
+  while (BigInt::Mod(p, BigInt(4)).ToU64() != 3)
+    p = BigInt::GeneratePrime(96, &rng);
+  PrimeField fp(p);
+  Fp2Field f2(&fp);
+  for (int i = 0; i < 30; ++i) {
+    Fp2Elem a = f2.Make(fp.FromPlain(BigInt::RandomBelow(p, &rng)),
+                        fp.FromPlain(BigInt::RandomBelow(p, &rng)));
+    Fp2Elem b = f2.Make(fp.FromPlain(BigInt::RandomBelow(p, &rng)),
+                        fp.FromPlain(BigInt::RandomBelow(p, &rng)));
+    // Multiplication commutes; Sqr matches Mul.
+    EXPECT_TRUE(f2.Equal(f2.Mul(a, b), f2.Mul(b, a)));
+    EXPECT_TRUE(f2.Equal(f2.Sqr(a), f2.Mul(a, a)));
+    // Inverse.
+    if (!f2.IsZero(a)) {
+      EXPECT_TRUE(f2.Equal(f2.Mul(a, f2.Inv(a)), f2.One()));
+    }
+    // Conjugation is multiplicative.
+    EXPECT_TRUE(
+        f2.Equal(f2.Conj(f2.Mul(a, b)), f2.Mul(f2.Conj(a), f2.Conj(b))));
+    // Norm a * conj(a) is in F_p (imaginary part zero).
+    Fp2Elem norm = f2.Mul(a, f2.Conj(a));
+    EXPECT_TRUE(norm.im.IsZero());
+  }
+}
+
+}  // namespace
+}  // namespace authdb

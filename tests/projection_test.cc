@@ -1,0 +1,109 @@
+#include "core/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/data_aggregator.h"
+
+namespace authdb {
+namespace {
+
+using HashMode = BasContext::HashMode;
+
+class ProjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0xBEE);
+    ctx_ = new std::shared_ptr<const BasContext>(
+        BasContext::Generate(96, 64, &rng));
+  }
+  void SetUp() override {
+    clock_.SetMicros(5'000'000);
+    rng_ = std::make_unique<Rng>(11);
+    DataAggregator::Options opt;
+    opt.record_len = 128;
+    da_ = std::make_unique<DataAggregator>(*ctx_, &clock_, rng_.get(), opt);
+    for (int64_t k = 0; k < 8; ++k) {
+      Record r;
+      r.rid = k;
+      r.ts = clock_.NowMicros();
+      r.attrs = {k, k * 10, k * 100, k * 1000, -k};
+      tuples_.push_back(r);
+      attr_sigs_.push_back(da_->SignAttributes(r));
+    }
+    prover_ = std::make_unique<ProjectionProver>(*ctx_);
+    verifier_ = std::make_unique<ProjectionVerifier>(&da_->public_key(),
+                                                     HashMode::kFast);
+  }
+
+  static std::shared_ptr<const BasContext>* ctx_;
+  ManualClock clock_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<DataAggregator> da_;
+  std::vector<Record> tuples_;
+  std::vector<std::vector<BasSignature>> attr_sigs_;
+  std::unique_ptr<ProjectionProver> prover_;
+  std::unique_ptr<ProjectionVerifier> verifier_;
+};
+std::shared_ptr<const BasContext>* ProjectionTest::ctx_ = nullptr;
+
+TEST_F(ProjectionTest, FullProjectionVerifies) {
+  auto ans = prover_->Project(tuples_, attr_sigs_, {0, 1, 2, 3, 4});
+  EXPECT_TRUE(verifier_->Verify(ans).ok());
+}
+
+TEST_F(ProjectionTest, PartialProjectionVerifies) {
+  auto ans = prover_->Project(tuples_, attr_sigs_, {1, 3});
+  ASSERT_EQ(ans.tuples.size(), 8u);
+  EXPECT_EQ(ans.tuples[2].values[0], 20);
+  EXPECT_EQ(ans.tuples[2].values[1], 2000);
+  EXPECT_TRUE(verifier_->Verify(ans).ok());
+}
+
+TEST_F(ProjectionTest, NonContiguousProjectionVerifies) {
+  auto ans = prover_->Project(tuples_, attr_sigs_, {0, 4});
+  EXPECT_TRUE(verifier_->Verify(ans).ok());
+}
+
+TEST_F(ProjectionTest, VoIsOneSignatureRegardlessOfWidth) {
+  SizeModel sm;
+  auto narrow = prover_->Project(tuples_, attr_sigs_, {1});
+  auto wide = prover_->Project(tuples_, attr_sigs_, {0, 1, 2, 3, 4});
+  EXPECT_EQ(narrow.vo_size(sm), sm.signature_bytes);
+  EXPECT_EQ(wide.vo_size(sm), sm.signature_bytes);
+}
+
+TEST_F(ProjectionTest, ValueTamperDetected) {
+  auto ans = prover_->Project(tuples_, attr_sigs_, {1, 2});
+  ans.tuples[0].values[0] = 424242;
+  EXPECT_FALSE(verifier_->Verify(ans).ok());
+}
+
+TEST_F(ProjectionTest, SwapBetweenRecordsDetected) {
+  // Both values are genuinely signed — but for different records.
+  auto ans = prover_->Project(tuples_, attr_sigs_, {1});
+  std::swap(ans.tuples[0].values[0], ans.tuples[1].values[0]);
+  EXPECT_FALSE(verifier_->Verify(ans).ok());
+}
+
+TEST_F(ProjectionTest, SwapBetweenAttributePositionsDetected) {
+  // Attribute 1 of record k is k*10; attribute 2 is k*100. The server
+  // relabels a signed attr-2 value as attr-1.
+  auto ans = prover_->Project(tuples_, attr_sigs_, {1, 2});
+  std::swap(ans.tuples[3].attr_indices[0], ans.tuples[3].attr_indices[1]);
+  EXPECT_FALSE(verifier_->Verify(ans).ok());
+}
+
+TEST_F(ProjectionTest, TimestampTamperDetected) {
+  auto ans = prover_->Project(tuples_, attr_sigs_, {1});
+  ans.tuples[0].ts += 1;
+  EXPECT_FALSE(verifier_->Verify(ans).ok());
+}
+
+TEST_F(ProjectionTest, DroppedTupleDetected) {
+  auto ans = prover_->Project(tuples_, attr_sigs_, {1});
+  ans.tuples.pop_back();
+  EXPECT_FALSE(verifier_->Verify(ans).ok());
+}
+
+}  // namespace
+}  // namespace authdb

@@ -1,0 +1,107 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace authdb {
+namespace {
+
+// 512-bit keys keep the test fast; the scheme is size-agnostic.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(0xabc);
+    key_ = new RsaPrivateKey(RsaPrivateKey::Generate(512, rng_));
+  }
+  static Rng* rng_;
+  static RsaPrivateKey* key_;
+};
+Rng* RsaTest::rng_ = nullptr;
+RsaPrivateKey* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, SignVerify) {
+  std::string msg = "tuple #42: price=101.25 ts=993";
+  RsaSignature sig = key_->Sign(Slice(msg));
+  EXPECT_TRUE(key_->public_key().Verify(Slice(msg), sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongMessage) {
+  RsaSignature sig = key_->Sign(Slice(std::string("m1")));
+  EXPECT_FALSE(key_->public_key().Verify(Slice(std::string("m2")), sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  RsaSignature sig = key_->Sign(Slice(std::string("m1")));
+  sig.value = BigInt::Add(sig.value, BigInt(1));
+  EXPECT_FALSE(key_->public_key().Verify(Slice(std::string("m1")), sig));
+}
+
+TEST_F(RsaTest, SigningIsDeterministic) {
+  RsaSignature s1 = key_->Sign(Slice(std::string("m")));
+  RsaSignature s2 = key_->Sign(Slice(std::string("m")));
+  EXPECT_EQ(BigInt::Compare(s1.value, s2.value), 0);
+}
+
+TEST_F(RsaTest, CondensedAggregateVerifies) {
+  std::vector<std::string> msgs;
+  std::vector<RsaSignature> sigs;
+  for (int i = 0; i < 20; ++i) {
+    msgs.push_back("record-" + std::to_string(i));
+    sigs.push_back(key_->Sign(Slice(msgs.back())));
+  }
+  RsaSignature agg = key_->public_key().Aggregate(sigs);
+  std::vector<Slice> views(msgs.begin(), msgs.end());
+  EXPECT_TRUE(key_->public_key().VerifyCondensed(views, agg));
+}
+
+TEST_F(RsaTest, CondensedIsOrderIndependent) {
+  std::vector<std::string> msgs = {"a", "b", "c"};
+  std::vector<RsaSignature> sigs;
+  for (const auto& m : msgs) sigs.push_back(key_->Sign(Slice(m)));
+  RsaSignature agg = key_->public_key().Aggregate(sigs);
+  std::vector<Slice> reordered = {Slice(msgs[2]), Slice(msgs[0]),
+                                  Slice(msgs[1])};
+  EXPECT_TRUE(key_->public_key().VerifyCondensed(reordered, agg));
+}
+
+TEST_F(RsaTest, CondensedRejectsDroppedMessage) {
+  std::vector<std::string> msgs = {"a", "b", "c"};
+  std::vector<RsaSignature> sigs;
+  for (const auto& m : msgs) sigs.push_back(key_->Sign(Slice(m)));
+  RsaSignature agg = key_->public_key().Aggregate(sigs);
+  std::vector<Slice> dropped = {Slice(msgs[0]), Slice(msgs[1])};
+  EXPECT_FALSE(key_->public_key().VerifyCondensed(dropped, agg));
+}
+
+TEST_F(RsaTest, CondensedRejectsSubstitutedMessage) {
+  std::vector<std::string> msgs = {"a", "b", "c"};
+  std::vector<RsaSignature> sigs;
+  for (const auto& m : msgs) sigs.push_back(key_->Sign(Slice(m)));
+  RsaSignature agg = key_->public_key().Aggregate(sigs);
+  std::string evil = "z";
+  std::vector<Slice> subst = {Slice(msgs[0]), Slice(msgs[1]), Slice(evil)};
+  EXPECT_FALSE(key_->public_key().VerifyCondensed(subst, agg));
+}
+
+TEST_F(RsaTest, CondensedRejectsForeignSignatureInAggregate) {
+  Rng rng2(0xdef);
+  RsaPrivateKey other = RsaPrivateKey::Generate(512, &rng2);
+  std::vector<std::string> msgs = {"a", "b"};
+  std::vector<RsaSignature> sigs = {key_->Sign(Slice(msgs[0])),
+                                    other.Sign(Slice(msgs[1]))};
+  RsaSignature agg = key_->public_key().Aggregate(sigs);
+  std::vector<Slice> views(msgs.begin(), msgs.end());
+  EXPECT_FALSE(key_->public_key().VerifyCondensed(views, agg));
+}
+
+TEST_F(RsaTest, SingleMessageCondensedEqualsPlainVerify) {
+  std::string m = "solo";
+  RsaSignature sig = key_->Sign(Slice(m));
+  RsaSignature agg = key_->public_key().Aggregate({sig});
+  EXPECT_TRUE(key_->public_key().VerifyCondensed({Slice(m)}, agg));
+  EXPECT_EQ(BigInt::Compare(agg.value, sig.value), 0);
+}
+
+}  // namespace
+}  // namespace authdb

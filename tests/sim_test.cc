@@ -1,0 +1,174 @@
+#include "sim/throughput_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/tpce.h"
+
+namespace authdb {
+namespace {
+
+JobDemand SimpleQuery(double service) {
+  JobDemand d;
+  d.qs_cpu_seconds = service;
+  d.reply_bytes = 1000;
+  return d;
+}
+
+TEST(ThroughputSimTest, LightLoadResponseApproachesServiceTime) {
+  SystemConfig cfg;
+  ThroughputSimulator sim(cfg);
+  Rng rng(1);
+  auto stats = sim.Run(
+      /*rate=*/1.0, /*jobs=*/2000, /*upd=*/0.0,
+      [](bool, Rng*) { return SimpleQuery(0.010); }, &rng);
+  // 10 ms service + ~0.6 ms transmission, nearly no queueing at rate 1.
+  EXPECT_NEAR(stats.mean_query_response, 0.0106, 0.002);
+}
+
+TEST(ThroughputSimTest, ResponseGrowsWithLoad) {
+  SystemConfig cfg;
+  cfg.cpu_cores = 1;
+  ThroughputSimulator sim(cfg);
+  double prev = 0;
+  for (double rate : {10.0, 50.0, 90.0}) {  // service 10ms => cap 100/s
+    Rng rng(2);
+    auto stats = sim.Run(rate, 5000, 0.0,
+                         [](bool, Rng*) { return SimpleQuery(0.010); }, &rng);
+    EXPECT_GT(stats.mean_query_response, prev);
+    prev = stats.mean_query_response;
+  }
+  EXPECT_GT(prev, 0.020);  // near saturation queueing dominates
+}
+
+TEST(ThroughputSimTest, ExclusiveRootSerializesDespiteManyCores) {
+  // The EMB phenomenon: updates hold the root exclusively, so extra cores
+  // cannot help; the same demand with record-level locks scales.
+  SystemConfig cfg;
+  cfg.cpu_cores = 4;
+  ThroughputSimulator sim(cfg);
+  auto root_locked = [](bool is_update, Rng*) {
+    JobDemand d = SimpleQuery(0.010);
+    d.is_update = is_update;
+    d.exclusive_root = is_update;
+    d.shared_root = !is_update;
+    return d;
+  };
+  auto record_locked = [](bool is_update, Rng*) {
+    JobDemand d = SimpleQuery(0.010);
+    d.is_update = is_update;
+    return d;
+  };
+  Rng rng1(3), rng2(3);
+  // 200 jobs/s, half updates: root locking admits ~100 X-jobs/s at 10 ms
+  // each -> saturation; record locking has 4 cores for 200*10ms = 2 cores
+  // worth of work -> stable.
+  auto locked_stats = sim.Run(200, 4000, 0.5, root_locked, &rng1);
+  auto free_stats = sim.Run(200, 4000, 0.5, record_locked, &rng2);
+  EXPECT_GT(locked_stats.mean_query_response,
+            5 * free_stats.mean_query_response);
+}
+
+TEST(ThroughputSimTest, BreakdownSumsToResponse) {
+  SystemConfig cfg;
+  ThroughputSimulator sim(cfg);
+  Rng rng(4);
+  auto gen = [](bool is_update, Rng*) {
+    JobDemand d = SimpleQuery(0.004);
+    d.is_update = is_update;
+    d.verify_seconds = 0.002;
+    d.qs_io_seconds = 0.001;
+    return d;
+  };
+  auto stats = sim.Run(20, 5000, 0.1, gen, &rng);
+  double sum = stats.query_locking + stats.query_queueing +
+               stats.query_processing + stats.query_transmission +
+               stats.query_verification;
+  EXPECT_NEAR(sum, stats.mean_query_response, 1e-9);
+}
+
+TEST(ThroughputSimTest, UpdatePathIncludesWanAndDaSigning) {
+  SystemConfig cfg;
+  ThroughputSimulator sim(cfg);
+  Rng rng(5);
+  auto gen = [](bool is_update, Rng*) {
+    JobDemand d;
+    d.is_update = is_update;
+    d.da_cpu_seconds = 0.0015;           // one BAS signature
+    d.update_bytes = 532;                // record + signature
+    d.qs_cpu_seconds = 0.0005;
+    return d;
+  };
+  auto stats = sim.Run(5, 3000, 1.0, gen, &rng);
+  EXPECT_GT(stats.mean_update_response, 0.0015);
+  EXPECT_LT(stats.mean_update_response, 0.01);
+}
+
+TEST(WorkloadGeneratorTest, RecordsAreDenseAndSized) {
+  WorkloadGenerator::Config cfg;
+  cfg.n_records = 1000;
+  cfg.record_len = 512;
+  WorkloadGenerator gen(cfg);
+  auto records = gen.MakeRecords();
+  ASSERT_EQ(records.size(), 1000u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].key(), static_cast<int64_t>(i));
+    EXPECT_LE(records[i].WireSize(), 512u);
+  }
+}
+
+TEST(WorkloadGeneratorTest, SelectivityWithinPaperBand) {
+  WorkloadGenerator::Config cfg;
+  cfg.n_records = 100000;
+  cfg.selectivity = 0.001;
+  WorkloadGenerator gen(cfg);
+  for (int i = 0; i < 200; ++i) {
+    auto [lo, hi] = gen.NextRange();
+    uint64_t q = hi - lo + 1;
+    EXPECT_GE(q, 50u);    // sf/2
+    EXPECT_LE(q, 150u);   // 3sf/2
+    EXPECT_GE(lo, 0);
+    EXPECT_LT(hi, 100000);
+  }
+}
+
+TEST(TpceWorkloadTest, CardinalitiesMatchPaper) {
+  TpceJoinWorkload::Config cfg;
+  TpceJoinWorkload wl(cfg);
+  EXPECT_EQ(wl.nr(), 6850u);
+  EXPECT_EQ(wl.ns(), 894000u);
+  EXPECT_EQ(wl.ib(), 3425u);
+  EXPECT_EQ(wl.distinct_b().size(), 3425u);
+}
+
+TEST(TpceWorkloadTest, AlphaControlsMatchRatio) {
+  TpceJoinWorkload::Config cfg;
+  cfg.scale_divisor = 10;
+  TpceJoinWorkload wl(cfg);
+  std::set<int64_t> domain(wl.distinct_b().begin(), wl.distinct_b().end());
+  // n must not exceed ib (342 here): matched values are distinct B draws.
+  for (double alpha : {0.0, 0.3, 0.7, 1.0}) {
+    auto values = wl.MakeSecurityValues(alpha, 300);
+    size_t matched = 0;
+    for (int64_t v : values) matched += domain.count(v);
+    EXPECT_NEAR(static_cast<double>(matched) / values.size(), alpha, 0.05)
+        << alpha;
+  }
+}
+
+TEST(TpceWorkloadTest, HoldingRowsCoverEveryDistinctValue) {
+  TpceJoinWorkload::Config cfg;
+  cfg.scale_divisor = 100;
+  TpceJoinWorkload wl(cfg);
+  auto rows = wl.MakeHoldingRows();
+  EXPECT_EQ(rows.size(), wl.ns());
+  std::set<int64_t> seen;
+  for (const auto& r : rows) seen.insert(r.attrs[1]);
+  EXPECT_EQ(seen.size(), wl.distinct_b().size());
+  // Composite keys strictly ascending (ready for bulk load).
+  for (size_t i = 1; i < rows.size(); ++i)
+    EXPECT_LT(rows[i - 1].key(), rows[i].key());
+}
+
+}  // namespace
+}  // namespace authdb
