@@ -4,6 +4,9 @@
 // aggregation.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
 #include "common/random.h"
 #include "core/sigcache.h"
 #include "crypto/bitmap.h"

@@ -8,9 +8,12 @@
 // costs feed the calibrated queueing simulator for response times
 // (DESIGN.md substitution #3). We report both the direct metric — point
 // additions per proof — and the simulated response near QS saturation.
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "core/sigcache.h"
 #include "sim/calibration.h"
 #include "sim/throughput_sim.h"

@@ -3,10 +3,16 @@
 // style Security >< Holding workload:
 //   (a) match ratio alpha sweep      (b) filter bits per value m/IB
 //   (c) partition size IB/p (+ filter update time)   (d) R selectivity
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "common/clock.h"
 #include "core/data_aggregator.h"
 #include "core/join.h"

@@ -3,7 +3,7 @@
 // z = 0.75 (primary-key/foreign-key case with m = 8*IB filter bits).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "core/models.h"
 
 namespace authdb {

@@ -2,9 +2,10 @@
 // signature pairs chosen by SigCache (Algorithm 1), for the skewed
 // (truncated-harmonic) and uniform query-cardinality distributions over a
 // 1M-record signature tree.
+#include <cstdint>
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "core/sigcache.h"
 #include "sim/calibration.h"
 

@@ -1,8 +1,8 @@
 // Figure 7: overall response time and breakdown for point operations
 // (sf = 1e-6) under increasing arrival rates — EMB- saturates early on root
 // lock contention; BAS scales past 120 jobs/s.
-#include "bench/bench_util.h"
-#include "bench/throughput_common.h"
+#include "bench_util.h"
+#include "throughput_common.h"
 
 int main() {
   authdb::bench::Header(

@@ -2,10 +2,12 @@
 // signature age versus the renewal threshold rho', and the total summary
 // volume a freshness check needs (which bottoms out at an intermediate
 // rho', 171 KB at rho = 1 s / rho' = 900 s in the paper).
+#include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "common/random.h"
 #include "crypto/bitmap.h"
 

@@ -1,8 +1,8 @@
 // Figure 9: overall response time and breakdown for range operations
 // (sf = 1e-3, 1000 records) — EMB- saturates near 10 jobs/s; BAS sustains
 // beyond 45 jobs/s on the same workload.
-#include "bench/bench_util.h"
-#include "bench/throughput_common.h"
+#include "bench_util.h"
+#include "throughput_common.h"
 
 int main() {
   authdb::bench::Header(

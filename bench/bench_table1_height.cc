@@ -2,9 +2,11 @@
 // The paper's analytic model (Section 3.2) is printed next to measured
 // heights of the real disk-resident B+-tree at laptop-feasible N.
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "core/models.h"
 #include "index/btree.h"
 

@@ -3,7 +3,7 @@
 // the library's own implementations.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "sim/calibration.h"
 
 namespace authdb {

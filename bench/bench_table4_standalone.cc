@@ -1,8 +1,10 @@
 // Table 4: standalone (one-at-a-time) query/update performance of the EMB-
 // baseline versus BAS for point (sf = 1e-6) and range (sf = 1e-3) operations.
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "common/clock.h"
 #include "core/data_aggregator.h"
 #include "core/query_server.h"

@@ -1,6 +1,7 @@
 #ifndef AUTHDB_BENCH_BENCH_UTIL_H_
 #define AUTHDB_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>

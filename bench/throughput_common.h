@@ -5,8 +5,11 @@
 // calibrated per-job demands for the EMB baseline and the BAS scheme at
 // N = 1M records, fed through the discrete-event simulator.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <vector>
 
 #include "core/models.h"
 #include "sim/calibration.h"

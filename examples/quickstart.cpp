@@ -4,7 +4,10 @@
 //   user  --range query-->  query server  --answer + proof-->  user verifies
 //
 // Build & run:  ./build/examples/quickstart
+#include <cstdint>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "core/data_aggregator.h"

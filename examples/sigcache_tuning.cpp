@@ -3,7 +3,10 @@
 // construction cost drop (Section 4).
 //
 // Build & run:  ./build/examples/sigcache_tuning
+#include <cstdint>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "core/data_aggregator.h"

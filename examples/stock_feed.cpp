@@ -4,7 +4,10 @@
 // users detect a query server that serves yesterday's prices.
 //
 // Build & run:  ./build/examples/stock_feed
+#include <cstdint>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "core/data_aggregator.h"

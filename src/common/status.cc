@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include <string>
+
 namespace authdb {
 
 namespace {

@@ -1,5 +1,9 @@
 #include "core/auth_table.h"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
 #include "core/chain.h"
 

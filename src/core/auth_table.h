@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CORE_AUTH_TABLE_H_
 #define AUTHDB_CORE_AUTH_TABLE_H_
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>

@@ -1,6 +1,11 @@
 #include "core/data_aggregator.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/chain.h"

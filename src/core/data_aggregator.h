@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CORE_DATA_AGGREGATOR_H_
 #define AUTHDB_CORE_DATA_AGGREGATOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -1,5 +1,10 @@
 #include "core/freshness.h"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace authdb {

@@ -1,7 +1,12 @@
 #include "core/join.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/chain.h"
@@ -302,7 +307,10 @@ size_t JoinAnswer::vo_size_paper(const SizeModel& sm) const {
 
 size_t JoinAnswer::wire_size(const SizeModel& sm) const {
   size_t bytes = 2 * 32;  // aggregate signature point (uncompressed)
-  for (const JoinMatch& m : matches) bytes += 2 * 8;
+  // Each match group ships only its two boundary composite keys: the S
+  // records themselves are query results (the verifier recomputes their
+  // keys and digests) and a_value is part of the query.
+  bytes += matches.size() * (2 * 8);
   for (const CertifiedPartition& p : partitions)
     bytes += p.filter.byte_size() + 2 * 8 + 16 + 64;
   bytes += negative_probes.size() * 12;

@@ -1,8 +1,10 @@
 #ifndef AUTHDB_CORE_JOIN_H_
 #define AUTHDB_CORE_JOIN_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"

@@ -1,5 +1,9 @@
 #include "core/projection.h"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
 #include "core/data_aggregator.h"
 

@@ -1,6 +1,9 @@
 #ifndef AUTHDB_CORE_PROJECTION_H_
 #define AUTHDB_CORE_PROJECTION_H_
 
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CORE_PROTOCOL_H_
 #define AUTHDB_CORE_PROTOCOL_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 

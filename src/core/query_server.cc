@@ -1,6 +1,10 @@
 #include "core/query_server.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/chain.h"

@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CORE_QUERY_SERVER_H_
 #define AUTHDB_CORE_QUERY_SERVER_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>

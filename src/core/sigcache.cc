@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 

@@ -1,5 +1,8 @@
 #include "core/verifier.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "core/chain.h"
 
 namespace authdb {

@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CORE_VERIFIER_H_
 #define AUTHDB_CORE_VERIFIER_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "core/freshness.h"

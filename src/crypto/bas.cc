@@ -1,6 +1,10 @@
 #include "crypto/bas.h"
 
+#include <cstdint>
+#include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "crypto/sha.h"

@@ -2,6 +2,7 @@
 #define AUTHDB_CRYPTO_BAS_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"

@@ -1,6 +1,10 @@
 #include "crypto/bignum.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 

@@ -1,5 +1,9 @@
 #include "crypto/bitmap.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace authdb {

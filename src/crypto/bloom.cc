@@ -1,5 +1,10 @@
 #include "crypto/bloom.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace authdb {

@@ -1,5 +1,9 @@
 #include "crypto/ec.h"
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace authdb {

@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CRYPTO_EC_H_
 #define AUTHDB_CRYPTO_EC_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CRYPTO_FP_H_
 #define AUTHDB_CRYPTO_FP_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "crypto/bignum.h"

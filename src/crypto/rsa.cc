@@ -1,5 +1,10 @@
 #include "crypto/rsa.h"
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
 #include "crypto/sha.h"
 

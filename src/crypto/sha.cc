@@ -1,6 +1,9 @@
 #include "crypto/sha.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <string>
 
 namespace authdb {
 

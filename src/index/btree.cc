@@ -1,7 +1,11 @@
 #include "index/btree.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 

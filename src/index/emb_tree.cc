@@ -1,7 +1,11 @@
 #include "index/emb_tree.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 

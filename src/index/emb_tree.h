@@ -1,6 +1,7 @@
 #ifndef AUTHDB_INDEX_EMB_TREE_H_
 #define AUTHDB_INDEX_EMB_TREE_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 

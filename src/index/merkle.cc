@@ -1,5 +1,8 @@
 #include "index/merkle.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace authdb {

@@ -1,5 +1,6 @@
 #include "sim/calibration.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "sim/throughput_sim.h"
 
 #include <algorithm>
+#include <functional>
 #include <queue>
 #include <vector>
 

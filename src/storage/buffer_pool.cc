@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <memory>
+
 #include "common/logging.h"
 
 namespace authdb {

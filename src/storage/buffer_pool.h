@@ -1,9 +1,11 @@
 #ifndef AUTHDB_STORAGE_BUFFER_POOL_H_
 #define AUTHDB_STORAGE_BUFFER_POOL_H_
 
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

@@ -1,6 +1,10 @@
 #include "storage/disk_manager.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "common/logging.h"
 

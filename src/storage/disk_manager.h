@@ -1,6 +1,7 @@
 #ifndef AUTHDB_STORAGE_DISK_MANAGER_H_
 #define AUTHDB_STORAGE_DISK_MANAGER_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>

@@ -1,6 +1,9 @@
 #include "storage/record_file.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 

@@ -1,6 +1,8 @@
 #include "txn/lock_manager.h"
 
 #include <chrono>
+#include <cstdint>
+#include <string>
 
 namespace authdb {
 

@@ -1,6 +1,9 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace authdb {
 

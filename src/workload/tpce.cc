@@ -1,7 +1,10 @@
 #include "workload/tpce.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/join.h"

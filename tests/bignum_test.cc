@@ -1,5 +1,7 @@
 #include "crypto/bignum.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"

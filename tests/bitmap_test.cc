@@ -1,5 +1,8 @@
 #include "crypto/bitmap.h"
 
+#include <memory>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"

@@ -1,5 +1,8 @@
 #include "crypto/bloom.h"
 
+#include <cstdint>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
 

@@ -1,5 +1,9 @@
 #include "crypto/ec.h"
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "crypto/bas.h"

@@ -1,5 +1,9 @@
 #include "index/emb_tree.h"
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace authdb {

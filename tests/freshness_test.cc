@@ -1,5 +1,8 @@
 #include "core/freshness.h"
 
+#include <cstdint>
+#include <memory>
+
 #include <gtest/gtest.h>
 
 namespace authdb {

@@ -1,0 +1,136 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace authdb {
+namespace {
+
+WorkloadGenerator::Config SmallConfig() {
+  WorkloadGenerator::Config cfg;
+  cfg.n_records = 10'000;
+  cfg.n_attrs = 4;
+  cfg.selectivity = 0.01;
+  cfg.update_fraction = 0.1;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(WorkloadGeneratorTest, RecordsAreDeterministicUnderFixedSeed) {
+  WorkloadGenerator a(SmallConfig());
+  WorkloadGenerator b(SmallConfig());
+  std::vector<Record> ra = a.MakeRecords();
+  std::vector<Record> rb = b.MakeRecords();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+}
+
+TEST(WorkloadGeneratorTest, QueryStreamIsDeterministicUnderFixedSeed) {
+  WorkloadGenerator a(SmallConfig());
+  WorkloadGenerator b(SmallConfig());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextRange(), b.NextRange());
+    EXPECT_EQ(a.NextUpdateKey(), b.NextUpdateKey());
+    EXPECT_EQ(a.NextIsUpdate(), b.NextIsUpdate());
+  }
+}
+
+TEST(WorkloadGeneratorTest, DifferentSeedsDiverge) {
+  WorkloadGenerator::Config cfg = SmallConfig();
+  WorkloadGenerator a(cfg);
+  cfg.seed = 43;
+  WorkloadGenerator b(cfg);
+  bool diverged = false;
+  for (int i = 0; i < 100 && !diverged; ++i)
+    diverged = a.NextRange() != b.NextRange();
+  EXPECT_TRUE(diverged);
+}
+
+TEST(WorkloadGeneratorTest, RecordsHaveDenseKeysAndConfiguredArity) {
+  WorkloadGenerator::Config cfg = SmallConfig();
+  WorkloadGenerator gen(cfg);
+  std::vector<Record> recs = gen.MakeRecords();
+  ASSERT_EQ(recs.size(), cfg.n_records);
+  for (uint64_t k = 0; k < cfg.n_records; ++k) {
+    EXPECT_EQ(recs[k].key(), static_cast<int64_t>(k));
+    EXPECT_EQ(recs[k].attrs.size(), cfg.n_attrs);
+  }
+}
+
+TEST(WorkloadGeneratorTest, RangesRespectSelectivityBand) {
+  // Section 5.1: selectivity is drawn from [sf/2, 3sf/2], so the range
+  // cardinality q lies in [sf/2 * N, 3sf/2 * N] and the bounds stay in the
+  // key domain.
+  WorkloadGenerator::Config cfg = SmallConfig();
+  WorkloadGenerator gen(cfg);
+  const double sf = cfg.selectivity;
+  const auto n = static_cast<double>(cfg.n_records);
+  for (int i = 0; i < 2000; ++i) {
+    auto [lo, hi] = gen.NextRange();
+    ASSERT_LE(lo, hi);
+    EXPECT_GE(lo, 0);
+    EXPECT_LT(hi, static_cast<int64_t>(cfg.n_records));
+    double q = static_cast<double>(hi - lo + 1);
+    EXPECT_GE(q, sf / 2 * n - 1);
+    EXPECT_LE(q, 3 * sf / 2 * n + 1);
+  }
+}
+
+TEST(WorkloadGeneratorTest, ExactCardinalityRange) {
+  WorkloadGenerator gen(SmallConfig());
+  for (uint64_t q : {uint64_t{1}, uint64_t{17}, uint64_t{5000}}) {
+    auto [lo, hi] = gen.NextRangeWithCardinality(q);
+    EXPECT_EQ(static_cast<uint64_t>(hi - lo + 1), q);
+  }
+  // Cardinality is clamped to the table size.
+  auto [lo, hi] = gen.NextRangeWithCardinality(1'000'000);
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(static_cast<uint64_t>(hi), gen.config().n_records - 1);
+}
+
+TEST(WorkloadGeneratorTest, UpdateKeysCoverTheDomainUniformly) {
+  WorkloadGenerator::Config cfg = SmallConfig();
+  cfg.n_records = 100;
+  WorkloadGenerator gen(cfg);
+  std::vector<uint64_t> hits(cfg.n_records, 0);
+  const int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    int64_t key = gen.NextUpdateKey();
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, static_cast<int64_t>(cfg.n_records));
+    ++hits[key];
+  }
+  // Every key drawn, and no bucket more than 2x off the uniform expectation
+  // (1000 draws/bucket; a fair PRNG stays well within this).
+  const double expect = static_cast<double>(kDraws) / cfg.n_records;
+  for (uint64_t h : hits) {
+    EXPECT_GT(h, 0u);
+    EXPECT_LT(h, 2 * expect);
+  }
+}
+
+TEST(WorkloadGeneratorTest, UpdateMixMatchesConfiguredFraction) {
+  WorkloadGenerator::Config cfg = SmallConfig();
+  cfg.update_fraction = 0.3;
+  WorkloadGenerator gen(cfg);
+  const int kDraws = 100'000;
+  int updates = 0;
+  for (int i = 0; i < kDraws; ++i)
+    if (gen.NextIsUpdate()) ++updates;
+  double frac = static_cast<double>(updates) / kDraws;
+  EXPECT_NEAR(frac, cfg.update_fraction, 0.01);
+}
+
+TEST(WorkloadGeneratorTest, UpdateValuesKeepTheKey) {
+  WorkloadGenerator gen(SmallConfig());
+  std::vector<int64_t> attrs = gen.NextUpdateValues(123);
+  ASSERT_EQ(attrs.size(), gen.config().n_attrs);
+  EXPECT_EQ(attrs[0], 123);
+}
+
+}  // namespace
+}  // namespace authdb

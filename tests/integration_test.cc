@@ -5,7 +5,11 @@
 // each of which must be caught by exactly the defence the paper assigns it.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/data_aggregator.h"
 #include "core/query_server.h"

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "core/data_aggregator.h"
 

@@ -1,5 +1,8 @@
 #include "crypto/pairing.h"
 
+#include <cstdint>
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "crypto/bas.h"

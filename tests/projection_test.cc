@@ -1,5 +1,10 @@
 #include "core/projection.h"
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/data_aggregator.h"

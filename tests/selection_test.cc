@@ -4,6 +4,11 @@
 // scenarios.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "core/data_aggregator.h"
 #include "core/query_server.h"
 #include "core/verifier.h"

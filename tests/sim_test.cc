@@ -1,5 +1,7 @@
 #include "sim/throughput_sim.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "workload/generator.h"

@@ -1,0 +1,116 @@
+#include "workload/tpce.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/join.h"
+
+namespace authdb {
+namespace {
+
+TpceJoinWorkload::Config SmallConfig() {
+  TpceJoinWorkload::Config cfg;
+  cfg.scale_divisor = 16;  // 428 R rows, 55875 S rows, 214 distinct B
+  return cfg;
+}
+
+TEST(TpceJoinWorkloadTest, ScaledCardinalitiesMatchThePaper) {
+  TpceJoinWorkload wl(SmallConfig());
+  EXPECT_EQ(wl.nr(), 6850u / 16);
+  EXPECT_EQ(wl.ns(), 894'000u / 16);
+  EXPECT_EQ(wl.ib(), 3425u / 16);
+  EXPECT_EQ(wl.distinct_b().size(), wl.ib());
+}
+
+TEST(TpceJoinWorkloadTest, DistinctBIsSortedUniqueAndGapped) {
+  TpceJoinWorkload wl(SmallConfig());
+  const std::vector<int64_t>& b = wl.distinct_b();
+  ASSERT_FALSE(b.empty());
+  for (size_t i = 1; i < b.size(); ++i) {
+    // Strictly ascending with room between values for unmatched R.A probes.
+    ASSERT_LT(b[i - 1], b[i]);
+    ASSERT_GE(b[i] - b[i - 1], 2);
+  }
+}
+
+TEST(TpceJoinWorkloadTest, HoldingRowsAreDeterministicUnderFixedSeed) {
+  TpceJoinWorkload a(SmallConfig());
+  TpceJoinWorkload b(SmallConfig());
+  std::vector<Record> ra = a.MakeHoldingRows();
+  std::vector<Record> rb = b.MakeHoldingRows();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+}
+
+TEST(TpceJoinWorkloadTest, HoldingRowsCoverEveryBValueSortedByCompositeKey) {
+  TpceJoinWorkload wl(SmallConfig());
+  std::vector<Record> rows = wl.MakeHoldingRows();
+  ASSERT_EQ(rows.size(), wl.ns());
+  std::set<int64_t> seen_b;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].attrs.size(), 3u);
+    // attrs = {composite key, B, qty}; key() decodes back to B.
+    EXPECT_EQ(JoinBValue(rows[i].key()), rows[i].attrs[1]);
+    if (i > 0) {
+      ASSERT_LT(rows[i - 1].key(), rows[i].key());
+    }
+    seen_b.insert(rows[i].attrs[1]);
+  }
+  EXPECT_EQ(seen_b.size(), wl.distinct_b().size());
+}
+
+TEST(TpceJoinWorkloadTest, HoldingRowsSpreadAcrossBValues) {
+  // ns/ib ~ 261 rows per value on average; uniform assignment should keep
+  // every per-value count within a generous factor of that.
+  TpceJoinWorkload wl(SmallConfig());
+  std::vector<Record> rows = wl.MakeHoldingRows();
+  std::map<int64_t, uint64_t> per_value;
+  for (const Record& r : rows) ++per_value[r.attrs[1]];
+  const double mean =
+      static_cast<double>(wl.ns()) / static_cast<double>(wl.ib());
+  for (const auto& [b, count] : per_value) {
+    EXPECT_GE(count, 1u);
+    EXPECT_LT(static_cast<double>(count), 2.0 * mean);
+  }
+}
+
+TEST(TpceJoinWorkloadTest, SecurityValuesAreDeterministicUnderFixedSeed) {
+  TpceJoinWorkload a(SmallConfig());
+  TpceJoinWorkload b(SmallConfig());
+  EXPECT_EQ(a.MakeSecurityValues(0.5, 200), b.MakeSecurityValues(0.5, 200));
+}
+
+TEST(TpceJoinWorkloadTest, MatchRatioAlphaIsHonored) {
+  TpceJoinWorkload wl(SmallConfig());
+  std::set<int64_t> b_domain(wl.distinct_b().begin(), wl.distinct_b().end());
+  for (double alpha : {0.0, 0.25, 0.75, 1.0}) {
+    const uint64_t n = 100;
+    std::vector<int64_t> values = wl.MakeSecurityValues(alpha, n);
+    ASSERT_EQ(values.size(), n);
+    ASSERT_TRUE(std::is_sorted(values.begin(), values.end()));
+    uint64_t matched = 0;
+    for (int64_t v : values)
+      if (b_domain.count(v)) ++matched;
+    EXPECT_EQ(matched, static_cast<uint64_t>(alpha * n + 0.5));
+  }
+}
+
+TEST(TpceJoinWorkloadTest, UnmatchedValuesFallInGaps) {
+  TpceJoinWorkload wl(SmallConfig());
+  std::set<int64_t> b_domain(wl.distinct_b().begin(), wl.distinct_b().end());
+  std::vector<int64_t> values = wl.MakeSecurityValues(0.0, 150);
+  for (int64_t v : values) {
+    EXPECT_EQ(b_domain.count(v), 0u);
+    // Gap values sit strictly inside the B domain's span.
+    EXPECT_GT(v, wl.distinct_b().front());
+    EXPECT_LT(v, wl.distinct_b().back() + 4);
+  }
+}
+
+}  // namespace
+}  // namespace authdb
