@@ -8,10 +8,12 @@
 // costs feed the calibrated queueing simulator for response times
 // (DESIGN.md substitution #3). We report both the direct metric — point
 // additions per proof — and the simulated response near QS saturation.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/sigcache.h"
@@ -81,9 +83,10 @@ Outcome RunConfig(std::shared_ptr<const BasContext> ctx,
                  n_queries ? static_cast<double>(total_adds) / n_queries : 0};
 }
 
-void Run() {
-  const uint64_t n = 1 << 20;  // paper's 1M-record signature tree
-  const size_t jobs = 300;
+void Run(bool smoke) {
+  // Paper's 1M-record signature tree; a small one in smoke mode.
+  const uint64_t n = smoke ? uint64_t{1} << 14 : uint64_t{1} << 20;
+  const size_t jobs = smoke ? 60 : 300;
   const double rate = 50;  // "heavily loaded for BAS" (Section 5.4)
   bench::Header(
       "Figure 10: SigCache effectiveness, Eager vs Lazy",
@@ -93,15 +96,19 @@ void Run() {
   auto ctx = BasContext::Default();
   CryptoCosts costs = MeasureCryptoCosts(ctx, /*quick=*/true);
   // Plan against the workload's cardinality band [sf/2, 3sf/2].
-  auto dist = CardinalityDist::UniformRange(n, n / 2000, 3 * n / 2000);
-  auto plan = SigCachePlanner::Plan(n, dist, 2048, /*edge_band=*/2048);
+  auto dist = CardinalityDist::UniformRange(
+      n, std::max<uint64_t>(1, n / 2000), std::max<uint64_t>(2, 3 * n / 2000));
+  auto plan = SigCachePlanner::Plan(n, dist, smoke ? 256 : 2048,
+                                    /*edge_band=*/smoke ? 256 : 2048);
 
+  std::vector<size_t> cache_kbs = smoke ? std::vector<size_t>{0, 5}
+                                        : std::vector<size_t>{0, 5, 10, 20, 40};
   for (double upd : {0.10, 0.40}) {
     std::printf("\nUpd%% = %.0f\n", upd * 100);
     std::printf("%10s | %12s %12s %12s | %12s %12s %12s\n", "cache KB",
                 "Eager adds/q", "Eager Q ms", "Eager U ms", "Lazy adds/q",
                 "Lazy Q ms", "Lazy U ms");
-    for (size_t kb : {0, 5, 10, 20, 40}) {
+    for (size_t kb : cache_kbs) {
       Outcome eager =
           RunConfig(ctx, costs, n, kb * 1024, SigCache::RefreshMode::kEager,
                     upd, plan, jobs, rate);
@@ -118,7 +125,8 @@ void Run() {
 }  // namespace
 }  // namespace authdb
 
-int main() {
-  authdb::Run();
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "fig10_cache_maintenance");
+  authdb::Run(run.smoke());
   return 0;
 }

@@ -70,8 +70,8 @@ struct JoinBench {
   }
 };
 
-void Run() {
-  uint64_t scale = bench::ScaleDivisor(8);
+void Run(bool smoke) {
+  uint64_t scale = bench::ScaleDivisor(smoke ? 64 : 8);
   bench::Header(
       "Figure 11: Primary Key-Foreign Key Equi-Join VO size (BV vs BF)",
       "Security (|R| = IA = 6850/" + std::to_string(scale) +
@@ -142,7 +142,8 @@ void Run() {
 }  // namespace
 }  // namespace authdb
 
-int main() {
-  authdb::Run();
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "fig11_join");
+  authdb::Run(run.smoke());
   return 0;
 }

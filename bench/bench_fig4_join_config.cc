@@ -36,7 +36,9 @@ void Run() {
 }  // namespace
 }  // namespace authdb
 
-int main() {
+int main(int argc, char** argv) {
+  // Pure closed-form table: smoke mode needs no shrinking.
+  authdb::bench::BenchRun run(argc, argv, "fig4_join_config");
   authdb::Run();
   return 0;
 }

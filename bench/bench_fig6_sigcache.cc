@@ -31,12 +31,13 @@ void RunDist(const char* name, const CardinalityDist& dist, double add_ms) {
   std::printf("\n");
 }
 
-void Run() {
+void Run(bool smoke) {
   bench::Header("Figure 6: Reduction in VO Construction Cost",
                 "paper: ~57% (skewed) and ~75% (uniform) reduction with 8 "
                 "cached pairs; chosen nodes are second-from-edge, "
                 "descending levels");
-  const uint64_t n = 1 << 20;  // 1M records as in the paper
+  // 1M records as in the paper; a small tree in smoke mode.
+  const uint64_t n = smoke ? uint64_t{1} << 12 : uint64_t{1} << 20;
   auto ctx = BasContext::Default();
   // Calibrate the EC point-addition cost in milliseconds.
   CryptoCosts costs = MeasureCryptoCosts(ctx, /*quick=*/true);
@@ -49,7 +50,8 @@ void Run() {
 }  // namespace
 }  // namespace authdb
 
-int main() {
-  authdb::Run();
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "fig6_sigcache");
+  authdb::Run(run.smoke());
   return 0;
 }

@@ -63,8 +63,8 @@ Point Simulate(uint64_t n, double rho, double rho_prime_over_rho,
   return out;
 }
 
-void Run() {
-  uint64_t scale = bench::ScaleDivisor();
+void Run(bool smoke) {
+  uint64_t scale = bench::ScaleDivisor(smoke ? 256 : 16);
   uint64_t n = 1'000'000 / scale;
   double upd_rate = 50.0 * 0.10 / scale;  // ArrRate 50 jobs/s, Upd% = 10
   bench::Header(
@@ -89,7 +89,8 @@ void Run() {
 }  // namespace
 }  // namespace authdb
 
-int main() {
-  authdb::Run();
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "fig8_summaries");
+  authdb::Run(run.smoke());
   return 0;
 }

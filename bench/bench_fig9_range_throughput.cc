@@ -4,13 +4,15 @@
 #include "bench_util.h"
 #include "throughput_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "fig9_range_throughput");
   authdb::bench::Header(
       "Figure 9: EMB- versus BAS, range operations (sf = 1e-3)",
       "N = 1M, Upd% = 10; 1000-record answers make the 14.4 Mbps LAN and "
       "verification visible in the breakdown");
   authdb::bench::RunThroughputFigure(
       "Response time vs arrival rate", /*cardinality=*/1000,
-      {5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}, {10, 45});
+      {5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}, {10, 45},
+      run.smoke());
   return 0;
 }

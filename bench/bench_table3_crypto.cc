@@ -9,13 +9,13 @@
 namespace authdb {
 namespace {
 
-void Run() {
+void Run(bool smoke) {
   bench::Header("Table 3: Costs of Cryptographic Primitives",
                 "(paper's 'Current' column regenerated with the in-tree "
                 "implementations; 256-bit supersingular curve, 160-bit "
                 "subgroup, Tate pairing)");
   auto ctx = BasContext::Default();
-  CryptoCosts c = MeasureCryptoCosts(ctx, /*quick=*/false);
+  CryptoCosts c = MeasureCryptoCosts(ctx, /*quick=*/smoke);
   std::printf("Bilinear Aggregate Signature\n");
   std::printf("  Individual signing        %10.3f ms\n", c.bas_sign * 1e3);
   std::printf("  Individual verification   %10.3f ms\n", c.bas_verify * 1e3);
@@ -42,7 +42,8 @@ void Run() {
 }  // namespace
 }  // namespace authdb
 
-int main() {
-  authdb::Run();
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "table3_crypto");
+  authdb::Run(run.smoke());
   return 0;
 }

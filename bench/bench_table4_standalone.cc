@@ -36,8 +36,8 @@ void Print(const char* label, uint64_t q, const Row& emb, const Row& bas) {
               bas.verify_ms);
 }
 
-void Run() {
-  uint64_t scale = bench::ScaleDivisor();
+void Run(bool smoke) {
+  uint64_t scale = bench::ScaleDivisor(smoke ? 1024 : 16);
   uint64_t n = 1'000'000 / scale;
   bench::Header("Table 4: Performance of Standalone Queries & Updates",
                 "N = " + std::to_string(n) + " records (paper: 1M; scale " +
@@ -80,7 +80,7 @@ void Run() {
   VarintGapCodec codec;
   ClientVerifier client(&da.public_key(), &codec, BasContext::HashMode::kFast);
 
-  const int reps = 10;
+  const int reps = smoke ? 3 : 10;
   for (uint64_t q : {uint64_t{1}, uint64_t{1000} / (scale >= 1000 ? 16 : 1)}) {
     Row emb_row{}, bas_row{};
     // Queries + verification.
@@ -147,7 +147,8 @@ void Run() {
 }  // namespace
 }  // namespace authdb
 
-int main() {
-  authdb::Run();
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "table4_standalone");
+  authdb::Run(run.smoke());
   return 0;
 }

@@ -1,10 +1,14 @@
 #ifndef AUTHDB_BENCH_BENCH_UTIL_H_
 #define AUTHDB_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace authdb {
 namespace bench {
@@ -22,6 +26,72 @@ inline void Header(const std::string& title, const std::string& note) {
   std::printf("\n=== %s ===\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
 }
+
+/// Shared driver harness for the bench binaries. Flags:
+///   --smoke        minimal-iteration mode (CI smoke job): each bench
+///                  shrinks its workload so the binary finishes in seconds
+///                  while still executing every code path it measures.
+///   --json <path>  write a machine-readable run report ({"bench": ...,
+///                  "smoke": ..., "elapsed_seconds": ..., "metrics": {...}})
+///                  on exit; the CI smoke job uploads these as artifacts.
+/// Benches record headline numbers via Metric(); the report is written by
+/// the destructor so every early `return` still produces one.
+class BenchRun {
+ public:
+  BenchRun(int argc, char** argv, std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        smoke_ = true;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        json_path_ = argv[i] + 7;
+      } else {
+        std::fprintf(stderr, "%s: unknown flag %s (known: --smoke, --json "
+                     "<path>)\n", name_.c_str(), argv[i]);
+        std::exit(2);
+      }
+    }
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  ~BenchRun() {
+    if (json_path_.empty()) return;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
+      return;
+    }
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::fprintf(f, "{\"bench\": \"%s\", \"smoke\": %s, "
+                 "\"elapsed_seconds\": %.3f, \"metrics\": {",
+                 name_.c_str(), smoke_ ? "true" : "false", elapsed);
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "}}\n");
+    std::fclose(f);
+  }
+
+  bool smoke() const { return smoke_; }
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  bool smoke_ = false;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace bench
 }  // namespace authdb

@@ -96,8 +96,15 @@ inline std::function<JobDemand(bool, Rng*)> BasDemand(
 }
 
 inline void RunThroughputFigure(const char* title, uint64_t cardinality,
-                                const std::vector<double>& rates,
-                                const std::vector<double>& breakdown_rates) {
+                                std::vector<double> rates,
+                                std::vector<double> breakdown_rates,
+                                bool smoke = false) {
+  if (smoke) {
+    // Minimal-iteration mode: two rates, one breakdown, few jobs.
+    if (rates.size() > 2) rates.resize(2);
+    if (breakdown_rates.size() > 1) breakdown_rates.resize(1);
+  }
+  const double min_jobs = smoke ? 200.0 : 2000.0;
   auto ctx = BasContext::Default();
   ThroughputSetup setup;
   setup.query_cardinality = cardinality;
@@ -109,7 +116,7 @@ inline void RunThroughputFigure(const char* title, uint64_t cardinality,
               "EMB-(U)", "BAS(Q)", "BAS(U)");
   for (double rate : rates) {
     Rng r1(7), r2(7);
-    size_t jobs = static_cast<size_t>(std::max(2000.0, rate * 30));
+    size_t jobs = static_cast<size_t>(std::max(min_jobs, rate * 30));
     auto emb = sim.Run(rate, jobs, setup.upd_fraction, EmbDemand(setup), &r1);
     auto bas = sim.Run(rate, jobs, setup.upd_fraction, BasDemand(setup), &r2);
     std::printf("%8.0f %12.1f %12.1f %12.1f %12.1f\n", rate,
@@ -122,7 +129,7 @@ inline void RunThroughputFigure(const char* title, uint64_t cardinality,
               "queueing", "process", "transmit", "verify");
   for (double rate : breakdown_rates) {
     Rng r1(7), r2(7);
-    size_t jobs = static_cast<size_t>(std::max(2000.0, rate * 30));
+    size_t jobs = static_cast<size_t>(std::max(min_jobs, rate * 30));
     auto emb = sim.Run(rate, jobs, setup.upd_fraction, EmbDemand(setup), &r1);
     auto bas = sim.Run(rate, jobs, setup.upd_fraction, BasDemand(setup), &r2);
     std::printf("%8.0f %6s %9.1f %9.1f %9.1f %9.1f %9.1f\n", rate, "EMB-",

@@ -65,9 +65,10 @@ int main() {
     for (size_t i = 0; i < n_queries; ++i) {
       uint64_t q = 1 + local.Uniform(kN / 2);
       int64_t lo = static_cast<int64_t>(local.Uniform(kN - q));
-      auto ans = qs.Select(lo, lo + static_cast<int64_t>(q) - 1);
+      SigCache::AggStats stats;
+      auto ans = qs.Select(lo, lo + static_cast<int64_t>(q) - 1, &stats);
       if (!ans.ok()) return 1;
-      total += qs.last_aggregation_adds();
+      total += stats.point_adds;
       Status ok = client.VerifySelectionStatic(
           lo, lo + static_cast<int64_t>(q) - 1, ans.value());
       if (!ok.ok()) {

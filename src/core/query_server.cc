@@ -90,7 +90,28 @@ BasSignature QueryServer::LeafSignature(size_t rank) const {
   return item.value().sig;
 }
 
-Result<SelectionAnswer> QueryServer::Select(int64_t lo, int64_t hi) const {
+std::optional<AuthTable::Item> QueryServer::PredecessorItem(
+    int64_t key) const {
+  size_t rank = RankOf(key);  // first position with key' >= key
+  if (rank == 0) return std::nullopt;
+  auto item = table_.GetByKey(sorted_keys_[rank - 1]);
+  AUTHDB_CHECK(item.ok());
+  return item.value();
+}
+
+std::optional<AuthTable::Item> QueryServer::SuccessorItem(int64_t key) const {
+  size_t rank = std::upper_bound(sorted_keys_.begin(), sorted_keys_.end(),
+                                 key) -
+                sorted_keys_.begin();
+  if (rank == sorted_keys_.size()) return std::nullopt;
+  auto item = table_.GetByKey(sorted_keys_[rank]);
+  AUTHDB_CHECK(item.ok());
+  return item.value();
+}
+
+Result<SelectionAnswer> QueryServer::Select(int64_t lo, int64_t hi,
+                                            SigCache::AggStats* stats) const {
+  if (stats != nullptr) *stats = SigCache::AggStats{};  // per-call counters
   if (lo > hi) return Status::InvalidArgument("lo > hi");
   if (lo == kChainMinusInf || hi == kChainPlusInf)
     return Status::InvalidArgument("range touches chain sentinels");
@@ -122,19 +143,19 @@ Result<SelectionAnswer> QueryServer::Select(int64_t lo, int64_t hi) const {
       ans.records.push_back(item.record);
       oldest_ts = std::min(oldest_ts, item.record.ts);
     }
-    last_adds_ = 0;
     if (sigcache_ != nullptr && !sorted_keys_.empty()) {
       size_t rank_lo = RankOf(scan.items.front().record.key());
       size_t rank_hi = rank_lo + scan.items.size() - 1;
-      SigCache::AggStats stats;
-      ans.agg_sig = sigcache_->RangeAggregate(rank_lo, rank_hi, &stats);
-      last_adds_ = stats.point_adds;
+      ans.agg_sig = sigcache_->RangeAggregate(rank_lo, rank_hi, stats);
     } else {
       std::vector<ECPoint> pts;
       pts.reserve(scan.items.size());
       for (const auto& item : scan.items) pts.push_back(item.sig.point);
       ans.agg_sig = BasSignature{ctx_->curve().Sum(pts)};
-      last_adds_ = pts.empty() ? 0 : pts.size() - 1;
+      if (stats != nullptr) {
+        stats->point_adds += pts.empty() ? 0 : pts.size() - 1;
+        stats->leaf_fetches += pts.size();
+      }
     }
   }
   // Freshness evidence: every summary published at/after the oldest result

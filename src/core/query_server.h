@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/auth_table.h"
@@ -16,6 +17,12 @@ namespace authdb {
 /// authentication data, serves selection queries with proofs, and retains
 /// the published summaries for freshness evidence. Optionally accelerates
 /// proof construction with SigCache (Section 4).
+///
+/// Thread safety: a QueryServer instance is NOT internally synchronized —
+/// even Select mutates buffer-pool LRU state while reading pages. Callers
+/// that serve concurrent traffic must serialize access per instance; the
+/// sharded server (server/sharded_query_server.h) does exactly that, holding
+/// one mutex per shard and scaling throughput across shards.
 class QueryServer {
  public:
   struct Options {
@@ -31,18 +38,23 @@ class QueryServer {
   /// Retain a freshly published summary.
   void AddSummary(UpdateSummary summary);
 
-  /// Range selection with proof (Section 3.3). `oldest_needed_ts` selects
-  /// which summaries ride along (all summaries published at/after the
-  /// oldest result signature).
-  Result<SelectionAnswer> Select(int64_t lo, int64_t hi) const;
+  /// Range selection with proof (Section 3.3). Summaries published at/after
+  /// the oldest result signature ride along as freshness evidence. When
+  /// `stats` is non-null it receives the aggregation counters for this call
+  /// (point additions, cache hits, lazy refreshes) — per-call out-params
+  /// keep the hot read path free of mutable instance state.
+  Result<SelectionAnswer> Select(int64_t lo, int64_t hi,
+                                 SigCache::AggStats* stats = nullptr) const;
+
+  /// Greatest certified record with key strictly below `key`, if any.
+  std::optional<AuthTable::Item> PredecessorItem(int64_t key) const;
+  /// Least certified record with key strictly above `key`, if any.
+  std::optional<AuthTable::Item> SuccessorItem(int64_t key) const;
 
   /// Enable SigCache with the given cached-node plan (Section 4).
   void EnableSigCache(const std::vector<SigCachePlanner::Choice>& plan,
                       SigCache::RefreshMode mode);
   SigCache* sigcache() { return sigcache_.get(); }
-
-  /// Point additions performed building the last Select's aggregate.
-  size_t last_aggregation_adds() const { return last_adds_; }
 
   const AuthTable& table() const { return table_; }
   uint64_t size() const { return table_.size(); }
@@ -63,7 +75,6 @@ class QueryServer {
   // In-memory key order mirror (rank structure for SigCache intervals).
   std::vector<int64_t> sorted_keys_;
   std::unique_ptr<SigCache> sigcache_;
-  mutable size_t last_adds_ = 0;
 };
 
 }  // namespace authdb

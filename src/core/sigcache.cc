@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
@@ -260,15 +261,18 @@ SigCache::SigCache(std::shared_ptr<const BasContext> ctx,
       leaves_(std::move(leaves)) {}
 
 void SigCache::Pin(int level, uint64_t j) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_[Key{level, j}];  // default-constructed: invalid
 }
 
 void SigCache::PinPlan(const std::vector<SigCachePlanner::Choice>& plan) {
-  for (const auto& c : plan) Pin(c.level, c.j);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : plan) entries_[Key{c.level, c.j}];
 }
 
 void SigCache::WarmAll() {
   // Fill bottom-up so higher nodes reuse the lower cached nodes.
+  std::lock_guard<std::mutex> lock(mu_);
   AggStats scratch;
   for (auto& [key, entry] : entries_) {
     if (!entry.valid) {
@@ -317,6 +321,8 @@ BasSignature SigCache::ComputeNode(const Key& key, AggStats* stats) {
 BasSignature SigCache::RangeAggregate(size_t lo, size_t hi, AggStats* stats) {
   AggStats local;
   AggStats* s = stats != nullptr ? stats : &local;
+  *s = AggStats{};  // counters cover this call only
+  std::lock_guard<std::mutex> lock(mu_);
   const CurveGroup& curve = ctx_->curve();
   CurveGroup::Jacobian acc = curve.ToJacobian(ECPoint{});
   size_t items = 0;
@@ -355,6 +361,7 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi, AggStats* stats) {
 
 void SigCache::OnLeafUpdate(size_t pos, const BasSignature& old_sig,
                             const BasSignature& new_sig) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, entry] : entries_) {
     if ((pos >> key.level) != key.j) continue;
     if (mode_ == RefreshMode::kLazy) {
@@ -368,7 +375,12 @@ void SigCache::OnLeafUpdate(size_t pos, const BasSignature& old_sig,
 }
 
 void SigCache::Revise(size_t keep) {
-  if (entries_.size() <= keep) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() <= keep) {
+    // Nothing to evict, but the observation window still restarts.
+    for (auto& [key, entry] : entries_) entry.access_count = 0;
+    return;
+  }
   std::vector<std::pair<double, Key>> ranked;
   for (const auto& [key, entry] : entries_) {
     double savings = static_cast<double>((uint64_t{1} << key.level) - 1);

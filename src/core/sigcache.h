@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -72,6 +73,14 @@ class SigCachePlanner {
 /// Runtime cache of aggregate signatures at the query server (Sections 4.2,
 /// 4.3). Positions are ranks in index-key order; node (level, j) covers
 /// positions [j*2^level, (j+1)*2^level).
+///
+/// Thread safety: the entry table is guarded by an internal mutex, so
+/// RangeAggregate (which mutates access counts and performs lazy refreshes),
+/// OnLeafUpdate, and Revise may race with each other. The LeafProvider is
+/// invoked while that lock is held and must therefore be independently safe
+/// to call (in QueryServer it reads the index through the buffer pool, which
+/// is why the sharded server still serializes whole-shard access — see
+/// server/sharded_query_server.h for the layered contract).
 class SigCache {
  public:
   enum class RefreshMode { kEager, kLazy };
@@ -98,7 +107,8 @@ class SigCache {
   };
 
   /// Aggregate signature over positions [lo, hi] using the best cached
-  /// cover; falls back to leaf signatures where no node applies.
+  /// cover; falls back to leaf signatures where no node applies. `stats`
+  /// (optional) is reset on entry: it reports this call only.
   BasSignature RangeAggregate(size_t lo, size_t hi, AggStats* stats);
 
   /// A record at `pos` changed signature. Eager mode patches every cached
@@ -110,11 +120,17 @@ class SigCache {
   /// utility nodes (access_count * savings), evict the rest.
   void Revise(size_t keep);
 
-  size_t entry_count() const { return entries_.size(); }
-  size_t cache_bytes(const SizeModel& sm) const {
-    return entries_.size() * sm.signature_bytes;
+  size_t entry_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
   }
-  uint64_t eager_patch_adds() const { return eager_patch_adds_; }
+  size_t cache_bytes(const SizeModel& sm) const {
+    return entry_count() * sm.signature_bytes;
+  }
+  uint64_t eager_patch_adds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return eager_patch_adds_;
+  }
 
  private:
   struct Key {
@@ -130,6 +146,7 @@ class SigCache {
     uint64_t access_count = 0;
   };
 
+  /// Requires mu_ held (recomputes through other cached entries).
   BasSignature ComputeNode(const Key& key, AggStats* stats);
 
   std::shared_ptr<const BasContext> ctx_;
@@ -137,6 +154,7 @@ class SigCache {
   int max_level_;
   RefreshMode mode_;
   LeafProvider leaves_;
+  mutable std::mutex mu_;
   std::map<Key, Entry> entries_;
   uint64_t eager_patch_adds_ = 0;
 };

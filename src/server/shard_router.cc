@@ -1,0 +1,59 @@
+#include "server/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace authdb {
+
+ShardRouter::ShardRouter(std::vector<int64_t> split_keys)
+    : splits_(std::move(split_keys)) {
+  // Strictly ascending, and never the -inf sentinel (upper_bound_of
+  // computes split - 1, which must not underflow).
+  AUTHDB_CHECK(splits_.empty() || splits_.front() > kChainMinusInf);
+  for (size_t i = 1; i < splits_.size(); ++i)
+    AUTHDB_CHECK(splits_[i - 1] < splits_[i]);
+}
+
+ShardRouter ShardRouter::Uniform(size_t shards, int64_t lo, int64_t hi) {
+  AUTHDB_CHECK(shards >= 1 && lo <= hi);
+  // The chain sentinels cannot appear inside an owned interval: a split at
+  // kChainMinusInf would alias the sentinel, and the full int64 domain
+  // would wrap `width` to zero below.
+  AUTHDB_CHECK(lo > kChainMinusInf);
+  std::vector<int64_t> splits;
+  splits.reserve(shards - 1);
+  // Split [lo, hi] into `shards` near-equal strides; unsigned arithmetic
+  // sidesteps overflow when the interval spans most of the domain.
+  uint64_t width = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  // Fewer keys than shards would compute duplicate split points; fail
+  // loudly here rather than in the strict-ascending constructor check.
+  AUTHDB_CHECK(width >= shards);
+  for (size_t i = 1; i < shards; ++i) {
+    uint64_t off = width / shards * i;
+    splits.push_back(static_cast<int64_t>(static_cast<uint64_t>(lo) + off));
+  }
+  return ShardRouter(std::move(splits));
+}
+
+size_t ShardRouter::ShardOf(int64_t key) const {
+  // First split strictly greater than key names the shard's upper edge.
+  return std::upper_bound(splits_.begin(), splits_.end(), key) -
+         splits_.begin();
+}
+
+std::vector<ShardRouter::SubRange> ShardRouter::Cover(int64_t lo,
+                                                      int64_t hi) const {
+  AUTHDB_CHECK(lo <= hi);
+  std::vector<SubRange> out;
+  size_t first = ShardOf(lo), last = ShardOf(hi);
+  out.reserve(last - first + 1);
+  for (size_t s = first; s <= last; ++s) {
+    out.push_back(SubRange{s, std::max(lo, lower_bound_of(s)),
+                           std::min(hi, upper_bound_of(s))});
+  }
+  return out;
+}
+
+}  // namespace authdb

@@ -1,0 +1,59 @@
+#ifndef AUTHDB_SERVER_SHARD_ROUTER_H_
+#define AUTHDB_SERVER_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/chain.h"
+
+namespace authdb {
+
+/// Static range partitioning of the int64 index-key space across K shards.
+/// Shard i owns the contiguous interval [lower_bound(i), upper_bound(i)]
+/// (both inclusive); the K-1 split keys cover the whole domain, so every key
+/// routes to exactly one shard and a range selection maps to a run of
+/// consecutive shards. Because the partition is contiguous, the shard-local
+/// predecessor / successor of a key — when it exists — is also its global
+/// chain neighbor, which is what lets per-shard proofs stitch into one
+/// verifiable answer (see sharded_query_server.h).
+class ShardRouter {
+ public:
+  /// `split_keys` must be strictly ascending; shard i covers
+  /// [split_keys[i-1], split_keys[i] - 1], with shard 0 open to the bottom
+  /// of the domain and the last shard open to the top. An empty vector
+  /// yields a single shard owning everything.
+  explicit ShardRouter(std::vector<int64_t> split_keys);
+
+  /// Even split of [lo, hi] into `shards` parts (keys outside [lo, hi]
+  /// fall into the edge shards). Requires lo > kChainMinusInf (the
+  /// sentinel cannot bound an owned interval) and at least one key per
+  /// shard.
+  static ShardRouter Uniform(size_t shards, int64_t lo, int64_t hi);
+
+  size_t shard_count() const { return splits_.size() + 1; }
+  size_t ShardOf(int64_t key) const;
+
+  /// Inclusive lower / upper key bound of a shard's interval. The edge
+  /// shards extend to the chain sentinels.
+  int64_t lower_bound_of(size_t shard) const {
+    return shard == 0 ? kChainMinusInf : splits_[shard - 1];
+  }
+  int64_t upper_bound_of(size_t shard) const {
+    return shard == splits_.size() ? kChainPlusInf : splits_[shard] - 1;
+  }
+
+  struct SubRange {
+    size_t shard;
+    int64_t lo, hi;  // inclusive, clamped to the shard's interval
+  };
+  /// The per-shard sub-ranges covering [lo, hi], in shard (= key) order.
+  std::vector<SubRange> Cover(int64_t lo, int64_t hi) const;
+
+ private:
+  std::vector<int64_t> splits_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_SERVER_SHARD_ROUTER_H_

@@ -1,0 +1,221 @@
+#include "server/sharded_query_server.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/chain.h"
+
+namespace authdb {
+
+ShardedQueryServer::ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
+                                       ShardRouter router,
+                                       const Options& options)
+    : ctx_(std::move(ctx)),
+      router_(std::move(router)),
+      options_(options),
+      pool_(options.worker_threads) {
+  shards_.reserve(router_.shard_count());
+  for (size_t i = 0; i < router_.shard_count(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->qs = std::make_unique<QueryServer>(ctx_, options_.shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+uint64_t ShardedQueryServer::size() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->qs->size();
+  }
+  return n;
+}
+
+Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
+  // Split the message by key ownership: the primary payload to its owner,
+  // every re-certified record to the shard holding its key. An insert or
+  // delete near a shard seam re-chains a neighbor stored on the adjacent
+  // shard, so the split is what keeps each shard's signatures current.
+  int64_t primary_key = msg.record ? msg.record->record.key() : msg.key;
+  size_t owner = router_.ShardOf(primary_key);
+
+  std::vector<SignedRecordUpdate> per_shard(shards_.size());
+  std::vector<bool> active(shards_.size(), false);
+  if (msg.record || msg.kind != SignedRecordUpdate::Kind::kRecertify) {
+    per_shard[owner].kind = msg.kind;
+    per_shard[owner].key = msg.key;
+    per_shard[owner].record = msg.record;
+    active[owner] = true;
+  }
+  for (const CertifiedRecord& cr : msg.recertified) {
+    size_t s = router_.ShardOf(cr.record.key());
+    if (!active[s]) {
+      per_shard[s].kind = SignedRecordUpdate::Kind::kRecertify;
+      active[s] = true;
+    }
+    per_shard[s].recertified.push_back(cr);
+  }
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!active[s]) continue;
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    AUTHDB_RETURN_NOT_OK(shards_[s]->qs->ApplyUpdate(per_shard[s]));
+  }
+  return Status::OK();
+}
+
+void ShardedQueryServer::AddSummary(UpdateSummary summary) {
+  std::lock_guard<std::mutex> lock(summaries_mu_);
+  summaries_.push_back(std::move(summary));
+  while (summaries_.size() > options_.shard.summaries_retained)
+    summaries_.pop_front();
+}
+
+std::optional<AuthTable::Item> ShardedQueryServer::GlobalPredecessor(
+    int64_t key) const {
+  // The owner shard may hold the predecessor; otherwise it is the greatest
+  // record of the nearest non-empty shard to the left.
+  for (size_t s = router_.ShardOf(key) + 1; s-- > 0;) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    auto item = shards_[s]->qs->PredecessorItem(key);
+    if (item) return item;
+  }
+  return std::nullopt;
+}
+
+std::optional<AuthTable::Item> ShardedQueryServer::GlobalSuccessor(
+    int64_t key) const {
+  for (size_t s = router_.ShardOf(key); s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    auto item = shards_[s]->qs->SuccessorItem(key);
+    if (item) return item;
+  }
+  return std::nullopt;
+}
+
+Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
+                                                   SelectStats* stats) const {
+  if (stats != nullptr) *stats = SelectStats{};  // per-call counters
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  if (lo == kChainMinusInf || hi == kChainPlusInf)
+    return Status::InvalidArgument("range touches chain sentinels");
+
+  std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
+  std::vector<std::optional<Result<SelectionAnswer>>> subs(cover.size());
+  std::vector<SigCache::AggStats> sub_stats(cover.size());
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cover.size());
+  for (size_t i = 0; i < cover.size(); ++i) {
+    tasks.emplace_back([this, &cover, &subs, &sub_stats, i] {
+      const ShardRouter::SubRange& sr = cover[i];
+      std::lock_guard<std::mutex> lock(shards_[sr.shard]->mu);
+      subs[i] = shards_[sr.shard]->qs->Select(sr.lo, sr.hi, &sub_stats[i]);
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+
+  if (stats != nullptr) {
+    stats->shards_queried = cover.size();
+    for (const SigCache::AggStats& s : sub_stats) {
+      stats->agg.point_adds += s.point_adds;
+      stats->agg.leaf_fetches += s.leaf_fetches;
+      stats->agg.cache_hits += s.cache_hits;
+      stats->agg.refreshes += s.refreshes;
+    }
+  }
+
+  // Stitch: concatenate the per-shard results (shard order == key order),
+  // sum the per-shard aggregates, keep the outermost boundaries. Empty
+  // sub-answers contribute nothing — their shard-local proofs are replaced
+  // by global boundary probes where needed.
+  SelectionAnswer out;
+  std::vector<BasSignature> agg_parts;
+  uint64_t oldest_ts = ~uint64_t{0};
+  int first_nonempty = -1;
+  for (size_t i = 0; i < cover.size(); ++i) {
+    const Result<SelectionAnswer>& r = *subs[i];
+    if (!r.ok()) {
+      if (r.status().IsNotFound()) continue;  // shard holds no records
+      return r.status();
+    }
+    const SelectionAnswer& sub = r.value();
+    if (sub.records.empty()) continue;
+    if (first_nonempty < 0) {
+      first_nonempty = static_cast<int>(i);
+      out.left_key = sub.left_key;
+    }
+    out.right_key = sub.right_key;
+    out.records.insert(out.records.end(), sub.records.begin(),
+                       sub.records.end());
+    agg_parts.push_back(sub.agg_sig);
+    for (const Record& rec : sub.records)
+      oldest_ts = std::min(oldest_ts, rec.ts);
+  }
+  if (stats != nullptr) stats->shards_nonempty = agg_parts.size();
+
+  if (first_nonempty < 0) {
+    // Empty result across every covered shard: prove it with the global
+    // boundary record, exactly as a single server would.
+    auto pred = GlobalPredecessor(lo);
+    auto succ = GlobalSuccessor(hi);
+    if (!pred && !succ) return Status::NotFound("empty relation");
+    if (pred) {
+      out.proof_record = pred->record;
+      out.agg_sig = pred->sig;
+      auto pp = GlobalPredecessor(pred->record.key());
+      out.left_key = pp ? pp->record.key() : kChainMinusInf;
+      out.right_key = succ ? succ->record.key() : kChainPlusInf;
+      oldest_ts = pred->record.ts;
+    } else {
+      out.proof_record = succ->record;
+      out.agg_sig = succ->sig;
+      out.left_key = kChainMinusInf;  // no key below lo, hence none below succ
+      auto ss = GlobalSuccessor(succ->record.key());
+      out.right_key = ss ? ss->record.key() : kChainPlusInf;
+      oldest_ts = succ->record.ts;
+    }
+  } else {
+    // A finite shard-local boundary is already the global chain neighbor
+    // (contiguous partition); a sentinel means the neighbor lives on an
+    // adjacent shard the sub-query never saw.
+    if (out.left_key == kChainMinusInf) {
+      auto pred = GlobalPredecessor(lo);
+      if (pred) out.left_key = pred->record.key();
+    }
+    if (out.right_key == kChainPlusInf) {
+      auto succ = GlobalSuccessor(hi);
+      if (succ) out.right_key = succ->record.key();
+    }
+    out.agg_sig = ctx_->Aggregate(agg_parts);
+  }
+
+  // Freshness evidence: every summary published at/after the oldest result
+  // certification (same rule as QueryServer::Select, held server-wide).
+  {
+    std::lock_guard<std::mutex> lock(summaries_mu_);
+    for (const UpdateSummary& s : summaries_) {
+      if (s.publish_ts >= oldest_ts) out.summaries.push_back(s);
+    }
+  }
+  return out;
+}
+
+void ShardedQueryServer::EnableSigCache(SigCache::RefreshMode mode,
+                                        size_t max_pairs) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    uint64_t n = shard->qs->size();
+    if (n < 4) continue;  // nothing worth caching
+    uint64_t n2 = 1;
+    while (n2 * 2 <= n) n2 *= 2;
+    auto plan =
+        SigCachePlanner::Plan(n2, CardinalityDist::Harmonic(n2), max_pairs);
+    shard->qs->EnableSigCache(plan.chosen, mode);
+  }
+}
+
+}  // namespace authdb

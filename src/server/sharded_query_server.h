@@ -1,0 +1,116 @@
+#ifndef AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
+#define AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/query_server.h"
+#include "server/shard_router.h"
+#include "server/thread_pool.h"
+
+namespace authdb {
+
+/// A query-serving front end that partitions the key space across K
+/// QueryServer shards — each with its own AuthTable, buffer pools, and
+/// optional SigCache — and serves Select(lo, hi) by fanning the covered
+/// sub-ranges out over a fixed thread pool, then stitching the per-shard
+/// answers into one SelectionAnswer that the unmodified ClientVerifier
+/// accepts.
+///
+/// Why stitching preserves the proofs: the DA signs every record chained to
+/// its *global* neighbors, and the router's partition is contiguous in key
+/// order. A record's shard-local predecessor (when one exists) is therefore
+/// also its global predecessor, sub-answers from consecutive shards abut
+/// exactly at the signed chain links, and the aggregate of the per-shard
+/// BAS aggregates equals the aggregate the single-server path would have
+/// produced. The only information a shard lacks is the chain neighbor that
+/// lives *outside* its interval; the stitcher resolves those few boundary
+/// keys by probing adjacent shards (PredecessorItem / SuccessorItem).
+///
+/// Thread-safety contract (the layered scheme):
+///  * QueryServer and its AuthTable/BufferPool are single-threaded; this
+///    class holds one mutex per shard and takes it around every shard call,
+///    so any number of application threads may call Select / ApplyUpdate /
+///    AddSummary concurrently.
+///  * Reads of disjoint shards proceed in parallel (that is the scaling
+///    story); reads of the same shard serialize on its mutex.
+///  * ApplyUpdate locks only the shards that own a piece of the message, so
+///    updates block reads on the touched shards and nothing else — the
+///    record-level locality the paper contrasts with the MHT root
+///    bottleneck, carried up to the serving layer.
+class ShardedQueryServer {
+ public:
+  struct Options {
+    QueryServer::Options shard;  ///< applied to every shard
+    size_t worker_threads = 4;   ///< pool size for the Select fan-out
+  };
+
+  ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
+                     ShardRouter router, const Options& options);
+
+  /// Replay a DA update message (also used for the initial bulk stream).
+  /// The message is split by key ownership: the primary mutation goes to
+  /// its owner shard; each re-certified neighbor is routed to *its* owner,
+  /// which can differ when an insert/delete re-chains across a shard seam.
+  Status ApplyUpdate(const SignedRecordUpdate& msg);
+
+  /// Retain a freshly published summary. Summaries are server-wide (the
+  /// DA's bitmap covers the whole rid space), so they live at the router
+  /// level rather than in any shard.
+  void AddSummary(UpdateSummary summary);
+
+  /// Per-call serving statistics (out-param, never instance state).
+  struct SelectStats {
+    size_t shards_queried = 0;    ///< sub-ranges fanned out
+    size_t shards_nonempty = 0;   ///< sub-answers contributing records
+    SigCache::AggStats agg;       ///< summed over the covered shards
+  };
+
+  /// Range selection with proof, stitched across the covered shards.
+  Result<SelectionAnswer> Select(int64_t lo, int64_t hi,
+                                 SelectStats* stats = nullptr) const;
+
+  /// Plan and pin a per-shard SigCache (lazy or eager refresh). Each shard
+  /// is planned independently against the largest power-of-two prefix of
+  /// its current size — sharding shrinks both the plan space and the blast
+  /// radius of an insert/delete cache invalidation.
+  void EnableSigCache(SigCache::RefreshMode mode, size_t max_pairs);
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+  uint64_t size() const;
+
+  /// Direct shard access for tests and tools. NOT synchronized — do not
+  /// call while other threads are serving traffic.
+  QueryServer& shard(size_t i) { return *shards_[i]->qs; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<QueryServer> qs;
+    mutable std::mutex mu;
+  };
+
+  /// Global chain neighbors of `key`, probing outward from its owner shard
+  /// (takes the probed shards' locks).
+  std::optional<AuthTable::Item> GlobalPredecessor(int64_t key) const;
+  std::optional<AuthTable::Item> GlobalSuccessor(int64_t key) const;
+
+  std::shared_ptr<const BasContext> ctx_;
+  ShardRouter router_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable ThreadPool pool_;
+
+  mutable std::mutex summaries_mu_;
+  std::deque<UpdateSummary> summaries_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_

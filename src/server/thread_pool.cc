@@ -1,0 +1,62 @@
+#include "server/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace authdb {
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Inline everything when there is nothing to overlap with.
+  if (workers_.empty() || tasks.size() == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = tasks.size() - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i + 1 < tasks.size(); ++i) {
+      queue_.emplace_back([latch, task = std::move(tasks[i])] {
+        task();
+        std::lock_guard<std::mutex> l(latch->mu);
+        if (--latch->remaining == 0) latch->cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  tasks.back()();  // caller's share
+  std::unique_lock<std::mutex> l(latch->mu);
+  latch->cv.wait(l, [&] { return latch->remaining == 0; });
+}
+
+}  // namespace authdb

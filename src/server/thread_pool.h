@@ -1,0 +1,54 @@
+#ifndef AUTHDB_SERVER_THREAD_POOL_H_
+#define AUTHDB_SERVER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace authdb {
+
+/// Fixed-size worker pool used by the sharded query server to fan a range
+/// selection out over its shards. Tasks never submit sub-tasks, so callers
+/// may block on completion without risking pool-exhaustion deadlock.
+///
+/// With zero workers every task runs inline on the submitting thread — the
+/// degenerate configuration used by single-threaded tools and tests.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Run every task, returning when all have finished. The last task is
+  /// executed inline on the calling thread: a single-shard query never pays
+  /// a handoff, and the caller contributes a core while it would otherwise
+  /// be idle.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_SERVER_THREAD_POOL_H_

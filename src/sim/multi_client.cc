@@ -1,0 +1,131 @@
+#include "sim/multi_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace authdb {
+
+namespace {
+int BucketOf(uint64_t micros) {
+  int b = 0;
+  while ((uint64_t{2} << b) <= micros && b < 39) ++b;
+  return b;
+}
+
+uint64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  ++buckets_[BucketOf(micros)];
+  ++count_;
+  sum_micros_ += micros;
+  if (micros > max_micros_) max_micros_ = micros;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_micros_ += other.sum_micros_;
+  if (other.max_micros_ > max_micros_) max_micros_ = other.max_micros_;
+}
+
+uint64_t LatencyHistogram::PercentileMicros(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return (uint64_t{2} << i) - 1;  // bucket upper edge
+  }
+  return max_micros_;
+}
+
+MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
+                                     std::vector<SignedRecordUpdate> updates,
+                                     const MultiClientOptions& options) {
+  AUTHDB_CHECK(server != nullptr);
+  AUTHDB_CHECK(options.key_lo <= options.key_hi);
+  AUTHDB_CHECK(options.query_span >= 1);
+
+  struct PerClient {
+    LatencyHistogram query_latency, update_latency;
+    size_t queries = 0, updates = 0, failures = 0;
+  };
+  std::vector<PerClient> per_client(options.clients);
+
+  std::mutex updates_mu;
+  size_t next_update = 0;
+
+  uint64_t domain = static_cast<uint64_t>(options.key_hi) -
+                    static_cast<uint64_t>(options.key_lo) + 1;
+  uint64_t span = std::min(options.query_span, domain);
+
+  auto client = [&](size_t id) {
+    Rng rng(options.seed * 0x9E3779B9u + id);
+    PerClient& me = per_client[id];
+    for (size_t op = 0; op < options.ops_per_client; ++op) {
+      bool do_update = rng.NextDouble() < options.update_fraction;
+      const SignedRecordUpdate* upd = nullptr;
+      if (do_update) {
+        std::lock_guard<std::mutex> lock(updates_mu);
+        if (next_update < updates.size()) upd = &updates[next_update++];
+      }
+      if (upd != nullptr) {
+        uint64_t t0 = NowMicros();
+        Status s = server->ApplyUpdate(*upd);
+        me.update_latency.Record(NowMicros() - t0);
+        ++me.updates;
+        if (!s.ok()) ++me.failures;
+      } else {
+        int64_t lo = options.key_lo +
+                     static_cast<int64_t>(rng.Uniform(domain - span + 1));
+        int64_t hi = lo + static_cast<int64_t>(span) - 1;
+        uint64_t t0 = NowMicros();
+        auto ans = server->Select(lo, hi);
+        me.query_latency.Record(NowMicros() - t0);
+        ++me.queries;
+        // An empty relation is a workload configuration error, not a
+        // serving failure; everything else that is not OK counts.
+        if (!ans.ok() && !ans.status().IsNotFound()) ++me.failures;
+      }
+    }
+  };
+
+  uint64_t t_start = NowMicros();
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (size_t i = 0; i < options.clients; ++i) threads.emplace_back(client, i);
+  for (std::thread& t : threads) t.join();
+  uint64_t t_end = NowMicros();
+
+  MultiClientReport report;
+  for (const PerClient& pc : per_client) {
+    report.queries += pc.queries;
+    report.updates += pc.updates;
+    report.failures += pc.failures;
+    report.query_latency.Merge(pc.query_latency);
+    report.update_latency.Merge(pc.update_latency);
+  }
+  report.elapsed_seconds = static_cast<double>(t_end - t_start) * 1e-6;
+  if (report.elapsed_seconds > 0) {
+    report.ops_per_second =
+        static_cast<double>(report.queries + report.updates) /
+        report.elapsed_seconds;
+  }
+  return report;
+}
+
+}  // namespace authdb

@@ -1,0 +1,71 @@
+#ifndef AUTHDB_SIM_MULTI_CLIENT_H_
+#define AUTHDB_SIM_MULTI_CLIENT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+#include "server/sharded_query_server.h"
+
+namespace authdb {
+
+/// Fixed-bucket latency histogram: bucket i counts operations whose latency
+/// in microseconds falls in [2^i, 2^{i+1}) (bucket 0 is [0, 2)). Cheap to
+/// record under load, mergeable across client threads, and good enough for
+/// percentile reporting at the resolution a throughput harness needs.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t micros);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double MeanMicros() const {
+    return count_ == 0 ? 0 : static_cast<double>(sum_micros_) / count_;
+  }
+  /// Upper edge of the bucket containing the p-quantile (p in [0, 1]).
+  uint64_t PercentileMicros(double p) const;
+  uint64_t MaxMicros() const { return max_micros_; }
+
+ private:
+  std::array<uint64_t, 40> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_micros_ = 0;
+  uint64_t max_micros_ = 0;
+};
+
+/// Closed-loop multi-client load: each client thread issues its next
+/// operation the moment the previous one completes (no think time), drawing
+/// uniform fixed-span range selections and — with probability
+/// `update_fraction` — pre-signed DA update messages from a shared queue.
+struct MultiClientOptions {
+  size_t clients = 4;
+  size_t ops_per_client = 200;
+  double update_fraction = 0.0;  ///< fraction of ops that apply an update
+  int64_t key_lo = 0;            ///< query domain (inclusive)
+  int64_t key_hi = 0;
+  uint64_t query_span = 16;      ///< hi - lo + 1 of every range query
+  uint64_t seed = 1;
+};
+
+struct MultiClientReport {
+  size_t queries = 0;
+  size_t updates = 0;
+  size_t failures = 0;  ///< Select errors or ApplyUpdate errors
+  double elapsed_seconds = 0;
+  double ops_per_second = 0;  ///< aggregate throughput (queries + updates)
+  LatencyHistogram query_latency;
+  LatencyHistogram update_latency;
+};
+
+/// Run the load against a sharded server. `updates` is a pool of pre-signed
+/// messages (from the DA) drained at most once each; when the pool runs
+/// dry, update slots fall back to queries so the op count stays fixed.
+MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
+                                     std::vector<SignedRecordUpdate> updates,
+                                     const MultiClientOptions& options);
+
+}  // namespace authdb
+
+#endif  // AUTHDB_SIM_MULTI_CLIENT_H_

@@ -1,0 +1,120 @@
+#include "server/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/chain.h"
+
+namespace authdb {
+namespace {
+
+TEST(ShardRouterTest, SingleShardOwnsEverything) {
+  ShardRouter r({});
+  EXPECT_EQ(r.shard_count(), 1u);
+  EXPECT_EQ(r.ShardOf(0), 0u);
+  EXPECT_EQ(r.ShardOf(kChainMinusInf + 1), 0u);
+  EXPECT_EQ(r.ShardOf(kChainPlusInf - 1), 0u);
+  auto cover = r.Cover(-100, 100);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].shard, 0u);
+  EXPECT_EQ(cover[0].lo, -100);
+  EXPECT_EQ(cover[0].hi, 100);
+}
+
+TEST(ShardRouterTest, ShardOfRespectsSplitKeys) {
+  // Shard 0: (..., 9], shard 1: [10, 19], shard 2: [20, ...).
+  ShardRouter r({10, 20});
+  EXPECT_EQ(r.shard_count(), 3u);
+  EXPECT_EQ(r.ShardOf(-5), 0u);
+  EXPECT_EQ(r.ShardOf(9), 0u);
+  EXPECT_EQ(r.ShardOf(10), 1u);  // split key belongs to the upper shard
+  EXPECT_EQ(r.ShardOf(19), 1u);
+  EXPECT_EQ(r.ShardOf(20), 2u);
+  EXPECT_EQ(r.ShardOf(1000), 2u);
+  EXPECT_EQ(r.lower_bound_of(0), kChainMinusInf);
+  EXPECT_EQ(r.upper_bound_of(0), 9);
+  EXPECT_EQ(r.lower_bound_of(1), 10);
+  EXPECT_EQ(r.upper_bound_of(1), 19);
+  EXPECT_EQ(r.lower_bound_of(2), 20);
+  EXPECT_EQ(r.upper_bound_of(2), kChainPlusInf);
+}
+
+TEST(ShardRouterTest, UniformSplitsCoverDomainInOrder) {
+  ShardRouter r = ShardRouter::Uniform(4, 0, 99);
+  EXPECT_EQ(r.shard_count(), 4u);
+  // Every key maps to exactly one shard and shard ids are monotone in key.
+  size_t prev = 0;
+  for (int64_t k = -10; k <= 110; ++k) {
+    size_t s = r.ShardOf(k);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_EQ(r.ShardOf(0), 0u);
+  EXPECT_EQ(r.ShardOf(99), 3u);
+  // Adjacent shards abut without gaps.
+  for (size_t s = 0; s + 1 < r.shard_count(); ++s)
+    EXPECT_EQ(r.upper_bound_of(s) + 1, r.lower_bound_of(s + 1));
+}
+
+TEST(ShardRouterTest, CoverSingleShardRange) {
+  ShardRouter r = ShardRouter::Uniform(4, 0, 99);
+  auto cover = r.Cover(30, 40);  // interior to shard 1 = [25, 49]
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].shard, 1u);
+  EXPECT_EQ(cover[0].lo, 30);
+  EXPECT_EQ(cover[0].hi, 40);
+}
+
+TEST(ShardRouterTest, CoverTwoShardRangeClampsAtSeam) {
+  ShardRouter r = ShardRouter::Uniform(4, 0, 99);
+  auto cover = r.Cover(40, 60);  // spans shards 1 and 2 (seam at 50)
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0].shard, 1u);
+  EXPECT_EQ(cover[0].lo, 40);
+  EXPECT_EQ(cover[0].hi, 49);
+  EXPECT_EQ(cover[1].shard, 2u);
+  EXPECT_EQ(cover[1].lo, 50);
+  EXPECT_EQ(cover[1].hi, 60);
+}
+
+TEST(ShardRouterTest, CoverAllShards) {
+  ShardRouter r = ShardRouter::Uniform(4, 0, 99);
+  auto cover = r.Cover(-50, 500);
+  ASSERT_EQ(cover.size(), 4u);
+  EXPECT_EQ(cover.front().lo, -50);   // edge shard extends below the domain
+  EXPECT_EQ(cover.back().hi, 500);    // and above it
+  // Sub-ranges tile [lo, hi] exactly.
+  for (size_t i = 0; i + 1 < cover.size(); ++i) {
+    EXPECT_LE(cover[i].lo, cover[i].hi);
+    EXPECT_EQ(cover[i].hi + 1, cover[i + 1].lo);
+  }
+}
+
+TEST(ShardRouterTest, CoverPointQueryAtSplitKey) {
+  ShardRouter r({10, 20});
+  auto at_split = r.Cover(10, 10);
+  ASSERT_EQ(at_split.size(), 1u);
+  EXPECT_EQ(at_split[0].shard, 1u);
+  auto below_split = r.Cover(9, 9);
+  ASSERT_EQ(below_split.size(), 1u);
+  EXPECT_EQ(below_split[0].shard, 0u);
+  auto straddling = r.Cover(9, 10);
+  ASSERT_EQ(straddling.size(), 2u);
+  EXPECT_EQ(straddling[0].hi, 9);
+  EXPECT_EQ(straddling[1].lo, 10);
+}
+
+TEST(ShardRouterTest, EmptyShardsStillCovered) {
+  // Covering a range that crosses shards with no data is a property of the
+  // router alone: every covered shard appears, data or not, so the serving
+  // layer can prove emptiness across the seam.
+  ShardRouter r = ShardRouter::Uniform(8, 0, 799);
+  auto cover = r.Cover(150, 650);
+  ASSERT_EQ(cover.size(), 6u);  // shards 1..6
+  for (size_t i = 0; i < cover.size(); ++i) EXPECT_EQ(cover[i].shard, i + 1);
+}
+
+}  // namespace
+}  // namespace authdb

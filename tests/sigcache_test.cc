@@ -257,5 +257,94 @@ TEST_F(SigCacheRuntimeTest, ReviseKeepsHotEntries) {
   EXPECT_EQ(stats.cache_hits, 1u);  // the kept node is (3,1)
 }
 
+TEST_F(SigCacheRuntimeTest, ReviseStartsAFreshObservationWindow) {
+  auto cache = MakeCache(SigCache::RefreshMode::kLazy);
+  cache->Pin(3, 0);  // [0, 8)
+  cache->Pin(3, 2);  // [16, 24)
+  // Heat (3,0) hard, then revise keeping both: access counts reset, so the
+  // next window's usage decides the following revision.
+  for (int i = 0; i < 20; ++i) cache->RangeAggregate(0, 7, nullptr);
+  cache->Revise(2);
+  EXPECT_EQ(cache->entry_count(), 2u);
+  // New window: only (3,2) is used now.
+  for (int i = 0; i < 3; ++i) cache->RangeAggregate(16, 23, nullptr);
+  cache->Revise(1);
+  SigCache::AggStats stats;
+  cache->RangeAggregate(16, 23, &stats);
+  EXPECT_EQ(stats.cache_hits, 1u);  // (3,2) survived, not the stale hot node
+  SigCache::AggStats cold;
+  cache->RangeAggregate(0, 7, &cold);
+  EXPECT_EQ(cold.cache_hits, 0u);
+}
+
+TEST_F(SigCacheRuntimeTest, LazyInterleavedUpdatesAndQueriesStayCorrect) {
+  // The previously untested path: kLazy invalidation raced (sequentially)
+  // against queries in arbitrary interleavings — every aggregate must equal
+  // the direct sum of the *current* signatures, and invalidated nodes must
+  // recompute exactly once per invalidation burst.
+  auto cache = MakeCache(SigCache::RefreshMode::kLazy);
+  cache->Pin(4, 0);  // [0, 16)
+  cache->Pin(4, 1);  // [16, 32)
+  cache->Pin(3, 4);  // [32, 40)
+  Rng rng(99);
+  int version = 1;
+  for (int step = 0; step < 60; ++step) {
+    if (rng.Uniform(3) == 0) {
+      size_t pos = rng.Uniform(48);
+      BasSignature old_sig = sigs_[pos];
+      sigs_[pos] = SignPos(static_cast<int>(pos), version++);
+      cache->OnLeafUpdate(pos, old_sig, sigs_[pos]);
+    } else {
+      size_t lo = rng.Uniform(48);
+      size_t hi = lo + rng.Uniform(sigs_.size() - lo);
+      SigCache::AggStats stats;
+      BasSignature got = cache->RangeAggregate(lo, hi, &stats);
+      ASSERT_TRUE((*ctx_)->curve().Equal(got.point, DirectSum(lo, hi).point))
+          << "step " << step << " range " << lo << ".." << hi;
+    }
+  }
+}
+
+TEST_F(SigCacheRuntimeTest, LazyRefreshChargedOncePerInvalidation) {
+  auto cache = MakeCache(SigCache::RefreshMode::kLazy);
+  cache->Pin(4, 0);  // [0, 16)
+  cache->RangeAggregate(0, 15, nullptr);  // warm
+  BasSignature old_sig = sigs_[3];
+  sigs_[3] = SignPos(3, 1);
+  cache->OnLeafUpdate(3, old_sig, sigs_[3]);
+  SigCache::AggStats first, second;
+  cache->RangeAggregate(0, 15, &first);
+  EXPECT_EQ(first.refreshes, 1u);  // recompute charged to this query
+  cache->RangeAggregate(0, 15, &second);
+  EXPECT_EQ(second.refreshes, 0u);  // valid again until the next update
+  EXPECT_EQ(second.point_adds, 0u);
+}
+
+TEST_F(SigCacheRuntimeTest, ReviseUnderInterleavedLoadKeepsAnswersExact) {
+  auto cache = MakeCache(SigCache::RefreshMode::kLazy);
+  for (uint64_t j = 0; j < 8; ++j) cache->Pin(3, j);
+  Rng rng(1234);
+  int version = 1;
+  for (int round = 0; round < 4; ++round) {
+    for (int step = 0; step < 15; ++step) {
+      if (rng.Uniform(4) == 0) {
+        size_t pos = rng.Uniform(64);
+        BasSignature old_sig = sigs_[pos];
+        sigs_[pos] = SignPos(static_cast<int>(pos), version++);
+        cache->OnLeafUpdate(pos, old_sig, sigs_[pos]);
+      } else {
+        size_t lo = rng.Uniform(64);
+        size_t hi = lo + rng.Uniform(64 - lo);
+        SigCache::AggStats stats;
+        BasSignature got = cache->RangeAggregate(lo, hi, &stats);
+        ASSERT_TRUE(
+            (*ctx_)->curve().Equal(got.point, DirectSum(lo, hi).point));
+      }
+    }
+    cache->Revise(4);  // shrink mid-load; answers must stay exact
+    EXPECT_LE(cache->entry_count(), 4u);
+  }
+}
+
 }  // namespace
 }  // namespace authdb
