@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate: diff bench-smoke JSON artifacts against the
+checked-in bench_baseline.json and fail on throughput regressions.
+
+Every bench binary writes a BenchRun report (``--json``):
+
+    {"bench": "...", "smoke": true, "elapsed_seconds": ..., "metrics": {...}}
+
+The baseline pins a subset of those metrics. Only *throughput-like* metrics
+(name matching qps / ops / rate / per_s / speedup / retention / throughput)
+are gated; latencies and sizes are informational. A gated metric fails when
+
+    result < baseline_value * (1 - tolerance)
+
+with the default tolerance of 0.25 (the ">25% regression" rule) unless the
+baseline entry carries its own ``tolerance``: generated baselines give
+machine-independent ratio metrics (speedup) a 0.4 band — strict enough
+that the self-test's 2x slowdown fails, loose enough to ride out
+smoke-mode jitter — and host-dependent absolute metrics a 0.75 guard band
+because smoke-mode qps on shared CI runners swings with the host. The
+guard band still catches order-of-magnitude collapses, while the ratio
+metrics catch scaling regressions. A bench or metric that is present in
+the baseline but missing from the results also fails: a silently dropped
+bench is not a passing bench.
+
+Usage:
+    compare_bench.py --baseline bench_baseline.json --results bench-results/
+    compare_bench.py --baseline ... --self-test  # 2x-slowdown gate check
+    compare_bench.py ... --scale-results 0.5     # scale live results (manual)
+    compare_bench.py ... --write-baseline        # refresh the baseline file
+
+Exit status: 0 = no regression, 1 = regression / missing data, 2 = usage.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+THROUGHPUT_RE = re.compile(
+    r"(qps|ops_per_second|ops\b|per_s|rate|speedup|retention|throughput)")
+
+# Tolerances written into a generated baseline. Host-dependent metrics get
+# the wide guard band; ratio metrics (machine-independent, but still a
+# quotient of two noisy smoke-mode runs) get a band that keeps headroom
+# over run-to-run jitter while staying below 0.5 — the self-test's uniform
+# 2x slowdown must land under their floor. Retention (live/idle qps) is
+# deliberately in the host-dependent class: it depends on spare cores for
+# the ingest producer, which shared runners do not guarantee. Metrics
+# without an explicit tolerance gate at the strict 25% default.
+ABSOLUTE_TOLERANCE = 0.75
+RATIO_TOLERANCE = 0.4
+RATIO_RE = re.compile(r"(speedup|ratio)")
+DEFAULT_TOLERANCE = 0.25
+
+
+def is_gated(name):
+    return THROUGHPUT_RE.search(name) is not None
+
+
+def load_results(results_dir):
+    """name -> metrics dict, from every BenchRun JSON in the directory."""
+    out = {}
+    for path in sorted(pathlib.Path(results_dir).glob("*.json")):
+        try:
+            report = json.loads(path.read_text())
+        except ValueError:
+            print(f"note: skipping unparseable {path}")
+            continue
+        if not isinstance(report, dict) or "metrics" not in report:
+            continue  # e.g. google-benchmark output (bench_ablation_micro)
+        out[report.get("bench", path.stem)] = report["metrics"]
+    return out
+
+
+def write_baseline(path, results, threshold):
+    benches = {}
+    for bench, metrics in sorted(results.items()):
+        gated = {}
+        for name, value in sorted(metrics.items()):
+            if not is_gated(name):
+                continue
+            entry = {"value": value}
+            entry["tolerance"] = (RATIO_TOLERANCE if RATIO_RE.search(name)
+                                  else ABSOLUTE_TOLERANCE)
+            gated[name] = entry
+        if gated:
+            benches[bench] = gated
+    doc = {
+        "_meta": {
+            "tool": "scripts/compare_bench.py",
+            "default_tolerance": threshold,
+            "note": "regenerate with --write-baseline after intentional "
+                    "performance changes; smoke-mode values",
+        },
+        "benches": benches,
+    }
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    n = sum(len(m) for m in benches.values())
+    print(f"wrote {path}: {len(benches)} benches, {n} gated metrics")
+
+
+def gate(doc, results, threshold, scale):
+    if threshold is None:  # no CLI override: honor the baseline's default
+        threshold = doc.get("_meta", {}).get("default_tolerance",
+                                             DEFAULT_TOLERANCE)
+    failures = []
+    checked = 0
+    for bench, metrics in sorted(doc.get("benches", {}).items()):
+        if bench not in results:
+            failures.append(f"{bench}: no result JSON found")
+            continue
+        have = results[bench]
+        for name, entry in sorted(metrics.items()):
+            base = entry["value"]
+            tolerance = entry.get("tolerance", threshold)
+            if name not in have:
+                failures.append(f"{bench}.{name}: metric missing from results")
+                continue
+            value = have[name] * scale
+            checked += 1
+            floor = base * (1.0 - tolerance)
+            verdict = "ok"
+            if value < floor:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{bench}.{name}: {value:.4g} < floor {floor:.4g} "
+                    f"(baseline {base:.4g}, tolerance {tolerance:.0%})")
+            print(f"  {verdict:>10}  {bench}.{name}: {value:.4g} "
+                  f"vs baseline {base:.4g} (floor {floor:.4g})")
+    print(f"checked {checked} gated metrics, {len(failures)} failure(s)")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def self_test(doc, threshold):
+    """Deterministic gate check: a uniform 2x slowdown of the *baseline's
+    own values* must fail the gate. Independent of the host running it —
+    live measurements never enter the check — so it validates the gate
+    mechanics (and that the baseline still contains at least one
+    strict-tolerance metric able to catch the slowdown) without flaking
+    on fast or slow runners."""
+    synthetic = {
+        bench: {name: entry["value"] * 0.5 for name, entry in metrics.items()}
+        for bench, metrics in doc.get("benches", {}).items()
+    }
+    rc = gate(doc, synthetic, threshold, 1.0)
+    if rc == 0:
+        print("SELF-TEST FAILED: a uniform 2x slowdown of the baseline "
+              "passed the gate — no strict-tolerance metric left?",
+              file=sys.stderr)
+        return 1
+    print("self-test ok: uniform 2x slowdown of the baseline is rejected")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="bench_baseline.json")
+    ap.add_argument("--results",
+                    help="directory of BenchRun --json reports")
+    ap.add_argument("--self-test", action="store_true",
+                    help="check that a 2x slowdown of the baseline's own "
+                         "values fails the gate (exit 0 when it does)")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="default fractional regression tolerance "
+                         f"(default: the baseline's recorded value, else "
+                         f"{DEFAULT_TOLERANCE})")
+    ap.add_argument("--scale-results", type=float, default=1.0,
+                    help="multiply result metrics (0.5 simulates a 2x "
+                         "slowdown; used by the CI gate self-test)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write the baseline from the results instead of "
+                         "gating")
+    args = ap.parse_args()
+
+    if args.self_test:
+        doc = json.loads(pathlib.Path(args.baseline).read_text())
+        return self_test(doc, args.threshold)
+    if not args.results:
+        ap.error("--results is required unless --self-test is given")
+    results = load_results(args.results)
+    if not results:
+        print(f"no bench results under {args.results}", file=sys.stderr)
+        return 1
+    if args.write_baseline:
+        write_baseline(args.baseline, results,
+                       args.threshold if args.threshold is not None
+                       else DEFAULT_TOLERANCE)
+        return 0
+    doc = json.loads(pathlib.Path(args.baseline).read_text())
+    return gate(doc, results, args.threshold, args.scale_results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,14 +18,19 @@ class Clock {
   double NowSeconds() const { return NowMicros() * 1e-6; }
 };
 
+/// Steady-clock microseconds as a free function, for call sites that need
+/// monotonic timestamps (latency measurement) without threading a Clock
+/// through their interface.
+inline uint64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Real wall-clock time.
 class SystemClock : public Clock {
  public:
-  uint64_t NowMicros() const override {
-    return std::chrono::duration_cast<std::chrono::microseconds>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-  }
+  uint64_t NowMicros() const override { return MonotonicMicros(); }
 };
 
 /// Manually advanced clock for tests and simulation.

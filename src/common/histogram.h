@@ -1,0 +1,68 @@
+#ifndef AUTHDB_COMMON_HISTOGRAM_H_
+#define AUTHDB_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace authdb {
+
+/// Fixed-bucket latency histogram: bucket i counts operations whose latency
+/// in microseconds falls in [2^i, 2^{i+1}) (bucket 0 is [0, 2)). Cheap to
+/// record under load, mergeable across client threads, and good enough for
+/// percentile reporting at the resolution a throughput harness needs.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t micros) {
+    ++buckets_[BucketOf(micros)];
+    ++count_;
+    sum_micros_ += micros;
+    if (micros > max_micros_) max_micros_ = micros;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (size_t i = 0; i < buckets_.size(); ++i)
+      buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_micros_ += other.sum_micros_;
+    if (other.max_micros_ > max_micros_) max_micros_ = other.max_micros_;
+  }
+
+  uint64_t count() const { return count_; }
+  double MeanMicros() const {
+    return count_ == 0 ? 0 : static_cast<double>(sum_micros_) / count_;
+  }
+
+  /// Upper edge of the bucket containing the p-quantile (p in [0, 1]).
+  uint64_t PercentileMicros(double p) const {
+    if (count_ == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 1) p = 1;
+    uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
+    if (target >= count_) target = count_ - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > target) return (uint64_t{2} << i) - 1;  // bucket upper edge
+    }
+    return max_micros_;
+  }
+
+  uint64_t MaxMicros() const { return max_micros_; }
+
+ private:
+  static int BucketOf(uint64_t micros) {
+    int b = 0;
+    while ((uint64_t{2} << b) <= micros && b < 39) ++b;
+    return b;
+  }
+
+  std::array<uint64_t, 40> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_micros_ = 0;
+  uint64_t max_micros_ = 0;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_COMMON_HISTOGRAM_H_

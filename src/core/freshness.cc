@@ -37,6 +37,30 @@ UpdateSummary SummaryBuilder::BuildAndSign(uint64_t seq, uint64_t publish_ts,
   return out;
 }
 
+void FreshnessTracker::Publish(uint64_t seq, uint64_t publish_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++publications_;
+  if (seq + 1 > epoch_) {
+    epoch_ = seq + 1;
+    latest_publish_ts_ = publish_ts;
+  }
+}
+
+uint64_t FreshnessTracker::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+uint64_t FreshnessTracker::latest_publish_ts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_publish_ts_;
+}
+
+uint64_t FreshnessTracker::publications() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publications_;
+}
+
 Status FreshnessChecker::AddSummary(const UpdateSummary& summary) {
   if (summaries_.count(summary.seq)) return Status::OK();  // already held
   if (!da_pub_->Verify(summary.SignedMessage().AsSlice(), summary.sig, mode_))

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -32,7 +33,12 @@ struct UpdateSummary {
     buf.PutBytes(Slice(compressed_bitmap));
     return buf;
   }
-  size_t wire_size() const { return compressed_bitmap.size() + 8 * 3 + 20; }
+  /// seq + publish_ts + nbits, the compressed bitmap, and the signature at
+  /// its actual serialized size (not the paper's 160-bit constant — the
+  /// implementation ships uncompressed points; see SizeModel's note).
+  size_t wire_size() const {
+    return compressed_bitmap.size() + 8 * 3 + sig.wire_bytes();
+  }
 };
 
 /// DA-side accumulator for the current rho-period.
@@ -57,6 +63,32 @@ class SummaryBuilder {
  private:
   const BitmapCodec* codec_;
   std::map<uint64_t, uint32_t> marks_;  // rid -> update count this period
+};
+
+/// Server-side epoch bookkeeping for the streaming freshness pipeline. An
+/// *epoch* is `latest published summary seq + 1` (epoch 0 = nothing
+/// published yet): an answer served under epoch e was constructed after
+/// every update of periods 0..e-1 reached the serving shards and summaries
+/// 0..e-1 were available to attach — the invariant the update stream's
+/// summary barrier enforces (server/update_stream.h). Shared between the
+/// ingest path (Publish) and every reader (current_epoch), so thread-safe.
+class FreshnessTracker {
+ public:
+  /// Summary `seq` finished fanning out. Out-of-order publications are
+  /// tolerated (the epoch is the running maximum); duplicates are counted
+  /// but do not move the epoch.
+  void Publish(uint64_t seq, uint64_t publish_ts);
+
+  /// Latest published summary seq + 1; 0 before the first publication.
+  uint64_t current_epoch() const;
+  uint64_t latest_publish_ts() const;
+  uint64_t publications() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  uint64_t latest_publish_ts_ = 0;
+  uint64_t publications_ = 0;
 };
 
 /// Client-side freshness checker. Collects verified summaries and answers:

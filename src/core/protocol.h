@@ -49,6 +49,12 @@ struct SelectionAnswer {
   std::optional<Record> proof_record;
   /// Freshness evidence: summaries since the oldest result signature.
   std::vector<UpdateSummary> summaries;
+  /// Freshness epoch the answer was served under: latest summary seq + 1
+  /// held by the server when it built this answer (0 = none yet). Unsigned
+  /// metadata — the verifier treats it as a claim to cross-check against
+  /// its own view of the summary stream; the signed bitmaps remain the
+  /// actual staleness proof (see ClientVerifier::VerifySelectionFresh).
+  uint64_t served_epoch = 0;
 
   /// VO size under the paper's constants: one aggregate signature + two
   /// boundary values (independent of selectivity — Section 3.3).

@@ -78,6 +78,8 @@ Status QueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
 }
 
 void QueryServer::AddSummary(UpdateSummary summary) {
+  // Running max: the epoch stamp stays correct under out-of-order delivery.
+  if (summary.seq + 1 > latest_epoch_) latest_epoch_ = summary.seq + 1;
   summaries_.push_back(std::move(summary));
   while (summaries_.size() > options_.summaries_retained)
     summaries_.pop_front();
@@ -164,6 +166,7 @@ Result<SelectionAnswer> QueryServer::Select(int64_t lo, int64_t hi,
   for (const UpdateSummary& s : summaries_) {
     if (s.publish_ts >= oldest_ts) ans.summaries.push_back(s);
   }
+  ans.served_epoch = latest_epoch_;
   return ans;
 }
 

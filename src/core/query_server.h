@@ -71,6 +71,7 @@ class QueryServer {
   BufferPool data_pool_, index_pool_;
   AuthTable table_;
   std::deque<UpdateSummary> summaries_;
+  uint64_t latest_epoch_ = 0;  ///< max(seq)+1 over retained summaries
   Options options_;
   // In-memory key order mirror (rank structure for SigCache intervals).
   std::vector<int64_t> sorted_keys_;

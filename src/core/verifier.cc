@@ -1,6 +1,7 @@
 #include "core/verifier.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/chain.h"
@@ -67,6 +68,29 @@ Status ClientVerifier::VerifySelection(int64_t lo, int64_t hi,
   for (const Record& r : ans.records) AUTHDB_RETURN_NOT_OK(check(r));
   if (ans.proof_record) AUTHDB_RETURN_NOT_OK(check(*ans.proof_record));
   return Status::OK();
+}
+
+Status ClientVerifier::VerifySelectionFresh(int64_t lo, int64_t hi,
+                                            const SelectionAnswer& ans,
+                                            uint64_t now, uint64_t min_epoch) {
+  if (ans.served_epoch < min_epoch) {
+    return Status::VerificationFailed(
+        "answer served under epoch " + std::to_string(ans.served_epoch) +
+        " but the summary stream has reached epoch " +
+        std::to_string(min_epoch));
+  }
+  return VerifySelection(lo, hi, ans, now);
+}
+
+std::vector<uint64_t> ClientVerifier::StaleRids(const SelectionAnswer& ans,
+                                                uint64_t now) const {
+  std::vector<uint64_t> stale;
+  auto probe = [&](const Record& r) {
+    if (!freshness_.CheckRecord(r.rid, r.ts, now).ok()) stale.push_back(r.rid);
+  };
+  for (const Record& r : ans.records) probe(r);
+  if (ans.proof_record) probe(*ans.proof_record);
+  return stale;
 }
 
 }  // namespace authdb

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/freshness.h"
 #include "core/protocol.h"
@@ -28,6 +29,23 @@ class ClientVerifier {
   /// summaries attached to the answer are ingested first.
   Status VerifySelection(int64_t lo, int64_t hi, const SelectionAnswer& ans,
                          uint64_t now);
+
+  /// Live-stream variant: everything VerifySelection checks, plus the epoch
+  /// cross-check of the streaming pipeline. A client following the DA's
+  /// summary feed knows the latest epoch independently of the server; an
+  /// answer claiming an older `served_epoch` is rejected outright (a lagging
+  /// or replaying server), and a forged epoch is still caught by the
+  /// per-record bitmap walk because the checker already holds the newer
+  /// summaries the answer pretends do not exist.
+  Status VerifySelectionFresh(int64_t lo, int64_t hi,
+                              const SelectionAnswer& ans, uint64_t now,
+                              uint64_t min_epoch);
+
+  /// Diagnostic companion for attack harnesses: the rids in `ans` whose
+  /// returned version is superseded according to the currently held
+  /// summaries (per-rid decompressed-bitmap walk).
+  std::vector<uint64_t> StaleRids(const SelectionAnswer& ans,
+                                  uint64_t now) const;
 
   /// Authenticity + completeness only (no freshness), for callers driving
   /// the freshness checker themselves.

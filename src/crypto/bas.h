@@ -1,6 +1,7 @@
 #ifndef AUTHDB_CRYPTO_BAS_H_
 #define AUTHDB_CRYPTO_BAS_H_
 
+#include <cstddef>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -18,6 +19,19 @@ namespace authdb {
 /// core/vo_size.h).
 struct BasSignature {
   ECPoint point;
+
+  /// Byte count of this signature under the implementation's wire format
+  /// (CurveGroup::Serialize: x||y, each coordinate padded to the field
+  /// width). The width is recovered from the coordinates themselves — both
+  /// are residues mod p, so the wider one spans the field width except when
+  /// its top byte happens to be zero (a rare 1-byte undercount). The point
+  /// at infinity reports 2 bytes rather than a full field serialization.
+  size_t wire_bytes() const {
+    int bits = point.x.BitLength();
+    if (point.y.BitLength() > bits) bits = point.y.BitLength();
+    size_t coord = static_cast<size_t>(bits + 7) / 8;
+    return 2 * (coord > 0 ? coord : 1);
+  }
 };
 
 /// Shared, immutable BAS domain parameters: a supersingular curve

@@ -34,7 +34,8 @@ uint64_t ShardedQueryServer::size() const {
   return n;
 }
 
-Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
+std::vector<ShardedQueryServer::ShardPiece> ShardedQueryServer::SplitByOwner(
+    const SignedRecordUpdate& msg) const {
   // Split the message by key ownership: the primary payload to its owner,
   // every re-certified record to the shard holding its key. An insert or
   // delete near a shard seam re-chains a neighbor stored on the adjacent
@@ -59,15 +60,44 @@ Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
     per_shard[s].recertified.push_back(cr);
   }
 
+  std::vector<ShardPiece> out;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    if (!active[s]) continue;
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
-    AUTHDB_RETURN_NOT_OK(shards_[s]->qs->ApplyUpdate(per_shard[s]));
+    if (active[s]) out.push_back(ShardPiece{s, std::move(per_shard[s])});
   }
+  return out;
+}
+
+Status ShardedQueryServer::ApplyToShard(size_t shard,
+                                        const SignedRecordUpdate& piece) {
+  AUTHDB_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->qs->ApplyUpdate(piece);
+}
+
+Status ShardedQueryServer::ApplyPieces(const std::vector<ShardPiece>& pieces) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(pieces.size());
+  for (const ShardPiece& sp : pieces) {
+    AUTHDB_CHECK(sp.shard < shards_.size());
+    AUTHDB_CHECK(locks.empty() || pieces[locks.size() - 1].shard < sp.shard);
+    locks.emplace_back(shards_[sp.shard]->mu);
+  }
+  for (const ShardPiece& sp : pieces)
+    AUTHDB_RETURN_NOT_OK(shards_[sp.shard]->qs->ApplyUpdate(sp.piece));
   return Status::OK();
 }
 
+Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
+  return ApplyPieces(SplitByOwner(msg));
+}
+
 void ShardedQueryServer::AddSummary(UpdateSummary summary) {
+  // Epoch first, deque second: a concurrent Select may then stamp an epoch
+  // one publication ahead of the summaries it attaches, which is sound
+  // (the barrier contract says the epoch's updates are already applied),
+  // whereas the opposite order could transiently under-claim and make an
+  // up-to-date client reject an honest answer.
+  tracker_.Publish(summary.seq, summary.publish_ts);
   std::lock_guard<std::mutex> lock(summaries_mu_);
   summaries_.push_back(std::move(summary));
   while (summaries_.size() > options_.shard.summaries_retained)
@@ -102,6 +132,12 @@ Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
   if (lo > hi) return Status::InvalidArgument("lo > hi");
   if (lo == kChainMinusInf || hi == kChainPlusInf)
     return Status::InvalidArgument("range touches chain sentinels");
+
+  // Snapshot the epoch *before* reading any shard: a summary publishing
+  // while the fan-out runs then leaves the stamp under-claiming (answer
+  // fresher than stamped — allowed) instead of over-claiming an epoch
+  // whose updates this answer may predate.
+  const uint64_t epoch_at_start = tracker_.current_epoch();
 
   std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
   std::vector<std::optional<Result<SelectionAnswer>>> subs(cover.size());
@@ -201,6 +237,9 @@ Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
       if (s.publish_ts >= oldest_ts) out.summaries.push_back(s);
     }
   }
+  // The tracker is a running max, so the stamp is also correct when
+  // summaries were delivered out of order.
+  out.served_epoch = epoch_at_start;
   return out;
 }
 

@@ -60,10 +60,41 @@ class ShardedQueryServer {
   /// which can differ when an insert/delete re-chains across a shard seam.
   Status ApplyUpdate(const SignedRecordUpdate& msg);
 
-  /// Retain a freshly published summary. Summaries are server-wide (the
-  /// DA's bitmap covers the whole rid space), so they live at the router
-  /// level rather than in any shard.
+  /// One shard's slice of an update message, produced by SplitByOwner.
+  struct ShardPiece {
+    size_t shard;
+    SignedRecordUpdate piece;
+  };
+  /// Split `msg` by key ownership without applying anything: the primary
+  /// mutation to its owner shard, each re-certified record to *its* owner.
+  /// ApplyUpdate is exactly SplitByOwner + ApplyToShard per piece; the
+  /// streaming pipeline (server/update_stream.h) uses the same split to
+  /// route pieces onto per-shard apply queues instead.
+  std::vector<ShardPiece> SplitByOwner(const SignedRecordUpdate& msg) const;
+
+  /// Apply one piece to one shard under that shard's mutex. The piece must
+  /// only touch keys the shard owns (i.e. come from SplitByOwner).
+  Status ApplyToShard(size_t shard, const SignedRecordUpdate& piece);
+
+  /// Apply a multi-shard split atomically with respect to readers: every
+  /// involved shard mutex is held (in ascending shard order — no other
+  /// path holds two) while all pieces apply, so a concurrent cross-seam
+  /// Select sees either none or all of a seam-re-chaining insert/delete.
+  /// `pieces` must be in ascending shard order, as SplitByOwner emits.
+  /// Atomicity is with respect to concurrent readers, not a transaction:
+  /// a piece failing to apply (a protocol violation — the DA's signed
+  /// messages always apply cleanly) stops the sequence and leaves the
+  /// earlier pieces in place, exactly as ApplyUpdate always has; callers
+  /// must treat a failure as fatal to the replica's integrity.
+  Status ApplyPieces(const std::vector<ShardPiece>& pieces);
+
+  /// Retain a freshly published summary and advance the freshness epoch.
+  /// Summaries are server-wide (the DA's bitmap covers the whole rid
+  /// space), so they live at the router level rather than in any shard.
   void AddSummary(UpdateSummary summary);
+
+  /// Epoch bookkeeping: advanced by AddSummary, stamped onto every answer.
+  const FreshnessTracker& freshness_tracker() const { return tracker_; }
 
   /// Per-call serving statistics (out-param, never instance state).
   struct SelectStats {
@@ -109,6 +140,7 @@ class ShardedQueryServer {
 
   mutable std::mutex summaries_mu_;
   std::deque<UpdateSummary> summaries_;
+  FreshnessTracker tracker_;
 };
 
 }  // namespace authdb

@@ -1,0 +1,172 @@
+#include "server/update_stream.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace authdb {
+
+UpdateStream::UpdateStream(ShardedQueryServer* server, const Options& options)
+    : server_(server), options_(options) {
+  AUTHDB_CHECK(server_ != nullptr);
+  AUTHDB_CHECK(options_.max_queue_depth >= 1);
+  queues_.reserve(server_->shard_count());
+  for (size_t s = 0; s < server_->shard_count(); ++s)
+    queues_.push_back(std::make_unique<ShardQueue>());
+  for (size_t s = 0; s < queues_.size(); ++s)
+    queues_[s]->worker = std::thread([this, s] { WorkerLoop(s); });
+}
+
+UpdateStream::~UpdateStream() { Close(); }
+
+void UpdateStream::Enqueue(size_t shard, Event event) {
+  ShardQueue& q = *queues_[shard];
+  std::unique_lock<std::mutex> lk(q.mu);
+  q.progress.wait(lk, [&] { return q.q.size() < options_.max_queue_depth; });
+  q.q.push_back(std::move(event));
+  ++q.enqueued;
+  if (q.q.size() > q.max_depth_seen) q.max_depth_seen = q.q.size();
+  q.ready.notify_one();
+}
+
+void UpdateStream::PushUpdate(SignedRecordUpdate msg) {
+  std::vector<ShardedQueryServer::ShardPiece> pieces =
+      server_->SplitByOwner(msg);
+  std::lock_guard<std::mutex> lock(push_mu_);
+  AUTHDB_CHECK(!closed_);
+  if (pieces.size() == 1) {
+    Event ev;
+    ev.piece = std::move(pieces[0].piece);
+    Enqueue(pieces[0].shard, std::move(ev));
+  } else if (!pieces.empty()) {
+    // Seam-spanning message: rendezvous so the pieces apply atomically.
+    auto joint = std::make_shared<JointUpdate>();
+    joint->remaining.store(pieces.size());
+    joint->pieces = std::move(pieces);
+    for (const ShardedQueryServer::ShardPiece& sp : joint->pieces) {
+      Event ev;
+      ev.joint = joint;
+      Enqueue(sp.shard, std::move(ev));
+    }
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.updates_pushed;
+}
+
+void UpdateStream::PushSummary(UpdateSummary summary) {
+  auto barrier = std::make_shared<SummaryBarrier>();
+  barrier->summary = std::move(summary);
+  barrier->remaining.store(queues_.size());
+  barrier->enqueue_micros = MonotonicMicros();
+  std::lock_guard<std::mutex> lock(push_mu_);
+  AUTHDB_CHECK(!closed_);
+  for (size_t s = 0; s < queues_.size(); ++s) {
+    Event ev;
+    ev.barrier = barrier;
+    Enqueue(s, std::move(ev));
+  }
+}
+
+void UpdateStream::WorkerLoop(size_t shard) {
+  ShardQueue& q = *queues_[shard];
+  for (;;) {
+    std::unique_lock<std::mutex> lk(q.mu);
+    q.ready.wait(lk, [&] { return !q.q.empty() || stop_.load(); });
+    if (q.q.empty()) break;  // stop requested and fully drained
+    Event ev = std::move(q.q.front());
+    q.q.pop_front();
+    lk.unlock();
+
+    uint64_t applied = 0, failures = 0;
+    if (ev.barrier) {
+      // The worker that takes the barrier to zero is the last shard to
+      // drain past it: every update pushed before the summary has been
+      // applied on every shard, so the epoch may advance.
+      if (ev.barrier->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        uint64_t latency = MonotonicMicros() - ev.barrier->enqueue_micros;
+        server_->AddSummary(std::move(ev.barrier->summary));
+        std::lock_guard<std::mutex> slock(stats_mu_);  // rare: once per rho
+        ++stats_.summaries_published;
+        stats_.publish_latency.Record(latency);
+      }
+    } else if (ev.joint) {
+      // Rendezvous: the last arriver applies every piece under all the
+      // involved shard locks; earlier arrivers wait so nothing behind
+      // them on their queue can overtake the joint apply. Only the
+      // executor tallies the operation, attributing it exactly once.
+      JointUpdate& j = *ev.joint;
+      if (j.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        applied = j.pieces.size();
+        if (!server_->ApplyPieces(j.pieces).ok()) failures = 1;
+        std::lock_guard<std::mutex> jlk(j.mu);
+        j.done = true;
+        j.cv.notify_all();
+      } else {
+        std::unique_lock<std::mutex> jlk(j.mu);
+        j.cv.wait(jlk, [&] { return j.done; });
+      }
+    } else {
+      applied = 1;
+      if (!server_->ApplyToShard(shard, ev.piece).ok()) failures = 1;
+    }
+
+    lk.lock();
+    q.pieces_applied += applied;
+    q.apply_failures += failures;
+    ++q.drained;
+    q.progress.notify_all();
+  }
+}
+
+void UpdateStream::Flush() {
+  // Snapshot the enqueue counts under the push lock so the wait targets
+  // form one consistent cut of the stream, then wait each queue past its
+  // target. A summary publishes inside the event that drains it, so once
+  // every queue reaches its target all barriers in the cut have published.
+  std::vector<uint64_t> targets(queues_.size());
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    for (size_t s = 0; s < queues_.size(); ++s) {
+      std::lock_guard<std::mutex> qlock(queues_[s]->mu);
+      targets[s] = queues_[s]->enqueued;
+    }
+  }
+  for (size_t s = 0; s < queues_.size(); ++s) {
+    ShardQueue& q = *queues_[s];
+    std::unique_lock<std::mutex> lk(q.mu);
+    q.progress.wait(lk, [&] { return q.drained >= targets[s]; });
+  }
+}
+
+void UpdateStream::Close() {
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  stop_.store(true);
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lk(q->mu);
+    q->ready.notify_one();
+  }
+  for (auto& q : queues_) q->worker.join();
+}
+
+UpdateStream::Stats UpdateStream::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lk(q->mu);
+    out.pieces_applied += q->pieces_applied;
+    out.apply_failures += q->apply_failures;
+    if (q->max_depth_seen > out.max_queue_depth_seen)
+      out.max_queue_depth_seen = q->max_depth_seen;
+  }
+  return out;
+}
+
+}  // namespace authdb

@@ -1,0 +1,161 @@
+#ifndef AUTHDB_SERVER_UPDATE_STREAM_H_
+#define AUTHDB_SERVER_UPDATE_STREAM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/protocol.h"
+#include "server/sharded_query_server.h"
+
+namespace authdb {
+
+/// Streaming ingest of DA output into a live ShardedQueryServer: record
+/// updates and rho-period summaries are applied *concurrently with reads*
+/// instead of in quiesced bulk reloads.
+///
+/// Architecture — one apply queue + worker thread per shard:
+///
+///   DA ──PushUpdate──► SplitByOwner ──► [q0] worker0 ──► shard 0
+///                                   └─► [q1] worker1 ──► shard 1   ...
+///      ──PushSummary─► barrier fan-out to every queue ──────────────┐
+///                       last worker over the barrier publishes the  │
+///                       summary and advances the freshness epoch ◄──┘
+///
+/// Ordering contract (what makes reads "epoch-verified"):
+///  * Per shard, pieces apply in push order (FIFO queues), so a shard's
+///    state is always a prefix of the DA's history restricted to its keys.
+///  * A summary is enqueued to *every* shard queue behind all updates
+///    pushed before it; it publishes (ShardedQueryServer::AddSummary, which
+///    advances the FreshnessTracker epoch) only when the last worker has
+///    reached it. Hence: an answer stamped with epoch e reflects every
+///    update of periods 0..e-1 — the server can never claim an epoch whose
+///    updates it has not applied.
+///  * Workers may run ahead of a barrier on other shards; answers can
+///    therefore be *fresher* than their stamped epoch, never staler.
+///  * An update whose split spans several shards (a seam-re-chaining
+///    insert/delete, or piggybacked renewals) is a rendezvous: the
+///    involved workers park at the event and the last to arrive applies
+///    every piece under all the shard locks at once
+///    (ShardedQueryServer::ApplyPieces). A cross-seam read therefore never
+///    observes half of a re-chaining — the queues cannot stretch the
+///    seam-consistency window the way independent per-shard applies
+///    would. Rendezvous cannot deadlock: producers enqueue each event to
+///    all its queues in one push_mu_ critical section, so any two events
+///    appear in the same relative order on every queue they share.
+///
+/// Producers (typically the single DA feed) block when a shard queue is
+/// `max_queue_depth` deep — backpressure instead of unbounded memory.
+/// Multiple producers are safe; their relative order is serialized at the
+/// push mutex.
+class UpdateStream {
+ public:
+  struct Options {
+    size_t max_queue_depth = 4096;  ///< per-shard backpressure bound
+  };
+
+  /// `server` must outlive the stream.
+  UpdateStream(ShardedQueryServer* server, const Options& options);
+  ~UpdateStream();
+
+  UpdateStream(const UpdateStream&) = delete;
+  UpdateStream& operator=(const UpdateStream&) = delete;
+
+  /// Route one DA update message onto the owning shard queue(s). Blocks
+  /// while every target queue is at the backpressure bound.
+  void PushUpdate(SignedRecordUpdate msg);
+
+  /// Fan a freshly certified summary out to every shard queue as an epoch
+  /// barrier; it publishes once all shards have drained past it.
+  void PushSummary(UpdateSummary summary);
+
+  /// Block until everything pushed before the call has been applied (and
+  /// any summary among it published).
+  void Flush();
+
+  /// Drain all queues, publish pending summaries, stop the workers. Called
+  /// by the destructor; idempotent. No pushes may race with or follow it.
+  void Close();
+
+  struct Stats {
+    uint64_t updates_pushed = 0;      ///< PushUpdate calls
+    uint64_t pieces_applied = 0;      ///< per-shard apply operations
+    uint64_t summaries_published = 0;
+    uint64_t apply_failures = 0;      ///< rejected by a shard (logged)
+    size_t max_queue_depth_seen = 0;  ///< high-water mark across shards
+    LatencyHistogram publish_latency;  ///< PushSummary -> epoch advance
+  };
+  Stats stats() const;
+
+ private:
+  /// Summary fan-out marker shared by all shard queues. The worker that
+  /// decrements `remaining` to zero — necessarily the last shard to drain
+  /// past the barrier — publishes.
+  struct SummaryBarrier {
+    UpdateSummary summary;
+    std::atomic<size_t> remaining;
+    uint64_t enqueue_micros = 0;
+  };
+
+  /// Multi-shard update rendezvous: shared by the involved shard queues;
+  /// the last arriving worker applies every piece atomically while the
+  /// others wait, preserving each queue's FIFO order past the event. The
+  /// executor alone accounts for the applied pieces (and any failure), so
+  /// stats attribute each apply operation exactly once.
+  struct JointUpdate {
+    std::vector<ShardedQueryServer::ShardPiece> pieces;
+    std::atomic<size_t> remaining;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct Event {
+    SignedRecordUpdate piece;  ///< valid iff neither pointer is set
+    std::shared_ptr<SummaryBarrier> barrier;  ///< summary marker
+    std::shared_ptr<JointUpdate> joint;       ///< multi-shard update
+  };
+
+  struct ShardQueue {
+    std::mutex mu;
+    std::condition_variable ready;     ///< worker wakeup
+    std::condition_variable progress;  ///< backpressure + Flush wakeup
+    std::deque<Event> q;
+    uint64_t enqueued = 0;
+    uint64_t drained = 0;
+    // Hot-path counters live here — under the mutex the worker and
+    // Enqueue already hold — so the per-event path never touches the
+    // global stats lock; stats() merges across shards.
+    uint64_t pieces_applied = 0;
+    uint64_t apply_failures = 0;
+    size_t max_depth_seen = 0;
+    std::thread worker;
+  };
+
+  void WorkerLoop(size_t shard);
+  /// Enqueue under queues_[shard]->mu, honoring the backpressure bound.
+  void Enqueue(size_t shard, Event event);
+
+  ShardedQueryServer* server_;
+  Options options_;
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+  std::mutex push_mu_;  ///< serializes producers: same order on all queues
+  std::atomic<bool> stop_{false};
+  bool closed_ = false;  ///< guarded by push_mu_
+
+  /// Guards the producer-side and per-publication tallies (updates_pushed,
+  /// summaries_published, publish_latency) — all off the per-event path.
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_SERVER_UPDATE_STREAM_H_

@@ -1,57 +1,15 @@
 #include "sim/multi_client.h"
 
 #include <algorithm>
-#include <chrono>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
 
 namespace authdb {
-
-namespace {
-int BucketOf(uint64_t micros) {
-  int b = 0;
-  while ((uint64_t{2} << b) <= micros && b < 39) ++b;
-  return b;
-}
-
-uint64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
-
-void LatencyHistogram::Record(uint64_t micros) {
-  ++buckets_[BucketOf(micros)];
-  ++count_;
-  sum_micros_ += micros;
-  if (micros > max_micros_) max_micros_ = micros;
-}
-
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
-  sum_micros_ += other.sum_micros_;
-  if (other.max_micros_ > max_micros_) max_micros_ = other.max_micros_;
-}
-
-uint64_t LatencyHistogram::PercentileMicros(double p) const {
-  if (count_ == 0) return 0;
-  if (p < 0) p = 0;
-  if (p > 1) p = 1;
-  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
-  if (target >= count_) target = count_ - 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen > target) return (uint64_t{2} << i) - 1;  // bucket upper edge
-  }
-  return max_micros_;
-}
 
 MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
                                      std::vector<SignedRecordUpdate> updates,
@@ -84,18 +42,18 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
         if (next_update < updates.size()) upd = &updates[next_update++];
       }
       if (upd != nullptr) {
-        uint64_t t0 = NowMicros();
+        uint64_t t0 = MonotonicMicros();
         Status s = server->ApplyUpdate(*upd);
-        me.update_latency.Record(NowMicros() - t0);
+        me.update_latency.Record(MonotonicMicros() - t0);
         ++me.updates;
         if (!s.ok()) ++me.failures;
       } else {
         int64_t lo = options.key_lo +
                      static_cast<int64_t>(rng.Uniform(domain - span + 1));
         int64_t hi = lo + static_cast<int64_t>(span) - 1;
-        uint64_t t0 = NowMicros();
+        uint64_t t0 = MonotonicMicros();
         auto ans = server->Select(lo, hi);
-        me.query_latency.Record(NowMicros() - t0);
+        me.query_latency.Record(MonotonicMicros() - t0);
         ++me.queries;
         // An empty relation is a workload configuration error, not a
         // serving failure; everything else that is not OK counts.
@@ -104,12 +62,12 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
     }
   };
 
-  uint64_t t_start = NowMicros();
+  uint64_t t_start = MonotonicMicros();
   std::vector<std::thread> threads;
   threads.reserve(options.clients);
   for (size_t i = 0; i < options.clients; ++i) threads.emplace_back(client, i);
   for (std::thread& t : threads) t.join();
-  uint64_t t_end = NowMicros();
+  uint64_t t_end = MonotonicMicros();
 
   MultiClientReport report;
   for (const PerClient& pc : per_client) {

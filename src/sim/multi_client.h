@@ -1,39 +1,15 @@
 #ifndef AUTHDB_SIM_MULTI_CLIENT_H_
 #define AUTHDB_SIM_MULTI_CLIENT_H_
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/histogram.h"
 #include "core/protocol.h"
 #include "server/sharded_query_server.h"
 
 namespace authdb {
-
-/// Fixed-bucket latency histogram: bucket i counts operations whose latency
-/// in microseconds falls in [2^i, 2^{i+1}) (bucket 0 is [0, 2)). Cheap to
-/// record under load, mergeable across client threads, and good enough for
-/// percentile reporting at the resolution a throughput harness needs.
-class LatencyHistogram {
- public:
-  void Record(uint64_t micros);
-  void Merge(const LatencyHistogram& other);
-
-  uint64_t count() const { return count_; }
-  double MeanMicros() const {
-    return count_ == 0 ? 0 : static_cast<double>(sum_micros_) / count_;
-  }
-  /// Upper edge of the bucket containing the p-quantile (p in [0, 1]).
-  uint64_t PercentileMicros(double p) const;
-  uint64_t MaxMicros() const { return max_micros_; }
-
- private:
-  std::array<uint64_t, 40> buckets_{};
-  uint64_t count_ = 0;
-  uint64_t sum_micros_ = 0;
-  uint64_t max_micros_ = 0;
-};
 
 /// Closed-loop multi-client load: each client thread issues its next
 /// operation the moment the previous one completes (no think time), drawing

@@ -1,0 +1,410 @@
+// End-to-end tests for the streaming freshness pipeline: UpdateStream
+// ingest into the sharded server, epoch-stamped answers, the verifier's
+// epoch cross-check, and the staleness-attack harness. The suite carries
+// the `freshness` and `concurrency` CTest labels — the CI TSan job runs it
+// to certify the concurrent ingest path data-race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/data_aggregator.h"
+#include "core/verifier.h"
+#include "server/sharded_query_server.h"
+#include "server/update_stream.h"
+#include "sim/staleness_attack.h"
+
+namespace authdb {
+namespace {
+
+using HashMode = BasContext::HashMode;
+
+TEST(FreshnessTrackerTest, EpochIsLatestSeqPlusOne) {
+  FreshnessTracker tracker;
+  EXPECT_EQ(tracker.current_epoch(), 0u);
+  tracker.Publish(0, 1000);
+  EXPECT_EQ(tracker.current_epoch(), 1u);
+  EXPECT_EQ(tracker.latest_publish_ts(), 1000u);
+  tracker.Publish(1, 2000);
+  EXPECT_EQ(tracker.current_epoch(), 2u);
+  EXPECT_EQ(tracker.publications(), 2u);
+}
+
+TEST(FreshnessTrackerTest, OutOfOrderAndDuplicatesDoNotRegress) {
+  FreshnessTracker tracker;
+  tracker.Publish(2, 3000);
+  tracker.Publish(1, 2000);  // late arrival: counted, epoch unchanged
+  tracker.Publish(2, 3000);  // duplicate
+  EXPECT_EQ(tracker.current_epoch(), 3u);
+  EXPECT_EQ(tracker.latest_publish_ts(), 3000u);
+  EXPECT_EQ(tracker.publications(), 3u);
+}
+
+class FreshnessPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0xF00D);
+    ctx_ = new std::shared_ptr<const BasContext>(
+        BasContext::Generate(96, 64, &rng));
+  }
+
+  void SetUp() override {
+    clock_.SetMicros(1'000'000);
+    rng_ = std::make_unique<Rng>(21);
+    DataAggregator::Options opt;
+    opt.record_len = 128;
+    opt.piggyback_renewal = false;
+    da_ = std::make_unique<DataAggregator>(*ctx_, &clock_, rng_.get(), opt);
+  }
+
+  std::unique_ptr<ShardedQueryServer> MakeServer(size_t shards,
+                                                 int64_t n_keys) {
+    ShardedQueryServer::Options sopt;
+    sopt.shard.record_len = 128;
+    sopt.worker_threads = shards;
+    auto server = std::make_unique<ShardedQueryServer>(
+        *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), sopt);
+    std::vector<Record> records;
+    for (int64_t k = 0; k < n_keys; ++k) {
+      Record r;
+      r.attrs = {k, k * 2};
+      records.push_back(r);
+    }
+    auto stream = da_->BulkLoad(std::move(records));
+    EXPECT_TRUE(stream.ok());
+    for (const auto& msg : stream.value())
+      EXPECT_TRUE(server->ApplyUpdate(msg).ok());
+    return server;
+  }
+
+  /// Close the DA's rho-period into the stream: re-certifications first
+  /// (they belong to the new period), then the summary as epoch barrier.
+  void StreamPeriod(UpdateStream* stream, uint64_t advance = 1'000'000) {
+    clock_.AdvanceMicros(advance);
+    DataAggregator::PeriodOutput out = da_->PublishSummary();
+    for (const auto& msg : out.recertifications) stream->PushUpdate(msg);
+    stream->PushSummary(std::move(out.summary));
+  }
+
+  static std::shared_ptr<const BasContext>* ctx_;
+  ManualClock clock_;
+  std::unique_ptr<Rng> rng_;
+  VarintGapCodec codec_;
+  std::unique_ptr<DataAggregator> da_;
+};
+std::shared_ptr<const BasContext>* FreshnessPipelineTest::ctx_ = nullptr;
+
+TEST_F(FreshnessPipelineTest, StreamAppliesUpdatesAndPublishesEpoch) {
+  auto server = MakeServer(4, 64);
+  UpdateStream stream(server.get(), UpdateStream::Options{});
+  StreamPeriod(&stream);  // summary 0 certifies the bulk load
+  stream.Flush();
+  EXPECT_EQ(server->freshness_tracker().current_epoch(), 1u);
+
+  clock_.AdvanceMicros(250'000);
+  for (int64_t key = 0; key < 16; ++key) {  // distinct: no re-certifications
+    auto msg = da_->ModifyRecord(key, {key, 5000 + key});
+    ASSERT_TRUE(msg.ok());
+    stream.PushUpdate(std::move(msg.value()));
+  }
+  StreamPeriod(&stream);
+  stream.Flush();
+
+  EXPECT_EQ(server->freshness_tracker().current_epoch(), 2u);
+  UpdateStream::Stats stats = stream.stats();
+  EXPECT_EQ(stats.updates_pushed, 16u);
+  EXPECT_EQ(stats.summaries_published, 2u);
+  EXPECT_EQ(stats.apply_failures, 0u);
+  EXPECT_EQ(stats.pieces_applied, 16u);
+  EXPECT_EQ(stats.publish_latency.count(), 2u);
+
+  // Answers are stamped with the published epoch and still verify.
+  auto ans = server->Select(0, 63);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().served_epoch, 2u);
+  ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
+  EXPECT_TRUE(verifier
+                  .VerifySelectionFresh(0, 63, ans.value(), clock_.NowMicros(),
+                                        /*min_epoch=*/2)
+                  .ok());
+}
+
+TEST_F(FreshnessPipelineTest, BackpressureBoundsQueueDepthWithoutDeadlock) {
+  auto server = MakeServer(2, 32);
+  UpdateStream::Options sopt;
+  sopt.max_queue_depth = 2;
+  UpdateStream stream(server.get(), sopt);
+  for (int i = 0; i < 50; ++i) {
+    int64_t key = static_cast<int64_t>(rng_->Uniform(32));
+    auto msg = da_->ModifyRecord(key, {key, i});
+    ASSERT_TRUE(msg.ok());
+    stream.PushUpdate(std::move(msg.value()));
+  }
+  stream.Flush();
+  UpdateStream::Stats stats = stream.stats();
+  EXPECT_EQ(stats.pieces_applied, 50u);
+  EXPECT_LE(stats.max_queue_depth_seen, 2u);
+  EXPECT_EQ(stats.apply_failures, 0u);
+}
+
+TEST_F(FreshnessPipelineTest, SummaryBarrierWaitsForEveryShard) {
+  // A burst touching every shard, then the epoch barrier: when the epoch
+  // has advanced, every update pushed before the summary must be visible.
+  auto server = MakeServer(4, 64);
+  UpdateStream stream(server.get(), UpdateStream::Options{});
+  StreamPeriod(&stream);
+  stream.Flush();
+
+  clock_.AdvanceMicros(250'000);
+  for (int64_t key = 0; key < 64; ++key) {
+    auto msg = da_->ModifyRecord(key, {key, 9000 + key});
+    ASSERT_TRUE(msg.ok());
+    stream.PushUpdate(std::move(msg.value()));
+  }
+  StreamPeriod(&stream);
+  stream.Flush();
+
+  ASSERT_EQ(server->freshness_tracker().current_epoch(), 2u);
+  auto ans = server->Select(0, 63);
+  ASSERT_TRUE(ans.ok());
+  ASSERT_EQ(ans.value().records.size(), 64u);
+  for (const Record& r : ans.value().records)
+    EXPECT_EQ(r.attrs[1], 9000 + r.key());
+}
+
+TEST_F(FreshnessPipelineTest, CloseIsIdempotentAndDrains) {
+  auto server = MakeServer(2, 32);
+  auto stream =
+      std::make_unique<UpdateStream>(server.get(), UpdateStream::Options{});
+  StreamPeriod(stream.get());
+  stream->Flush();
+  clock_.AdvanceMicros(250'000);
+  for (int64_t key = 0; key < 10; ++key) {  // distinct: no re-certifications
+    auto msg = da_->ModifyRecord(key, {key, 100 + key});
+    ASSERT_TRUE(msg.ok());
+    stream->PushUpdate(std::move(msg.value()));
+  }
+  StreamPeriod(stream.get());
+  stream->Close();  // drains the backlog, publishes the pending summary
+  stream->Close();  // idempotent
+  UpdateStream::Stats stats = stream->stats();
+  EXPECT_EQ(stats.pieces_applied, 10u);
+  EXPECT_EQ(stats.summaries_published, 2u);
+  stream.reset();  // destructor after explicit Close is a no-op
+  EXPECT_EQ(server->freshness_tracker().current_epoch(), 2u);
+}
+
+TEST_F(FreshnessPipelineTest, VerifierRejectsStaleEpochClaim) {
+  auto server = MakeServer(2, 32);
+  ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
+
+  // Served before any summary: epoch 0. A client that has seen epoch 1
+  // must reject it even though the content is authentic.
+  auto ans = server->Select(4, 9);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().served_epoch, 0u);
+  EXPECT_TRUE(verifier
+                  .VerifySelectionFresh(4, 9, ans.value(), clock_.NowMicros(),
+                                        /*min_epoch=*/1)
+                  .IsVerificationFailed());
+  // The same answer is fine for a client with no fresher knowledge.
+  EXPECT_TRUE(verifier
+                  .VerifySelectionFresh(4, 9, ans.value(), clock_.NowMicros(),
+                                        /*min_epoch=*/0)
+                  .ok());
+}
+
+TEST_F(FreshnessPipelineTest, ConcurrentIngestAndEpochVerifiedReads) {
+  // Readers verify the live epoch stamp while a writer streams three
+  // periods of updates + summaries; run under TSan in CI.
+  auto server = MakeServer(4, 128);
+  UpdateStream stream(server.get(), UpdateStream::Options{});
+  StreamPeriod(&stream);
+  stream.Flush();
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> read_failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(700 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        int64_t lo = static_cast<int64_t>(rng.Uniform(120));
+        auto ans = server->Select(lo, lo + 7);
+        if (!ans.ok() || ans.value().served_epoch < 1) ++read_failures;
+      }
+    });
+  }
+  for (int period = 0; period < 3; ++period) {
+    for (int i = 0; i < 30; ++i) {
+      int64_t key = static_cast<int64_t>(rng_->Uniform(128));
+      auto msg = da_->ModifyRecord(key, {key, period * 100 + i});
+      ASSERT_TRUE(msg.ok());
+      stream.PushUpdate(std::move(msg.value()));
+    }
+    StreamPeriod(&stream);
+  }
+  stream.Flush();
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(read_failures.load(), 0u);
+  EXPECT_EQ(server->freshness_tracker().current_epoch(), 4u);
+  // Quiesced: the final state verifies under the final epoch.
+  ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
+  auto ans = server->Select(0, 127);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_TRUE(verifier
+                  .VerifySelectionFresh(0, 127, ans.value(),
+                                        clock_.NowMicros(), /*min_epoch=*/4)
+                  .ok());
+}
+
+TEST_F(FreshnessPipelineTest, CrossSeamChurnAppliesAtomically) {
+  // Inserts/deletes at shard seams split into multi-shard pieces; the
+  // stream applies them via the ApplyPieces rendezvous (all involved
+  // shard locks held at once), so concurrent readers never observe a
+  // half-applied re-chaining in the stored state. Run under TSan in CI.
+  auto server = MakeServer(4, 64);  // seams at 16, 32, 48
+  UpdateStream stream(server.get(), UpdateStream::Options{});
+  StreamPeriod(&stream);
+  stream.Flush();
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> read_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(900 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        int64_t lo = 10 + static_cast<int64_t>(rng.Uniform(40));
+        auto ans = server->Select(lo, lo + 12);  // spans a seam
+        if (!ans.ok()) ++read_errors;
+      }
+    });
+  }
+  const int64_t seams[] = {16, 32, 48};
+  for (int round = 0; round < 12; ++round) {
+    int64_t key = seams[round % 3];
+    auto del = da_->DeleteRecord(key);  // re-chains neighbors across seams
+    ASSERT_TRUE(del.ok());
+    stream.PushUpdate(std::move(del.value()));
+    auto ins = da_->InsertRecord({key, 7000 + round});
+    ASSERT_TRUE(ins.ok());
+    stream.PushUpdate(std::move(ins.value()));
+  }
+  StreamPeriod(&stream);
+  stream.Flush();
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(stream.stats().apply_failures, 0u);
+  // Quiesced: the churned state is complete and verifiable.
+  ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
+  auto ans = server->Select(0, 63);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().records.size(), 64u);
+  EXPECT_TRUE(verifier.VerifySelectionStatic(0, 63, ans.value()).ok());
+}
+
+TEST_F(FreshnessPipelineTest, MultiUpdateRecertifiedAcrossConsecutivePeriods) {
+  // Section 3.1 granularity rule: two updates to one record inside a
+  // rho-period leave the intermediate version undetectable by that
+  // period's summary alone; closing the period therefore re-certifies the
+  // record in the next period, whose summary then invalidates every
+  // pre-recert version — the 2*rho staleness bound, across two
+  // consecutive periods.
+  auto server = MakeServer(2, 16);
+  UpdateStream stream(server.get(), UpdateStream::Options{});
+  StreamPeriod(&stream);  // summary 0 certifies the bulk load
+  stream.Flush();
+
+  clock_.AdvanceMicros(250'000);
+  auto v1 = da_->ModifyRecord(7, {7, 100});
+  ASSERT_TRUE(v1.ok());
+  stream.PushUpdate(v1.value());
+  clock_.AdvanceMicros(250'000);
+  auto v2 = da_->ModifyRecord(7, {7, 200});
+  ASSERT_TRUE(v2.ok());
+  stream.PushUpdate(v2.value());
+
+  // Close period 1: the summary marks rid 7, and the DA re-certifies the
+  // multi-updated record into period 2.
+  clock_.AdvanceMicros(500'000);
+  DataAggregator::PeriodOutput p1 = da_->PublishSummary();
+  ASSERT_EQ(p1.recertifications.size(), 1u);
+  ASSERT_EQ(p1.recertifications[0].recertified.size(), 1u);
+  EXPECT_EQ(p1.recertifications[0].recertified[0].record.key(), 7);
+  for (const auto& msg : p1.recertifications) stream.PushUpdate(msg);
+  stream.PushSummary(p1.summary);
+  stream.Flush();
+
+  ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
+  uint64_t now = clock_.NowMicros();
+  // Prime the checker through a live answer (carries summaries 0..1).
+  auto live = server->Select(7, 7);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(verifier.VerifySelection(7, 7, live.value(), now).ok());
+  // After summary 1 alone, the intermediate version v1 hides inside its own
+  // period's mark — not yet provably stale (the 2*rho window).
+  Record v1_rec = v1.value().record->record;
+  EXPECT_TRUE(
+      verifier.freshness().CheckRecord(v1_rec.rid, v1_rec.ts, now).ok());
+
+  // Close period 2 (no new updates): its summary carries the
+  // re-certification mark; v1 and v2 both become provably stale while the
+  // re-certified current version stays fresh.
+  clock_.AdvanceMicros(1'000'000);
+  DataAggregator::PeriodOutput p2 = da_->PublishSummary();
+  EXPECT_TRUE(p2.recertifications.empty());  // no carryover past one period
+  stream.PushSummary(p2.summary);
+  stream.Flush();
+  now = clock_.NowMicros();
+  ASSERT_TRUE(verifier.freshness().AddSummary(p2.summary).ok());
+  Record v2_rec = v2.value().record->record;
+  EXPECT_TRUE(verifier.freshness()
+                  .CheckRecord(v1_rec.rid, v1_rec.ts, now)
+                  .IsVerificationFailed());
+  EXPECT_TRUE(verifier.freshness()
+                  .CheckRecord(v2_rec.rid, v2_rec.ts, now)
+                  .IsVerificationFailed());
+  auto current = server->Select(7, 7);
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(verifier
+                  .VerifySelectionFresh(7, 7, current.value(), now,
+                                        /*min_epoch=*/3)
+                  .ok());
+}
+
+TEST_F(FreshnessPipelineTest, StalenessAttackAllReplaysCaught) {
+  // Acceptance criterion: across >= 3 rho-periods on 4 shards with
+  // concurrent ingest, the verifier rejects 100% of replayed answers and
+  // accepts every honest one.
+  StalenessAttackOptions opt;
+  opt.shards = 4;
+  opt.periods = 3;
+  opt.n_records = 128;
+  opt.victims_per_period = 6;
+  opt.extra_updates_per_period = 12;
+  opt.reader_threads = 2;
+  opt.reads_per_reader = 20;
+  StalenessAttackReport report = RunStalenessAttack(*ctx_, opt);
+
+  EXPECT_EQ(report.periods_run, 3u);
+  EXPECT_EQ(report.replayed_answers, 18u);
+  EXPECT_EQ(report.replays_rejected, report.replayed_answers);
+  EXPECT_EQ(report.replays_rejected_bitmap_only, report.replayed_answers);
+  EXPECT_EQ(report.replays_stale_rid_flagged, report.replayed_answers);
+  EXPECT_EQ(report.honest_accepted, report.honest_answers);
+  EXPECT_GT(report.honest_answers, 0u);
+  EXPECT_EQ(report.final_epoch, 4u);  // bulk summary + 3 periods
+  EXPECT_TRUE(report.Clean());
+}
+
+}  // namespace
+}  // namespace authdb

@@ -118,6 +118,52 @@ TEST_F(FreshnessTest, MultiUpdateTrackingForRecertification) {
   EXPECT_EQ(multi[0], 3u);
 }
 
+TEST_F(FreshnessTest, MultiUpdateStateResetsAcrossConsecutivePeriods) {
+  // Section 3.1 granularity rule across two consecutive periods: closing a
+  // period consumes the multi-update set (the DA re-certifies those rids
+  // in the *next* period), so the next period starts clean, and the
+  // re-certification mark it receives counts as a single update there.
+  SummaryBuilder builder(&codec_);
+  builder.MarkUpdated(3);
+  builder.MarkUpdated(3);
+  ASSERT_EQ(builder.MultiUpdatedRids().size(), 1u);
+  UpdateSummary s0 = Publish(&builder, 0, 1000);
+  EXPECT_EQ(builder.pending_updates(), 0u);
+  EXPECT_TRUE(builder.MultiUpdatedRids().empty());
+  EXPECT_TRUE(codec_.Decode(Slice(s0.compressed_bitmap)).Get(3));
+
+  builder.MarkUpdated(3);  // the period-1 re-certification of rid 3
+  EXPECT_TRUE(builder.MultiUpdatedRids().empty());  // single mark: no cascade
+  UpdateSummary s1 = Publish(&builder, 1, 2000);
+  EXPECT_TRUE(codec_.Decode(Slice(s1.compressed_bitmap)).Get(3));
+
+  // The chained effect on the freshness rule: a version certified in
+  // period 0 is invalidated by the period-1 mark.
+  FreshnessChecker checker(&key_->public_key(), &codec_, HashMode::kFast);
+  ASSERT_TRUE(checker.AddSummary(s0).ok());
+  ASSERT_TRUE(checker.AddSummary(s1).ok());
+  EXPECT_TRUE(checker.CheckRecord(3, 500, 2500).IsVerificationFailed());
+  EXPECT_TRUE(checker.CheckRecord(3, 1500, 2500).ok());  // own-period mark
+}
+
+TEST_F(FreshnessTest, WireSizeUsesActualSignatureSize) {
+  SummaryBuilder builder(&codec_);
+  builder.MarkUpdated(42);
+  UpdateSummary s = Publish(&builder, 0, 1000);
+  // Fixed overhead: seq, publish_ts, nbits (8 bytes each), plus the
+  // signature at its serialized size — not the paper's 20-byte constant.
+  EXPECT_EQ(s.wire_size(),
+            s.compressed_bitmap.size() + 24 + s.sig.wire_bytes());
+  // The signature's self-reported size tracks the real point serialization
+  // (2 x field width; at most one padding byte per coordinate off when a
+  // leading byte is zero).
+  size_t serialized = (*ctx_)->curve().Serialize(s.sig.point).size();
+  EXPECT_LE(s.sig.wire_bytes(), serialized);
+  EXPECT_GE(s.sig.wire_bytes() + 2, serialized);
+  // The 96-bit test field already overflows the old hard-coded constant.
+  EXPECT_GT(s.sig.wire_bytes(), 20u);
+}
+
 TEST_F(FreshnessTest, SummarySizeTracksUpdateCount) {
   SummaryBuilder builder(&codec_);
   for (uint64_t rid = 0; rid < 10; ++rid) builder.MarkUpdated(rid * 97);
