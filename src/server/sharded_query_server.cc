@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -71,7 +72,14 @@ Status ShardedQueryServer::ApplyToShard(size_t shard,
                                         const SignedRecordUpdate& piece) {
   AUTHDB_CHECK(shard < shards_.size());
   std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  return shards_[shard]->qs->ApplyUpdate(piece);
+  // Every apply — even single-shard — bumps the owning shard's apply
+  // seqlock (odd while in flight): a single-shard insert/delete cannot
+  // tear a *stitch*, but it can tear a read that later probes this shard
+  // for a global boundary after its own sub-read lock was released.
+  shards_[shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
+  Status st = shards_[shard]->qs->ApplyUpdate(piece);
+  shards_[shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
+  return st;
 }
 
 Status ShardedQueryServer::ApplyPieces(const std::vector<ShardPiece>& pieces) {
@@ -82,9 +90,33 @@ Status ShardedQueryServer::ApplyPieces(const std::vector<ShardPiece>& pieces) {
     AUTHDB_CHECK(locks.empty() || pieces[locks.size() - 1].shard < sp.shard);
     locks.emplace_back(shards_[sp.shard]->mu);
   }
-  for (const ShardPiece& sp : pieces)
-    AUTHDB_RETURN_NOT_OK(shards_[sp.shard]->qs->ApplyUpdate(sp.piece));
-  return Status::OK();
+  // Writer half of the seqlocks, bumped under the full lockset so a
+  // reader's sub-read of any involved shard orders against the bumps
+  // through that shard's mutex. A joint apply marks each involved
+  // shard's seam counter (odd while in flight) — stitched readers
+  // validate only the shards they covered, so applies on disjoint shards
+  // never invalidate them — and every apply marks each touched shard's
+  // apply counter, which readers validate for the shards their boundary
+  // probes examined (a probe can be torn by *any* apply to an examined
+  // shard, including a single-shard one re-chaining next to the probed
+  // boundary; applies elsewhere cannot affect a record the read cited).
+  const bool joint = pieces.size() > 1;
+  for (const ShardPiece& sp : pieces) {
+    if (joint)
+      shards_[sp.shard]->seam_seq.fetch_add(1, std::memory_order_acq_rel);
+    shards_[sp.shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
+  }
+  Status st = Status::OK();
+  for (const ShardPiece& sp : pieces) {
+    st = shards_[sp.shard]->qs->ApplyUpdate(sp.piece);
+    if (!st.ok()) break;
+  }
+  for (const ShardPiece& sp : pieces) {
+    shards_[sp.shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
+    if (joint)
+      shards_[sp.shard]->seam_seq.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return st;
 }
 
 Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
@@ -105,11 +137,13 @@ void ShardedQueryServer::AddSummary(UpdateSummary summary) {
 }
 
 std::optional<AuthTable::Item> ShardedQueryServer::GlobalPredecessor(
-    int64_t key) const {
+    int64_t key, bool locked, std::vector<bool>* visited) const {
   // The owner shard may hold the predecessor; otherwise it is the greatest
   // record of the nearest non-empty shard to the left.
   for (size_t s = router_.ShardOf(key) + 1; s-- > 0;) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    if (visited != nullptr) (*visited)[s] = true;
+    std::unique_lock<std::mutex> lock(shards_[s]->mu, std::defer_lock);
+    if (!locked) lock.lock();
     auto item = shards_[s]->qs->PredecessorItem(key);
     if (item) return item;
   }
@@ -117,9 +151,11 @@ std::optional<AuthTable::Item> ShardedQueryServer::GlobalPredecessor(
 }
 
 std::optional<AuthTable::Item> ShardedQueryServer::GlobalSuccessor(
-    int64_t key) const {
+    int64_t key, bool locked, std::vector<bool>* visited) const {
   for (size_t s = router_.ShardOf(key); s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    if (visited != nullptr) (*visited)[s] = true;
+    std::unique_lock<std::mutex> lock(shards_[s]->mu, std::defer_lock);
+    if (!locked) lock.lock();
     auto item = shards_[s]->qs->SuccessorItem(key);
     if (item) return item;
   }
@@ -128,10 +164,94 @@ std::optional<AuthTable::Item> ShardedQueryServer::GlobalSuccessor(
 
 Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
                                                    SelectStats* stats) const {
-  if (stats != nullptr) *stats = SelectStats{};  // per-call counters
+  if (stats != nullptr) *stats = SelectStats{};  // even on early error returns
   if (lo > hi) return Status::InvalidArgument("lo > hi");
   if (lo == kChainMinusInf || hi == kChainPlusInf)
     return Status::InvalidArgument("range touches chain sentinels");
+  const std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
+
+  // Reader half of the seqlocks. Sub-reads take their shard locks
+  // independently, so without validation a cross-seam read could see one
+  // shard before a seam-re-chaining joint apply and the adjacent shard
+  // after it — a stitch mixing old and new chain certifications that an
+  // honest verifier must reject; a read that consulted boundary probes
+  // can likewise be torn by any apply to a shard a probe examined, since
+  // probes re-read shards after the sub-read locks were released. So:
+  // snapshot, fan out, and keep the result only if the relevant counters
+  // are unchanged — each covered shard's seam counter for a stitch, each
+  // probe-examined shard's apply counter for the probes. Applies to
+  // shards the read never examined cannot affect a record it cited and
+  // never invalidate it. A read that took a single shard lock and never
+  // probed is atomic by construction and returns without validating —
+  // the common interior-range query shape keeps its per-shard locality
+  // even under churn. At least one optimistic pass always runs; the
+  // retry budget only meters restitches.
+  constexpr int kOddWaitSpins = 256;  // polls of an in-flight joint apply
+  std::vector<uint64_t> seam_snap(cover.size());
+  std::vector<uint64_t> apply_snap(shards_.size());
+  std::vector<bool> visited(shards_.size());
+  const int budget = std::max(1, options_.seam_retry_limit);
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    // A covered shard with an odd seam counter is involved in a joint
+    // apply mid-critical-section — not yet a torn window, so waiting it
+    // out is not charged against the retry budget. Parking on that
+    // shard's mutex piggybacks on the writer's lockset: the lock is held
+    // for exactly the apply's duration.
+    for (int spin = 0; spin < kOddWaitSpins; ++spin) {
+      size_t odd = cover.size();
+      for (size_t i = 0; i < cover.size(); ++i) {
+        seam_snap[i] =
+            shards_[cover[i].shard]->seam_seq.load(std::memory_order_acquire);
+        if (seam_snap[i] & 1) odd = i;
+      }
+      if (odd == cover.size()) break;
+      { std::lock_guard<std::mutex> park(shards_[cover[odd].shard]->mu); }
+      std::this_thread::yield();
+    }
+    // Probes decide at runtime which shards they examine, so snapshot
+    // every shard's apply counter upfront (cheap: one relaxed-size load
+    // per shard) and validate only the ones the attempt actually marked.
+    for (size_t s = 0; s < shards_.size(); ++s)
+      apply_snap[s] = shards_[s]->apply_seq.load(std::memory_order_acquire);
+    std::fill(visited.begin(), visited.end(), false);
+    Result<SelectionAnswer> out =
+        SelectAttempt(lo, hi, cover, stats, /*exclusive=*/false, &visited);
+    bool any_probe = false;
+    for (size_t s = 0; s < shards_.size(); ++s) any_probe |= visited[s];
+    if (cover.size() <= 1 && !any_probe) return out;
+    // Equality alone validates in either parity: the counters are
+    // monotonic, so an odd-but-unchanged value means one writer held its
+    // lockset across our whole window — our reads cannot have touched
+    // any involved shard (those locks were held throughout), hence the
+    // result is consistent.
+    bool valid = true;
+    for (size_t i = 0; i < cover.size() && valid; ++i) {
+      valid = shards_[cover[i].shard]->seam_seq.load(
+                  std::memory_order_acquire) == seam_snap[i];
+    }
+    for (size_t s = 0; s < shards_.size() && valid; ++s) {
+      if (visited[s]) {
+        valid = shards_[s]->apply_seq.load(std::memory_order_acquire) ==
+                apply_snap[s];
+      }
+    }
+    if (valid) return out;
+    seam_restitches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Sustained cross-seam churn kept tearing the optimistic reads: fall
+  // back to taking every shard lock (ascending — the ApplyPieces order,
+  // so no deadlock) for one exclusive pass. Guaranteed progress.
+  seam_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::unique_lock<std::mutex>> all_locks;
+  all_locks.reserve(shards_.size());
+  for (const auto& s : shards_) all_locks.emplace_back(s->mu);
+  return SelectAttempt(lo, hi, cover, stats, /*exclusive=*/true, nullptr);
+}
+
+Result<SelectionAnswer> ShardedQueryServer::SelectAttempt(
+    int64_t lo, int64_t hi, const std::vector<ShardRouter::SubRange>& cover,
+    SelectStats* stats, bool exclusive, std::vector<bool>* visited) const {
+  if (stats != nullptr) *stats = SelectStats{};  // per-attempt counters
 
   // Snapshot the epoch *before* reading any shard: a summary publishing
   // while the fan-out runs then leaves the stamp under-claiming (answer
@@ -139,20 +259,31 @@ Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
   // whose updates this answer may predate.
   const uint64_t epoch_at_start = tracker_.current_epoch();
 
-  std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
   std::vector<std::optional<Result<SelectionAnswer>>> subs(cover.size());
   std::vector<SigCache::AggStats> sub_stats(cover.size());
 
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(cover.size());
-  for (size_t i = 0; i < cover.size(); ++i) {
-    tasks.emplace_back([this, &cover, &subs, &sub_stats, i] {
+  if (exclusive) {
+    // The caller holds every shard lock: read inline, never through the
+    // pool. Handing work to the pool here could deadlock — its workers
+    // may all be parked inside other readers' sub-read tasks, blocked on
+    // the very locks this thread holds, so the handed-off tasks would
+    // never be picked up while we wait on them.
+    for (size_t i = 0; i < cover.size(); ++i) {
       const ShardRouter::SubRange& sr = cover[i];
-      std::lock_guard<std::mutex> lock(shards_[sr.shard]->mu);
       subs[i] = shards_[sr.shard]->qs->Select(sr.lo, sr.hi, &sub_stats[i]);
-    });
+    }
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(cover.size());
+    for (size_t i = 0; i < cover.size(); ++i) {
+      tasks.emplace_back([this, &cover, &subs, &sub_stats, i] {
+        const ShardRouter::SubRange& sr = cover[i];
+        std::lock_guard<std::mutex> lock(shards_[sr.shard]->mu);
+        subs[i] = shards_[sr.shard]->qs->Select(sr.lo, sr.hi, &sub_stats[i]);
+      });
+    }
+    pool_.RunAll(std::move(tasks));
   }
-  pool_.RunAll(std::move(tasks));
 
   if (stats != nullptr) {
     stats->shards_queried = cover.size();
@@ -196,13 +327,13 @@ Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
   if (first_nonempty < 0) {
     // Empty result across every covered shard: prove it with the global
     // boundary record, exactly as a single server would.
-    auto pred = GlobalPredecessor(lo);
-    auto succ = GlobalSuccessor(hi);
+    auto pred = GlobalPredecessor(lo, exclusive, visited);
+    auto succ = GlobalSuccessor(hi, exclusive, visited);
     if (!pred && !succ) return Status::NotFound("empty relation");
     if (pred) {
       out.proof_record = pred->record;
       out.agg_sig = pred->sig;
-      auto pp = GlobalPredecessor(pred->record.key());
+      auto pp = GlobalPredecessor(pred->record.key(), exclusive, visited);
       out.left_key = pp ? pp->record.key() : kChainMinusInf;
       out.right_key = succ ? succ->record.key() : kChainPlusInf;
       oldest_ts = pred->record.ts;
@@ -210,7 +341,7 @@ Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
       out.proof_record = succ->record;
       out.agg_sig = succ->sig;
       out.left_key = kChainMinusInf;  // no key below lo, hence none below succ
-      auto ss = GlobalSuccessor(succ->record.key());
+      auto ss = GlobalSuccessor(succ->record.key(), exclusive, visited);
       out.right_key = ss ? ss->record.key() : kChainPlusInf;
       oldest_ts = succ->record.ts;
     }
@@ -219,11 +350,11 @@ Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
     // (contiguous partition); a sentinel means the neighbor lives on an
     // adjacent shard the sub-query never saw.
     if (out.left_key == kChainMinusInf) {
-      auto pred = GlobalPredecessor(lo);
+      auto pred = GlobalPredecessor(lo, exclusive, visited);
       if (pred) out.left_key = pred->record.key();
     }
     if (out.right_key == kChainPlusInf) {
-      auto succ = GlobalSuccessor(hi);
+      auto succ = GlobalSuccessor(hi, exclusive, visited);
       if (succ) out.right_key = succ->record.key();
     }
     out.agg_sig = ctx_->Aggregate(agg_parts);

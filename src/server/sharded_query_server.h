@@ -1,6 +1,7 @@
 #ifndef AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
 #define AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -44,11 +45,33 @@ namespace authdb {
 ///    updates block reads on the touched shards and nothing else — the
 ///    record-level locality the paper contrasts with the MHT root
 ///    bottleneck, carried up to the serving layer.
+///  * Read consistency is a pair of seqlocks validated around Select's
+///    whole fan-out + stitch + probe window: a multi-shard ApplyPieces
+///    bumps each involved shard's seam counter (odd while in flight)
+///    under its full lockset — stitched readers validate only the shards
+///    they covered, so disjoint applies never invalidate them — and every
+///    apply bumps the owning shard's apply counter, which readers
+///    validate for exactly the shards their boundary probes examined
+///    (probes re-read shards after the sub-read locks dropped, so any
+///    apply overlapping an examined shard can tear them, while applies
+///    elsewhere cannot). A torn window is restitched; after
+///    `seam_retry_limit` tears the read falls back to taking every shard
+///    lock and reading inline.
+///    An answer therefore never mixes pre- and post-re-chaining states,
+///    even though the per-shard sub-reads take their locks independently.
+///    Single-shard reads that never probe a neighbor skip validation
+///    entirely — they are atomic under their one lock.
 class ShardedQueryServer {
  public:
   struct Options {
     QueryServer::Options shard;  ///< applied to every shard
     size_t worker_threads = 4;   ///< pool size for the Select fan-out
+    /// Torn read windows a Select restitches before escalating to the
+    /// all-shard-lock exclusive pass. At least one optimistic pass always
+    /// runs (single-shard no-probe reads never escalate), so 0 escalates
+    /// on the *first* torn window — tests use this to reach the exclusive
+    /// pass without waiting for 8 consecutive tears.
+    int seam_retry_limit = 8;
   };
 
   ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
@@ -77,10 +100,16 @@ class ShardedQueryServer {
   Status ApplyToShard(size_t shard, const SignedRecordUpdate& piece);
 
   /// Apply a multi-shard split atomically with respect to readers: every
-  /// involved shard mutex is held (in ascending shard order — no other
-  /// path holds two) while all pieces apply, so a concurrent cross-seam
-  /// Select sees either none or all of a seam-re-chaining insert/delete.
-  /// `pieces` must be in ascending shard order, as SplitByOwner emits.
+  /// involved shard mutex is held (in ascending shard order — the only
+  /// other path holding two is the Select fallback, which locks the same
+  /// order) while all pieces apply, and each involved shard's seam
+  /// counter is odd for the duration. Holding the lockset alone is not
+  /// enough — Select's sub-reads take their shard locks independently, so
+  /// a cross-seam read could see one shard before this apply and another
+  /// after it; the counters are what let Select detect and restitch such
+  /// a torn window, making the combined protocol the none-or-all
+  /// guarantee. `pieces` must be in ascending shard order, as
+  /// SplitByOwner emits.
   /// Atomicity is with respect to concurrent readers, not a transaction:
   /// a piece failing to apply (a protocol violation — the DA's signed
   /// messages always apply cleanly) stops the sequence and leaves the
@@ -103,7 +132,10 @@ class ShardedQueryServer {
     SigCache::AggStats agg;       ///< summed over the covered shards
   };
 
-  /// Range selection with proof, stitched across the covered shards.
+  /// Range selection with proof, stitched across the covered shards. The
+  /// stitch is validated against the seam sequence counter and retried if
+  /// a multi-shard ApplyPieces overlapped it, so the answer is always a
+  /// seam-consistent cut that the unmodified verifier accepts.
   Result<SelectionAnswer> Select(int64_t lo, int64_t hi,
                                  SelectStats* stats = nullptr) const;
 
@@ -117,6 +149,17 @@ class ShardedQueryServer {
   const ShardRouter& router() const { return router_; }
   uint64_t size() const;
 
+  /// Seqlock contention counters: reads whose window an apply tore
+  /// (restitched) and escalations to the all-shard-lock exclusive pass.
+  /// Monotonic. Tests assert these are non-zero under churn so the
+  /// atomicity guarantee is demonstrably exercised, not vacuously passed.
+  uint64_t seam_restitches() const {
+    return seam_restitches_.load(std::memory_order_relaxed);
+  }
+  uint64_t seam_exclusive_fallbacks() const {
+    return seam_fallbacks_.load(std::memory_order_relaxed);
+  }
+
   /// Direct shard access for tests and tools. NOT synchronized — do not
   /// call while other threads are serving traffic.
   QueryServer& shard(size_t i) { return *shards_[i]->qs; }
@@ -125,18 +168,51 @@ class ShardedQueryServer {
   struct Shard {
     std::unique_ptr<QueryServer> qs;
     mutable std::mutex mu;
+    /// Seam seqlock: odd while a joint ApplyPieces involving this shard
+    /// is in flight, bumped under the writer's lockset. Stitched reads
+    /// validate the counters of exactly the shards they covered.
+    mutable std::atomic<uint64_t> seam_seq{0};
+    /// Apply seqlock: odd while *any* apply (single-shard or joint) to
+    /// this shard is in flight. Reads validate it for exactly the shards
+    /// their boundary probes examined — a probe re-reads a shard after
+    /// the sub-read locks dropped, so even a single-shard apply (which
+    /// cannot tear a stitch) can tear it, while applies to unexamined
+    /// shards cannot affect any record the read cited.
+    mutable std::atomic<uint64_t> apply_seq{0};
   };
 
+  /// One fan-out + stitch pass over `cover`. With `exclusive` false each
+  /// sub-read takes its own shard lock (the caller must validate the
+  /// seqlock counters around the pass); with `exclusive` true the caller
+  /// already holds every shard lock, no locking happens inside, and the
+  /// sub-reads run inline on the calling thread — never through the pool,
+  /// whose workers may be parked on the locks the caller holds. In
+  /// `visited` (may be null) the pass marks every shard a global boundary
+  /// probe examined, i.e. read outside the sub-read locks — a
+  /// single-cover pass that visited nothing is atomic by construction and
+  /// needs no validation.
+  Result<SelectionAnswer> SelectAttempt(
+      int64_t lo, int64_t hi, const std::vector<ShardRouter::SubRange>& cover,
+      SelectStats* stats, bool exclusive, std::vector<bool>* visited) const;
+
   /// Global chain neighbors of `key`, probing outward from its owner shard
-  /// (takes the probed shards' locks).
-  std::optional<AuthTable::Item> GlobalPredecessor(int64_t key) const;
-  std::optional<AuthTable::Item> GlobalSuccessor(int64_t key) const;
+  /// (takes each probed shard's lock in turn unless `locked`, i.e. the
+  /// caller holds every shard lock already). Marks each examined shard in
+  /// `visited` when non-null — misses count: "no predecessor in this
+  /// shard" is a claim a concurrent insert can falsify.
+  std::optional<AuthTable::Item> GlobalPredecessor(
+      int64_t key, bool locked, std::vector<bool>* visited) const;
+  std::optional<AuthTable::Item> GlobalSuccessor(
+      int64_t key, bool locked, std::vector<bool>* visited) const;
 
   std::shared_ptr<const BasContext> ctx_;
   ShardRouter router_;
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable ThreadPool pool_;
+
+  mutable std::atomic<uint64_t> seam_restitches_{0};
+  mutable std::atomic<uint64_t> seam_fallbacks_{0};
 
   mutable std::mutex summaries_mu_;
   std::deque<UpdateSummary> summaries_;

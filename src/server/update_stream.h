@@ -43,13 +43,16 @@ namespace authdb {
 ///  * An update whose split spans several shards (a seam-re-chaining
 ///    insert/delete, or piggybacked renewals) is a rendezvous: the
 ///    involved workers park at the event and the last to arrive applies
-///    every piece under all the shard locks at once
-///    (ShardedQueryServer::ApplyPieces). A cross-seam read therefore never
-///    observes half of a re-chaining — the queues cannot stretch the
-///    seam-consistency window the way independent per-shard applies
-///    would. Rendezvous cannot deadlock: producers enqueue each event to
-///    all its queues in one push_mu_ critical section, so any two events
-///    appear in the same relative order on every queue they share.
+///    every piece under all the shard locks at once while each involved
+///    shard's seam counter is odd (ShardedQueryServer::ApplyPieces).
+///    Together with the reader half — Select validates the covered
+///    shards' counters around its fan-out and restitches any read the
+///    joint apply overlapped — a cross-seam read never observes half of
+///    a re-chaining, and the queues cannot stretch the seam-consistency
+///    window the way independent per-shard applies would. Rendezvous
+///    cannot deadlock: producers enqueue each event to all its queues in
+///    one push_mu_ critical section, so any two events appear in the same
+///    relative order on every queue they share.
 ///
 /// Producers (typically the single DA feed) block when a shard queue is
 /// `max_queue_depth` deep — backpressure instead of unbounded memory.
