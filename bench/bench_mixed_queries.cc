@@ -1,0 +1,217 @@
+// Unified verified-query serving under a mixed workload: selections,
+// authenticated equi-joins (certified Bloom partitions), and projections
+// (per-attribute signatures) all flow through ShardedQueryServer::Execute
+// at 1 -> 4 shards while a live DA feed streams updates and rho-period
+// summaries (with certified partition refreshes) through the apply queues.
+// Reports per-kind throughput and latency plus per-kind VO bytes — the
+// serving-layer view of the paper's Figure 11 trade-offs.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "core/data_aggregator.h"
+#include "core/verifier.h"
+#include "server/sharded_query_server.h"
+#include "server/update_stream.h"
+#include "sim/multi_client.h"
+#include "workload/generator.h"
+
+namespace authdb {
+namespace {
+
+void Run(bench::BenchRun* run) {
+  const bool smoke = run->smoke();
+
+  WorkloadGenerator::Config wcfg;
+  wcfg.n_records = smoke ? 256 : 2048;  // distinct B values
+  wcfg.n_attrs = 4;
+  wcfg.join_max_dups = 3;
+  wcfg.join_fraction = 0.25;
+  wcfg.projection_fraction = 0.25;
+  wcfg.seed = 7;
+  WorkloadGenerator gen(wcfg);
+  const std::vector<Record> rows = gen.MakeCompositeRecords();
+  const int64_t key_lo = rows.front().key();
+  const int64_t key_hi = JoinCompositeKey(
+      static_cast<int64_t>(wcfg.n_records) - 1, kJoinMaxDup);
+
+  const size_t clients = 4;
+  const size_t ops_per_client = smoke ? 40 : 300;
+  const size_t ingest_period = smoke ? 32 : 128;  // updates per rho-period
+
+  bench::Header(
+      "Mixed verified-query serving (select / join / project + live ingest)",
+      "S rows = " + std::to_string(rows.size()) + " over " +
+          std::to_string(wcfg.n_records) + " distinct B values; " +
+          std::to_string(clients) +
+          " closed-loop clients at 50% select / 25% join / 25% project");
+
+  SystemClock clock;
+  auto ctx = BasContext::Default();
+
+  std::printf("\n%8s %10s %10s %10s %10s %12s %12s %12s\n", "shards",
+              "ops/s", "sel/s", "join/s", "proj/s", "sel p99 us",
+              "join p99 us", "proj p99 us");
+  double join_qps_1 = 0, join_qps_4 = 0;
+  MultiClientReport last_report;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    // Fresh DA per configuration so every shard count serves an identical
+    // certification history.
+    Rng rng(13);
+    DataAggregator::Options da_opt;
+    da_opt.record_len = 128;
+    da_opt.piggyback_renewal = false;
+    da_opt.sign_attributes = true;  // projections are served, not stubbed
+    DataAggregator da(ctx, &clock, &rng, da_opt);
+    auto bulk = da.BulkLoad(rows);
+    AUTHDB_CHECK(bulk.ok());
+    da.EnableJoinPartitions(/*values_per_partition=*/8,
+                            /*bits_per_value=*/8.0);
+
+    ShardedQueryServer::Options sopt;
+    sopt.shard.record_len = 128;
+    sopt.worker_threads = shards;
+    ShardedQueryServer server(ctx, ShardRouter::Uniform(shards, 0, key_hi),
+                              sopt);
+    for (const auto& msg : bulk.value()) {
+      Status s = server.ApplyUpdate(msg);
+      AUTHDB_CHECK(s.ok());
+    }
+    server.SetJoinPartitions(da.join_partitions());
+    DataAggregator::PeriodOutput p0 = da.PublishSummary();
+    server.AddSummary(p0.summary);
+
+    // Live ingest racing the mixed load: quantity modifications plus the
+    // rho-period summary + certified Bloom partition refresh.
+    UpdateStream stream(&server, UpdateStream::Options{});
+    std::atomic<bool> stop{false};
+    std::thread producer([&] {
+      Rng prng(29);
+      size_t since_summary = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t pick = prng.Uniform(rows.size());
+        int64_t key = rows[pick].key();
+        auto msg = da.ModifyRecord(
+            key, {key, JoinBValue(key),
+                  static_cast<int64_t>(prng.Uniform(10'000)), 0});
+        AUTHDB_CHECK(msg.ok());
+        stream.PushUpdate(std::move(msg.value()));
+        if (++since_summary >= ingest_period) {
+          since_summary = 0;
+          DataAggregator::PeriodOutput out = da.PublishSummary();
+          for (const SignedRecordUpdate& m : out.recertifications)
+            stream.PushUpdate(m);
+          stream.PushSummary(std::move(out.summary),
+                             std::move(out.partition_refresh));
+        }
+      }
+    });
+
+    MultiClientOptions mopts;
+    mopts.clients = clients;
+    mopts.ops_per_client = ops_per_client;
+    mopts.key_lo = key_lo;
+    mopts.key_hi = key_hi;
+    mopts.query_span = JoinCompositeKey(8, 0);  // ~8 B groups per range
+    mopts.join_fraction = wcfg.join_fraction;
+    mopts.projection_fraction = wcfg.projection_fraction;
+    mopts.join_probe_count = wcfg.join_probes;
+    mopts.join_b_lo = 0;
+    mopts.join_b_hi = 2 * static_cast<int64_t>(wcfg.n_records) - 1;
+    mopts.projection_attrs = {1, 2};
+    mopts.seed = 42;
+    MultiClientReport report = RunMultiClientLoad(&server, {}, mopts);
+    stop.store(true);
+    producer.join();
+    stream.Flush();
+    AUTHDB_CHECK(report.failures == 0);
+    AUTHDB_CHECK(stream.stats().apply_failures == 0);
+    last_report = report;
+
+    double sel_qps = report.KindOpsPerSecond(report.queries);
+    double join_qps = report.KindOpsPerSecond(report.joins);
+    double proj_qps = report.KindOpsPerSecond(report.projections);
+    if (shards == 1) join_qps_1 = join_qps;
+    if (shards == 4) join_qps_4 = join_qps;
+    std::printf("%8zu %10.0f %10.0f %10.0f %10.0f %12llu %12llu %12llu\n",
+                shards, report.ops_per_second, sel_qps, join_qps, proj_qps,
+                static_cast<unsigned long long>(
+                    report.query_latency.PercentileMicros(0.99)),
+                static_cast<unsigned long long>(
+                    report.join_latency.PercentileMicros(0.99)),
+                static_cast<unsigned long long>(
+                    report.projection_latency.PercentileMicros(0.99)));
+
+    std::string suffix = "_shards_" + std::to_string(shards);
+    run->Metric("mixed_ops_per_s" + suffix, report.ops_per_second);
+    run->Metric("select_qps" + suffix, sel_qps);
+    run->Metric("join_qps" + suffix, join_qps);
+    run->Metric("projection_qps" + suffix, proj_qps);
+    run->Metric("select_p99_us" + suffix,
+                static_cast<double>(
+                    report.query_latency.PercentileMicros(0.99)));
+    run->Metric("join_p99_us" + suffix,
+                static_cast<double>(
+                    report.join_latency.PercentileMicros(0.99)));
+    run->Metric("projection_p99_us" + suffix,
+                static_cast<double>(
+                    report.projection_latency.PercentileMicros(0.99)));
+
+    // Quiesced sanity: one answer of each kind must pass the unmodified
+    // client-side verifier under the final epoch — the bench measures a
+    // *verifiable* serving path, not just a fast one.
+    VarintGapCodec codec;
+    ClientVerifier verifier(&da.public_key(), &codec, da.hash_mode());
+    uint64_t now = clock.NowMicros();
+    uint64_t epoch = server.freshness_tracker().current_epoch();
+    Query qs = Query::Select(key_lo, JoinCompositeKey(8, kJoinMaxDup));
+    Query qj = Query::Join({1, 2, static_cast<int64_t>(wcfg.n_records) + 7});
+    Query qp =
+        Query::Project(key_lo, JoinCompositeKey(8, kJoinMaxDup), {1, 2});
+    for (const Query& q : {qs, qj, qp}) {
+      auto ans = server.Execute(q);
+      AUTHDB_CHECK(ans.ok());
+      Status st = verifier.VerifyAnswerFresh(q, ans.value(), now, epoch);
+      AUTHDB_CHECK(st.ok());
+    }
+  }
+
+  // The headline ratio: join throughput scaling 1 -> 4 shards — machine-
+  // independent, gated in CI like the selection speedup.
+  double join_ratio = join_qps_1 > 0 ? join_qps_4 / join_qps_1 : 0;
+  run->Metric("join_qps_ratio_4v1", join_ratio);
+
+  // Per-kind VO accounting from the last (4-shard) run: the serving-layer
+  // Figure 11 view. Not throughput metrics — reported, never gated.
+  const VoAccounting& vo = last_report.vo;
+  std::printf("\nVO bytes per answer (paper constants): select %.0f, "
+              "join %.0f (bloom %.0f + boundary %.0f), project %.0f\n",
+              vo.select_mean(), vo.join_mean(),
+              VoAccounting::Mean(vo.join_bloom_bytes, vo.join_answers),
+              VoAccounting::Mean(vo.join_boundary_bytes, vo.join_answers),
+              vo.project_mean());
+  run->Metric("select_vo_bytes_mean", vo.select_mean());
+  run->Metric("join_vo_bytes_mean", vo.join_mean());
+  run->Metric("join_bloom_vo_bytes_mean",
+              VoAccounting::Mean(vo.join_bloom_bytes, vo.join_answers));
+  run->Metric("join_boundary_vo_bytes_mean",
+              VoAccounting::Mean(vo.join_boundary_bytes, vo.join_answers));
+  run->Metric("projection_vo_bytes_mean", vo.project_mean());
+}
+
+}  // namespace
+}  // namespace authdb
+
+int main(int argc, char** argv) {
+  authdb::bench::BenchRun run(argc, argv, "mixed_queries");
+  authdb::Run(&run);
+  return 0;
+}

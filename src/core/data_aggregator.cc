@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -33,6 +34,56 @@ BasSignature DataAggregator::SignChained(const Record& rec, int64_t left,
                    options_.hash_mode);
 }
 
+std::vector<BasSignature> DataAggregator::MaybeSignAttributes(
+    const Record& rec) const {
+  if (!options_.sign_attributes) return {};
+  return SignAttributes(rec);
+}
+
+void DataAggregator::MarkJoinDirty(int64_t composite_key) {
+  if (join_partitions_.empty()) return;
+  int64_t b = JoinBValue(composite_key);
+  for (const CertifiedPartition& p : join_partitions_) {
+    if (p.lo_b <= b && b <= p.hi_b) {
+      dirty_partitions_.insert(p.idx);
+      return;
+    }
+  }
+}
+
+std::vector<int64_t> DataAggregator::DistinctBValuesIn(
+    const CertifiedPartition& p) const {
+  // The edge partitions extend to the +-inf sentinels; clamp the composite
+  // scan to the representable chain interior.
+  int64_t lo = p.lo_b == std::numeric_limits<int64_t>::min()
+                   ? kChainMinusInf + 1
+                   : JoinCompositeKey(p.lo_b, 0);
+  int64_t hi = p.hi_b == std::numeric_limits<int64_t>::max()
+                   ? kChainPlusInf - 1
+                   : JoinCompositeKey(p.hi_b, (1u << kJoinDupShift) - 1);
+  std::vector<int64_t> out;
+  for (const AuthTable::Item& item : table_.Scan(lo, hi).items) {
+    int64_t b = JoinBValue(item.record.key());
+    if (out.empty() || out.back() != b) out.push_back(b);
+  }
+  return out;
+}
+
+const std::vector<CertifiedPartition>& DataAggregator::EnableJoinPartitions(
+    size_t values_per_partition, double bits_per_value) {
+  join_authority_ = std::make_unique<JoinAuthority>(ctx_, &key_,
+                                                    options_.hash_mode);
+  std::vector<int64_t> distinct_b;
+  for (const AuthTable::Item& item : table_.ScanAll()) {
+    int64_t b = JoinBValue(item.record.key());
+    if (distinct_b.empty() || distinct_b.back() != b) distinct_b.push_back(b);
+  }
+  join_partitions_ = join_authority_->BuildPartitions(
+      distinct_b, values_per_partition, bits_per_value, clock_->NowMicros());
+  dirty_partitions_.clear();
+  return join_partitions_;
+}
+
 Result<std::vector<SignedRecordUpdate>> DataAggregator::BulkLoad(
     std::vector<Record> records) {
   std::sort(records.begin(), records.end(),
@@ -58,7 +109,7 @@ Result<std::vector<SignedRecordUpdate>> DataAggregator::BulkLoad(
     SignedRecordUpdate msg;
     msg.kind = SignedRecordUpdate::Kind::kInsert;
     msg.key = rec.key();
-    msg.record = CertifiedRecord{rec, sig};
+    msg.record = CertifiedRecord{rec, sig, MaybeSignAttributes(rec)};
     out.push_back(std::move(msg));
   }
   return out;
@@ -80,7 +131,7 @@ Result<SignedRecordUpdate> DataAggregator::ModifyRecord(
   SignedRecordUpdate msg;
   msg.kind = SignedRecordUpdate::Kind::kModify;
   msg.key = key;
-  msg.record = CertifiedRecord{rec, sig};
+  msg.record = CertifiedRecord{rec, sig, MaybeSignAttributes(rec)};
   if (options_.piggyback_renewal) PiggybackRenewal(rec.rid, &msg.recertified);
   return msg;
 }
@@ -99,10 +150,11 @@ Result<SignedRecordUpdate> DataAggregator::InsertRecord(
   BasSignature sig = SignChained(rec, left, right);
   AUTHDB_RETURN_NOT_OK(table_.Insert(rec, sig));
   summary_.MarkUpdated(rec.rid);
+  MarkJoinDirty(key);
   SignedRecordUpdate msg;
   msg.kind = SignedRecordUpdate::Kind::kInsert;
   msg.key = key;
-  msg.record = CertifiedRecord{rec, sig};
+  msg.record = CertifiedRecord{rec, sig, MaybeSignAttributes(rec)};
   // The neighbors' chains now point at the new record: re-certify both.
   if (left != kChainMinusInf) Recertify(left, &msg.recertified);
   if (right != kChainPlusInf) Recertify(right, &msg.recertified);
@@ -114,6 +166,7 @@ Result<SignedRecordUpdate> DataAggregator::DeleteRecord(int64_t key) {
   auto [left, right] = table_.NeighborKeys(key);
   AUTHDB_RETURN_NOT_OK(table_.Delete(key));
   summary_.MarkUpdated(victim.record.rid);
+  MarkJoinDirty(key);
   SignedRecordUpdate msg;
   msg.kind = SignedRecordUpdate::Kind::kDelete;
   msg.key = key;
@@ -134,7 +187,7 @@ void DataAggregator::Recertify(int64_t key,
   Status s = table_.Update(rec, sig);
   AUTHDB_CHECK(s.ok());
   summary_.MarkUpdated(rec.rid);
-  out->push_back(CertifiedRecord{rec, sig});
+  out->push_back(CertifiedRecord{rec, sig, MaybeSignAttributes(rec)});
 }
 
 void DataAggregator::PiggybackRenewal(uint64_t around_rid,
@@ -170,6 +223,20 @@ DataAggregator::PeriodOutput DataAggregator::PublishSummary() {
     msg.key = rec.key();
     Recertify(rec.key(), &msg.recertified);
     if (!msg.recertified.empty()) out.recertifications.push_back(std::move(msg));
+  }
+  // Join state rides the same cadence: dirty partitions (an insert added a
+  // distinct B value the filter lacks; a delete left one the filter cannot
+  // forget) are rebuilt from the table, the rest re-signed with the new
+  // timestamp so served filters are never older than one period.
+  if (join_authority_ != nullptr) {
+    uint64_t now = clock_->NowMicros();
+    for (CertifiedPartition& p : join_partitions_) {
+      p = dirty_partitions_.count(p.idx) > 0
+              ? join_authority_->RebuildPartition(p, DistinctBValuesIn(p), now)
+              : join_authority_->Recertify(p, now);
+    }
+    dirty_partitions_.clear();
+    out.partition_refresh = join_partitions_;
   }
   return out;
 }

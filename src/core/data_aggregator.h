@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/clock.h"
 #include "core/auth_table.h"
+#include "core/join.h"
 #include "core/protocol.h"
 
 namespace authdb {
@@ -25,6 +27,11 @@ class DataAggregator {
     BasContext::HashMode hash_mode = BasContext::HashMode::kFast;
     size_t buffer_pages = 256;
     bool piggyback_renewal = true;  ///< re-certify page cohabitants on update
+    /// Sign per-attribute messages (Section 3.4) on every certification and
+    /// ship them inside CertifiedRecord so the query servers can serve
+    /// projections. Costs M extra signatures per certification — off unless
+    /// the deployment serves projection plans.
+    bool sign_attributes = false;
   };
 
   DataAggregator(std::shared_ptr<const BasContext> ctx, const Clock* clock,
@@ -43,12 +50,27 @@ class DataAggregator {
 
   /// Close the current rho-period: emit the certified summary plus the
   /// re-certification messages for records updated multiple times in the
-  /// closed period (Section 3.1).
+  /// closed period (Section 3.1), plus — when join partitions are enabled —
+  /// the freshly certified partition filters (dirty ones rebuilt, the rest
+  /// re-signed with the new timestamp) for the servers' join state.
   struct PeriodOutput {
     UpdateSummary summary;
     std::vector<SignedRecordUpdate> recertifications;
+    std::vector<CertifiedPartition> partition_refresh;
   };
   PeriodOutput PublishSummary();
+
+  /// Treat the relation as the join's S table (composite keys, Section
+  /// 3.5): build certified Bloom partitions over the current distinct B
+  /// values and keep them current — inserts/deletes mark the covering
+  /// partition dirty, and every PublishSummary re-certifies the set on the
+  /// rho-period cadence. Returns the initial partitions (also available
+  /// via join_partitions()).
+  const std::vector<CertifiedPartition>& EnableJoinPartitions(
+      size_t values_per_partition, double bits_per_value);
+  const std::vector<CertifiedPartition>& join_partitions() const {
+    return join_partitions_;
+  }
 
   /// Background low-priority renewal: re-certify up to `budget` records
   /// whose signatures are older than rho'. Returns renewal messages.
@@ -78,6 +100,13 @@ class DataAggregator {
   void Recertify(int64_t key, std::vector<CertifiedRecord>* out);
   void PiggybackRenewal(uint64_t around_rid,
                         std::vector<CertifiedRecord>* out);
+  /// Attribute signatures when Options::sign_attributes, else empty.
+  std::vector<BasSignature> MaybeSignAttributes(const Record& rec) const;
+  /// Mark the partition covering B = JoinBValue(key) dirty (no-op unless
+  /// join partitions are enabled).
+  void MarkJoinDirty(int64_t composite_key);
+  /// Distinct B values currently stored in the partition's range.
+  std::vector<int64_t> DistinctBValuesIn(const CertifiedPartition& p) const;
 
   std::shared_ptr<const BasContext> ctx_;
   const Clock* clock_;
@@ -88,6 +117,10 @@ class DataAggregator {
   AuthTable table_;
   VarintGapCodec codec_;
   SummaryBuilder summary_;
+  // Join partition state (empty / null unless EnableJoinPartitions ran).
+  std::unique_ptr<JoinAuthority> join_authority_;
+  std::vector<CertifiedPartition> join_partitions_;
+  std::set<uint32_t> dirty_partitions_;
   uint64_t summary_seq_ = 0;
   uint64_t renewal_cursor_ = 0;  // background renewal scan position (rid)
   uint64_t signatures_issued_ = 0;

@@ -68,7 +68,7 @@ CertifiedPartition JoinAuthority::RebuildPartition(
 
 Result<JoinMatch> JoinProver::MatchGroup(int64_t a) const {
   int64_t lo = JoinCompositeKey(a, 0);
-  int64_t hi = JoinCompositeKey(a, (1u << kJoinDupShift) - 1);
+  int64_t hi = JoinCompositeKey(a, kJoinMaxDup);
   AuthTable::RangeOut scan = s_->Scan(lo, hi);
   JoinMatch match;
   match.a_value = a;
@@ -82,7 +82,7 @@ Result<JoinMatch> JoinProver::MatchGroup(int64_t a) const {
 
 Result<AbsenceProof> JoinProver::ProveAbsence(int64_t a) const {
   int64_t lo = JoinCompositeKey(a, 0);
-  int64_t hi = JoinCompositeKey(a, (1u << kJoinDupShift) - 1);
+  int64_t hi = JoinCompositeKey(a, kJoinMaxDup);
   AuthTable::RangeOut scan = s_->Scan(lo, hi);
   AUTHDB_CHECK(scan.items.empty());
   const AuthTable::Item* witness =
@@ -94,6 +94,8 @@ Result<AbsenceProof> JoinProver::ProveAbsence(int64_t a) const {
   AbsenceProof proof;
   proof.a_value = a;
   proof.rec_key = witness->record.key();
+  proof.rec_rid = witness->record.rid;
+  proof.rec_ts = witness->record.ts;
   proof.rec_digest = witness->record.Digest();
   proof.left_key = wl;
   proof.right_key = wr;
@@ -133,13 +135,7 @@ Result<JoinAnswer> JoinProver::Join(const std::vector<int64_t>& r_values,
     bool need_boundary = true;
     if (method == JoinMethod::kBloomFilter) {
       // Locate the (unique) partition covering `a` and probe its filter.
-      const CertifiedPartition* part = nullptr;
-      for (const auto& p : *partitions_) {
-        if (p.lo_b <= a && a <= p.hi_b) {
-          part = &p;
-          break;
-        }
-      }
+      const CertifiedPartition* part = FindCoveringPartition(*partitions_, a);
       if (part != nullptr) {
         used_partitions.insert(part->idx);
         if (!part->filter.MayContainInt64(a)) {
@@ -269,7 +265,7 @@ Status JoinVerifier::Verify(const std::vector<int64_t>& r_values,
 // ---------------------------------------------------------------------------
 // VO sizes
 
-size_t JoinAnswer::vo_size_paper(const SizeModel& sm) const {
+size_t JoinAnswer::vo_boundary_bytes(const SizeModel& sm) const {
   // The BV-style accounting of [24]: each boundary witness contributes its
   // content digest (the verifier rebuilds the chain message from it) plus
   // the bracketing S.B values; witnesses shared between adjacent unmatched
@@ -290,8 +286,12 @@ size_t JoinAnswer::vo_size_paper(const SizeModel& sm) const {
     add_key(p.left_key);
     add_key(p.right_key);
   }
-  size_t bytes = boundary_vals.size() * sm.join_attr_bytes +
-                 witnesses.size() * sm.digest_bytes;
+  return boundary_vals.size() * sm.join_attr_bytes +
+         witnesses.size() * sm.digest_bytes;
+}
+
+size_t JoinAnswer::vo_bloom_bytes(const SizeModel& sm) const {
+  size_t bytes = 0;
   std::set<int64_t> part_bounds;
   for (const CertifiedPartition& p : partitions) {
     bytes += (p.filter.bit_count() + 7) / 8;
@@ -300,9 +300,12 @@ size_t JoinAnswer::vo_size_paper(const SizeModel& sm) const {
     if (p.hi_b != std::numeric_limits<int64_t>::max())
       part_bounds.insert(p.hi_b);
   }
-  bytes += part_bounds.size() * sm.join_attr_bytes;
-  bytes += sm.signature_bytes;  // the single aggregate
-  return bytes;
+  return bytes + part_bounds.size() * sm.join_attr_bytes;
+}
+
+size_t JoinAnswer::vo_size_paper(const SizeModel& sm) const {
+  return vo_boundary_bytes(sm) + vo_bloom_bytes(sm) +
+         sm.signature_bytes;  // the single aggregate
 }
 
 size_t JoinAnswer::wire_size(const SizeModel& sm) const {
@@ -314,7 +317,8 @@ size_t JoinAnswer::wire_size(const SizeModel& sm) const {
   for (const CertifiedPartition& p : partitions)
     bytes += p.filter.byte_size() + 2 * 8 + 16 + 64;
   bytes += negative_probes.size() * 12;
-  bytes += absence_proofs.size() * (sm.digest_bytes + 3 * 8 + 8);
+  // digest + {rec,left,right} keys + a_value + rid + ts
+  bytes += absence_proofs.size() * (sm.digest_bytes + 3 * 8 + 8 + 16);
   return bytes;
 }
 

@@ -2,6 +2,7 @@
 #define AUTHDB_CORE_JOIN_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -30,6 +31,14 @@ inline int64_t JoinCompositeKey(int64_t b, uint32_t dup_index) {
 inline int64_t JoinBValue(int64_t composite_key) {
   return composite_key >> kJoinDupShift;
 }
+/// Largest duplicate index the composite encoding can hold.
+constexpr uint32_t kJoinMaxDup = (1u << kJoinDupShift) - 1;
+/// B values whose whole composite range is representable and clear of the
+/// chain sentinels — the executors reject probe values outside it.
+inline bool JoinBValueInDomain(int64_t b) {
+  return b > (std::numeric_limits<int64_t>::min() >> kJoinDupShift) &&
+         b < (std::numeric_limits<int64_t>::max() >> kJoinDupShift);
+}
 
 /// A DA-certified Bloom filter over the distinct S.B values of one
 /// horizontal partition [lo_b, hi_b] of S (Section 3.5, "Authenticating
@@ -55,6 +64,17 @@ struct CertifiedPartition {
   }
 };
 
+/// The (unique) partition whose [lo_b, hi_b] range covers `b`, or nullptr
+/// when none does — shared by the single-node prover and the sharded
+/// executor so their negative-probe decisions cannot diverge.
+inline const CertifiedPartition* FindCoveringPartition(
+    const std::vector<CertifiedPartition>& partitions, int64_t b) {
+  for (const CertifiedPartition& p : partitions) {
+    if (p.lo_b <= b && b <= p.hi_b) return &p;
+  }
+  return nullptr;
+}
+
 /// DA-side partition construction and maintenance.
 class JoinAuthority {
  public:
@@ -78,6 +98,16 @@ class JoinAuthority {
       const CertifiedPartition& old,
       const std::vector<int64_t>& remaining_values, uint64_t ts) const;
 
+  /// Re-certify an unchanged partition with a fresh timestamp (the
+  /// rho-period refresh of the streaming pipeline: clients can then bound
+  /// how stale a shipped filter may be).
+  CertifiedPartition Recertify(const CertifiedPartition& old,
+                               uint64_t ts) const {
+    CertifiedPartition part = old;
+    part.ts = ts;
+    return Certify(std::move(part));
+  }
+
  private:
   CertifiedPartition Certify(CertifiedPartition part) const;
   std::shared_ptr<const BasContext> ctx_;
@@ -86,10 +116,18 @@ class JoinAuthority {
 };
 
 /// Proof that no S row has B == a: a chained record adjacent to the gap.
-/// 36 bytes of evidence (digest + keys) rather than a full record.
+/// ~36 bytes of evidence (digest + keys) rather than a full record. The
+/// witness's rid/ts ride along for the client-side freshness walk — they
+/// are bound to the digest only through the record content (the verifier
+/// cannot recompute the digest from them), the same trust position as the
+/// epoch stamp: replayed genuine answers carry genuine rid/ts and are
+/// caught by the summary bitmaps; a server forging them is caught by the
+/// epoch cross-check (see ClientVerifier::VerifyJoinFresh).
 struct AbsenceProof {
   int64_t a_value = 0;          ///< the unmatched R.A value proven absent
   int64_t rec_key = 0;          ///< composite key of the witness record
+  uint64_t rec_rid = 0;         ///< witness rid (freshness walk)
+  uint64_t rec_ts = 0;          ///< witness certification time
   Digest160 rec_digest;         ///< witness content digest
   int64_t left_key = 0, right_key = 0;  ///< witness chain neighbors
 };
@@ -119,8 +157,16 @@ struct JoinAnswer {
 
   /// VO size under the paper's accounting (Section 3.5 / Figure 11):
   /// boundary values at |S.B| bytes (deduplicated), filter bits, partition
-  /// boundaries, plus one aggregate signature.
+  /// boundaries, plus one aggregate signature. Equals
+  /// vo_bloom_bytes + vo_boundary_bytes + sm.signature_bytes.
   size_t vo_size_paper(const SizeModel& sm) const;
+  /// Bloom share of the VO: shipped filter bits + partition boundary
+  /// values (zero for the BV method).
+  size_t vo_bloom_bytes(const SizeModel& sm) const;
+  /// Boundary-proof share: witness digests + deduplicated boundary values
+  /// (the only proof bytes of the BV method; the false-positive fallback
+  /// under BF).
+  size_t vo_boundary_bytes(const SizeModel& sm) const;
   /// Actual bytes our wire format would ship for the proof artifacts.
   size_t wire_size(const SizeModel& sm) const;
 };

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/record.h"
 #include "core/vo_size.h"
 #include "crypto/bas.h"
+#include "crypto/sha.h"
 
 namespace authdb {
 
@@ -34,6 +36,47 @@ struct ProjectionAnswer {
 
   /// VO = one aggregate signature, independent of M (Section 3.4).
   size_t vo_size(const SizeModel& sm) const { return sm.signature_bytes; }
+};
+
+/// Chain evidence for a record whose content is not shipped: enough to
+/// rebuild its chain message (key + digest) plus rid/ts for the freshness
+/// walk — the projection analogue of AbsenceProof.
+struct DigestWitness {
+  int64_t key = 0;
+  uint64_t rid = 0;
+  uint64_t ts = 0;
+  Digest160 digest;
+};
+
+/// The *served* projection of the unified query path: SELECT attrs FROM T
+/// WHERE key IN [lo, hi], proven complete. Composes Section 3.4's
+/// per-attribute signatures with Section 3.3's chaining: each result tuple
+/// ships its projected values (authenticated by the attr signatures, which
+/// bind rid | i | Ai | ts) plus its 20-byte content digest, from which the
+/// verifier rebuilds the chain message — so range completeness is proven
+/// without shipping the dropped attributes. The executor always retains
+/// the index attribute (position 0): its signed value ties each tuple to
+/// its spine entry (keys are unique), closing the pairing between the two
+/// signature families. One aggregate covers every chain message and every
+/// attribute message.
+struct ProjectedRangeAnswer {
+  std::vector<ProjectedTuple> tuples;  ///< attr_indices always include 0
+  std::vector<Digest160> digests;      ///< per-tuple content digest (spine)
+  int64_t left_key = 0;   ///< index value left of the range (or -inf)
+  int64_t right_key = 0;  ///< index value right of the range (or +inf)
+  /// Set when `tuples` is empty: a witness whose chain spans [lo, hi].
+  std::optional<DigestWitness> proof;
+  /// One aggregate: all chain messages + all attribute messages.
+  BasSignature agg_sig;
+
+  /// VO: the digest spine + two boundary values + one aggregate. Dropped
+  /// attributes still impose no cost; the spine is what buys completeness.
+  size_t vo_size(const SizeModel& sm) const {
+    size_t bytes = sm.signature_bytes + 2 * sm.key_bytes +
+                   tuples.size() * sm.digest_bytes;
+    if (proof) bytes += sm.digest_bytes + sm.key_bytes;
+    return bytes;
+  }
 };
 
 /// Server-side proof construction. `attr_sigs[t][i]` is the DA's signature

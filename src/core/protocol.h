@@ -3,19 +3,26 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/freshness.h"
+#include "core/join.h"
+#include "core/projection.h"
 #include "core/record.h"
 #include "core/vo_size.h"
 #include "crypto/bas.h"
 
 namespace authdb {
 
-/// A record together with its current chain signature.
+/// A record together with its current chain signature. When the DA signs
+/// per-attribute messages for projection queries (Section 3.4,
+/// DataAggregator::Options::sign_attributes), the attribute signatures
+/// ride along so the query servers can serve projections; empty otherwise.
 struct CertifiedRecord {
   Record record;
   BasSignature sig;
+  std::vector<BasSignature> attr_sigs;  ///< one per attribute, or empty
 };
 
 /// DA -> QS update message. Fresh records and signatures are pushed
@@ -60,6 +67,105 @@ struct SelectionAnswer {
   /// boundary values (independent of selectivity — Section 3.3).
   size_t vo_size(const SizeModel& sm) const {
     size_t bytes = sm.signature_bytes + 2 * sm.key_bytes;
+    for (const auto& s : summaries) bytes += s.wire_size();
+    return bytes;
+  }
+};
+
+/// The unified verified-query surface: one plan type for every operator
+/// the servers execute. Selections and projections are range plans over
+/// the index attribute; equi-joins probe the (composite-keyed) S relation
+/// with the R.A values, proven by certified Bloom filters or boundary
+/// absence witnesses (Section 3.5).
+enum class QueryKind { kSelect, kProject, kJoin };
+
+struct Query {
+  QueryKind kind = QueryKind::kSelect;
+  /// kSelect / kProject: inclusive index-attribute range.
+  int64_t lo = 0, hi = 0;
+  /// kProject: attribute positions to retain. The executor always adds
+  /// position 0 (the index attribute) if absent — its signed value is what
+  /// binds each projected tuple to its completeness-spine entry.
+  std::vector<uint32_t> attr_indices;
+  /// kJoin: the R.A probe values (deduplicated by the executor).
+  std::vector<int64_t> join_values;
+  JoinMethod join_method = JoinMethod::kBloomFilter;
+
+  static Query Select(int64_t lo, int64_t hi) {
+    Query q;
+    q.kind = QueryKind::kSelect;
+    q.lo = lo;
+    q.hi = hi;
+    return q;
+  }
+  static Query Project(int64_t lo, int64_t hi,
+                       std::vector<uint32_t> attr_indices) {
+    Query q;
+    q.kind = QueryKind::kProject;
+    q.lo = lo;
+    q.hi = hi;
+    q.attr_indices = std::move(attr_indices);
+    return q;
+  }
+  static Query Join(std::vector<int64_t> values,
+                    JoinMethod method = JoinMethod::kBloomFilter) {
+    Query q;
+    q.kind = QueryKind::kJoin;
+    q.join_values = std::move(values);
+    q.join_method = method;
+    return q;
+  }
+};
+
+/// The attribute set a projection plan actually serves: the requested
+/// positions deduplicated in order, with the index attribute (position 0)
+/// forced to the front when absent — shared by the executors and the
+/// verifier so both sides agree on the tuple layout.
+inline std::vector<uint32_t> EffectiveProjectionAttrs(
+    const std::vector<uint32_t>& requested) {
+  std::vector<uint32_t> out;
+  bool has_index = false;
+  for (uint32_t i : requested) has_index |= i == 0;
+  if (!has_index) out.push_back(0);
+  for (uint32_t i : requested) {
+    bool seen = false;
+    for (uint32_t j : out) seen |= j == i;
+    if (!seen) out.push_back(i);
+  }
+  return out;
+}
+
+/// One answer envelope for every plan kind, uniformly epoch-stamped so
+/// ClientVerifier::VerifyAnswerFresh applies the same freshness discipline
+/// to joins and projections as to selections. Exactly the member matching
+/// `kind` is meaningful.
+struct QueryAnswer {
+  QueryKind kind = QueryKind::kSelect;
+  SelectionAnswer selection;
+  ProjectedRangeAnswer projection;
+  JoinAnswer join;
+  /// Freshness evidence for kProject / kJoin (kSelect carries its own
+  /// inside `selection`): every summary published at/after the oldest
+  /// cited record certification.
+  std::vector<UpdateSummary> summaries;
+  /// Freshness epoch the answer was served under — same contract as
+  /// SelectionAnswer::served_epoch, mirrored there for kSelect.
+  uint64_t served_epoch = 0;
+
+  /// Per-kind VO accounting (paper constants), freshness evidence
+  /// included — what the mixed-workload benches report per query kind.
+  size_t vo_bytes(const SizeModel& sm) const {
+    size_t bytes = 0;
+    switch (kind) {
+      case QueryKind::kSelect:
+        return selection.vo_size(sm);  // summaries counted inside
+      case QueryKind::kProject:
+        bytes = projection.vo_size(sm);
+        break;
+      case QueryKind::kJoin:
+        bytes = join.vo_size_paper(sm);
+        break;
+    }
     for (const auto& s : summaries) bytes += s.wire_size();
     return bytes;
   }

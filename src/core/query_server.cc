@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,11 @@ size_t QueryServer::RankOf(int64_t key) const {
 
 Status QueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
   using Kind = SignedRecordUpdate::Kind;
+  // Mirror the attribute signatures (when the DA ships them) so projection
+  // plans always serve the signatures matching the stored version.
+  auto keep_attr_sigs = [this](const CertifiedRecord& cr) {
+    if (!cr.attr_sigs.empty()) attr_sigs_[cr.record.key()] = cr.attr_sigs;
+  };
   switch (msg.kind) {
     case Kind::kInsert: {
       if (!msg.record) return Status::InvalidArgument("insert without record");
@@ -35,6 +41,7 @@ Status QueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
       sorted_keys_.insert(
           sorted_keys_.begin() + RankOf(msg.record->record.key()),
           msg.record->record.key());
+      keep_attr_sigs(*msg.record);
       // Rank shifts invalidate the positional cache wholesale; the paper's
       // cache experiments run on modification-only workloads.
       if (sigcache_) sigcache_.reset();
@@ -51,6 +58,7 @@ Status QueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
         }
       }
       AUTHDB_RETURN_NOT_OK(table_.Update(msg.record->record, msg.record->sig));
+      keep_attr_sigs(*msg.record);
       break;
     }
     case Kind::kDelete: {
@@ -58,6 +66,7 @@ Status QueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
       auto it = std::lower_bound(sorted_keys_.begin(), sorted_keys_.end(),
                                  msg.key);
       if (it != sorted_keys_.end() && *it == msg.key) sorted_keys_.erase(it);
+      attr_sigs_.erase(msg.key);
       if (sigcache_) sigcache_.reset();
       break;
     }
@@ -73,6 +82,7 @@ Status QueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
       }
     }
     AUTHDB_RETURN_NOT_OK(table_.Update(cr.record, cr.sig));
+    keep_attr_sigs(cr);
   }
   return Status::OK();
 }
@@ -168,6 +178,120 @@ Result<SelectionAnswer> QueryServer::Select(int64_t lo, int64_t hi,
   }
   ans.served_epoch = latest_epoch_;
   return ans;
+}
+
+void QueryServer::StampFreshness(uint64_t oldest_ts, QueryAnswer* ans) const {
+  // Same rule as Select: every summary published at/after the oldest cited
+  // record certification is freshness evidence for the answer.
+  for (const UpdateSummary& s : summaries_) {
+    if (s.publish_ts >= oldest_ts) ans->summaries.push_back(s);
+  }
+  ans->served_epoch = latest_epoch_;
+}
+
+Result<QueryAnswer> QueryServer::ExecuteProject(const Query& query) const {
+  if (query.lo > query.hi) return Status::InvalidArgument("lo > hi");
+  if (query.lo == kChainMinusInf || query.hi == kChainPlusInf)
+    return Status::InvalidArgument("range touches chain sentinels");
+  if (table_.size() == 0) return Status::NotFound("empty relation");
+  const std::vector<uint32_t> attrs =
+      EffectiveProjectionAttrs(query.attr_indices);
+
+  QueryAnswer ans;
+  ans.kind = QueryKind::kProject;
+  ProjectedRangeAnswer& proj = ans.projection;
+  AuthTable::RangeOut scan = table_.Scan(query.lo, query.hi);
+  uint64_t oldest_ts = ~uint64_t{0};
+
+  if (scan.items.empty()) {
+    // Empty result: one witness whose chain spans the queried interval —
+    // the selection emptiness proof, shipped digest-only.
+    const AuthTable::Item* witness =
+        scan.left_boundary ? &*scan.left_boundary : &*scan.right_boundary;
+    AUTHDB_CHECK(witness != nullptr);
+    auto [left, right] = table_.NeighborKeys(witness->record.key());
+    proj.proof = DigestWitness{witness->record.key(), witness->record.rid,
+                               witness->record.ts, witness->record.Digest()};
+    proj.left_key = left;
+    proj.right_key = right;
+    proj.agg_sig = witness->sig;
+    oldest_ts = witness->record.ts;
+  } else {
+    proj.left_key =
+        scan.left_boundary ? scan.left_boundary->record.key() : kChainMinusInf;
+    proj.right_key = scan.right_boundary ? scan.right_boundary->record.key()
+                                         : kChainPlusInf;
+    std::vector<BasSignature> parts;
+    for (const AuthTable::Item& item : scan.items) {
+      const Record& rec = item.record;
+      auto sig_it = attr_sigs_.find(rec.key());
+      if (sig_it == attr_sigs_.end())
+        return Status::InvalidArgument(
+            "projection unavailable: no attribute signatures for key " +
+            std::to_string(rec.key()));
+      ProjectedTuple tuple;
+      tuple.rid = rec.rid;
+      tuple.ts = rec.ts;
+      for (uint32_t i : attrs) {
+        if (i >= rec.attrs.size() || i >= sig_it->second.size())
+          return Status::InvalidArgument("projected attribute out of range");
+        tuple.attr_indices.push_back(i);
+        tuple.values.push_back(rec.attrs[i]);
+        parts.push_back(sig_it->second[i]);
+      }
+      proj.tuples.push_back(std::move(tuple));
+      proj.digests.push_back(rec.Digest());
+      parts.push_back(item.sig);  // the chain signature (completeness spine)
+      oldest_ts = std::min(oldest_ts, rec.ts);
+    }
+    proj.agg_sig = ctx_->Aggregate(parts);
+  }
+  StampFreshness(oldest_ts, &ans);
+  return ans;
+}
+
+Result<QueryAnswer> QueryServer::ExecuteJoin(const Query& query) const {
+  if (table_.size() == 0) return Status::NotFound("empty relation");
+  if (query.join_values.empty())
+    return Status::InvalidArgument("join without probe values");
+  for (int64_t a : query.join_values) {
+    if (!JoinBValueInDomain(a))
+      return Status::InvalidArgument("join probe value outside B domain");
+  }
+  QueryAnswer ans;
+  ans.kind = QueryKind::kJoin;
+  JoinProver prover(ctx_, &table_, &join_partitions_);
+  AUTHDB_ASSIGN_OR_RETURN(ans.join,
+                          prover.Join(query.join_values, query.join_method));
+  uint64_t oldest_ts = ~uint64_t{0};
+  for (const JoinMatch& m : ans.join.matches) {
+    for (const Record& r : m.s_records) oldest_ts = std::min(oldest_ts, r.ts);
+  }
+  for (const AbsenceProof& p : ans.join.absence_proofs)
+    oldest_ts = std::min(oldest_ts, p.rec_ts);
+  StampFreshness(oldest_ts, &ans);
+  return ans;
+}
+
+Result<QueryAnswer> QueryServer::Execute(const Query& query,
+                                         SigCache::AggStats* stats) const {
+  switch (query.kind) {
+    case QueryKind::kSelect: {
+      QueryAnswer ans;
+      ans.kind = QueryKind::kSelect;
+      AUTHDB_ASSIGN_OR_RETURN(ans.selection,
+                              Select(query.lo, query.hi, stats));
+      ans.served_epoch = ans.selection.served_epoch;
+      return ans;
+    }
+    case QueryKind::kProject:
+      if (stats != nullptr) *stats = SigCache::AggStats{};
+      return ExecuteProject(query);
+    case QueryKind::kJoin:
+      if (stats != nullptr) *stats = SigCache::AggStats{};
+      return ExecuteJoin(query);
+  }
+  return Status::InvalidArgument("unknown query kind");
 }
 
 void QueryServer::EnableSigCache(

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -14,8 +15,10 @@
 namespace authdb {
 
 /// The untrusted query server (QS): mirrors the DA's relation and
-/// authentication data, serves selection queries with proofs, and retains
-/// the published summaries for freshness evidence. Optionally accelerates
+/// authentication data, serves the full verified-query surface — range
+/// selections, projections, and authenticated equi-joins — through one
+/// Execute(plan) entry point with proofs, and retains the published
+/// summaries for freshness evidence. Optionally accelerates selection
 /// proof construction with SigCache (Section 4).
 ///
 /// Thread safety: a QueryServer instance is NOT internally synchronized —
@@ -46,6 +49,26 @@ class QueryServer {
   Result<SelectionAnswer> Select(int64_t lo, int64_t hi,
                                  SigCache::AggStats* stats = nullptr) const;
 
+  /// Execute one query plan — the unified read path. kSelect wraps Select;
+  /// kProject serves the digest-spine projection (requires attribute
+  /// signatures in the update stream — DataAggregator sign_attributes);
+  /// kJoin proves every probe value via match group, certified-Bloom
+  /// negative probe, or boundary absence witness (requires
+  /// SetJoinPartitions for the Bloom method). Every answer kind attaches
+  /// freshness summaries by the oldest-cited-certification rule and is
+  /// stamped with the served epoch.
+  Result<QueryAnswer> Execute(const Query& query,
+                              SigCache::AggStats* stats = nullptr) const;
+
+  /// Install / refresh the DA-certified Bloom partitions over S.B (join
+  /// plans; refreshed on the rho cadence by the update stream).
+  void SetJoinPartitions(std::vector<CertifiedPartition> partitions) {
+    join_partitions_ = std::move(partitions);
+  }
+  const std::vector<CertifiedPartition>& join_partitions() const {
+    return join_partitions_;
+  }
+
   /// Greatest certified record with key strictly below `key`, if any.
   std::optional<AuthTable::Item> PredecessorItem(int64_t key) const;
   /// Least certified record with key strictly above `key`, if any.
@@ -65,6 +88,10 @@ class QueryServer {
   /// Rank of `key` in the current key order (for SigCache intervals).
   size_t RankOf(int64_t key) const;
   BasSignature LeafSignature(size_t rank) const;
+  Result<QueryAnswer> ExecuteProject(const Query& query) const;
+  Result<QueryAnswer> ExecuteJoin(const Query& query) const;
+  /// Attach every summary published at/after `oldest_ts` and the epoch.
+  void StampFreshness(uint64_t oldest_ts, QueryAnswer* ans) const;
 
   std::shared_ptr<const BasContext> ctx_;
   DiskManager data_disk_, index_disk_;
@@ -76,6 +103,11 @@ class QueryServer {
   // In-memory key order mirror (rank structure for SigCache intervals).
   std::vector<int64_t> sorted_keys_;
   std::unique_ptr<SigCache> sigcache_;
+  // Per-key attribute signatures (projection plans), mirrored from the
+  // update stream; absent entries mean the DA does not sign attributes.
+  std::map<int64_t, std::vector<BasSignature>> attr_sigs_;
+  // DA-certified Bloom partitions over S.B (join plans).
+  std::vector<CertifiedPartition> join_partitions_;
 };
 
 }  // namespace authdb

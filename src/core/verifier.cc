@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/chain.h"
+#include "core/data_aggregator.h"
 
 namespace authdb {
 
@@ -90,6 +91,191 @@ std::vector<uint64_t> ClientVerifier::StaleRids(const SelectionAnswer& ans,
   };
   for (const Record& r : ans.records) probe(r);
   if (ans.proof_record) probe(*ans.proof_record);
+  return stale;
+}
+
+// ---------------------------------------------------------------------------
+// Projection
+
+Status ClientVerifier::VerifyProjectionStatic(
+    const Query& query, const ProjectedRangeAnswer& ans) const {
+  const int64_t lo = query.lo, hi = query.hi;
+  if (lo > hi || lo == kChainMinusInf || hi == kChainPlusInf)
+    return Status::InvalidArgument("bad query range");
+  const std::vector<uint32_t> attrs =
+      EffectiveProjectionAttrs(query.attr_indices);
+  size_t index_pos = attrs.size();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i] == 0) index_pos = i;
+  }
+  if (index_pos == attrs.size())
+    return Status::VerificationFailed("projection lost the index attribute");
+
+  std::vector<ByteBuffer> messages;
+  if (ans.tuples.empty()) {
+    // Empty result: the witness's chain must span the whole range. Its
+    // content enters through the shipped digest, as in [24].
+    if (!ans.proof)
+      return Status::VerificationFailed("empty answer without witness");
+    bool left_of_range = ans.proof->key < lo && ans.right_key > hi;
+    bool right_of_range = ans.proof->key > hi && ans.left_key < lo;
+    if (!left_of_range && !right_of_range)
+      return Status::VerificationFailed(
+          "witness does not demonstrate an empty range");
+    messages.push_back(ChainMessage(ans.proof->key, ans.proof->digest,
+                                    ans.left_key, ans.right_key));
+  } else {
+    if (ans.digests.size() != ans.tuples.size())
+      return Status::VerificationFailed("digest spine length mismatch");
+    if (ans.left_key >= lo)
+      return Status::VerificationFailed("left boundary inside range");
+    if (ans.right_key <= hi)
+      return Status::VerificationFailed("right boundary inside range");
+    // Each tuple must project exactly the agreed attribute set; its signed
+    // index-attribute value is the key that ties it to its spine entry.
+    std::vector<int64_t> keys;
+    keys.reserve(ans.tuples.size());
+    for (const ProjectedTuple& t : ans.tuples) {
+      if (t.attr_indices != attrs || t.values.size() != attrs.size())
+        return Status::VerificationFailed("tuple attribute set mismatch");
+      keys.push_back(t.values[index_pos]);
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] < lo || keys[i] > hi)
+        return Status::VerificationFailed("tuple outside query range");
+      if (i > 0 && keys[i - 1] >= keys[i])
+        return Status::VerificationFailed("tuples not in key order");
+    }
+    for (size_t i = 0; i < ans.tuples.size(); ++i) {
+      int64_t left = i == 0 ? ans.left_key : keys[i - 1];
+      int64_t right = i + 1 == ans.tuples.size() ? ans.right_key : keys[i + 1];
+      messages.push_back(
+          ChainMessage(keys[i], ans.digests[i], left, right));
+    }
+    for (const ProjectedTuple& t : ans.tuples) {
+      for (size_t i = 0; i < t.attr_indices.size(); ++i) {
+        messages.push_back(DataAggregator::AttributeMessage(
+            t.rid, t.attr_indices[i], t.values[i], t.ts));
+      }
+    }
+  }
+  std::vector<Slice> views;
+  views.reserve(messages.size());
+  for (const ByteBuffer& m : messages) views.push_back(m.AsSlice());
+  if (!da_pub_->VerifyAggregate(views, ans.agg_sig, mode_))
+    return Status::VerificationFailed("projection aggregate mismatch");
+  return Status::OK();
+}
+
+Status ClientVerifier::VerifyProjection(const Query& query,
+                                        const QueryAnswer& ans, uint64_t now) {
+  AUTHDB_RETURN_NOT_OK(VerifyProjectionStatic(query, ans.projection));
+  for (const UpdateSummary& s : ans.summaries) {
+    Status st = freshness_.AddSummary(s);
+    if (!st.ok()) return st;
+  }
+  for (const ProjectedTuple& t : ans.projection.tuples)
+    AUTHDB_RETURN_NOT_OK(freshness_.CheckRecord(t.rid, t.ts, now));
+  if (ans.projection.proof) {
+    AUTHDB_RETURN_NOT_OK(freshness_.CheckRecord(ans.projection.proof->rid,
+                                                ans.projection.proof->ts,
+                                                now));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Join
+
+Status ClientVerifier::VerifyJoinStatic(const Query& query,
+                                        const JoinAnswer& ans) const {
+  return JoinVerifier(da_pub_, mode_).Verify(query.join_values, ans);
+}
+
+Status ClientVerifier::VerifyJoin(const Query& query, const QueryAnswer& ans,
+                                  uint64_t now,
+                                  uint64_t max_partition_age_micros) {
+  AUTHDB_RETURN_NOT_OK(VerifyJoinStatic(query, ans.join));
+  for (const UpdateSummary& s : ans.summaries) {
+    Status st = freshness_.AddSummary(s);
+    if (!st.ok()) return st;
+  }
+  for (const JoinMatch& m : ans.join.matches) {
+    for (const Record& r : m.s_records)
+      AUTHDB_RETURN_NOT_OK(freshness_.CheckRecord(r.rid, r.ts, now));
+  }
+  for (const AbsenceProof& p : ans.join.absence_proofs)
+    AUTHDB_RETURN_NOT_OK(freshness_.CheckRecord(p.rec_rid, p.rec_ts, now));
+  if (max_partition_age_micros > 0) {
+    // Filters carry no rids, so the bitmap walk cannot indict them; bound
+    // their age against the newest summary this checker holds instead.
+    uint64_t latest = freshness_.latest_publish_ts();
+    for (const CertifiedPartition& p : ans.join.partitions) {
+      if (p.ts + max_partition_age_micros < latest) {
+        return Status::VerificationFailed(
+            "partition filter certified " +
+            std::to_string(latest - p.ts) +
+            "us before the latest summary (bound " +
+            std::to_string(max_partition_age_micros) + "us)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Unified envelope
+
+Status ClientVerifier::VerifyAnswerFresh(const Query& query,
+                                         const QueryAnswer& ans, uint64_t now,
+                                         uint64_t min_epoch,
+                                         uint64_t max_partition_age_micros) {
+  // The answer kind is server-controlled: dispatching on it without this
+  // check would let a server answer a join with an honest *selection*
+  // (verifying fine) while the join member the client reads stays empty —
+  // a verified-yet-incomplete answer.
+  if (ans.kind != query.kind)
+    return Status::VerificationFailed("answer kind does not match the query");
+  if (ans.served_epoch < min_epoch) {
+    return Status::VerificationFailed(
+        "answer served under epoch " + std::to_string(ans.served_epoch) +
+        " but the summary stream has reached epoch " +
+        std::to_string(min_epoch));
+  }
+  switch (ans.kind) {
+    case QueryKind::kSelect:
+      return VerifySelection(query.lo, query.hi, ans.selection, now);
+    case QueryKind::kProject:
+      return VerifyProjection(query, ans, now);
+    case QueryKind::kJoin:
+      return VerifyJoin(query, ans, now, max_partition_age_micros);
+  }
+  return Status::InvalidArgument("unknown answer kind");
+}
+
+std::vector<uint64_t> ClientVerifier::StaleRids(const QueryAnswer& ans,
+                                                uint64_t now) const {
+  std::vector<uint64_t> stale;
+  auto probe = [&](uint64_t rid, uint64_t ts) {
+    if (!freshness_.CheckRecord(rid, ts, now).ok()) stale.push_back(rid);
+  };
+  switch (ans.kind) {
+    case QueryKind::kSelect:
+      return StaleRids(ans.selection, now);
+    case QueryKind::kProject:
+      for (const ProjectedTuple& t : ans.projection.tuples)
+        probe(t.rid, t.ts);
+      if (ans.projection.proof)
+        probe(ans.projection.proof->rid, ans.projection.proof->ts);
+      break;
+    case QueryKind::kJoin:
+      for (const JoinMatch& m : ans.join.matches) {
+        for (const Record& r : m.s_records) probe(r.rid, r.ts);
+      }
+      for (const AbsenceProof& p : ans.join.absence_proofs)
+        probe(p.rec_rid, p.rec_ts);
+      break;
+  }
   return stale;
 }
 

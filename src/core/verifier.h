@@ -11,12 +11,18 @@
 namespace authdb {
 
 /// User-side verification (the third party in the paper's model). Checks
-/// the three correctness properties of a selection answer:
-///  * authenticity  — the aggregate signature matches the chained records;
-///  * completeness  — boundary keys enclose the range and the chain is
-///                    gapless;
-///  * freshness     — no result record is marked in any summary published
-///                    after its certification (Section 3.1).
+/// the three correctness properties of every served answer kind —
+/// selections, projections, and equi-joins:
+///  * authenticity  — the aggregate signature matches the cited messages;
+///  * completeness  — boundary keys enclose the range / every probe value
+///                    is accounted for, and the chain is gapless;
+///  * freshness     — no cited record is marked in any summary published
+///                    after its certification (Section 3.1), and the
+///                    claimed serving epoch is not behind the client's
+///                    view of the summary stream.
+/// VerifyAnswerFresh is the uniform entry point over QueryAnswer; the
+/// per-kind methods remain available for callers driving pieces
+/// themselves.
 class ClientVerifier {
  public:
   ClientVerifier(const BasPublicKey* da_pub, const BitmapCodec* codec,
@@ -51,6 +57,38 @@ class ClientVerifier {
   /// the freshness checker themselves.
   Status VerifySelectionStatic(int64_t lo, int64_t hi,
                                const SelectionAnswer& ans) const;
+
+  /// Uniform freshness-checked entry point over the unified answer
+  /// envelope: the epoch cross-check of VerifySelectionFresh generalized
+  /// to every plan kind, then the kind's full pipeline. For joins,
+  /// `max_partition_age_micros` (when non-zero) additionally rejects
+  /// shipped Bloom partitions certified more than that long before the
+  /// latest summary this checker holds — the partition analogue of the
+  /// bitmap walk, since filters carry no rids (a lagging filter could
+  /// otherwise "prove" a freshly inserted value absent).
+  Status VerifyAnswerFresh(const Query& query, const QueryAnswer& ans,
+                           uint64_t now, uint64_t min_epoch,
+                           uint64_t max_partition_age_micros = 0);
+
+  /// Served-projection pipeline: digest-spine completeness + attribute
+  /// authenticity (one aggregate), then the per-tuple freshness walk over
+  /// the answer's attached summaries.
+  Status VerifyProjection(const Query& query, const QueryAnswer& ans,
+                          uint64_t now);
+  /// Authenticity + completeness of the digest spine only (no freshness).
+  Status VerifyProjectionStatic(const Query& query,
+                                const ProjectedRangeAnswer& ans) const;
+
+  /// Served-join pipeline: the JoinVerifier static checks, then the
+  /// freshness walk over match rows and absence witnesses (and the
+  /// optional partition-age bound — see VerifyAnswerFresh).
+  Status VerifyJoin(const Query& query, const QueryAnswer& ans, uint64_t now,
+                    uint64_t max_partition_age_micros = 0);
+  Status VerifyJoinStatic(const Query& query, const JoinAnswer& ans) const;
+
+  /// StaleRids generalized over the answer envelope: every cited rid whose
+  /// returned version is superseded by the currently held summaries.
+  std::vector<uint64_t> StaleRids(const QueryAnswer& ans, uint64_t now) const;
 
   FreshnessChecker& freshness() { return freshness_; }
 

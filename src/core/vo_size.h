@@ -2,6 +2,7 @@
 #define AUTHDB_CORE_VO_SIZE_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace authdb {
 
@@ -21,6 +22,36 @@ struct SizeModel {
   size_t key_bytes = 4;          ///< index attribute value in VOs
   size_t rid_bytes = 4;
   size_t timestamp_bytes = 8;
+};
+
+/// Per-query-kind VO accounting accumulated over a served workload, so the
+/// mixed-workload benches report proof overhead per kind instead of
+/// selection-only. The join total is additionally split into its Bloom
+/// share (shipped filter bits + partition bounds) and boundary-proof share
+/// (witness digests + boundary values) — the Figure 11 trade-off, observed
+/// live. Mergeable across client threads like LatencyHistogram.
+struct VoAccounting {
+  uint64_t select_answers = 0, project_answers = 0, join_answers = 0;
+  uint64_t select_bytes = 0, project_bytes = 0, join_bytes = 0;
+  uint64_t join_bloom_bytes = 0, join_boundary_bytes = 0;
+
+  void Merge(const VoAccounting& o) {
+    select_answers += o.select_answers;
+    project_answers += o.project_answers;
+    join_answers += o.join_answers;
+    select_bytes += o.select_bytes;
+    project_bytes += o.project_bytes;
+    join_bytes += o.join_bytes;
+    join_bloom_bytes += o.join_bloom_bytes;
+    join_boundary_bytes += o.join_boundary_bytes;
+  }
+
+  static double Mean(uint64_t bytes, uint64_t n) {
+    return n == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(n);
+  }
+  double select_mean() const { return Mean(select_bytes, select_answers); }
+  double project_mean() const { return Mean(project_bytes, project_answers); }
+  double join_mean() const { return Mean(join_bytes, join_answers); }
 };
 
 }  // namespace authdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -162,71 +163,66 @@ std::optional<AuthTable::Item> ShardedQueryServer::GlobalSuccessor(
   return std::nullopt;
 }
 
-Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
-                                                   SelectStats* stats) const {
-  if (stats != nullptr) *stats = SelectStats{};  // even on early error returns
-  if (lo > hi) return Status::InvalidArgument("lo > hi");
-  if (lo == kChainMinusInf || hi == kChainPlusInf)
-    return Status::InvalidArgument("range touches chain sentinels");
-  const std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
-
+template <typename T, typename AttemptFn>
+Result<T> ShardedQueryServer::RunValidated(
+    const std::vector<size_t>& seam_shards, AttemptFn&& attempt) const {
   // Reader half of the seqlocks. Sub-reads take their shard locks
   // independently, so without validation a cross-seam read could see one
   // shard before a seam-re-chaining joint apply and the adjacent shard
   // after it — a stitch mixing old and new chain certifications that an
   // honest verifier must reject; a read that consulted boundary probes
-  // can likewise be torn by any apply to a shard a probe examined, since
-  // probes re-read shards after the sub-read locks were released. So:
-  // snapshot, fan out, and keep the result only if the relevant counters
-  // are unchanged — each covered shard's seam counter for a stitch, each
-  // probe-examined shard's apply counter for the probes. Applies to
-  // shards the read never examined cannot affect a record it cited and
-  // never invalidate it. A read that took a single shard lock and never
-  // probed is atomic by construction and returns without validating —
-  // the common interior-range query shape keeps its per-shard locality
-  // even under churn. At least one optimistic pass always runs; the
-  // retry budget only meters restitches.
+  // (or, for joins, re-took a shard lock for a later probe value) can
+  // likewise be torn by any apply to a shard it examined after the
+  // earlier locks were released. So: snapshot, fan out, and keep the
+  // result only if the relevant counters are unchanged — each seam
+  // shard's seam counter for a stitch, each visited shard's apply counter
+  // for out-of-lock re-reads. Applies to shards the read never examined
+  // cannot affect a record it cited and never invalidate it. A read that
+  // took a single shard lock and never visited anything is atomic by
+  // construction and returns without validating — the common
+  // interior-range query shape keeps its per-shard locality even under
+  // churn. At least one optimistic pass always runs; the retry budget
+  // only meters restitches.
   constexpr int kOddWaitSpins = 256;  // polls of an in-flight joint apply
-  std::vector<uint64_t> seam_snap(cover.size());
+  std::vector<uint64_t> seam_snap(seam_shards.size());
   std::vector<uint64_t> apply_snap(shards_.size());
   std::vector<bool> visited(shards_.size());
   const int budget = std::max(1, options_.seam_retry_limit);
-  for (int attempt = 0; attempt < budget; ++attempt) {
-    // A covered shard with an odd seam counter is involved in a joint
-    // apply mid-critical-section — not yet a torn window, so waiting it
-    // out is not charged against the retry budget. Parking on that
-    // shard's mutex piggybacks on the writer's lockset: the lock is held
-    // for exactly the apply's duration.
+  for (int round = 0; round < budget; ++round) {
+    // A seam shard with an odd seam counter is involved in a joint apply
+    // mid-critical-section — not yet a torn window, so waiting it out is
+    // not charged against the retry budget. Parking on that shard's mutex
+    // piggybacks on the writer's lockset: the lock is held for exactly
+    // the apply's duration.
     for (int spin = 0; spin < kOddWaitSpins; ++spin) {
-      size_t odd = cover.size();
-      for (size_t i = 0; i < cover.size(); ++i) {
+      size_t odd = seam_shards.size();
+      for (size_t i = 0; i < seam_shards.size(); ++i) {
         seam_snap[i] =
-            shards_[cover[i].shard]->seam_seq.load(std::memory_order_acquire);
+            shards_[seam_shards[i]]->seam_seq.load(std::memory_order_acquire);
         if (seam_snap[i] & 1) odd = i;
       }
-      if (odd == cover.size()) break;
-      { std::lock_guard<std::mutex> park(shards_[cover[odd].shard]->mu); }
+      if (odd == seam_shards.size()) break;
+      { std::lock_guard<std::mutex> park(shards_[seam_shards[odd]]->mu); }
       std::this_thread::yield();
     }
-    // Probes decide at runtime which shards they examine, so snapshot
+    // Attempts decide at runtime which shards they examine, so snapshot
     // every shard's apply counter upfront (cheap: one relaxed-size load
     // per shard) and validate only the ones the attempt actually marked.
     for (size_t s = 0; s < shards_.size(); ++s)
       apply_snap[s] = shards_[s]->apply_seq.load(std::memory_order_acquire);
     std::fill(visited.begin(), visited.end(), false);
-    Result<SelectionAnswer> out =
-        SelectAttempt(lo, hi, cover, stats, /*exclusive=*/false, &visited);
+    Result<T> out = attempt(/*exclusive=*/false, &visited);
     bool any_probe = false;
     for (size_t s = 0; s < shards_.size(); ++s) any_probe |= visited[s];
-    if (cover.size() <= 1 && !any_probe) return out;
+    if (seam_shards.size() <= 1 && !any_probe) return out;
     // Equality alone validates in either parity: the counters are
     // monotonic, so an odd-but-unchanged value means one writer held its
     // lockset across our whole window — our reads cannot have touched
     // any involved shard (those locks were held throughout), hence the
     // result is consistent.
     bool valid = true;
-    for (size_t i = 0; i < cover.size() && valid; ++i) {
-      valid = shards_[cover[i].shard]->seam_seq.load(
+    for (size_t i = 0; i < seam_shards.size() && valid; ++i) {
+      valid = shards_[seam_shards[i]]->seam_seq.load(
                   std::memory_order_acquire) == seam_snap[i];
     }
     for (size_t s = 0; s < shards_.size() && valid; ++s) {
@@ -245,7 +241,23 @@ Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
   std::vector<std::unique_lock<std::mutex>> all_locks;
   all_locks.reserve(shards_.size());
   for (const auto& s : shards_) all_locks.emplace_back(s->mu);
-  return SelectAttempt(lo, hi, cover, stats, /*exclusive=*/true, nullptr);
+  return attempt(/*exclusive=*/true, nullptr);
+}
+
+Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
+                                                   SelectStats* stats) const {
+  if (stats != nullptr) *stats = SelectStats{};  // even on early error returns
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  if (lo == kChainMinusInf || hi == kChainPlusInf)
+    return Status::InvalidArgument("range touches chain sentinels");
+  const std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
+  std::vector<size_t> seam_shards;
+  seam_shards.reserve(cover.size());
+  for (const ShardRouter::SubRange& sr : cover) seam_shards.push_back(sr.shard);
+  return RunValidated<SelectionAnswer>(
+      seam_shards, [&](bool exclusive, std::vector<bool>* visited) {
+        return SelectAttempt(lo, hi, cover, stats, exclusive, visited);
+      });
 }
 
 Result<SelectionAnswer> ShardedQueryServer::SelectAttempt(
@@ -372,6 +384,318 @@ Result<SelectionAnswer> ShardedQueryServer::SelectAttempt(
   // summaries were delivered out of order.
   out.served_epoch = epoch_at_start;
   return out;
+}
+
+Result<QueryAnswer> ShardedQueryServer::ProjectAttempt(
+    const Query& query, const std::vector<ShardRouter::SubRange>& cover,
+    SelectStats* stats, bool exclusive, std::vector<bool>* visited) const {
+  if (stats != nullptr) *stats = SelectStats{};  // per-attempt counters
+
+  // Epoch snapshot before any shard read: under-claim, never over-claim
+  // (same reasoning as SelectAttempt).
+  const uint64_t epoch_at_start = tracker_.current_epoch();
+
+  std::vector<std::optional<Result<QueryAnswer>>> subs(cover.size());
+  if (exclusive) {
+    for (size_t i = 0; i < cover.size(); ++i) {
+      Query sub = query;
+      sub.lo = cover[i].lo;
+      sub.hi = cover[i].hi;
+      subs[i] = shards_[cover[i].shard]->qs->Execute(sub);
+    }
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(cover.size());
+    for (size_t i = 0; i < cover.size(); ++i) {
+      tasks.emplace_back([this, &query, &cover, &subs, i] {
+        const ShardRouter::SubRange& sr = cover[i];
+        Query sub = query;
+        sub.lo = sr.lo;
+        sub.hi = sr.hi;
+        std::lock_guard<std::mutex> lock(shards_[sr.shard]->mu);
+        subs[i] = shards_[sr.shard]->qs->Execute(sub);
+      });
+    }
+    pool_.RunAll(std::move(tasks));
+  }
+  if (stats != nullptr) stats->shards_queried = cover.size();
+
+  // Stitch exactly like a selection: concatenate tuples + digest spine
+  // (shard order == key order), sum the per-shard aggregates, keep the
+  // outermost boundaries, resolve sentinel boundaries by global probes.
+  QueryAnswer out;
+  out.kind = QueryKind::kProject;
+  ProjectedRangeAnswer& proj = out.projection;
+  std::vector<BasSignature> agg_parts;
+  uint64_t oldest_ts = ~uint64_t{0};
+  int first_nonempty = -1;
+  for (size_t i = 0; i < cover.size(); ++i) {
+    const Result<QueryAnswer>& r = *subs[i];
+    if (!r.ok()) {
+      if (r.status().IsNotFound()) continue;  // shard holds no records
+      return r.status();
+    }
+    const ProjectedRangeAnswer& sub = r.value().projection;
+    if (sub.tuples.empty()) continue;
+    if (first_nonempty < 0) {
+      first_nonempty = static_cast<int>(i);
+      proj.left_key = sub.left_key;
+    }
+    proj.right_key = sub.right_key;
+    proj.tuples.insert(proj.tuples.end(), sub.tuples.begin(),
+                       sub.tuples.end());
+    proj.digests.insert(proj.digests.end(), sub.digests.begin(),
+                        sub.digests.end());
+    agg_parts.push_back(sub.agg_sig);
+    for (const ProjectedTuple& t : sub.tuples)
+      oldest_ts = std::min(oldest_ts, t.ts);
+  }
+  if (stats != nullptr) stats->shards_nonempty = agg_parts.size();
+
+  if (first_nonempty < 0) {
+    // Empty result across every covered shard: one global boundary witness
+    // proves it, digest-only.
+    auto pred = GlobalPredecessor(query.lo, exclusive, visited);
+    auto succ = GlobalSuccessor(query.hi, exclusive, visited);
+    if (!pred && !succ) return Status::NotFound("empty relation");
+    const AuthTable::Item& witness = pred ? *pred : *succ;
+    proj.proof = DigestWitness{witness.record.key(), witness.record.rid,
+                               witness.record.ts, witness.record.Digest()};
+    proj.agg_sig = witness.sig;
+    if (pred) {
+      auto pp = GlobalPredecessor(pred->record.key(), exclusive, visited);
+      proj.left_key = pp ? pp->record.key() : kChainMinusInf;
+      proj.right_key = succ ? succ->record.key() : kChainPlusInf;
+    } else {
+      proj.left_key = kChainMinusInf;  // no key below lo, hence none below
+      auto ss = GlobalSuccessor(succ->record.key(), exclusive, visited);
+      proj.right_key = ss ? ss->record.key() : kChainPlusInf;
+    }
+    oldest_ts = witness.record.ts;
+  } else {
+    if (proj.left_key == kChainMinusInf) {
+      auto pred = GlobalPredecessor(query.lo, exclusive, visited);
+      if (pred) proj.left_key = pred->record.key();
+    }
+    if (proj.right_key == kChainPlusInf) {
+      auto succ = GlobalSuccessor(query.hi, exclusive, visited);
+      if (succ) proj.right_key = succ->record.key();
+    }
+    proj.agg_sig = ctx_->Aggregate(agg_parts);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(summaries_mu_);
+    for (const UpdateSummary& s : summaries_) {
+      if (s.publish_ts >= oldest_ts) out.summaries.push_back(s);
+    }
+  }
+  out.served_epoch = epoch_at_start;
+  return out;
+}
+
+Result<QueryAnswer> ShardedQueryServer::JoinAttempt(
+    const std::vector<int64_t>& values, JoinMethod method, bool exclusive,
+    std::vector<bool>* visited) const {
+  const uint64_t epoch_at_start = tracker_.current_epoch();
+  // Partition snapshot strictly *after* the epoch read: the update-stream
+  // barrier installs a period's refresh before advancing the epoch, so
+  // this order guarantees the snapshot is at least as fresh as the stamp
+  // claims — a retried or escalated attempt re-snapshots both together.
+  std::shared_ptr<const std::vector<CertifiedPartition>> parts_snap;
+  {
+    std::lock_guard<std::mutex> lock(partitions_mu_);
+    parts_snap = join_partitions_;
+  }
+  static const std::vector<CertifiedPartition> kNoPartitions;
+  const std::vector<CertifiedPartition>& partitions =
+      parts_snap ? *parts_snap : kNoPartitions;
+  QueryAnswer out;
+  out.kind = QueryKind::kJoin;
+  JoinAnswer& ans = out.join;
+  ans.method = method;
+
+  std::set<uint32_t> used_partitions;
+  // Chain signatures included in the aggregate, deduplicated by composite
+  // key across the whole answer (a record may serve several proofs) —
+  // which is why a join validates the apply counter of every shard it
+  // reads: the dedup must never mix two chain generations of one record.
+  std::set<int64_t> included_keys;
+  std::vector<BasSignature> parts;
+  uint64_t oldest_ts = ~uint64_t{0};
+  auto include_item = [&](const AuthTable::Item& item) {
+    if (included_keys.insert(item.record.key()).second)
+      parts.push_back(item.sig);
+    oldest_ts = std::min(oldest_ts, item.record.ts);
+  };
+
+  for (int64_t a : values) {
+    const int64_t clo = JoinCompositeKey(a, 0);
+    const int64_t chi = JoinCompositeKey(a, kJoinMaxDup);
+    const std::vector<ShardRouter::SubRange> cover = router_.Cover(clo, chi);
+    // Per-value scan of the covering shards, gathering items with their
+    // chain signatures; the edge sub-scans also report the shard-local
+    // boundary items (the global chain neighbors when present).
+    std::vector<AuthTable::Item> items;
+    std::optional<AuthTable::Item> left_b, right_b;
+    for (size_t i = 0; i < cover.size(); ++i) {
+      const ShardRouter::SubRange& sr = cover[i];
+      if (visited != nullptr) (*visited)[sr.shard] = true;
+      std::unique_lock<std::mutex> lock(shards_[sr.shard]->mu,
+                                        std::defer_lock);
+      if (!exclusive) lock.lock();
+      AuthTable::RangeOut scan =
+          shards_[sr.shard]->qs->table().Scan(sr.lo, sr.hi);
+      if (i == 0) left_b = scan.left_boundary;
+      if (i + 1 == cover.size()) right_b = scan.right_boundary;
+      for (AuthTable::Item& item : scan.items)
+        items.push_back(std::move(item));
+    }
+
+    if (!items.empty()) {
+      // Match group: stitch its boundary keys across seams exactly like
+      // selection boundaries — a shard-local boundary is already the
+      // global neighbor; a sentinel means it lives on another shard.
+      JoinMatch match;
+      match.a_value = a;
+      if (left_b) {
+        match.left_key = left_b->record.key();
+      } else {
+        auto pred = GlobalPredecessor(clo, exclusive, visited);
+        match.left_key = pred ? pred->record.key() : kChainMinusInf;
+      }
+      if (right_b) {
+        match.right_key = right_b->record.key();
+      } else {
+        auto succ = GlobalSuccessor(chi, exclusive, visited);
+        match.right_key = succ ? succ->record.key() : kChainPlusInf;
+      }
+      for (const AuthTable::Item& item : items) {
+        match.s_records.push_back(item.record);
+        include_item(item);
+      }
+      ans.matches.push_back(std::move(match));
+      continue;
+    }
+
+    bool need_boundary = true;
+    if (method == JoinMethod::kBloomFilter) {
+      const CertifiedPartition* part = FindCoveringPartition(partitions, a);
+      if (part != nullptr) {
+        used_partitions.insert(part->idx);
+        if (!part->filter.MayContainInt64(a)) {
+          ans.negative_probes.push_back({a, part->idx});
+          need_boundary = false;
+        }
+        // else: false positive — fall back to the boundary proof below.
+      }
+    }
+    if (need_boundary) {
+      // Absence witness adjacent to the gap, possibly on another shard;
+      // its own chain neighbors stitch across seams via global probes.
+      std::optional<AuthTable::Item> witness = left_b;
+      if (!witness) witness = GlobalPredecessor(clo, exclusive, visited);
+      if (!witness) witness = right_b;
+      if (!witness) witness = GlobalSuccessor(chi, exclusive, visited);
+      if (!witness) return Status::NotFound("S is empty");
+      AbsenceProof proof;
+      proof.a_value = a;
+      proof.rec_key = witness->record.key();
+      proof.rec_rid = witness->record.rid;
+      proof.rec_ts = witness->record.ts;
+      proof.rec_digest = witness->record.Digest();
+      auto wl = GlobalPredecessor(witness->record.key(), exclusive, visited);
+      auto wr = GlobalSuccessor(witness->record.key(), exclusive, visited);
+      proof.left_key = wl ? wl->record.key() : kChainMinusInf;
+      proof.right_key = wr ? wr->record.key() : kChainPlusInf;
+      include_item(*witness);
+      ans.absence_proofs.push_back(std::move(proof));
+    }
+  }
+
+  for (uint32_t idx : used_partitions) {
+    for (const CertifiedPartition& p : partitions) {
+      if (p.idx == idx) {
+        ans.partitions.push_back(p);
+        parts.push_back(p.sig);
+        break;
+      }
+    }
+  }
+  ans.agg_sig = ctx_->Aggregate(parts);
+
+  {
+    std::lock_guard<std::mutex> lock(summaries_mu_);
+    for (const UpdateSummary& s : summaries_) {
+      if (s.publish_ts >= oldest_ts) out.summaries.push_back(s);
+    }
+  }
+  out.served_epoch = epoch_at_start;
+  return out;
+}
+
+Result<QueryAnswer> ShardedQueryServer::Execute(const Query& query,
+                                                SelectStats* stats) const {
+  switch (query.kind) {
+    case QueryKind::kSelect: {
+      QueryAnswer ans;
+      ans.kind = QueryKind::kSelect;
+      AUTHDB_ASSIGN_OR_RETURN(ans.selection,
+                              Select(query.lo, query.hi, stats));
+      ans.served_epoch = ans.selection.served_epoch;
+      return ans;
+    }
+    case QueryKind::kProject: {
+      if (stats != nullptr) *stats = SelectStats{};
+      if (query.lo > query.hi) return Status::InvalidArgument("lo > hi");
+      if (query.lo == kChainMinusInf || query.hi == kChainPlusInf)
+        return Status::InvalidArgument("range touches chain sentinels");
+      const std::vector<ShardRouter::SubRange> cover =
+          router_.Cover(query.lo, query.hi);
+      std::vector<size_t> seam_shards;
+      seam_shards.reserve(cover.size());
+      for (const ShardRouter::SubRange& sr : cover)
+        seam_shards.push_back(sr.shard);
+      return RunValidated<QueryAnswer>(
+          seam_shards, [&](bool exclusive, std::vector<bool>* visited) {
+            return ProjectAttempt(query, cover, stats, exclusive, visited);
+          });
+    }
+    case QueryKind::kJoin: {
+      if (stats != nullptr) *stats = SelectStats{};
+      if (query.join_values.empty())
+        return Status::InvalidArgument("join without probe values");
+      std::vector<int64_t> values = query.join_values;
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      std::vector<bool> touched(shards_.size(), false);
+      for (int64_t a : values) {
+        if (!JoinBValueInDomain(a))
+          return Status::InvalidArgument("join probe value outside B domain");
+        for (const ShardRouter::SubRange& sr : router_.Cover(
+                 JoinCompositeKey(a, 0), JoinCompositeKey(a, kJoinMaxDup)))
+          touched[sr.shard] = true;
+      }
+      std::vector<size_t> seam_shards;
+      for (size_t s = 0; s < touched.size(); ++s) {
+        if (touched[s]) seam_shards.push_back(s);
+      }
+      if (stats != nullptr) stats->shards_queried = seam_shards.size();
+      return RunValidated<QueryAnswer>(
+          seam_shards, [&](bool exclusive, std::vector<bool>* visited) {
+            return JoinAttempt(values, query.join_method, exclusive, visited);
+          });
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+void ShardedQueryServer::SetJoinPartitions(
+    std::vector<CertifiedPartition> partitions) {
+  auto fresh = std::make_shared<const std::vector<CertifiedPartition>>(
+      std::move(partitions));
+  std::lock_guard<std::mutex> lock(partitions_mu_);
+  join_partitions_ = std::move(fresh);
 }
 
 void ShardedQueryServer::EnableSigCache(SigCache::RefreshMode mode,

@@ -19,10 +19,11 @@ namespace authdb {
 
 /// A query-serving front end that partitions the key space across K
 /// QueryServer shards — each with its own AuthTable, buffer pools, and
-/// optional SigCache — and serves Select(lo, hi) by fanning the covered
-/// sub-ranges out over a fixed thread pool, then stitching the per-shard
-/// answers into one SelectionAnswer that the unmodified ClientVerifier
-/// accepts.
+/// optional SigCache — and serves the unified verified-query surface
+/// (Execute: selections, projections, and authenticated equi-joins) by
+/// fanning per-shard work out over a fixed thread pool, then stitching the
+/// per-shard answers into one answer that the unmodified client-side
+/// verifier accepts.
 ///
 /// Why stitching preserves the proofs: the DA signs every record chained to
 /// its *global* neighbors, and the router's partition is contiguous in key
@@ -139,6 +140,31 @@ class ShardedQueryServer {
   Result<SelectionAnswer> Select(int64_t lo, int64_t hi,
                                  SelectStats* stats = nullptr) const;
 
+  /// Execute one query plan — the unified read path, every answer kind
+  /// epoch-stamped and served under the same seam-consistency protocol as
+  /// Select:
+  ///  * kSelect wraps Select.
+  ///  * kProject fans the range out per shard and stitches the digest
+  ///    spine exactly like a selection (outer boundaries resolved by
+  ///    global probes), summing the per-shard aggregates.
+  ///  * kJoin proves each probe value from the shards covering its
+  ///    composite range — match groups and absence witnesses stitch their
+  ///    boundary keys across seams via the same global probes as
+  ///    selection boundaries; certified Bloom partitions are consulted at
+  ///    the router level. Because the per-value scans re-take shard locks,
+  ///    a join validates the apply seqlock of *every* shard it examined
+  ///    (never the single-cover fast path): a record cited for one value
+  ///    must not be re-certified before a later value cites it again, or
+  ///    the deduplicated aggregate would mix chain generations.
+  Result<QueryAnswer> Execute(const Query& query,
+                              SelectStats* stats = nullptr) const;
+
+  /// Install / refresh the DA-certified Bloom partitions over S.B. Join
+  /// plans snapshot the current set; the update stream re-installs the
+  /// certified refresh at every rho-period summary barrier, so a served
+  /// filter is never older than one period behind the published epoch.
+  void SetJoinPartitions(std::vector<CertifiedPartition> partitions);
+
   /// Plan and pin a per-shard SigCache (lazy or eager refresh). Each shard
   /// is planned independently against the largest power-of-two prefix of
   /// its current size — sharding shrinks both the plan space and the blast
@@ -181,6 +207,17 @@ class ShardedQueryServer {
     mutable std::atomic<uint64_t> apply_seq{0};
   };
 
+  /// The reader half of the seqlock protocol, shared by every plan kind:
+  /// runs `attempt(exclusive, visited)` optimistically — validating the
+  /// seam counters of `seam_shards` and the apply counters of every shard
+  /// the attempt marked visited — restitching torn windows up to the retry
+  /// budget, then escalating to one exclusive pass under every shard lock.
+  /// An attempt that covered at most one seam shard and visited nothing is
+  /// atomic by construction and returns unvalidated (the fast path).
+  template <typename T, typename AttemptFn>
+  Result<T> RunValidated(const std::vector<size_t>& seam_shards,
+                         AttemptFn&& attempt) const;
+
   /// One fan-out + stitch pass over `cover`. With `exclusive` false each
   /// sub-read takes its own shard lock (the caller must validate the
   /// seqlock counters around the pass); with `exclusive` true the caller
@@ -194,6 +231,24 @@ class ShardedQueryServer {
   Result<SelectionAnswer> SelectAttempt(
       int64_t lo, int64_t hi, const std::vector<ShardRouter::SubRange>& cover,
       SelectStats* stats, bool exclusive, std::vector<bool>* visited) const;
+
+  /// One projection fan-out + stitch pass — the SelectAttempt shape with a
+  /// digest spine instead of full records, same locking contract.
+  Result<QueryAnswer> ProjectAttempt(
+      const Query& query, const std::vector<ShardRouter::SubRange>& cover,
+      SelectStats* stats, bool exclusive, std::vector<bool>* visited) const;
+
+  /// One cross-shard join construction pass over the sorted distinct probe
+  /// values. Marks every shard it scans or probes in `visited` (per-value
+  /// scans re-take locks, so any apply to an examined shard can tear the
+  /// pass), same locking contract as the other attempts. Snapshots the
+  /// certified partitions itself, *after* reading the epoch: refreshes
+  /// install before the epoch advances, so reading in the opposite order
+  /// keeps the invariant that an answer stamped epoch e never cites a
+  /// filter older than period e-1 (fresher than stamped is allowed).
+  Result<QueryAnswer> JoinAttempt(const std::vector<int64_t>& values,
+                                  JoinMethod method, bool exclusive,
+                                  std::vector<bool>* visited) const;
 
   /// Global chain neighbors of `key`, probing outward from its owner shard
   /// (takes each probed shard's lock in turn unless `locked`, i.e. the
@@ -217,6 +272,11 @@ class ShardedQueryServer {
   mutable std::mutex summaries_mu_;
   std::deque<UpdateSummary> summaries_;
   FreshnessTracker tracker_;
+
+  /// Certified Bloom partitions, swapped wholesale on refresh; join
+  /// attempts copy the shared_ptr and read a stable snapshot lock-free.
+  mutable std::mutex partitions_mu_;
+  std::shared_ptr<const std::vector<CertifiedPartition>> join_partitions_;
 };
 
 }  // namespace authdb

@@ -55,8 +55,14 @@ void UpdateStream::PushUpdate(SignedRecordUpdate msg) {
 }
 
 void UpdateStream::PushSummary(UpdateSummary summary) {
+  PushSummary(std::move(summary), {});
+}
+
+void UpdateStream::PushSummary(
+    UpdateSummary summary, std::vector<CertifiedPartition> partition_refresh) {
   auto barrier = std::make_shared<SummaryBarrier>();
   barrier->summary = std::move(summary);
+  barrier->partition_refresh = std::move(partition_refresh);
   barrier->remaining.store(queues_.size());
   barrier->enqueue_micros = MonotonicMicros();
   std::lock_guard<std::mutex> lock(push_mu_);
@@ -85,6 +91,12 @@ void UpdateStream::WorkerLoop(size_t shard) {
       // applied on every shard, so the epoch may advance.
       if (ev.barrier->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         uint64_t latency = MonotonicMicros() - ev.barrier->enqueue_micros;
+        // Install the period's certified filters before the epoch
+        // advances: answers stamped with the new epoch must never cite a
+        // filter from an older period (fresher-than-stamped is allowed,
+        // staler is not — the same direction as the update barrier).
+        if (!ev.barrier->partition_refresh.empty())
+          server_->SetJoinPartitions(std::move(ev.barrier->partition_refresh));
         server_->AddSummary(std::move(ev.barrier->summary));
         std::lock_guard<std::mutex> slock(stats_mu_);  // rare: once per rho
         ++stats_.summaries_published;

@@ -76,8 +76,15 @@ class UpdateStream {
   void PushUpdate(SignedRecordUpdate msg);
 
   /// Fan a freshly certified summary out to every shard queue as an epoch
-  /// barrier; it publishes once all shards have drained past it.
+  /// barrier; it publishes once all shards have drained past it. The
+  /// overload carries the DA's rho-period certified Bloom partition
+  /// refresh (DataAggregator::PeriodOutput::partition_refresh): the
+  /// filters install at the barrier, *before* the epoch advances, so an
+  /// answer stamped with epoch e never cites a filter older than period
+  /// e-1 — join state rides the same cadence and ordering as the bitmaps.
   void PushSummary(UpdateSummary summary);
+  void PushSummary(UpdateSummary summary,
+                   std::vector<CertifiedPartition> partition_refresh);
 
   /// Block until everything pushed before the call has been applied (and
   /// any summary among it published).
@@ -100,9 +107,10 @@ class UpdateStream {
  private:
   /// Summary fan-out marker shared by all shard queues. The worker that
   /// decrements `remaining` to zero — necessarily the last shard to drain
-  /// past the barrier — publishes.
+  /// past the barrier — publishes (installing any partition refresh first).
   struct SummaryBarrier {
     UpdateSummary summary;
+    std::vector<CertifiedPartition> partition_refresh;
     std::atomic<size_t> remaining;
     uint64_t enqueue_micros = 0;
   };

@@ -17,10 +17,17 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
   AUTHDB_CHECK(server != nullptr);
   AUTHDB_CHECK(options.key_lo <= options.key_hi);
   AUTHDB_CHECK(options.query_span >= 1);
+  AUTHDB_CHECK(options.join_fraction + options.projection_fraction <= 1.0);
+  if (options.join_fraction > 0) {
+    AUTHDB_CHECK(options.join_b_lo <= options.join_b_hi);
+    AUTHDB_CHECK(options.join_probe_count >= 1);
+  }
 
   struct PerClient {
-    LatencyHistogram query_latency, update_latency;
-    size_t queries = 0, updates = 0, failures = 0;
+    LatencyHistogram query_latency, join_latency, projection_latency,
+        update_latency;
+    VoAccounting vo;
+    size_t queries = 0, joins = 0, projections = 0, updates = 0, failures = 0;
   };
   std::vector<PerClient> per_client(options.clients);
 
@@ -30,6 +37,11 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
   uint64_t domain = static_cast<uint64_t>(options.key_hi) -
                     static_cast<uint64_t>(options.key_lo) + 1;
   uint64_t span = std::min(options.query_span, domain);
+  uint64_t b_domain = options.join_fraction > 0
+                          ? static_cast<uint64_t>(options.join_b_hi) -
+                                static_cast<uint64_t>(options.join_b_lo) + 1
+                          : 1;
+  const SizeModel size_model;
 
   auto client = [&](size_t id) {
     Rng rng(options.seed * 0x9E3779B9u + id);
@@ -47,17 +59,66 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
         me.update_latency.Record(MonotonicMicros() - t0);
         ++me.updates;
         if (!s.ok()) ++me.failures;
+        continue;
+      }
+      // Read op: pick the plan kind, build the plan, Execute it.
+      double kind_draw = rng.NextDouble();
+      Query q;
+      if (kind_draw < options.join_fraction) {
+        std::vector<int64_t> probes;
+        probes.reserve(options.join_probe_count);
+        for (size_t i = 0; i < options.join_probe_count; ++i) {
+          probes.push_back(options.join_b_lo +
+                           static_cast<int64_t>(rng.Uniform(b_domain)));
+        }
+        q = Query::Join(std::move(probes), options.join_method);
       } else {
         int64_t lo = options.key_lo +
                      static_cast<int64_t>(rng.Uniform(domain - span + 1));
         int64_t hi = lo + static_cast<int64_t>(span) - 1;
-        uint64_t t0 = MonotonicMicros();
-        auto ans = server->Select(lo, hi);
-        me.query_latency.Record(MonotonicMicros() - t0);
-        ++me.queries;
-        // An empty relation is a workload configuration error, not a
-        // serving failure; everything else that is not OK counts.
-        if (!ans.ok() && !ans.status().IsNotFound()) ++me.failures;
+        if (kind_draw <
+            options.join_fraction + options.projection_fraction) {
+          q = Query::Project(lo, hi, options.projection_attrs);
+        } else {
+          q = Query::Select(lo, hi);
+        }
+      }
+      uint64_t t0 = MonotonicMicros();
+      auto ans = server->Execute(q);
+      uint64_t latency = MonotonicMicros() - t0;
+      // An empty relation is a workload configuration error, not a
+      // serving failure; everything else that is not OK counts.
+      bool failed = !ans.ok() && !ans.status().IsNotFound();
+      if (failed) ++me.failures;
+      switch (q.kind) {
+        case QueryKind::kSelect:
+          me.query_latency.Record(latency);
+          ++me.queries;
+          if (ans.ok()) {
+            ++me.vo.select_answers;
+            me.vo.select_bytes += ans.value().vo_bytes(size_model);
+          }
+          break;
+        case QueryKind::kProject:
+          me.projection_latency.Record(latency);
+          ++me.projections;
+          if (ans.ok()) {
+            ++me.vo.project_answers;
+            me.vo.project_bytes += ans.value().vo_bytes(size_model);
+          }
+          break;
+        case QueryKind::kJoin:
+          me.join_latency.Record(latency);
+          ++me.joins;
+          if (ans.ok()) {
+            ++me.vo.join_answers;
+            me.vo.join_bytes += ans.value().vo_bytes(size_model);
+            me.vo.join_bloom_bytes +=
+                ans.value().join.vo_bloom_bytes(size_model);
+            me.vo.join_boundary_bytes +=
+                ans.value().join.vo_boundary_bytes(size_model);
+          }
+          break;
       }
     }
   };
@@ -72,15 +133,21 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
   MultiClientReport report;
   for (const PerClient& pc : per_client) {
     report.queries += pc.queries;
+    report.joins += pc.joins;
+    report.projections += pc.projections;
     report.updates += pc.updates;
     report.failures += pc.failures;
     report.query_latency.Merge(pc.query_latency);
+    report.join_latency.Merge(pc.join_latency);
+    report.projection_latency.Merge(pc.projection_latency);
     report.update_latency.Merge(pc.update_latency);
+    report.vo.Merge(pc.vo);
   }
   report.elapsed_seconds = static_cast<double>(t_end - t_start) * 1e-6;
   if (report.elapsed_seconds > 0) {
     report.ops_per_second =
-        static_cast<double>(report.queries + report.updates) /
+        static_cast<double>(report.queries + report.joins +
+                            report.projections + report.updates) /
         report.elapsed_seconds;
   }
   return report;

@@ -11,28 +11,53 @@
 
 namespace authdb {
 
-/// Closed-loop multi-client load: each client thread issues its next
-/// operation the moment the previous one completes (no think time), drawing
-/// uniform fixed-span range selections and — with probability
-/// `update_fraction` — pre-signed DA update messages from a shared queue.
+/// Closed-loop multi-client load over the unified query surface: each
+/// client thread issues its next operation the moment the previous one
+/// completes (no think time). Operations are drawn per-op: a pre-signed DA
+/// update with probability `update_fraction`, else a join / projection /
+/// selection plan by the kind fractions (selection is the remainder) — all
+/// reads go through ShardedQueryServer::Execute.
 struct MultiClientOptions {
   size_t clients = 4;
   size_t ops_per_client = 200;
   double update_fraction = 0.0;  ///< fraction of ops that apply an update
-  int64_t key_lo = 0;            ///< query domain (inclusive)
+  int64_t key_lo = 0;            ///< selection/projection domain (inclusive)
   int64_t key_hi = 0;
   uint64_t query_span = 16;      ///< hi - lo + 1 of every range query
+
+  /// Mixed-workload fractions of the *read* ops (update slots excluded);
+  /// whatever remains is selections. join_fraction requires a composite-
+  /// keyed relation and `join_b_lo <= join_b_hi`.
+  double join_fraction = 0.0;
+  double projection_fraction = 0.0;
+  size_t join_probe_count = 4;  ///< R.A values drawn per join op
+  int64_t join_b_lo = 0, join_b_hi = 0;  ///< B domain probed by joins
+  JoinMethod join_method = JoinMethod::kBloomFilter;
+  std::vector<uint32_t> projection_attrs = {1};
+
   uint64_t seed = 1;
 };
 
 struct MultiClientReport {
-  size_t queries = 0;
+  size_t queries = 0;      ///< selection plans served
+  size_t joins = 0;        ///< join plans served
+  size_t projections = 0;  ///< projection plans served
   size_t updates = 0;
-  size_t failures = 0;  ///< Select errors or ApplyUpdate errors
+  size_t failures = 0;  ///< Execute errors or ApplyUpdate errors
   double elapsed_seconds = 0;
-  double ops_per_second = 0;  ///< aggregate throughput (queries + updates)
+  double ops_per_second = 0;  ///< aggregate throughput (all kinds + updates)
+  /// Per-query-kind latency breakdown (selection / join / projection).
   LatencyHistogram query_latency;
+  LatencyHistogram join_latency;
+  LatencyHistogram projection_latency;
   LatencyHistogram update_latency;
+  /// Per-kind VO bytes under the paper's constants (core/vo_size.h).
+  VoAccounting vo;
+
+  double KindOpsPerSecond(size_t count) const {
+    return elapsed_seconds > 0 ? static_cast<double>(count) / elapsed_seconds
+                               : 0.0;
+  }
 };
 
 /// Run the load against a sharded server. `updates` is a pool of pre-signed

@@ -28,6 +28,14 @@ StalenessAttackReport RunStalenessAttack(
   const uint64_t victim_space = opt.periods * opt.victims_per_period;
   AUTHDB_CHECK(opt.n_records > victim_space);
 
+  // Join mode: the relation is keyed on composite join keys (B = record
+  // index, one row each) so join plans can probe it, and the DA maintains
+  // certified Bloom partitions refreshed at every summary barrier.
+  const bool join_mode = opt.join_replays_per_period > 0;
+  auto record_key = [&](int64_t k) {
+    return join_mode ? JoinCompositeKey(k, 0) : k;
+  };
+
   ManualClock clock(1'000'000);
   Rng rng(opt.seed);
   DataAggregator::Options da_opt;
@@ -41,8 +49,9 @@ StalenessAttackReport RunStalenessAttack(
   sopt.worker_threads = opt.worker_threads;
   ShardedQueryServer server(
       ctx,
-      ShardRouter::Uniform(opt.shards, 0,
-                           static_cast<int64_t>(opt.n_records) - 1),
+      ShardRouter::Uniform(
+          opt.shards, 0,
+          record_key(static_cast<int64_t>(opt.n_records) - 1)),
       sopt);
   UpdateStream stream(&server, UpdateStream::Options{});
 
@@ -52,13 +61,15 @@ StalenessAttackReport RunStalenessAttack(
 
   // Close the DA's current rho-period and push its output through the
   // stream: re-certifications first (they belong to the new period), then
-  // the summary as the epoch barrier, then wait for the epoch to advance.
+  // the summary — carrying the period's certified partition refresh — as
+  // the epoch barrier, then wait for the epoch to advance.
   auto publish_period = [&] {
     DataAggregator::PeriodOutput out = da.PublishSummary();
     for (const SignedRecordUpdate& msg : out.recertifications)
       stream.PushUpdate(msg);
     history.push_back(out.summary);
-    stream.PushSummary(std::move(out.summary));
+    stream.PushSummary(std::move(out.summary),
+                       std::move(out.partition_refresh));
     stream.Flush();
   };
 
@@ -67,13 +78,19 @@ StalenessAttackReport RunStalenessAttack(
   records.reserve(opt.n_records);
   for (uint64_t k = 0; k < opt.n_records; ++k) {
     Record r;
-    r.attrs = {static_cast<int64_t>(k), static_cast<int64_t>(k * 7)};
+    r.attrs = {record_key(static_cast<int64_t>(k)),
+               static_cast<int64_t>(k * 7)};
     records.push_back(r);
   }
   Result<std::vector<SignedRecordUpdate>> bulk =
       da.BulkLoad(std::move(records));
   AUTHDB_CHECK(bulk.ok());
   for (const SignedRecordUpdate& msg : bulk.value()) stream.PushUpdate(msg);
+  if (join_mode) {
+    da.EnableJoinPartitions(/*values_per_partition=*/4,
+                            /*bits_per_value=*/8.0);
+    server.SetJoinPartitions(da.join_partitions());
+  }
   clock.AdvanceMicros(opt.rho_micros);
   publish_period();
 
@@ -92,10 +109,27 @@ StalenessAttackReport RunStalenessAttack(
     const int64_t victim_lo =
         static_cast<int64_t>(p * opt.victims_per_period);
     for (size_t v = 0; v < opt.victims_per_period; ++v) {
-      int64_t key = victim_lo + static_cast<int64_t>(v);
+      int64_t key = record_key(victim_lo + static_cast<int64_t>(v));
       Result<SelectionAnswer> ans = server.Select(key, key);
       AUTHDB_CHECK(ans.ok());
       captured.push_back(Captured{key, std::move(ans.value())});
+    }
+    // Join mode: also capture pre-update *join* answers over the victims'
+    // B values — their match rows are about to be superseded.
+    struct CapturedJoin {
+      Query query;
+      QueryAnswer ans;
+    };
+    std::vector<CapturedJoin> captured_joins;
+    for (size_t v = 0;
+         v < std::min(opt.join_replays_per_period, opt.victims_per_period);
+         ++v) {
+      Query q = Query::Join({victim_lo + static_cast<int64_t>(v)},
+                            JoinMethod::kBloomFilter);
+      Result<QueryAnswer> ans = server.Execute(q);
+      AUTHDB_CHECK(ans.ok());
+      captured_joins.push_back(
+          CapturedJoin{std::move(q), std::move(ans.value())});
     }
 
     // Honest clients read and verify while the ingest below runs. Each
@@ -115,9 +149,28 @@ StalenessAttackReport RunStalenessAttack(
         uint64_t span = std::min<uint64_t>(
             std::max<uint64_t>(opt.query_span, 1), opt.n_records);
         for (size_t i = 0; i < opt.reads_per_reader; ++i) {
-          int64_t lo =
+          if (join_mode && i % 4 == 3) {
+            // Every 4th honest read is a live join racing the ingest.
+            Query q = Query::Join(
+                {static_cast<int64_t>(rrng.Uniform(2 * opt.n_records))},
+                JoinMethod::kBloomFilter);
+            Result<QueryAnswer> ans = server.Execute(q);
+            if (!ans.ok()) continue;
+            if (verifier.VerifyAnswerFresh(q, ans.value(), now,
+                                           epoch_at_start)
+                    .ok()) {
+              ++accepted;
+            }
+            continue;
+          }
+          int64_t lo_k =
               static_cast<int64_t>(rrng.Uniform(opt.n_records - span + 1));
-          int64_t hi = lo + static_cast<int64_t>(span) - 1;
+          int64_t lo = record_key(lo_k);
+          int64_t hi =
+              join_mode
+                  ? JoinCompositeKey(lo_k + static_cast<int64_t>(span) - 1,
+                                     kJoinMaxDup)
+                  : lo + static_cast<int64_t>(span) - 1;
           Result<SelectionAnswer> ans = server.Select(lo, hi);
           if (!ans.ok()) continue;
           if (verifier
@@ -140,8 +193,8 @@ StalenessAttackReport RunStalenessAttack(
       stream.PushUpdate(std::move(msg.value()));
     }
     for (size_t i = 0; i < opt.extra_updates_per_period; ++i) {
-      int64_t key = static_cast<int64_t>(
-          victim_space + rng.Uniform(opt.n_records - victim_space));
+      int64_t key = record_key(static_cast<int64_t>(
+          victim_space + rng.Uniform(opt.n_records - victim_space)));
       Result<SignedRecordUpdate> msg =
           da.ModifyRecord(key, {key, static_cast<int64_t>(i)});
       AUTHDB_CHECK(msg.ok());
@@ -176,6 +229,35 @@ StalenessAttackReport RunStalenessAttack(
         ++report.replays_rejected_bitmap_only;
       if (!judge.StaleRids(c.ans, now_post).empty())
         ++report.replays_stale_rid_flagged;
+    }
+    // The join replays: every captured match row is superseded, so the
+    // generalized verifier must reject with the full check and with the
+    // epoch stamp deliberately ignored (the bitmap walk alone).
+    for (const CapturedJoin& c : captured_joins) {
+      ++report.join_replayed_answers;
+      if (!judge
+               .VerifyAnswerFresh(c.query, c.ans, now_post, epoch_now,
+                                  /*max_partition_age_micros=*/
+                                  2 * opt.rho_micros)
+               .ok()) {
+        ++report.join_replays_rejected;
+      }
+      if (!judge.VerifyAnswerFresh(c.query, c.ans, now_post, 0).ok())
+        ++report.join_replays_rejected_bitmap_only;
+      if (!judge.StaleRids(c.ans, now_post).empty())
+        ++report.join_replays_stale_rid_flagged;
+    }
+    // Honest re-joins of the same probe values: the current versions
+    // verify under the advanced epoch and the partition-age bound.
+    for (const CapturedJoin& c : captured_joins) {
+      Result<QueryAnswer> ans = server.Execute(c.query);
+      ++report.join_honest_answers;
+      if (ans.ok() && judge
+                          .VerifyAnswerFresh(c.query, ans.value(), now_post,
+                                             epoch_now, 2 * opt.rho_micros)
+                          .ok()) {
+        ++report.join_honest_accepted;
+      }
     }
 
     // Honest re-reads of the same records: the *current* versions verify,

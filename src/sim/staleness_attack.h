@@ -28,6 +28,13 @@ struct StalenessAttackOptions {
   size_t reads_per_reader = 32;   ///< honest reads per thread per period
   uint64_t query_span = 8;        ///< honest range-query width
   uint64_t rho_micros = 1'000'000;
+  /// Join-replay extension: when > 0, the relation is keyed on composite
+  /// join keys (B value = record index, one row each), the DA maintains
+  /// certified Bloom partitions refreshed at every summary barrier, and
+  /// each period additionally captures up to this many pre-update *join*
+  /// answers over the period's victims, replaying them after the closing
+  /// summary publishes. 0 keeps the selection-only harness.
+  size_t join_replays_per_period = 0;
   uint64_t seed = 1;
 };
 
@@ -50,10 +57,23 @@ struct StalenessAttackReport {
   /// Replays whose stale rid was pinpointed by ClientVerifier::StaleRids.
   size_t replays_stale_rid_flagged = 0;
 
+  /// Join-replay tallies (zero unless join_replays_per_period > 0).
+  size_t join_replayed_answers = 0;
+  size_t join_replays_rejected = 0;  ///< full check (epoch + bitmaps)
+  /// Epoch stamp deliberately ignored: the bitmap walk over the match
+  /// rows / witnesses alone must still catch every replay.
+  size_t join_replays_rejected_bitmap_only = 0;
+  size_t join_replays_stale_rid_flagged = 0;
+  size_t join_honest_answers = 0;   ///< post-period re-joins verified
+  size_t join_honest_accepted = 0;  ///< must equal join_honest_answers
+
   bool Clean() const {
     return replayed_answers > 0 && honest_accepted == honest_answers &&
            replays_rejected == replayed_answers &&
-           replays_rejected_bitmap_only == replayed_answers;
+           replays_rejected_bitmap_only == replayed_answers &&
+           join_replays_rejected == join_replayed_answers &&
+           join_replays_rejected_bitmap_only == join_replayed_answers &&
+           join_honest_accepted == join_honest_answers;
   }
 };
 

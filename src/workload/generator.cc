@@ -22,6 +22,43 @@ std::vector<Record> WorkloadGenerator::MakeRecords() const {
   return out;
 }
 
+std::vector<Record> WorkloadGenerator::MakeCompositeRecords() const {
+  Rng rng(config_.seed ^ 0x517cc1b7);
+  std::vector<Record> out;
+  uint32_t max_dups = std::max<uint32_t>(1, config_.join_max_dups);
+  out.reserve(config_.n_records);
+  for (uint64_t b = 0; b < config_.n_records; ++b) {
+    uint32_t dups = 1 + static_cast<uint32_t>(rng.Uniform(max_dups));
+    for (uint32_t d = 0; d < dups; ++d) {
+      Record r;
+      r.attrs.resize(std::max<uint32_t>(config_.n_attrs, 2));
+      r.attrs[0] = JoinCompositeKey(static_cast<int64_t>(b), d);
+      r.attrs[1] = static_cast<int64_t>(b);
+      for (uint32_t a = 2; a < r.attrs.size(); ++a)
+        r.attrs[a] = static_cast<int64_t>(rng.Next() >> 16);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+WorkloadGenerator::OpKind WorkloadGenerator::NextOp() {
+  if (rng_.NextDouble() < config_.update_fraction) return OpKind::kUpdate;
+  double kind = rng_.NextDouble();
+  if (kind < config_.join_fraction) return OpKind::kJoin;
+  if (kind < config_.join_fraction + config_.projection_fraction)
+    return OpKind::kProject;
+  return OpKind::kSelect;
+}
+
+std::vector<int64_t> WorkloadGenerator::NextJoinProbes() {
+  std::vector<int64_t> probes;
+  probes.reserve(config_.join_probes);
+  for (size_t i = 0; i < config_.join_probes; ++i)
+    probes.push_back(static_cast<int64_t>(rng_.Uniform(2 * config_.n_records)));
+  return probes;
+}
+
 std::pair<int64_t, int64_t> WorkloadGenerator::NextRange() {
   double sf = config_.selectivity * (0.5 + rng_.NextDouble());  // [sf/2,3sf/2)
   uint64_t q = std::max<uint64_t>(

@@ -6,13 +6,16 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/join.h"
 #include "core/record.h"
 
 namespace authdb {
 
 /// Workload machinery of Section 5.1: N uniformly generated records of
 /// RecLen bytes with integer keys, selection queries uniform over the key
-/// domain with selectivity in [sf/2, 3sf/2], and an Upd% update mix.
+/// domain with selectivity in [sf/2, 3sf/2], and an Upd% update mix —
+/// extended with the unified-surface mix (join / projection fractions and
+/// composite-keyed S relations) for the mixed-query benches.
 class WorkloadGenerator {
  public:
   struct Config {
@@ -21,14 +24,35 @@ class WorkloadGenerator {
     uint32_t n_attrs = 4;        ///< attrs[0] is the indexed key
     double selectivity = 0.001;  ///< sf (fraction of records per range query)
     double update_fraction = 0.1;
+    /// Mixed-query surface: fractions of the read ops that are equi-join /
+    /// projection plans (the remainder is selections).
+    double join_fraction = 0.0;
+    double projection_fraction = 0.0;
+    size_t join_probes = 4;     ///< R.A values per join op
+    uint32_t join_max_dups = 1; ///< duplicate rows per B value (composite S)
     uint64_t seed = 42;
   };
+
+  enum class OpKind { kUpdate, kSelect, kJoin, kProject };
 
   explicit WorkloadGenerator(const Config& config)
       : config_(config), rng_(config.seed) {}
 
   /// Records with dense keys 0..N-1 and uniform attribute values.
   std::vector<Record> MakeRecords() const;
+
+  /// Composite-keyed S relation for join workloads: n_records distinct B
+  /// values 0..N-1, each with 1..join_max_dups duplicate rows keyed
+  /// JoinCompositeKey(B, dup); attrs[1] carries B.
+  std::vector<Record> MakeCompositeRecords() const;
+
+  /// Next operation kind under the configured mix (update first, then
+  /// join/projection fractions of the read remainder).
+  OpKind NextOp();
+
+  /// R.A probe values for one join op, uniform over [0, 2N): roughly half
+  /// hit S (B in [0, N)) and half must be proven absent.
+  std::vector<int64_t> NextJoinProbes();
 
   /// Range [lo, hi] with selectivity drawn from [sf/2, 3sf/2], uniform
   /// placement (Section 5.1).

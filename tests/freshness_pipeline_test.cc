@@ -55,9 +55,16 @@ class FreshnessPipelineTest : public ::testing::Test {
   void SetUp() override {
     clock_.SetMicros(1'000'000);
     rng_ = std::make_unique<Rng>(21);
+    MakeDa(/*sign_attributes=*/false);
+  }
+
+  /// (Re)create the DA; attribute signing is opt-in per test — it multiplies
+  /// every certification's signature count, which matters under TSan.
+  void MakeDa(bool sign_attributes) {
     DataAggregator::Options opt;
     opt.record_len = 128;
     opt.piggyback_renewal = false;
+    opt.sign_attributes = sign_attributes;
     da_ = std::make_unique<DataAggregator>(*ctx_, &clock_, rng_.get(), opt);
   }
 
@@ -83,13 +90,46 @@ class FreshnessPipelineTest : public ::testing::Test {
     return server;
   }
 
+  /// Build a sharded server over a composite-keyed S relation (B values
+  /// 0..n_b-1, `dups` rows each) with certified Bloom partitions — the
+  /// join-serving configuration.
+  std::unique_ptr<ShardedQueryServer> MakeJoinServer(size_t shards,
+                                                     int64_t n_b,
+                                                     uint32_t dups) {
+    ShardedQueryServer::Options sopt;
+    sopt.shard.record_len = 128;
+    sopt.worker_threads = shards;
+    auto server = std::make_unique<ShardedQueryServer>(
+        *ctx_,
+        ShardRouter::Uniform(shards, 0, JoinCompositeKey(n_b - 1, dups)),
+        sopt);
+    std::vector<Record> records;
+    for (int64_t b = 0; b < n_b; ++b) {
+      for (uint32_t d = 0; d < dups; ++d) {
+        Record r;
+        r.attrs = {JoinCompositeKey(b, d), b, b * 3};
+        records.push_back(r);
+      }
+    }
+    auto stream = da_->BulkLoad(std::move(records));
+    EXPECT_TRUE(stream.ok());
+    for (const auto& msg : stream.value())
+      EXPECT_TRUE(server->ApplyUpdate(msg).ok());
+    da_->EnableJoinPartitions(/*values_per_partition=*/4,
+                              /*bits_per_value=*/8.0);
+    server->SetJoinPartitions(da_->join_partitions());
+    return server;
+  }
+
   /// Close the DA's rho-period into the stream: re-certifications first
-  /// (they belong to the new period), then the summary as epoch barrier.
+  /// (they belong to the new period), then the summary — carrying the
+  /// period's certified partition refresh, if any — as epoch barrier.
   void StreamPeriod(UpdateStream* stream, uint64_t advance = 1'000'000) {
     clock_.AdvanceMicros(advance);
     DataAggregator::PeriodOutput out = da_->PublishSummary();
     for (const auto& msg : out.recertifications) stream->PushUpdate(msg);
-    stream->PushSummary(std::move(out.summary));
+    stream->PushSummary(std::move(out.summary),
+                        std::move(out.partition_refresh));
   }
 
   static std::shared_ptr<const BasContext>* ctx_;
@@ -547,6 +587,163 @@ TEST_F(FreshnessPipelineTest, MultiUpdateRecertifiedAcrossConsecutivePeriods) {
                   .VerifySelectionFresh(7, 7, current.value(), now,
                                         /*min_epoch=*/3)
                   .ok());
+}
+
+TEST_F(FreshnessPipelineTest, JoinChurnAcrossSeamsServesVerifiableAnswers) {
+  // The unified path under seam churn: readers execute join *and
+  // projection* plans spanning the shard seams while the stream applies
+  // seam-re-chaining deletes and inserts of the probed B values — plus
+  // periodic certified partition refreshes swapping the Bloom state
+  // mid-flight. Every mid-churn answer must pass the unmodified static
+  // verification: a torn join would mix chain generations inside its
+  // deduplicated aggregate and a torn projection spine would cite a
+  // superseded digest, failing the signature check either way — the
+  // direct test of the unified read validation. Run under TSan in CI.
+  MakeDa(/*sign_attributes=*/true);  // projections need attribute sigs
+  auto server = MakeJoinServer(4, 64, 2);
+  UpdateStream stream(server.get(), UpdateStream::Options{});
+  StreamPeriod(&stream);
+  stream.Flush();
+
+  const BasPublicKey* da_pub = &da_->public_key();
+  const BasContext::HashMode hash_mode = da_->hash_mode();
+
+  // B values owning the first key of shards 1..3: deleting / re-inserting
+  // their first duplicate re-chains records across the seam.
+  std::vector<int64_t> seam_bs;
+  for (size_t s = 1; s < server->shard_count(); ++s)
+    seam_bs.push_back(JoinBValue(server->router().lower_bound_of(s)));
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> read_errors{0};
+  std::atomic<size_t> verify_failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1500 + t);
+      VarintGapCodec codec;
+      ClientVerifier verifier(da_pub, &codec, hash_mode);
+      bool project = false;
+      while (!done.load(std::memory_order_relaxed)) {
+        int64_t b = seam_bs[rng.Uniform(seam_bs.size())];
+        project = !project;
+        if (project) {
+          // A projection whose range straddles the churned seam.
+          Query q = Query::Project(JoinCompositeKey(b - 2, 0),
+                                   JoinCompositeKey(b + 2, kJoinMaxDup),
+                                   {1});
+          auto ans = server->Execute(q);
+          if (!ans.ok()) {
+            ++read_errors;
+            continue;
+          }
+          if (!verifier.VerifyProjectionStatic(q, ans.value().projection)
+                   .ok())
+            ++verify_failures;
+          continue;
+        }
+        // Matched neighbors, the churned value itself, and a far-away
+        // absent value: match groups, witnesses, and filter probes in one
+        // plan, straddling the seam.
+        Query q = Query::Join({b - 1, b, b + 1, b + 100},
+                              rng.Uniform(2) == 0
+                                  ? JoinMethod::kBloomFilter
+                                  : JoinMethod::kBoundaryValues);
+        auto ans = server->Execute(q);
+        if (!ans.ok()) {
+          ++read_errors;
+          continue;
+        }
+        if (!verifier.VerifyJoinStatic(q, ans.value().join).ok())
+          ++verify_failures;
+      }
+    });
+  }
+  auto contended = [&] {
+    return server->seam_restitches() + server->seam_exclusive_fallbacks() > 0;
+  };
+  for (int round = 0; round < 12 || (round < 600 && !contended()); ++round) {
+    int64_t key =
+        JoinCompositeKey(seam_bs[round % seam_bs.size()], 0);
+    auto del = da_->DeleteRecord(key);
+    ASSERT_TRUE(del.ok());
+    stream.PushUpdate(std::move(del.value()));
+    auto ins = da_->InsertRecord({key, JoinBValue(key), 7000 + round});
+    ASSERT_TRUE(ins.ok());
+    stream.PushUpdate(std::move(ins.value()));
+    // Periodically close a rho-period mid-churn so certified partition
+    // refreshes race the join reads' partition snapshots.
+    if (round % 8 == 7) StreamPeriod(&stream, 100'000);
+  }
+  StreamPeriod(&stream);
+  stream.Flush();
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(verify_failures.load(), 0u);
+  EXPECT_EQ(stream.stats().apply_failures, 0u);
+  // Quiesced: a join and a projection verify *fresh* under the final
+  // published epoch.
+  VarintGapCodec codec;
+  ClientVerifier verifier(&da_->public_key(), &codec, da_->hash_mode());
+  const uint64_t epoch = server->freshness_tracker().current_epoch();
+  Query qj = Query::Join({seam_bs[0], seam_bs[0] + 100});
+  auto jans = server->Execute(qj);
+  ASSERT_TRUE(jans.ok());
+  EXPECT_EQ(jans.value().served_epoch, epoch);
+  EXPECT_TRUE(
+      verifier.VerifyAnswerFresh(qj, jans.value(), clock_.NowMicros(), epoch)
+          .ok());
+  Query qp = Query::Project(JoinCompositeKey(seam_bs[0] - 2, 0),
+                            JoinCompositeKey(seam_bs[0] + 2, kJoinMaxDup),
+                            {1});
+  auto pans = server->Execute(qp);
+  ASSERT_TRUE(pans.ok());
+  EXPECT_EQ(pans.value().served_epoch, epoch);
+  EXPECT_TRUE(
+      verifier.VerifyAnswerFresh(qp, pans.value(), clock_.NowMicros(), epoch)
+          .ok());
+  RecordProperty("seam_restitches",
+                 static_cast<int>(server->seam_restitches()));
+  RecordProperty("seam_exclusive_fallbacks",
+                 static_cast<int>(server->seam_exclusive_fallbacks()));
+  if (!contended())
+    GTEST_SKIP() << "no join overlapped an apply within the round budget; "
+                    "the assertions above held but the validation path "
+                    "went unexercised this run";
+}
+
+TEST_F(FreshnessPipelineTest, StalenessAttackJoinReplaysCaught) {
+  // Acceptance criterion: replayed stale *join* answers are rejected 100%
+  // — with the full check and with the epoch stamp ignored (bitmap walk
+  // over the match rows alone) — while honest joins racing the ingest and
+  // the post-period re-joins all verify.
+  StalenessAttackOptions opt;
+  opt.shards = 4;
+  opt.periods = 3;
+  opt.n_records = 128;
+  opt.victims_per_period = 6;
+  opt.extra_updates_per_period = 12;
+  opt.reader_threads = 2;
+  opt.reads_per_reader = 20;
+  opt.join_replays_per_period = 4;
+  StalenessAttackReport report = RunStalenessAttack(*ctx_, opt);
+
+  EXPECT_EQ(report.periods_run, 3u);
+  EXPECT_EQ(report.join_replayed_answers, 12u);
+  EXPECT_EQ(report.join_replays_rejected, report.join_replayed_answers);
+  EXPECT_EQ(report.join_replays_rejected_bitmap_only,
+            report.join_replayed_answers);
+  EXPECT_EQ(report.join_replays_stale_rid_flagged,
+            report.join_replayed_answers);
+  EXPECT_EQ(report.join_honest_accepted, report.join_honest_answers);
+  EXPECT_GT(report.join_honest_answers, 0u);
+  // The selection-side guarantees hold unchanged in join mode.
+  EXPECT_EQ(report.replays_rejected, report.replayed_answers);
+  EXPECT_EQ(report.replays_rejected_bitmap_only, report.replayed_answers);
+  EXPECT_EQ(report.honest_accepted, report.honest_answers);
+  EXPECT_TRUE(report.Clean());
 }
 
 TEST_F(FreshnessPipelineTest, StalenessAttackAllReplaysCaught) {
