@@ -1,14 +1,17 @@
 // Join audit: authenticated equi-join with certified Bloom filters
-// (Section 3.5). A broker joins its watchlist (R.A values) against the
-// exchange's Holding table (S), and verifies both the matches *and* the
-// absences — with a proof ~60% smaller than the boundary-value baseline.
+// (Section 3.5), served through the unified Execute(plan) surface. A
+// broker joins its watchlist (R.A values) against the exchange's Holding
+// table (S) at an untrusted query server, and verifies both the matches
+// *and* the absences — with a proof ~60% smaller than the boundary-value
+// baseline.
 //
 // Build & run:  ./build/examples/join_audit
 #include <cstdio>
 
 #include "common/clock.h"
 #include "core/data_aggregator.h"
-#include "core/join.h"
+#include "core/query_server.h"
+#include "core/verifier.h"
 #include "workload/tpce.h"
 
 using namespace authdb;
@@ -33,49 +36,62 @@ int main() {
               static_cast<unsigned long long>(workload.ns()),
               workload.distinct_b().size());
 
-  // The DA certifies one Bloom filter per 4-value partition (8 bits/value).
+  // An (untrusted) query server mirrors the certified table and installs
+  // the DA's certified partition filters (one Bloom filter per 4-value
+  // partition, 8 bits/value) — the join-serving configuration.
+  QueryServer::Options qopt;
+  qopt.record_len = 64;
+  qopt.buffer_pages = 2048;
+  QueryServer qs(ctx, qopt);
+  for (const auto& msg : stream.value()) qs.ApplyUpdate(msg);
   JoinAuthority authority(ctx, da.private_key(), BasContext::HashMode::kFast);
   auto partitions = authority.BuildPartitions(workload.distinct_b(),
                                               /*values_per_partition=*/4,
                                               /*bits_per_value=*/8.0,
                                               clock.NowMicros());
   std::printf("certified %zu partition filters\n", partitions.size());
+  qs.SetJoinPartitions(partitions);
 
   // Watchlist: half the values match, half do not.
   auto watchlist = workload.MakeSecurityValues(/*alpha=*/0.5, /*n=*/40);
 
-  JoinProver prover(ctx, &da.table(), &partitions);
-  JoinVerifier verifier(&da.public_key(), BasContext::HashMode::kFast);
+  VarintGapCodec codec;
+  ClientVerifier client(&da.public_key(), &codec,
+                        BasContext::HashMode::kFast);
   SizeModel sm;
 
   for (JoinMethod method :
        {JoinMethod::kBoundaryValues, JoinMethod::kBloomFilter}) {
-    auto ans = prover.Join(watchlist, method);
+    Query plan = Query::Join(watchlist, method);
+    auto ans = qs.Execute(plan);
     if (!ans.ok()) return 1;
-    Status ok = verifier.Verify(watchlist, ans.value());
+    Status ok = client.VerifyAnswerFresh(plan, ans.value(), clock.NowMicros(),
+                                         /*min_epoch=*/0);
+    const JoinAnswer& join = ans.value().join;
     size_t s_rows = 0;
-    for (const auto& m : ans.value().matches) s_rows += m.s_records.size();
+    for (const auto& m : join.matches) s_rows += m.s_records.size();
     std::printf(
         "%-16s matches=%zu (S rows %zu) negatives=%zu fallbacks=%zu "
         "VO=%zu bytes -> %s\n",
         method == JoinMethod::kBloomFilter ? "Bloom filter:" : "boundary "
                                                                "values:",
-        ans.value().matches.size(), s_rows,
-        ans.value().negative_probes.size(),
-        ans.value().absence_proofs.size(),
-        ans.value().vo_size_paper(sm), ok.ToString().c_str());
+        join.matches.size(), s_rows, join.negative_probes.size(),
+        join.absence_proofs.size(), join.vo_size_paper(sm),
+        ok.ToString().c_str());
   }
 
   // Tampering: the server hides one matching row.
-  auto ans = prover.Join(watchlist, JoinMethod::kBloomFilter);
+  Query plan = Query::Join(watchlist, JoinMethod::kBloomFilter);
+  auto ans = qs.Execute(plan);
   auto tampered = ans.value();
-  for (auto& m : tampered.matches) {
+  for (auto& m : tampered.join.matches) {
     if (m.s_records.size() > 1) {
       m.s_records.pop_back();
       break;
     }
   }
-  Status bad = verifier.Verify(watchlist, tampered);
+  Status bad =
+      client.VerifyAnswerFresh(plan, tampered, clock.NowMicros(), 0);
   std::printf("hidden join row: %s\n", bad.ToString().c_str());
   return bad.ok() ? 1 : 0;
 }

@@ -1,7 +1,10 @@
-// Quickstart: the complete three-party protocol in one file.
+// Quickstart: the complete three-party protocol in one file, driven
+// through the unified verified-query surface — every read is a Query plan
+// handed to Execute(), every answer a QueryAnswer checked by
+// ClientVerifier::VerifyAnswerFresh.
 //
 //   data aggregator (trusted)  --signed records-->  query server (untrusted)
-//   user  --range query-->  query server  --answer + proof-->  user verifies
+//   user  --query plan-->  query server  --answer + proof-->  user verifies
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdint>
@@ -47,35 +50,40 @@ int main() {
   std::printf("loaded %llu certified records at the query server\n",
               static_cast<unsigned long long>(qs.size()));
 
-  // 3. A user poses a range query and verifies the answer.
+  // 3. A user poses a range-selection plan and verifies the answer — the
+  // one entry point every plan kind (select / project / join) goes
+  // through.
   VarintGapCodec codec;
   ClientVerifier client(&da.public_key(), &codec,
                         BasContext::HashMode::kFast);
-  auto answer = qs.Select(100, 200);
+  Query plan = Query::Select(100, 200);
+  auto answer = qs.Execute(plan);
   if (!answer.ok()) return 1;
   std::printf("query [100, 200]: %zu records, VO = %zu bytes\n",
-              answer.value().records.size(),
-              answer.value().vo_size(SizeModel{}));
-  Status ok = client.VerifySelection(100, 200, answer.value(),
-                                     clock.NowMicros());
+              answer.value().selection.records.size(),
+              answer.value().vo_bytes(SizeModel{}));
+  Status ok = client.VerifyAnswerFresh(plan, answer.value(),
+                                       clock.NowMicros(), /*min_epoch=*/0);
   std::printf("verification: %s\n", ok.ToString().c_str());
 
   // 4. A compromised server drops a record — the chain catches it.
   auto tampered = answer.value();
-  tampered.records.erase(tampered.records.begin() + 2);
-  Status bad = client.VerifySelection(100, 200, tampered, clock.NowMicros());
+  tampered.selection.records.erase(tampered.selection.records.begin() + 2);
+  Status bad = client.VerifyAnswerFresh(plan, tampered, clock.NowMicros(), 0);
   std::printf("tampered answer (record dropped): %s\n",
               bad.ToString().c_str());
 
   // 5. Updates flow record-at-a-time; no index-wide lock is ever needed.
   auto upd = da.ModifyRecord(150, {150, 9999, 1});
   qs.ApplyUpdate(upd.value());
-  auto fresh = qs.Select(150, 150);
+  Query point = Query::Select(150, 150);
+  auto fresh = qs.Execute(point);
   std::printf("after update, price(150) = %lld (verification: %s)\n",
-              static_cast<long long>(fresh.value().records[0].attrs[1]),
+              static_cast<long long>(
+                  fresh.value().selection.records[0].attrs[1]),
               client
-                  .VerifySelection(150, 150, fresh.value(),
-                                   clock.NowMicros())
+                  .VerifyAnswerFresh(point, fresh.value(), clock.NowMicros(),
+                                     0)
                   .ToString()
                   .c_str());
   return bad.ok() ? 1 : 0;  // tampering MUST have been detected

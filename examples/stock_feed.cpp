@@ -1,7 +1,9 @@
 // Stock feed: the paper's motivating scenario (Section 1) — a live trading
 // feed where freshness is money. The data aggregator pushes price updates
 // continuously and publishes a certified bitmap summary every rho seconds;
-// users detect a query server that serves yesterday's prices.
+// users query through the unified Execute(plan) surface and detect a query
+// server that serves yesterday's prices via VerifyAnswerFresh's epoch
+// cross-check + bitmap walk.
 //
 // Build & run:  ./build/examples/stock_feed
 #include <cstdint>
@@ -50,6 +52,7 @@ int main() {
 
   // Run five one-second trading periods. The lazy server stops applying
   // updates after period 2 (compromised or stale replica).
+  uint64_t epochs_published = 0;
   for (int period = 0; period < 5; ++period) {
     for (int tick = 0; tick < 20; ++tick) {
       clock.AdvanceMicros(50'000);
@@ -70,27 +73,33 @@ int main() {
                 out.recertifications.size());
     honest_qs.AddSummary(out.summary);
     lazy_qs.AddSummary(out.summary);  // summaries come from the trusted DA
+    ++epochs_published;
     for (const auto& rc : out.recertifications) {
       honest_qs.ApplyUpdate(rc);
       if (period < 2) lazy_qs.ApplyUpdate(rc);
     }
   }
 
-  // The user asks both servers for the full board and verifies.
+  // The user asks both servers for the full board through the one real
+  // query surface and verifies with the epoch floor a summary-feed
+  // subscriber knows independently.
   uint64_t now = clock.NowMicros();
-  auto honest = honest_qs.Select(0, 199);
-  Status honest_status =
-      client.VerifySelection(0, 199, honest.value(), now);
+  Query board = Query::Select(0, 199);
+  auto honest = honest_qs.Execute(board);
+  Status honest_status = client.VerifyAnswerFresh(board, honest.value(), now,
+                                                  epochs_published);
   std::printf("honest server: %zu records -> %s\n",
-              honest.value().records.size(),
+              honest.value().selection.records.size(),
               honest_status.ToString().c_str());
 
   ClientVerifier client2(&da.public_key(), &codec,
                          BasContext::HashMode::kFast);
-  auto lazy = lazy_qs.Select(0, 199);
-  Status lazy_status = client2.VerifySelection(0, 199, lazy.value(), now);
+  auto lazy = lazy_qs.Execute(board);
+  Status lazy_status =
+      client2.VerifyAnswerFresh(board, lazy.value(), now, epochs_published);
   std::printf("lazy server:   %zu records -> %s\n",
-              lazy.value().records.size(), lazy_status.ToString().c_str());
+              lazy.value().selection.records.size(),
+              lazy_status.ToString().c_str());
   std::printf("(stale data detected within the paper's <= 2*rho bound)\n");
   return (honest_status.ok() && !lazy_status.ok()) ? 0 : 1;
 }

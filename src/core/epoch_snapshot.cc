@@ -1,0 +1,221 @@
+#include "core/epoch_snapshot.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace authdb {
+
+// ---------------------------------------------------------------------------
+// EpochSnapshot
+
+EpochSnapshot::EpochSnapshot(std::vector<std::shared_ptr<const Chunk>> chunks,
+                             uint64_t generation)
+    : chunks_(std::move(chunks)), generation_(generation) {
+  starts_.reserve(chunks_.size());
+  first_keys_.reserve(chunks_.size());
+  size_t rank = 0;
+  for (const auto& c : chunks_) {
+    AUTHDB_CHECK(c != nullptr && !c->empty());
+    starts_.push_back(rank);
+    first_keys_.push_back(c->front().key());
+    rank += c->size();
+  }
+  total_ = rank;
+}
+
+size_t EpochSnapshot::LowerBound(int64_t key) const {
+  if (chunks_.empty()) return 0;
+  // Last chunk whose first key is <= key; earlier chunks are entirely
+  // below `key`, later ones entirely at/above the chunk's first key > key.
+  size_t ci = std::upper_bound(first_keys_.begin(), first_keys_.end(), key) -
+              first_keys_.begin();
+  if (ci == 0) return 0;
+  --ci;
+  const Chunk& c = *chunks_[ci];
+  auto it = std::lower_bound(
+      c.begin(), c.end(), key,
+      [](const SnapshotItem& a, int64_t k) { return a.key() < k; });
+  return starts_[ci] + static_cast<size_t>(it - c.begin());
+}
+
+size_t EpochSnapshot::UpperBound(int64_t key) const {
+  if (chunks_.empty()) return 0;
+  size_t ci = std::upper_bound(first_keys_.begin(), first_keys_.end(), key) -
+              first_keys_.begin();
+  if (ci == 0) return 0;
+  --ci;
+  const Chunk& c = *chunks_[ci];
+  auto it = std::upper_bound(
+      c.begin(), c.end(), key,
+      [](int64_t k, const SnapshotItem& a) { return k < a.key(); });
+  return starts_[ci] + static_cast<size_t>(it - c.begin());
+}
+
+const SnapshotItem& EpochSnapshot::ItemAt(size_t rank) const {
+  AUTHDB_CHECK(rank < total_);
+  size_t ci = std::upper_bound(starts_.begin(), starts_.end(), rank) -
+              starts_.begin() - 1;
+  return (*chunks_[ci])[rank - starts_[ci]];
+}
+
+const SnapshotItem* EpochSnapshot::Get(int64_t key) const {
+  size_t r = LowerBound(key);
+  if (r == total_) return nullptr;
+  const SnapshotItem& item = ItemAt(r);
+  return item.key() == key ? &item : nullptr;
+}
+
+const SnapshotItem* EpochSnapshot::Predecessor(int64_t key) const {
+  size_t r = LowerBound(key);
+  return r == 0 ? nullptr : &ItemAt(r - 1);
+}
+
+const SnapshotItem* EpochSnapshot::Successor(int64_t key) const {
+  size_t r = UpperBound(key);
+  return r == total_ ? nullptr : &ItemAt(r);
+}
+
+// ---------------------------------------------------------------------------
+// ShardVersionBuilder
+
+ShardVersionBuilder::ShardVersionBuilder(size_t chunk_target)
+    : chunk_target_(chunk_target) {
+  AUTHDB_CHECK(chunk_target_ >= 2);
+}
+
+size_t ShardVersionBuilder::ChunkOf(int64_t key) const {
+  AUTHDB_CHECK(!chunks_.empty());
+  size_t ci = std::upper_bound(first_keys_.begin(), first_keys_.end(), key) -
+              first_keys_.begin();
+  return ci == 0 ? 0 : ci - 1;
+}
+
+ShardVersionBuilder::Chunk* ShardVersionBuilder::Mutate(size_t ci) {
+  if (!owned_[ci]) {
+    chunks_[ci] = std::make_shared<Chunk>(*chunks_[ci]);
+    owned_[ci] = true;
+  }
+  // Owned chunks are exclusively ours until the next Freeze: the const in
+  // the shared_ptr type only protects the frozen copies.
+  return const_cast<Chunk*>(chunks_[ci].get());
+}
+
+void ShardVersionBuilder::Rebalance(size_t ci) {
+  Chunk* c = const_cast<Chunk*>(chunks_[ci].get());
+  if (c->empty()) {
+    chunks_.erase(chunks_.begin() + ci);
+    owned_.erase(owned_.begin() + ci);
+    first_keys_.erase(first_keys_.begin() + ci);
+    return;
+  }
+  if (c->size() > 2 * chunk_target_) {
+    auto right = std::make_shared<Chunk>(
+        c->begin() + static_cast<ptrdiff_t>(c->size() / 2), c->end());
+    c->erase(c->begin() + static_cast<ptrdiff_t>(c->size() / 2), c->end());
+    chunks_.insert(chunks_.begin() + ci + 1, right);
+    owned_.insert(owned_.begin() + ci + 1, true);
+    first_keys_.insert(first_keys_.begin() + ci + 1, right->front().key());
+  }
+  first_keys_[ci] = chunks_[ci]->front().key();
+}
+
+Status ShardVersionBuilder::ApplyInsert(const CertifiedRecord& cr) {
+  const int64_t key = cr.record.key();
+  if (chunks_.empty()) {
+    auto c = std::make_shared<Chunk>();
+    c->push_back(SnapshotItem{cr.record, cr.sig, cr.attr_sigs});
+    chunks_.push_back(std::move(c));
+    owned_.push_back(true);
+    first_keys_.push_back(key);
+    ++size_;
+    return Status::OK();
+  }
+  size_t ci = ChunkOf(key);
+  Chunk* c = Mutate(ci);
+  auto it = std::lower_bound(
+      c->begin(), c->end(), key,
+      [](const SnapshotItem& a, int64_t k) { return a.key() < k; });
+  if (it != c->end() && it->key() == key)
+    return Status::AlreadyExists("insert of existing key " +
+                                 std::to_string(key));
+  c->insert(it, SnapshotItem{cr.record, cr.sig, cr.attr_sigs});
+  ++size_;
+  Rebalance(ci);
+  return Status::OK();
+}
+
+Status ShardVersionBuilder::ApplyReplace(const CertifiedRecord& cr) {
+  const int64_t key = cr.record.key();
+  if (chunks_.empty())
+    return Status::NotFound("update of missing key " + std::to_string(key));
+  size_t ci = ChunkOf(key);
+  Chunk* c = Mutate(ci);
+  auto it = std::lower_bound(
+      c->begin(), c->end(), key,
+      [](const SnapshotItem& a, int64_t k) { return a.key() < k; });
+  if (it == c->end() || it->key() != key)
+    return Status::NotFound("update of missing key " + std::to_string(key));
+  it->record = cr.record;
+  it->sig = cr.sig;
+  // A message without attribute signatures leaves the stored ones in
+  // place, matching the QueryServer mirror semantics (the DA only ships
+  // them when attribute signing is on).
+  if (!cr.attr_sigs.empty()) it->attr_sigs = cr.attr_sigs;
+  return Status::OK();
+}
+
+Status ShardVersionBuilder::ApplyDelete(int64_t key) {
+  if (chunks_.empty())
+    return Status::NotFound("delete of missing key " + std::to_string(key));
+  size_t ci = ChunkOf(key);
+  Chunk* c = Mutate(ci);
+  auto it = std::lower_bound(
+      c->begin(), c->end(), key,
+      [](const SnapshotItem& a, int64_t k) { return a.key() < k; });
+  if (it == c->end() || it->key() != key)
+    return Status::NotFound("delete of missing key " + std::to_string(key));
+  c->erase(it);
+  --size_;
+  Rebalance(ci);
+  return Status::OK();
+}
+
+Status ShardVersionBuilder::Apply(const SignedRecordUpdate& piece) {
+  using Kind = SignedRecordUpdate::Kind;
+  Status st = Status::OK();
+  switch (piece.kind) {
+    case Kind::kInsert:
+      if (!piece.record) return Status::InvalidArgument("insert w/o record");
+      st = ApplyInsert(*piece.record);
+      break;
+    case Kind::kModify:
+      if (!piece.record) return Status::InvalidArgument("modify w/o record");
+      st = ApplyReplace(*piece.record);
+      break;
+    case Kind::kDelete:
+      st = ApplyDelete(piece.key);
+      break;
+    case Kind::kRecertify:
+      break;  // payload carried entirely in `recertified`
+  }
+  if (!st.ok()) return st;
+  changed_ = true;  // even a failed recertified entry below leaves a mark
+  for (const CertifiedRecord& cr : piece.recertified) {
+    AUTHDB_RETURN_NOT_OK(ApplyReplace(cr));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const EpochSnapshot> ShardVersionBuilder::Freeze() {
+  if (!changed_ && last_frozen_ != nullptr) return last_frozen_;
+  if (changed_) ++generation_;
+  changed_ = false;
+  std::fill(owned_.begin(), owned_.end(), false);
+  last_frozen_ = std::make_shared<const EpochSnapshot>(chunks_, generation_);
+  return last_frozen_;
+}
+
+}  // namespace authdb

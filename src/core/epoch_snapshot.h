@@ -1,0 +1,165 @@
+#ifndef AUTHDB_CORE_EPOCH_SNAPSHOT_H_
+#define AUTHDB_CORE_EPOCH_SNAPSHOT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/protocol.h"
+#include "core/record.h"
+#include "crypto/bas.h"
+
+namespace authdb {
+
+/// One certified record as stored in an immutable epoch snapshot: the
+/// record, its current chain signature, and — when the DA signs attribute
+/// messages (Section 3.4) — the per-attribute signatures projection plans
+/// serve from.
+struct SnapshotItem {
+  Record record;
+  BasSignature sig;
+  std::vector<BasSignature> attr_sigs;  ///< one per attribute, or empty
+
+  int64_t key() const { return record.key(); }
+};
+
+/// An immutable, epoch-pinned version of one shard's authenticated state:
+/// every certified record in index-key order, chunked so consecutive
+/// versions share the chunks an epoch's delta did not touch (copy-on-write
+/// at chunk granularity — publishing an epoch copies O(delta + n/chunk)
+/// data, not the relation).
+///
+/// Readers navigate by *rank* (position in key order) or by key; a pinned
+/// snapshot never changes, so a whole multi-shard read — fan-out, stitch,
+/// and global boundary probes — can run lock-free against one snapshot set
+/// and always observes a single serializable cut of the DA's history.
+///
+/// `generation` identifies the chain generation this version belongs to:
+/// it advances whenever a version is frozen with a non-empty delta, and
+/// epoch-tagged SigCache windows key on it so cached aggregates are never
+/// mixed across chain generations (a cached node computed from generation
+/// g leaves is only reused by readers pinned to generation g).
+class EpochSnapshot {
+ public:
+  using Chunk = std::vector<SnapshotItem>;
+
+  EpochSnapshot() = default;
+  EpochSnapshot(std::vector<std::shared_ptr<const Chunk>> chunks,
+                uint64_t generation);
+
+  uint64_t size() const { return total_; }
+  uint64_t generation() const { return generation_; }
+
+  /// Rank of the first item with key >= / > `key` (size() when none).
+  size_t LowerBound(int64_t key) const;
+  size_t UpperBound(int64_t key) const;
+
+  /// Item at `rank` (< size()). The reference is valid for the lifetime of
+  /// any shared_ptr pinning this snapshot (or a later one sharing the
+  /// chunk).
+  const SnapshotItem& ItemAt(size_t rank) const;
+
+  /// Invoke `fn(item)` for every rank in [rank_lo, rank_hi] (inclusive),
+  /// walking chunks contiguously: O(log chunks + k) for a k-item range,
+  /// unlike k independent ItemAt lookups. The range must be within
+  /// [0, size()).
+  template <typename Fn>
+  void ForEachItem(size_t rank_lo, size_t rank_hi, Fn&& fn) const {
+    if (rank_lo > rank_hi) return;
+    size_t ci = static_cast<size_t>(
+        std::upper_bound(starts_.begin(), starts_.end(), rank_lo) -
+        starts_.begin() - 1);
+    size_t offset = rank_lo - starts_[ci];
+    for (size_t r = rank_lo; r <= rank_hi; ++ci, offset = 0) {
+      const Chunk& c = *chunks_[ci];
+      for (; offset < c.size() && r <= rank_hi; ++offset, ++r) fn(c[offset]);
+    }
+  }
+
+  /// The item with exactly `key`, or nullptr.
+  const SnapshotItem* Get(int64_t key) const;
+  /// Greatest item with key strictly below / least strictly above `key`,
+  /// or nullptr at the domain edge.
+  const SnapshotItem* Predecessor(int64_t key) const;
+  const SnapshotItem* Successor(int64_t key) const;
+
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  friend class ShardVersionBuilder;
+
+  std::vector<std::shared_ptr<const Chunk>> chunks_;
+  std::vector<size_t> starts_;      ///< starts_[i] = rank of chunks_[i][0]
+  std::vector<int64_t> first_keys_; ///< chunks_[i][0].key()
+  uint64_t total_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// The mutable side of the copy-on-write spine: accumulates a shard's
+/// epoch delta (DA update pieces) against the last frozen version and
+/// freezes it into the next immutable EpochSnapshot at the epoch barrier.
+///
+/// Apply() clones a chunk the first time the current delta touches it
+/// (chunks untouched since the last Freeze stay shared with every pinned
+/// older version) and mutates owned chunks in place, so ingest between two
+/// barriers costs O(log n) per piece after the first touch of a chunk.
+/// Freeze() is O(chunk count) and returns the cached previous snapshot
+/// when the delta was empty.
+///
+/// Not internally synchronized: the serving layer guards each shard's
+/// builder with that shard's apply mutex (readers never touch builders —
+/// they pin frozen snapshots).
+class ShardVersionBuilder {
+ public:
+  /// `chunk_target`: preferred items per chunk; chunks split at twice this.
+  explicit ShardVersionBuilder(size_t chunk_target = 128);
+
+  /// Apply one DA update piece (the shard-owned slice of a
+  /// SignedRecordUpdate). Mirrors the QueryServer apply semantics:
+  /// inserts require a fresh key, modifies/deletes/re-certifications an
+  /// existing one; attribute signatures are retained per record and kept
+  /// when a message ships none.
+  Status Apply(const SignedRecordUpdate& piece);
+
+  /// Freeze the current state into an immutable snapshot. Advances the
+  /// chain generation iff the delta since the previous Freeze was
+  /// non-empty; otherwise returns the cached previous snapshot unchanged.
+  std::shared_ptr<const EpochSnapshot> Freeze();
+
+  uint64_t size() const { return size_; }
+  bool changed_since_freeze() const { return changed_; }
+  uint64_t generation() const { return generation_; }
+
+ private:
+  using Chunk = EpochSnapshot::Chunk;
+
+  /// Index of the chunk that owns `key` (the last chunk whose first key
+  /// is <= key, clamped to 0). Requires a non-empty chunk list.
+  size_t ChunkOf(int64_t key) const;
+  /// Mutable access to chunk `ci`, cloning it first if it is still shared
+  /// with a frozen snapshot.
+  Chunk* Mutate(size_t ci);
+  /// Re-balance chunk `ci` after a mutation: split when oversized, drop
+  /// when empty. Keeps first_keys_ in sync.
+  void Rebalance(size_t ci);
+
+  Status ApplyInsert(const CertifiedRecord& cr);
+  Status ApplyReplace(const CertifiedRecord& cr);  // modify / re-certify
+  Status ApplyDelete(int64_t key);
+
+  size_t chunk_target_;
+  std::vector<std::shared_ptr<const Chunk>> chunks_;
+  std::vector<bool> owned_;  ///< chunks_[i] is exclusively ours (mutable)
+  std::vector<int64_t> first_keys_;
+  uint64_t size_ = 0;
+  uint64_t generation_ = 0;
+  bool changed_ = false;
+  std::shared_ptr<const EpochSnapshot> last_frozen_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_CORE_EPOCH_SNAPSHOT_H_

@@ -67,11 +67,13 @@ class SummaryBuilder {
 
 /// Server-side epoch bookkeeping for the streaming freshness pipeline. An
 /// *epoch* is `latest published summary seq + 1` (epoch 0 = nothing
-/// published yet): an answer served under epoch e was constructed after
-/// every update of periods 0..e-1 reached the serving shards and summaries
-/// 0..e-1 were available to attach — the invariant the update stream's
-/// summary barrier enforces (server/update_stream.h). Shared between the
-/// ingest path (Publish) and every reader (current_epoch), so thread-safe.
+/// published yet). On the epoch-pinned serving path an answer stamped
+/// epoch e is a snapshot of EXACTLY the updates of periods 0..e-1 with
+/// summaries 0..e-1 available to attach — the update stream's summary
+/// barrier publishes snapshots, summary, and epoch in one atomic
+/// descriptor swap (server/update_stream.h), so the stamp is precise
+/// rather than a lower bound. Shared between the ingest path (Publish)
+/// and every reader (current_epoch), so thread-safe.
 class FreshnessTracker {
  public:
   /// Summary `seq` finished fanning out. Out-of-order publications are

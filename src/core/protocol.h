@@ -57,10 +57,13 @@ struct SelectionAnswer {
   /// Freshness evidence: summaries since the oldest result signature.
   std::vector<UpdateSummary> summaries;
   /// Freshness epoch the answer was served under: latest summary seq + 1
-  /// held by the server when it built this answer (0 = none yet). Unsigned
-  /// metadata — the verifier treats it as a claim to cross-check against
-  /// its own view of the summary stream; the signed bitmaps remain the
-  /// actual staleness proof (see ClientVerifier::VerifySelectionFresh).
+  /// (0 = none yet). On the epoch-pinned sharded path this is exact — the
+  /// whole answer is a snapshot of precisely this published epoch, so it
+  /// can only carry summaries with seq < served_epoch (the verifier's
+  /// mixed-generation check relies on that). Unsigned metadata — the
+  /// verifier treats it as a claim to cross-check against its own view of
+  /// the summary stream; the signed bitmaps remain the actual staleness
+  /// proof (see ClientVerifier::VerifySelectionFresh).
   uint64_t served_epoch = 0;
 
   /// VO size under the paper's constants: one aggregate signature + two

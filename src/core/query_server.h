@@ -23,9 +23,11 @@ namespace authdb {
 ///
 /// Thread safety: a QueryServer instance is NOT internally synchronized —
 /// even Select mutates buffer-pool LRU state while reading pages. Callers
-/// that serve concurrent traffic must serialize access per instance; the
-/// sharded server (server/sharded_query_server.h) does exactly that, holding
-/// one mutex per shard and scaling throughput across shards.
+/// that serve concurrent traffic must serialize access per instance. The
+/// concurrent serving layer (server/sharded_query_server.h) does not wrap
+/// QueryServers at all: it serves from immutable epoch-pinned snapshots
+/// (core/epoch_snapshot.h) and keeps this class as the paper-faithful
+/// single-node reference implementation.
 class QueryServer {
  public:
   struct Options {

@@ -276,13 +276,15 @@ void SigCache::WarmAll() {
   AggStats scratch;
   for (auto& [key, entry] : entries_) {
     if (!entry.valid) {
-      entry.sig = ComputeNode(key, &scratch);
+      entry.sig = ComputeNode(key, entry.generation, leaves_, &scratch);
       entry.valid = true;
     }
   }
 }
 
-BasSignature SigCache::ComputeNode(const Key& key, AggStats* stats) {
+BasSignature SigCache::ComputeNode(const Key& key, uint64_t generation,
+                                   const LeafProvider& leaves,
+                                   AggStats* stats) {
   // Derive from smaller cached nodes / leaves over the node's interval.
   // Accumulation stays in Jacobian coordinates: one inversion at the end
   // instead of one per addition.
@@ -297,7 +299,13 @@ BasSignature SigCache::ComputeNode(const Key& key, AggStats* stats) {
       size_t m = size_t{1} << level;
       if (pos % m != 0 || pos + m - 1 > hi) continue;
       auto it = entries_.find(Key{level, pos >> level});
-      if (it == entries_.end() || !it->second.valid) continue;
+      // Sub-windows are reusable only within the same chain generation —
+      // mixing generations inside one recomputed node is exactly what the
+      // tag exists to prevent.
+      if (it == entries_.end() || !it->second.valid ||
+          it->second.generation != generation) {
+        continue;
+      }
       ++it->second.access_count;
       ++stats->cache_hits;
       if (!it->second.sig.point.infinity)
@@ -308,7 +316,7 @@ BasSignature SigCache::ComputeNode(const Key& key, AggStats* stats) {
       break;
     }
     if (used_cache) continue;
-    BasSignature leaf = leaves_(pos);
+    BasSignature leaf = leaves(pos);
     ++stats->leaf_fetches;
     if (!leaf.point.infinity) acc = curve.JacAddAffine(acc, leaf.point);
     ++stats->point_adds;
@@ -337,7 +345,8 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi, AggStats* stats) {
       if (!it->second.valid) {
         // Lazy refresh: recompute this node now, charged to this query.
         ++s->refreshes;
-        it->second.sig = ComputeNode(it->first, s);
+        it->second.sig =
+            ComputeNode(it->first, it->second.generation, leaves_, s);
         it->second.valid = true;
       }
       ++it->second.access_count;
@@ -351,6 +360,62 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi, AggStats* stats) {
     }
     if (used_cache) continue;
     BasSignature leaf = leaves_(pos);
+    ++s->leaf_fetches;
+    if (!leaf.point.infinity) acc = curve.JacAddAffine(acc, leaf.point);
+    if (items++ > 0) ++s->point_adds;
+    ++pos;
+  }
+  return BasSignature{curve.ToAffine(acc)};
+}
+
+BasSignature SigCache::RangeAggregate(size_t lo, size_t hi,
+                                      uint64_t generation,
+                                      const LeafProvider& leaves,
+                                      AggStats* stats) {
+  AggStats local;
+  AggStats* s = stats != nullptr ? stats : &local;  // accumulated, not reset
+  std::lock_guard<std::mutex> lock(mu_);
+  const CurveGroup& curve = ctx_->curve();
+  CurveGroup::Jacobian acc = curve.ToJacobian(ECPoint{});
+  size_t items = 0;
+  size_t pos = lo;
+  while (pos <= hi) {
+    bool used_cache = false;
+    // Cached windows apply only inside [0, n_); a shard that grew past its
+    // planning size serves the tail from leaves below.
+    if (pos < n_) {
+      for (int level = max_level_; level >= 1; --level) {
+        size_t m = size_t{1} << level;
+        if (pos % m != 0 || pos + m - 1 > hi || pos + m > n_) continue;
+        auto it = entries_.find(Key{level, pos >> level});
+        if (it == entries_.end()) continue;
+        if (it->second.valid && it->second.generation > generation) {
+          // The window already serves a NEWER generation: a reader still
+          // pinned to an older epoch must not clobber it (alternating
+          // old/new readers would otherwise thrash full recomputes) —
+          // fall through to this pos's leaves instead.
+          continue;
+        }
+        if (!it->second.valid || it->second.generation < generation) {
+          // Stale or never-filled window: recompute against this reader's
+          // pinned snapshot and advance the tag.
+          ++s->refreshes;
+          it->second.sig = ComputeNode(it->first, generation, leaves, s);
+          it->second.valid = true;
+          it->second.generation = generation;
+        }
+        ++it->second.access_count;
+        ++s->cache_hits;
+        if (!it->second.sig.point.infinity)
+          acc = curve.JacAddAffine(acc, it->second.sig.point);
+        if (items++ > 0) ++s->point_adds;
+        pos += m;
+        used_cache = true;
+        break;
+      }
+    }
+    if (used_cache) continue;
+    BasSignature leaf = leaves(pos);
     ++s->leaf_fetches;
     if (!leaf.point.infinity) acc = curve.JacAddAffine(acc, leaf.point);
     if (items++ > 0) ++s->point_adds;

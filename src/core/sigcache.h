@@ -74,13 +74,25 @@ class SigCachePlanner {
 /// 4.3). Positions are ranks in index-key order; node (level, j) covers
 /// positions [j*2^level, (j+1)*2^level).
 ///
+/// Two maintenance disciplines share the entry table:
+///  * The single-node QueryServer uses the untagged RangeAggregate with the
+///    constructor's LeafProvider and patches/invalidates entries through
+///    OnLeafUpdate (ranks there are stable across modifications).
+///  * The sharded snapshot path uses the *generation-tagged* overload: every
+///    cached window carries the chain generation it was computed from
+///    (EpochSnapshot::generation), a per-call LeafProvider reads the
+///    reader's pinned snapshot, and a window is reused only when the
+///    generations match — cached aggregates are never mixed across chain
+///    generations, and epochs that left the shard untouched keep the cache
+///    hot without any patching.
+///
 /// Thread safety: the entry table is guarded by an internal mutex, so
 /// RangeAggregate (which mutates access counts and performs lazy refreshes),
 /// OnLeafUpdate, and Revise may race with each other. The LeafProvider is
 /// invoked while that lock is held and must therefore be independently safe
-/// to call (in QueryServer it reads the index through the buffer pool, which
-/// is why the sharded server still serializes whole-shard access — see
-/// server/sharded_query_server.h for the layered contract).
+/// to call: trivially so for the snapshot path (pinned snapshots are
+/// immutable), while QueryServer's provider reads the index through the
+/// buffer pool and relies on the server being externally serialized.
 class SigCache {
  public:
   enum class RefreshMode { kEager, kLazy };
@@ -110,6 +122,20 @@ class SigCache {
   /// cover; falls back to leaf signatures where no node applies. `stats`
   /// (optional) is reset on entry: it reports this call only.
   BasSignature RangeAggregate(size_t lo, size_t hi, AggStats* stats);
+
+  /// Generation-tagged aggregate for the epoch-snapshot read path: cached
+  /// windows are reused only when their stored generation equals
+  /// `generation`. Stale windows (older generation, or never filled)
+  /// recompute from `leaves` (the caller's pinned snapshot) and advance
+  /// the tag; windows already serving a NEWER generation are left alone —
+  /// a reader pinned to an older epoch falls through to leaves instead of
+  /// thrashing the current readers' windows backward. Positions at/above
+  /// the cache's n_positions fall back to `leaves` directly, so the call
+  /// is valid for any hi below the snapshot size even after the shard
+  /// grew. `stats` (optional) is *accumulated into*, not reset — stitched
+  /// reads sum one stats block across every covered shard.
+  BasSignature RangeAggregate(size_t lo, size_t hi, uint64_t generation,
+                              const LeafProvider& leaves, AggStats* stats);
 
   /// A record at `pos` changed signature. Eager mode patches every cached
   /// ancestor (old out, new in: 2 additions each); lazy mode invalidates.
@@ -143,11 +169,17 @@ class SigCache {
   struct Entry {
     BasSignature sig;
     bool valid = false;
+    /// Chain generation the cached value was computed from (the untagged
+    /// QueryServer path pins generation 0 and maintains entries through
+    /// OnLeafUpdate instead).
+    uint64_t generation = 0;
     uint64_t access_count = 0;
   };
 
-  /// Requires mu_ held (recomputes through other cached entries).
-  BasSignature ComputeNode(const Key& key, AggStats* stats);
+  /// Requires mu_ held (recomputes through other cached entries of the
+  /// same generation, fetching leaves from `leaves`).
+  BasSignature ComputeNode(const Key& key, uint64_t generation,
+                           const LeafProvider& leaves, AggStats* stats);
 
   std::shared_ptr<const BasContext> ctx_;
   uint64_t n_;

@@ -43,6 +43,14 @@ class ClientVerifier {
   /// or replaying server), and a forged epoch is still caught by the
   /// per-record bitmap walk because the checker already holds the newer
   /// summaries the answer pretends do not exist.
+  ///
+  /// Mixed-generation defense: with epoch-pinned serving, an answer served
+  /// under epoch e is a snapshot of periods 0..e-1, so it can only carry
+  /// summaries with seq < e. An answer gluing an old-epoch chain onto a
+  /// newer summary (to look fresh to a client without an independent feed)
+  /// is rejected for that inconsistency alone; if the server also forges
+  /// the stamp upward, the glued summary's own bitmap indicts the stale
+  /// records — either way the splice fails.
   Status VerifySelectionFresh(int64_t lo, int64_t hi,
                               const SelectionAnswer& ans, uint64_t now,
                               uint64_t min_epoch);

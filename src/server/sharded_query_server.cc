@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <functional>
-#include <optional>
 #include <set>
-#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -18,30 +16,22 @@ ShardedQueryServer::ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
     : ctx_(std::move(ctx)),
       router_(std::move(router)),
       options_(options),
-      pool_(options.worker_threads) {
+      pool_(options.worker_threads),
+      pin_sync_(std::make_shared<PinSync>()),
+      summaries_(std::make_shared<const std::deque<UpdateSummary>>()) {
   shards_.reserve(router_.shard_count());
-  for (size_t i = 0; i < router_.shard_count(); ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->qs = std::make_unique<QueryServer>(ctx_, options_.shard);
-    shards_.push_back(std::move(shard));
-  }
+  for (size_t i = 0; i < router_.shard_count(); ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  // Publish the empty epoch-0 descriptor so readers always have a pin.
+  std::lock_guard<std::mutex> pub(publish_mu_);
+  RepublishLocked();
 }
 
-uint64_t ShardedQueryServer::size() const {
-  uint64_t n = 0;
-  for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
-    n += s->qs->size();
-  }
-  return n;
-}
+// ---------------------------------------------------------------------------
+// Write path: COW builders + atomic epoch publication
 
 std::vector<ShardedQueryServer::ShardPiece> ShardedQueryServer::SplitByOwner(
     const SignedRecordUpdate& msg) const {
-  // Split the message by key ownership: the primary payload to its owner,
-  // every re-certified record to the shard holding its key. An insert or
-  // delete near a shard seam re-chains a neighbor stored on the adjacent
-  // shard, so the split is what keeps each shard's signatures current.
   int64_t primary_key = msg.record ? msg.record->record.key() : msg.key;
   size_t owner = router_.ShardOf(primary_key);
 
@@ -69,234 +59,286 @@ std::vector<ShardedQueryServer::ShardPiece> ShardedQueryServer::SplitByOwner(
   return out;
 }
 
-Status ShardedQueryServer::ApplyToShard(size_t shard,
-                                        const SignedRecordUpdate& piece) {
+Status ShardedQueryServer::ApplyToShardDeferred(
+    size_t shard, const SignedRecordUpdate& piece) {
   AUTHDB_CHECK(shard < shards_.size());
   std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  // Every apply — even single-shard — bumps the owning shard's apply
-  // seqlock (odd while in flight): a single-shard insert/delete cannot
-  // tear a *stitch*, but it can tear a read that later probes this shard
-  // for a global boundary after its own sub-read lock was released.
-  shards_[shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
-  Status st = shards_[shard]->qs->ApplyUpdate(piece);
-  shards_[shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
-  return st;
-}
-
-Status ShardedQueryServer::ApplyPieces(const std::vector<ShardPiece>& pieces) {
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(pieces.size());
-  for (const ShardPiece& sp : pieces) {
-    AUTHDB_CHECK(sp.shard < shards_.size());
-    AUTHDB_CHECK(locks.empty() || pieces[locks.size() - 1].shard < sp.shard);
-    locks.emplace_back(shards_[sp.shard]->mu);
-  }
-  // Writer half of the seqlocks, bumped under the full lockset so a
-  // reader's sub-read of any involved shard orders against the bumps
-  // through that shard's mutex. A joint apply marks each involved
-  // shard's seam counter (odd while in flight) — stitched readers
-  // validate only the shards they covered, so applies on disjoint shards
-  // never invalidate them — and every apply marks each touched shard's
-  // apply counter, which readers validate for the shards their boundary
-  // probes examined (a probe can be torn by *any* apply to an examined
-  // shard, including a single-shard one re-chaining next to the probed
-  // boundary; applies elsewhere cannot affect a record the read cited).
-  const bool joint = pieces.size() > 1;
-  for (const ShardPiece& sp : pieces) {
-    if (joint)
-      shards_[sp.shard]->seam_seq.fetch_add(1, std::memory_order_acq_rel);
-    shards_[sp.shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
-  }
-  Status st = Status::OK();
-  for (const ShardPiece& sp : pieces) {
-    st = shards_[sp.shard]->qs->ApplyUpdate(sp.piece);
-    if (!st.ok()) break;
-  }
-  for (const ShardPiece& sp : pieces) {
-    shards_[sp.shard]->apply_seq.fetch_add(1, std::memory_order_acq_rel);
-    if (joint)
-      shards_[sp.shard]->seam_seq.fetch_add(1, std::memory_order_acq_rel);
-  }
-  return st;
+  return shards_[shard]->builder.Apply(piece);
 }
 
 Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
-  return ApplyPieces(SplitByOwner(msg));
+  // publish_mu_ is held across the whole piece-apply loop AND the
+  // republish: a concurrent publisher (another direct apply, AddSummary,
+  // SetJoinPartitions) could otherwise freeze a seam-spanning message
+  // half-applied — shard 0 post-piece, shard 1 pre-piece — into a
+  // descriptor every reader would pin as a torn re-chaining.
+  std::lock_guard<std::mutex> pub(publish_mu_);
+  Status st = Status::OK();
+  for (const ShardPiece& sp : SplitByOwner(msg)) {
+    st = ApplyToShardDeferred(sp.shard, sp.piece);
+    // A piece failing to apply is a protocol violation (the DA's signed
+    // messages always apply cleanly); earlier pieces stay in place and the
+    // caller must treat the failure as fatal to the replica's integrity.
+    if (!st.ok()) break;
+  }
+  RepublishLocked();
+  return st;
+}
+
+std::shared_ptr<const EpochSnapshot> ShardedQueryServer::FreezeShard(
+    size_t shard) {
+  AUTHDB_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->builder.Freeze();
+}
+
+size_t ShardedQueryServer::LivePinnedLocked() const {
+  // Requires pin_sync_->mu (NOT publish_mu_): the diagnostic and the
+  // backpressure predicate must stay readable while a publisher parks on
+  // the budget with publish_mu_ held.
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                [](const std::weak_ptr<const EpochDescriptor>&
+                                       w) { return w.expired(); }),
+                 retired_.end());
+  return retired_.size();
+}
+
+void ShardedQueryServer::InstallDescriptorLocked(
+    std::vector<std::shared_ptr<const EpochSnapshot>> snaps) {
+  auto* raw = new EpochDescriptor;
+  raw->epoch = tracker_.current_epoch();
+  raw->total_size = 0;
+  for (const auto& s : snaps) raw->total_size += s->size();
+  raw->shards = std::move(snaps);
+  raw->summaries = summaries_;
+  raw->partitions = partitions_;
+  // The deleter fires when the last reader unpins a superseded epoch —
+  // that retires the snapshot set (chunks shared with newer epochs
+  // survive) and wakes any publisher blocked on max_pinned_epochs. The
+  // sync block is shared so an unpin after server teardown stays safe.
+  std::shared_ptr<PinSync> sync = pin_sync_;
+  std::shared_ptr<const EpochDescriptor> desc(
+      raw, [sync](const EpochDescriptor* d) {
+        delete d;
+        std::lock_guard<std::mutex> lk(sync->mu);
+        sync->cv.notify_all();
+      });
+  std::shared_ptr<const EpochDescriptor> old =
+      std::atomic_exchange(&current_, desc);
+  if (old != nullptr) {
+    std::lock_guard<std::mutex> lk(pin_sync_->mu);
+    retired_.emplace_back(old);
+    // Keep the GC list from accumulating dead weak_ptrs on the
+    // direct-apply path (which installs a descriptor per message and
+    // never runs the backpressure prune).
+    if (retired_.size() > 64) LivePinnedLocked();
+  }
+}
+
+void ShardedQueryServer::RepublishLocked() {
+  std::vector<std::shared_ptr<const EpochSnapshot>> snaps;
+  snaps.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    snaps.push_back(shards_[s]->builder.Freeze());
+  }
+  InstallDescriptorLocked(std::move(snaps));
+}
+
+void ShardedQueryServer::PublishEpoch(
+    UpdateSummary summary,
+    std::vector<std::shared_ptr<const EpochSnapshot>> snaps,
+    std::vector<CertifiedPartition> partition_refresh) {
+  AUTHDB_CHECK(snaps.size() == shards_.size());
+  std::lock_guard<std::mutex> pub(publish_mu_);
+  if (options_.max_pinned_epochs > 0) {
+    // Backpressure against stalled readers: wait until fewer than the
+    // budget of superseded epochs is still pinned. publish_mu_ stays held
+    // — the block is meant to propagate through the update stream's apply
+    // queues to the producer. Readers never take either lock, so they
+    // drain (and notify through the descriptor deleter) independently.
+    std::unique_lock<std::mutex> lk(pin_sync_->mu);
+    pin_sync_->cv.wait(lk, [&] {
+      return LivePinnedLocked() < options_.max_pinned_epochs;
+    });
+  }
+  // Monotonicity guard: if a direct-path publication (ApplyUpdate /
+  // SetJoinPartitions / AddSummary) raced this barrier and already
+  // published newer builder state for some shard, keep the newer version
+  // — readers must never watch a record regress to an older generation
+  // at a higher epoch. (Mixing the direct path into a live streaming
+  // period still weakens the stamp's exactness for that period — the
+  // leaked updates ride the earlier epoch — so keep direct publications
+  // to bootstrap/quiesced phases; see the class comment.)
+  {
+    std::shared_ptr<const EpochDescriptor> cur = std::atomic_load(&current_);
+    for (size_t s = 0; s < snaps.size() && s < cur->shards.size(); ++s) {
+      if (cur->shards[s]->generation() > snaps[s]->generation())
+        snaps[s] = cur->shards[s];
+    }
+  }
+  if (!partition_refresh.empty()) {
+    partitions_ = std::make_shared<const std::vector<CertifiedPartition>>(
+        std::move(partition_refresh));
+  }
+  tracker_.Publish(summary.seq, summary.publish_ts);
+  auto sums = std::make_shared<std::deque<UpdateSummary>>(*summaries_);
+  sums->push_back(std::move(summary));
+  while (sums->size() > options_.shard.summaries_retained) sums->pop_front();
+  summaries_ = std::move(sums);
+  InstallDescriptorLocked(std::move(snaps));
 }
 
 void ShardedQueryServer::AddSummary(UpdateSummary summary) {
-  // Epoch first, deque second: a concurrent Select may then stamp an epoch
-  // one publication ahead of the summaries it attaches, which is sound
-  // (the barrier contract says the epoch's updates are already applied),
-  // whereas the opposite order could transiently under-claim and make an
-  // up-to-date client reject an honest answer.
-  tracker_.Publish(summary.seq, summary.publish_ts);
-  std::lock_guard<std::mutex> lock(summaries_mu_);
-  summaries_.push_back(std::move(summary));
-  while (summaries_.size() > options_.shard.summaries_retained)
-    summaries_.pop_front();
+  std::vector<std::shared_ptr<const EpochSnapshot>> snaps;
+  snaps.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) snaps.push_back(FreezeShard(s));
+  PublishEpoch(std::move(summary), std::move(snaps), {});
 }
 
-std::optional<AuthTable::Item> ShardedQueryServer::GlobalPredecessor(
-    int64_t key, bool locked, std::vector<bool>* visited) const {
+void ShardedQueryServer::SetJoinPartitions(
+    std::vector<CertifiedPartition> partitions) {
+  std::lock_guard<std::mutex> pub(publish_mu_);
+  partitions_ = std::make_shared<const std::vector<CertifiedPartition>>(
+      std::move(partitions));
+  RepublishLocked();
+}
+
+std::shared_ptr<const EpochDescriptor> ShardedQueryServer::PinCurrentEpoch()
+    const {
+  return std::atomic_load(&current_);
+}
+
+size_t ShardedQueryServer::pinned_epochs() const {
+  // Deliberately NOT publish_mu_: this diagnostic must answer while a
+  // backpressured PublishEpoch holds that lock — observing the stall is
+  // the whole point.
+  std::lock_guard<std::mutex> lk(pin_sync_->mu);
+  return LivePinnedLocked();
+}
+
+uint64_t ShardedQueryServer::size() const {
+  return PinCurrentEpoch()->total_size;
+}
+
+void ShardedQueryServer::EnableSigCache(SigCache::RefreshMode mode,
+                                        size_t max_pairs) {
+  // Not synchronized against in-flight reads: enable before serving (or
+  // during a quiesced phase), like the rest of the configuration surface.
+  std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    uint64_t n = desc->shards[s]->size();
+    if (n < 4) continue;  // nothing worth caching
+    uint64_t n2 = 1;
+    while (n2 * 2 <= n) n2 *= 2;
+    auto plan =
+        SigCachePlanner::Plan(n2, CardinalityDist::Harmonic(n2), max_pairs);
+    // The member LeafProvider must never be consulted on this path —
+    // every aggregate goes through the generation-tagged overload with a
+    // per-call provider over the reader's pinned snapshot. A stub that
+    // silently returned empty signatures would turn an accidental
+    // WarmAll/untagged call into unverifiable answers; fail loudly
+    // instead.
+    auto cache = std::make_unique<SigCache>(
+        ctx_, n2, mode, [](size_t) -> BasSignature {
+          AUTHDB_CHECK(false &&
+                       "sharded SigCache used without a snapshot provider");
+          return BasSignature{};
+        });
+    cache->PinPlan(plan.chosen);
+    shards_[s]->cache_positions = static_cast<size_t>(n2);
+    shards_[s]->sigcache = std::move(cache);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read path: one pinned descriptor per answer, wait-free under ingest
+
+const SnapshotItem* ShardedQueryServer::GlobalPredecessor(
+    const EpochDescriptor& desc, int64_t key) const {
   // The owner shard may hold the predecessor; otherwise it is the greatest
   // record of the nearest non-empty shard to the left.
   for (size_t s = router_.ShardOf(key) + 1; s-- > 0;) {
-    if (visited != nullptr) (*visited)[s] = true;
-    std::unique_lock<std::mutex> lock(shards_[s]->mu, std::defer_lock);
-    if (!locked) lock.lock();
-    auto item = shards_[s]->qs->PredecessorItem(key);
-    if (item) return item;
+    const SnapshotItem* item = desc.shards[s]->Predecessor(key);
+    if (item != nullptr) return item;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
-std::optional<AuthTable::Item> ShardedQueryServer::GlobalSuccessor(
-    int64_t key, bool locked, std::vector<bool>* visited) const {
+const SnapshotItem* ShardedQueryServer::GlobalSuccessor(
+    const EpochDescriptor& desc, int64_t key) const {
   for (size_t s = router_.ShardOf(key); s < shards_.size(); ++s) {
-    if (visited != nullptr) (*visited)[s] = true;
-    std::unique_lock<std::mutex> lock(shards_[s]->mu, std::defer_lock);
-    if (!locked) lock.lock();
-    auto item = shards_[s]->qs->SuccessorItem(key);
-    if (item) return item;
+    const SnapshotItem* item = desc.shards[s]->Successor(key);
+    if (item != nullptr) return item;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
-template <typename T, typename AttemptFn>
-Result<T> ShardedQueryServer::RunValidated(
-    const std::vector<size_t>& seam_shards, AttemptFn&& attempt) const {
-  // Reader half of the seqlocks. Sub-reads take their shard locks
-  // independently, so without validation a cross-seam read could see one
-  // shard before a seam-re-chaining joint apply and the adjacent shard
-  // after it — a stitch mixing old and new chain certifications that an
-  // honest verifier must reject; a read that consulted boundary probes
-  // (or, for joins, re-took a shard lock for a later probe value) can
-  // likewise be torn by any apply to a shard it examined after the
-  // earlier locks were released. So: snapshot, fan out, and keep the
-  // result only if the relevant counters are unchanged — each seam
-  // shard's seam counter for a stitch, each visited shard's apply counter
-  // for out-of-lock re-reads. Applies to shards the read never examined
-  // cannot affect a record it cited and never invalidate it. A read that
-  // took a single shard lock and never visited anything is atomic by
-  // construction and returns without validating — the common
-  // interior-range query shape keeps its per-shard locality even under
-  // churn. At least one optimistic pass always runs; the retry budget
-  // only meters restitches.
-  constexpr int kOddWaitSpins = 256;  // polls of an in-flight joint apply
-  std::vector<uint64_t> seam_snap(seam_shards.size());
-  std::vector<uint64_t> apply_snap(shards_.size());
-  std::vector<bool> visited(shards_.size());
-  const int budget = std::max(1, options_.seam_retry_limit);
-  for (int round = 0; round < budget; ++round) {
-    // A seam shard with an odd seam counter is involved in a joint apply
-    // mid-critical-section — not yet a torn window, so waiting it out is
-    // not charged against the retry budget. Parking on that shard's mutex
-    // piggybacks on the writer's lockset: the lock is held for exactly
-    // the apply's duration.
-    for (int spin = 0; spin < kOddWaitSpins; ++spin) {
-      size_t odd = seam_shards.size();
-      for (size_t i = 0; i < seam_shards.size(); ++i) {
-        seam_snap[i] =
-            shards_[seam_shards[i]]->seam_seq.load(std::memory_order_acquire);
-        if (seam_snap[i] & 1) odd = i;
-      }
-      if (odd == seam_shards.size()) break;
-      { std::lock_guard<std::mutex> park(shards_[seam_shards[odd]]->mu); }
-      std::this_thread::yield();
-    }
-    // Attempts decide at runtime which shards they examine, so snapshot
-    // every shard's apply counter upfront (cheap: one relaxed-size load
-    // per shard) and validate only the ones the attempt actually marked.
-    for (size_t s = 0; s < shards_.size(); ++s)
-      apply_snap[s] = shards_[s]->apply_seq.load(std::memory_order_acquire);
-    std::fill(visited.begin(), visited.end(), false);
-    Result<T> out = attempt(/*exclusive=*/false, &visited);
-    bool any_probe = false;
-    for (size_t s = 0; s < shards_.size(); ++s) any_probe |= visited[s];
-    if (seam_shards.size() <= 1 && !any_probe) return out;
-    // Equality alone validates in either parity: the counters are
-    // monotonic, so an odd-but-unchanged value means one writer held its
-    // lockset across our whole window — our reads cannot have touched
-    // any involved shard (those locks were held throughout), hence the
-    // result is consistent.
-    bool valid = true;
-    for (size_t i = 0; i < seam_shards.size() && valid; ++i) {
-      valid = shards_[seam_shards[i]]->seam_seq.load(
-                  std::memory_order_acquire) == seam_snap[i];
-    }
-    for (size_t s = 0; s < shards_.size() && valid; ++s) {
-      if (visited[s]) {
-        valid = shards_[s]->apply_seq.load(std::memory_order_acquire) ==
-                apply_snap[s];
-      }
-    }
-    if (valid) return out;
-    seam_restitches_.fetch_add(1, std::memory_order_relaxed);
+BasSignature ShardedQueryServer::AggregateRange(
+    size_t shard, const EpochSnapshot& snap, size_t rank_lo, size_t rank_hi,
+    SigCache::AggStats* stats) const {
+  SigCache* cache = shards_[shard]->sigcache.get();
+  if (cache != nullptr && snap.size() >= shards_[shard]->cache_positions) {
+    // Generation-tagged windows: reused only for readers pinned to the
+    // same chain generation, recomputed from this snapshot otherwise —
+    // cached aggregates never mix generations. (Bypassed when the shard
+    // shrank below the planned position count, where node coverage could
+    // reach past the snapshot.)
+    return cache->RangeAggregate(
+        rank_lo, rank_hi, snap.generation(),
+        [&snap](size_t pos) { return snap.ItemAt(pos).sig; }, stats);
   }
-  // Sustained cross-seam churn kept tearing the optimistic reads: fall
-  // back to taking every shard lock (ascending — the ApplyPieces order,
-  // so no deadlock) for one exclusive pass. Guaranteed progress.
-  seam_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::unique_lock<std::mutex>> all_locks;
-  all_locks.reserve(shards_.size());
-  for (const auto& s : shards_) all_locks.emplace_back(s->mu);
-  return attempt(/*exclusive=*/true, nullptr);
+  std::vector<ECPoint> pts;
+  pts.reserve(rank_hi - rank_lo + 1);
+  snap.ForEachItem(rank_lo, rank_hi, [&pts](const SnapshotItem& item) {
+    pts.push_back(item.sig.point);
+  });
+  if (stats != nullptr) {
+    stats->point_adds += pts.empty() ? 0 : pts.size() - 1;
+    stats->leaf_fetches += pts.size();
+  }
+  return BasSignature{ctx_->curve().Sum(pts)};
 }
 
-Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
-                                                   SelectStats* stats) const {
-  if (stats != nullptr) *stats = SelectStats{};  // even on early error returns
-  if (lo > hi) return Status::InvalidArgument("lo > hi");
-  if (lo == kChainMinusInf || hi == kChainPlusInf)
-    return Status::InvalidArgument("range touches chain sentinels");
+ShardedQueryServer::SubSelect ShardedQueryServer::ScanShard(
+    const EpochDescriptor& desc, size_t shard, int64_t lo, int64_t hi,
+    SigCache::AggStats* stats) const {
+  SubSelect out;
+  out.left_key = kChainMinusInf;
+  out.right_key = kChainPlusInf;
+  const EpochSnapshot& snap = *desc.shards[shard];
+  if (snap.size() == 0) return out;
+  size_t lo_r = snap.LowerBound(lo);
+  size_t hi_r = snap.UpperBound(hi);
+  if (lo_r == hi_r) return out;  // no hits in this shard
+  out.nonempty = true;
+  out.items.reserve(hi_r - lo_r);
+  snap.ForEachItem(lo_r, hi_r - 1, [&out](const SnapshotItem& item) {
+    out.items.push_back(&item);
+  });
+  if (lo_r > 0) out.left_key = snap.ItemAt(lo_r - 1).key();
+  if (hi_r < snap.size()) out.right_key = snap.ItemAt(hi_r).key();
+  out.agg = AggregateRange(shard, snap, lo_r, hi_r - 1, stats);
+  return out;
+}
+
+Result<SelectionAnswer> ShardedQueryServer::SelectOnDescriptor(
+    const EpochDescriptor& desc, int64_t lo, int64_t hi,
+    SelectStats* stats) const {
   const std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
-  std::vector<size_t> seam_shards;
-  seam_shards.reserve(cover.size());
-  for (const ShardRouter::SubRange& sr : cover) seam_shards.push_back(sr.shard);
-  return RunValidated<SelectionAnswer>(
-      seam_shards, [&](bool exclusive, std::vector<bool>* visited) {
-        return SelectAttempt(lo, hi, cover, stats, exclusive, visited);
-      });
-}
-
-Result<SelectionAnswer> ShardedQueryServer::SelectAttempt(
-    int64_t lo, int64_t hi, const std::vector<ShardRouter::SubRange>& cover,
-    SelectStats* stats, bool exclusive, std::vector<bool>* visited) const {
-  if (stats != nullptr) *stats = SelectStats{};  // per-attempt counters
-
-  // Snapshot the epoch *before* reading any shard: a summary publishing
-  // while the fan-out runs then leaves the stamp under-claiming (answer
-  // fresher than stamped — allowed) instead of over-claiming an epoch
-  // whose updates this answer may predate.
-  const uint64_t epoch_at_start = tracker_.current_epoch();
-
-  std::vector<std::optional<Result<SelectionAnswer>>> subs(cover.size());
+  std::vector<SubSelect> subs(cover.size());
   std::vector<SigCache::AggStats> sub_stats(cover.size());
-
-  if (exclusive) {
-    // The caller holds every shard lock: read inline, never through the
-    // pool. Handing work to the pool here could deadlock — its workers
-    // may all be parked inside other readers' sub-read tasks, blocked on
-    // the very locks this thread holds, so the handed-off tasks would
-    // never be picked up while we wait on them.
-    for (size_t i = 0; i < cover.size(); ++i) {
-      const ShardRouter::SubRange& sr = cover[i];
-      subs[i] = shards_[sr.shard]->qs->Select(sr.lo, sr.hi, &sub_stats[i]);
-    }
-  } else {
+  {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(cover.size());
     for (size_t i = 0; i < cover.size(); ++i) {
-      tasks.emplace_back([this, &cover, &subs, &sub_stats, i] {
+      tasks.emplace_back([this, &desc, &cover, &subs, &sub_stats, i] {
         const ShardRouter::SubRange& sr = cover[i];
-        std::lock_guard<std::mutex> lock(shards_[sr.shard]->mu);
-        subs[i] = shards_[sr.shard]->qs->Select(sr.lo, sr.hi, &sub_stats[i]);
+        subs[i] = ScanShard(desc, sr.shard, sr.lo, sr.hi, &sub_stats[i]);
       });
     }
     pool_.RunAll(std::move(tasks));
   }
-
   if (stats != nullptr) {
     stats->shards_queried = cover.size();
     for (const SigCache::AggStats& s : sub_stats) {
@@ -314,131 +356,167 @@ Result<SelectionAnswer> ShardedQueryServer::SelectAttempt(
   SelectionAnswer out;
   std::vector<BasSignature> agg_parts;
   uint64_t oldest_ts = ~uint64_t{0};
-  int first_nonempty = -1;
+  bool any = false;
   for (size_t i = 0; i < cover.size(); ++i) {
-    const Result<SelectionAnswer>& r = *subs[i];
-    if (!r.ok()) {
-      if (r.status().IsNotFound()) continue;  // shard holds no records
-      return r.status();
-    }
-    const SelectionAnswer& sub = r.value();
-    if (sub.records.empty()) continue;
-    if (first_nonempty < 0) {
-      first_nonempty = static_cast<int>(i);
+    const SubSelect& sub = subs[i];
+    if (!sub.nonempty) continue;
+    if (!any) {
+      any = true;
       out.left_key = sub.left_key;
     }
     out.right_key = sub.right_key;
-    out.records.insert(out.records.end(), sub.records.begin(),
-                       sub.records.end());
-    agg_parts.push_back(sub.agg_sig);
-    for (const Record& rec : sub.records)
-      oldest_ts = std::min(oldest_ts, rec.ts);
+    for (const SnapshotItem* item : sub.items) {
+      out.records.push_back(item->record);
+      oldest_ts = std::min(oldest_ts, item->record.ts);
+    }
+    agg_parts.push_back(sub.agg);
   }
   if (stats != nullptr) stats->shards_nonempty = agg_parts.size();
 
-  if (first_nonempty < 0) {
+  if (!any) {
     // Empty result across every covered shard: prove it with the global
     // boundary record, exactly as a single server would.
-    auto pred = GlobalPredecessor(lo, exclusive, visited);
-    auto succ = GlobalSuccessor(hi, exclusive, visited);
-    if (!pred && !succ) return Status::NotFound("empty relation");
-    if (pred) {
+    const SnapshotItem* pred = GlobalPredecessor(desc, lo);
+    const SnapshotItem* succ = GlobalSuccessor(desc, hi);
+    if (pred == nullptr && succ == nullptr)
+      return Status::NotFound("empty relation");
+    if (pred != nullptr) {
       out.proof_record = pred->record;
       out.agg_sig = pred->sig;
-      auto pp = GlobalPredecessor(pred->record.key(), exclusive, visited);
-      out.left_key = pp ? pp->record.key() : kChainMinusInf;
-      out.right_key = succ ? succ->record.key() : kChainPlusInf;
+      const SnapshotItem* pp = GlobalPredecessor(desc, pred->key());
+      out.left_key = pp != nullptr ? pp->key() : kChainMinusInf;
+      out.right_key = succ != nullptr ? succ->key() : kChainPlusInf;
       oldest_ts = pred->record.ts;
     } else {
       out.proof_record = succ->record;
       out.agg_sig = succ->sig;
-      out.left_key = kChainMinusInf;  // no key below lo, hence none below succ
-      auto ss = GlobalSuccessor(succ->record.key(), exclusive, visited);
-      out.right_key = ss ? ss->record.key() : kChainPlusInf;
+      out.left_key = kChainMinusInf;  // no key below lo, hence none below
+      const SnapshotItem* ss = GlobalSuccessor(desc, succ->key());
+      out.right_key = ss != nullptr ? ss->key() : kChainPlusInf;
       oldest_ts = succ->record.ts;
     }
   } else {
     // A finite shard-local boundary is already the global chain neighbor
     // (contiguous partition); a sentinel means the neighbor lives on an
-    // adjacent shard the sub-query never saw.
+    // adjacent shard the sub-scan never saw — resolved from the SAME
+    // pinned snapshots, so the probe can never disagree with the scan.
     if (out.left_key == kChainMinusInf) {
-      auto pred = GlobalPredecessor(lo, exclusive, visited);
-      if (pred) out.left_key = pred->record.key();
+      const SnapshotItem* pred = GlobalPredecessor(desc, lo);
+      if (pred != nullptr) out.left_key = pred->key();
     }
     if (out.right_key == kChainPlusInf) {
-      auto succ = GlobalSuccessor(hi, exclusive, visited);
-      if (succ) out.right_key = succ->record.key();
+      const SnapshotItem* succ = GlobalSuccessor(desc, hi);
+      if (succ != nullptr) out.right_key = succ->key();
     }
     out.agg_sig = ctx_->Aggregate(agg_parts);
   }
 
-  // Freshness evidence: every summary published at/after the oldest result
-  // certification (same rule as QueryServer::Select, held server-wide).
-  {
-    std::lock_guard<std::mutex> lock(summaries_mu_);
-    for (const UpdateSummary& s : summaries_) {
-      if (s.publish_ts >= oldest_ts) out.summaries.push_back(s);
-    }
-  }
-  // The tracker is a running max, so the stamp is also correct when
-  // summaries were delivered out of order.
-  out.served_epoch = epoch_at_start;
+  AttachSummaries(desc, oldest_ts, &out.summaries);
+  out.served_epoch = desc.epoch;
   return out;
 }
 
-Result<QueryAnswer> ShardedQueryServer::ProjectAttempt(
-    const Query& query, const std::vector<ShardRouter::SubRange>& cover,
-    SelectStats* stats, bool exclusive, std::vector<bool>* visited) const {
-  if (stats != nullptr) *stats = SelectStats{};  // per-attempt counters
+Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
+                                                   SelectStats* stats) const {
+  if (stats != nullptr) *stats = SelectStats{};  // even on early error returns
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  if (lo == kChainMinusInf || hi == kChainPlusInf)
+    return Status::InvalidArgument("range touches chain sentinels");
+  std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
+  if (stats != nullptr) stats->epoch = desc->epoch;
+  return SelectOnDescriptor(*desc, lo, hi, stats);
+}
 
-  // Epoch snapshot before any shard read: under-claim, never over-claim
-  // (same reasoning as SelectAttempt).
-  const uint64_t epoch_at_start = tracker_.current_epoch();
+void ShardedQueryServer::AttachSummaries(const EpochDescriptor& desc,
+                                         uint64_t oldest_ts,
+                                         std::vector<UpdateSummary>* out) {
+  if (desc.summaries == nullptr) return;
+  for (const UpdateSummary& s : *desc.summaries) {
+    if (s.publish_ts >= oldest_ts) out->push_back(s);
+  }
+}
 
-  std::vector<std::optional<Result<QueryAnswer>>> subs(cover.size());
-  if (exclusive) {
-    for (size_t i = 0; i < cover.size(); ++i) {
-      Query sub = query;
-      sub.lo = cover[i].lo;
-      sub.hi = cover[i].hi;
-      subs[i] = shards_[cover[i].shard]->qs->Execute(sub);
-    }
-  } else {
+Result<QueryAnswer> ShardedQueryServer::ProjectOnDescriptor(
+    const EpochDescriptor& desc, const Query& query,
+    SelectStats* stats) const {
+  const std::vector<uint32_t> attrs =
+      EffectiveProjectionAttrs(query.attr_indices);
+  const std::vector<ShardRouter::SubRange> cover =
+      router_.Cover(query.lo, query.hi);
+
+  struct SubProject {
+    Status error = Status::OK();
+    bool nonempty = false;
+    std::vector<ProjectedTuple> tuples;
+    std::vector<Digest160> digests;
+    int64_t left_key = kChainMinusInf;
+    int64_t right_key = kChainPlusInf;
+    BasSignature agg;
+    uint64_t oldest_ts = ~uint64_t{0};
+  };
+  std::vector<SubProject> subs(cover.size());
+  {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(cover.size());
     for (size_t i = 0; i < cover.size(); ++i) {
-      tasks.emplace_back([this, &query, &cover, &subs, i] {
+      tasks.emplace_back([this, &desc, &cover, &subs, &attrs, i] {
         const ShardRouter::SubRange& sr = cover[i];
-        Query sub = query;
-        sub.lo = sr.lo;
-        sub.hi = sr.hi;
-        std::lock_guard<std::mutex> lock(shards_[sr.shard]->mu);
-        subs[i] = shards_[sr.shard]->qs->Execute(sub);
+        SubProject& sub = subs[i];
+        const EpochSnapshot& snap = *desc.shards[sr.shard];
+        if (snap.size() == 0) return;
+        size_t lo_r = snap.LowerBound(sr.lo);
+        size_t hi_r = snap.UpperBound(sr.hi);
+        if (lo_r == hi_r) return;
+        sub.nonempty = true;
+        if (lo_r > 0) sub.left_key = snap.ItemAt(lo_r - 1).key();
+        if (hi_r < snap.size()) sub.right_key = snap.ItemAt(hi_r).key();
+        std::vector<BasSignature> parts;
+        snap.ForEachItem(lo_r, hi_r - 1, [&](const SnapshotItem& item) {
+          if (!sub.error.ok()) return;  // already failed: skip the rest
+          const Record& rec = item.record;
+          if (item.attr_sigs.empty()) {
+            sub.error = Status::InvalidArgument(
+                "projection unavailable: no attribute signatures for key " +
+                std::to_string(rec.key()));
+            return;
+          }
+          ProjectedTuple tuple;
+          tuple.rid = rec.rid;
+          tuple.ts = rec.ts;
+          for (uint32_t a : attrs) {
+            if (a >= rec.attrs.size() || a >= item.attr_sigs.size()) {
+              sub.error = Status::InvalidArgument(
+                  "projected attribute out of range");
+              return;
+            }
+            tuple.attr_indices.push_back(a);
+            tuple.values.push_back(rec.attrs[a]);
+            parts.push_back(item.attr_sigs[a]);
+          }
+          sub.tuples.push_back(std::move(tuple));
+          sub.digests.push_back(rec.Digest());
+          parts.push_back(item.sig);  // chain signature (completeness spine)
+          sub.oldest_ts = std::min(sub.oldest_ts, rec.ts);
+        });
+        if (!sub.error.ok()) return;
+        sub.agg = ctx_->Aggregate(parts);
       });
     }
     pool_.RunAll(std::move(tasks));
   }
   if (stats != nullptr) stats->shards_queried = cover.size();
 
-  // Stitch exactly like a selection: concatenate tuples + digest spine
-  // (shard order == key order), sum the per-shard aggregates, keep the
-  // outermost boundaries, resolve sentinel boundaries by global probes.
   QueryAnswer out;
   out.kind = QueryKind::kProject;
   ProjectedRangeAnswer& proj = out.projection;
   std::vector<BasSignature> agg_parts;
   uint64_t oldest_ts = ~uint64_t{0};
-  int first_nonempty = -1;
-  for (size_t i = 0; i < cover.size(); ++i) {
-    const Result<QueryAnswer>& r = *subs[i];
-    if (!r.ok()) {
-      if (r.status().IsNotFound()) continue;  // shard holds no records
-      return r.status();
-    }
-    const ProjectedRangeAnswer& sub = r.value().projection;
-    if (sub.tuples.empty()) continue;
-    if (first_nonempty < 0) {
-      first_nonempty = static_cast<int>(i);
+  bool any = false;
+  for (const SubProject& sub : subs) {
+    if (!sub.error.ok()) return sub.error;
+    if (!sub.nonempty) continue;
+    if (!any) {
+      any = true;
       proj.left_key = sub.left_key;
     }
     proj.right_key = sub.right_key;
@@ -446,70 +524,54 @@ Result<QueryAnswer> ShardedQueryServer::ProjectAttempt(
                        sub.tuples.end());
     proj.digests.insert(proj.digests.end(), sub.digests.begin(),
                         sub.digests.end());
-    agg_parts.push_back(sub.agg_sig);
-    for (const ProjectedTuple& t : sub.tuples)
-      oldest_ts = std::min(oldest_ts, t.ts);
+    agg_parts.push_back(sub.agg);
+    oldest_ts = std::min(oldest_ts, sub.oldest_ts);
   }
   if (stats != nullptr) stats->shards_nonempty = agg_parts.size();
 
-  if (first_nonempty < 0) {
-    // Empty result across every covered shard: one global boundary witness
-    // proves it, digest-only.
-    auto pred = GlobalPredecessor(query.lo, exclusive, visited);
-    auto succ = GlobalSuccessor(query.hi, exclusive, visited);
-    if (!pred && !succ) return Status::NotFound("empty relation");
-    const AuthTable::Item& witness = pred ? *pred : *succ;
-    proj.proof = DigestWitness{witness.record.key(), witness.record.rid,
-                               witness.record.ts, witness.record.Digest()};
-    proj.agg_sig = witness.sig;
-    if (pred) {
-      auto pp = GlobalPredecessor(pred->record.key(), exclusive, visited);
-      proj.left_key = pp ? pp->record.key() : kChainMinusInf;
-      proj.right_key = succ ? succ->record.key() : kChainPlusInf;
+  if (!any) {
+    // Empty result: one global boundary witness proves it, digest-only.
+    const SnapshotItem* pred = GlobalPredecessor(desc, query.lo);
+    const SnapshotItem* succ = GlobalSuccessor(desc, query.hi);
+    if (pred == nullptr && succ == nullptr)
+      return Status::NotFound("empty relation");
+    const SnapshotItem* witness = pred != nullptr ? pred : succ;
+    proj.proof = DigestWitness{witness->key(), witness->record.rid,
+                               witness->record.ts, witness->record.Digest()};
+    proj.agg_sig = witness->sig;
+    if (pred != nullptr) {
+      const SnapshotItem* pp = GlobalPredecessor(desc, pred->key());
+      proj.left_key = pp != nullptr ? pp->key() : kChainMinusInf;
+      proj.right_key = succ != nullptr ? succ->key() : kChainPlusInf;
     } else {
       proj.left_key = kChainMinusInf;  // no key below lo, hence none below
-      auto ss = GlobalSuccessor(succ->record.key(), exclusive, visited);
-      proj.right_key = ss ? ss->record.key() : kChainPlusInf;
+      const SnapshotItem* ss = GlobalSuccessor(desc, succ->key());
+      proj.right_key = ss != nullptr ? ss->key() : kChainPlusInf;
     }
-    oldest_ts = witness.record.ts;
+    oldest_ts = witness->record.ts;
   } else {
     if (proj.left_key == kChainMinusInf) {
-      auto pred = GlobalPredecessor(query.lo, exclusive, visited);
-      if (pred) proj.left_key = pred->record.key();
+      const SnapshotItem* pred = GlobalPredecessor(desc, query.lo);
+      if (pred != nullptr) proj.left_key = pred->key();
     }
     if (proj.right_key == kChainPlusInf) {
-      auto succ = GlobalSuccessor(query.hi, exclusive, visited);
-      if (succ) proj.right_key = succ->record.key();
+      const SnapshotItem* succ = GlobalSuccessor(desc, query.hi);
+      if (succ != nullptr) proj.right_key = succ->key();
     }
     proj.agg_sig = ctx_->Aggregate(agg_parts);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(summaries_mu_);
-    for (const UpdateSummary& s : summaries_) {
-      if (s.publish_ts >= oldest_ts) out.summaries.push_back(s);
-    }
-  }
-  out.served_epoch = epoch_at_start;
+  AttachSummaries(desc, oldest_ts, &out.summaries);
+  out.served_epoch = desc.epoch;
   return out;
 }
 
-Result<QueryAnswer> ShardedQueryServer::JoinAttempt(
-    const std::vector<int64_t>& values, JoinMethod method, bool exclusive,
-    std::vector<bool>* visited) const {
-  const uint64_t epoch_at_start = tracker_.current_epoch();
-  // Partition snapshot strictly *after* the epoch read: the update-stream
-  // barrier installs a period's refresh before advancing the epoch, so
-  // this order guarantees the snapshot is at least as fresh as the stamp
-  // claims — a retried or escalated attempt re-snapshots both together.
-  std::shared_ptr<const std::vector<CertifiedPartition>> parts_snap;
-  {
-    std::lock_guard<std::mutex> lock(partitions_mu_);
-    parts_snap = join_partitions_;
-  }
+Result<QueryAnswer> ShardedQueryServer::JoinOnDescriptor(
+    const EpochDescriptor& desc, const std::vector<int64_t>& values,
+    JoinMethod method, SelectStats* stats) const {
   static const std::vector<CertifiedPartition> kNoPartitions;
   const std::vector<CertifiedPartition>& partitions =
-      parts_snap ? *parts_snap : kNoPartitions;
+      desc.partitions != nullptr ? *desc.partitions : kNoPartitions;
   QueryAnswer out;
   out.kind = QueryKind::kJoin;
   JoinAnswer& ans = out.join;
@@ -517,39 +579,43 @@ Result<QueryAnswer> ShardedQueryServer::JoinAttempt(
 
   std::set<uint32_t> used_partitions;
   // Chain signatures included in the aggregate, deduplicated by composite
-  // key across the whole answer (a record may serve several proofs) —
-  // which is why a join validates the apply counter of every shard it
-  // reads: the dedup must never mix two chain generations of one record.
+  // key across the whole answer (a record may serve several proofs). With
+  // every scan and probe reading the same pinned snapshots, the dedup can
+  // never mix two chain generations of one record — the property the old
+  // seqlock validation existed to defend.
   std::set<int64_t> included_keys;
   std::vector<BasSignature> parts;
   uint64_t oldest_ts = ~uint64_t{0};
-  auto include_item = [&](const AuthTable::Item& item) {
-    if (included_keys.insert(item.record.key()).second)
-      parts.push_back(item.sig);
+  auto include_item = [&](const SnapshotItem& item) {
+    if (included_keys.insert(item.key()).second) parts.push_back(item.sig);
     oldest_ts = std::min(oldest_ts, item.record.ts);
   };
 
+  std::vector<bool> touched(shards_.size(), false);
   for (int64_t a : values) {
     const int64_t clo = JoinCompositeKey(a, 0);
     const int64_t chi = JoinCompositeKey(a, kJoinMaxDup);
     const std::vector<ShardRouter::SubRange> cover = router_.Cover(clo, chi);
-    // Per-value scan of the covering shards, gathering items with their
-    // chain signatures; the edge sub-scans also report the shard-local
-    // boundary items (the global chain neighbors when present).
-    std::vector<AuthTable::Item> items;
-    std::optional<AuthTable::Item> left_b, right_b;
+    // Per-value scan of the covering shards; the edge sub-scans also
+    // report the shard-local boundary items (the global chain neighbors
+    // when present).
+    std::vector<const SnapshotItem*> items;
+    const SnapshotItem* left_b = nullptr;
+    const SnapshotItem* right_b = nullptr;
     for (size_t i = 0; i < cover.size(); ++i) {
       const ShardRouter::SubRange& sr = cover[i];
-      if (visited != nullptr) (*visited)[sr.shard] = true;
-      std::unique_lock<std::mutex> lock(shards_[sr.shard]->mu,
-                                        std::defer_lock);
-      if (!exclusive) lock.lock();
-      AuthTable::RangeOut scan =
-          shards_[sr.shard]->qs->table().Scan(sr.lo, sr.hi);
-      if (i == 0) left_b = scan.left_boundary;
-      if (i + 1 == cover.size()) right_b = scan.right_boundary;
-      for (AuthTable::Item& item : scan.items)
-        items.push_back(std::move(item));
+      touched[sr.shard] = true;
+      const EpochSnapshot& snap = *desc.shards[sr.shard];
+      size_t lo_r = snap.LowerBound(sr.lo);
+      size_t hi_r = snap.UpperBound(sr.hi);
+      if (i == 0 && lo_r > 0) left_b = &snap.ItemAt(lo_r - 1);
+      if (i + 1 == cover.size() && hi_r < snap.size())
+        right_b = &snap.ItemAt(hi_r);
+      if (lo_r < hi_r) {
+        snap.ForEachItem(lo_r, hi_r - 1, [&items](const SnapshotItem& item) {
+          items.push_back(&item);
+        });
+      }
     }
 
     if (!items.empty()) {
@@ -558,21 +624,21 @@ Result<QueryAnswer> ShardedQueryServer::JoinAttempt(
       // global neighbor; a sentinel means it lives on another shard.
       JoinMatch match;
       match.a_value = a;
-      if (left_b) {
-        match.left_key = left_b->record.key();
+      if (left_b != nullptr) {
+        match.left_key = left_b->key();
       } else {
-        auto pred = GlobalPredecessor(clo, exclusive, visited);
-        match.left_key = pred ? pred->record.key() : kChainMinusInf;
+        const SnapshotItem* pred = GlobalPredecessor(desc, clo);
+        match.left_key = pred != nullptr ? pred->key() : kChainMinusInf;
       }
-      if (right_b) {
-        match.right_key = right_b->record.key();
+      if (right_b != nullptr) {
+        match.right_key = right_b->key();
       } else {
-        auto succ = GlobalSuccessor(chi, exclusive, visited);
-        match.right_key = succ ? succ->record.key() : kChainPlusInf;
+        const SnapshotItem* succ = GlobalSuccessor(desc, chi);
+        match.right_key = succ != nullptr ? succ->key() : kChainPlusInf;
       }
-      for (const AuthTable::Item& item : items) {
-        match.s_records.push_back(item.record);
-        include_item(item);
+      for (const SnapshotItem* item : items) {
+        match.s_records.push_back(item->record);
+        include_item(*item);
       }
       ans.matches.push_back(std::move(match));
       continue;
@@ -592,22 +658,23 @@ Result<QueryAnswer> ShardedQueryServer::JoinAttempt(
     }
     if (need_boundary) {
       // Absence witness adjacent to the gap, possibly on another shard;
-      // its own chain neighbors stitch across seams via global probes.
-      std::optional<AuthTable::Item> witness = left_b;
-      if (!witness) witness = GlobalPredecessor(clo, exclusive, visited);
-      if (!witness) witness = right_b;
-      if (!witness) witness = GlobalSuccessor(chi, exclusive, visited);
-      if (!witness) return Status::NotFound("S is empty");
+      // its own chain neighbors stitch across seams via global probes
+      // against the same pinned snapshots.
+      const SnapshotItem* witness = left_b;
+      if (witness == nullptr) witness = GlobalPredecessor(desc, clo);
+      if (witness == nullptr) witness = right_b;
+      if (witness == nullptr) witness = GlobalSuccessor(desc, chi);
+      if (witness == nullptr) return Status::NotFound("S is empty");
       AbsenceProof proof;
       proof.a_value = a;
-      proof.rec_key = witness->record.key();
+      proof.rec_key = witness->key();
       proof.rec_rid = witness->record.rid;
       proof.rec_ts = witness->record.ts;
       proof.rec_digest = witness->record.Digest();
-      auto wl = GlobalPredecessor(witness->record.key(), exclusive, visited);
-      auto wr = GlobalSuccessor(witness->record.key(), exclusive, visited);
-      proof.left_key = wl ? wl->record.key() : kChainMinusInf;
-      proof.right_key = wr ? wr->record.key() : kChainPlusInf;
+      const SnapshotItem* wl = GlobalPredecessor(desc, witness->key());
+      const SnapshotItem* wr = GlobalSuccessor(desc, witness->key());
+      proof.left_key = wl != nullptr ? wl->key() : kChainMinusInf;
+      proof.right_key = wr != nullptr ? wr->key() : kChainPlusInf;
       include_item(*witness);
       ans.absence_proofs.push_back(std::move(proof));
     }
@@ -624,13 +691,13 @@ Result<QueryAnswer> ShardedQueryServer::JoinAttempt(
   }
   ans.agg_sig = ctx_->Aggregate(parts);
 
-  {
-    std::lock_guard<std::mutex> lock(summaries_mu_);
-    for (const UpdateSummary& s : summaries_) {
-      if (s.publish_ts >= oldest_ts) out.summaries.push_back(s);
+  if (stats != nullptr) {
+    for (size_t s = 0; s < touched.size(); ++s) {
+      if (touched[s]) ++stats->shards_queried;
     }
   }
-  out.served_epoch = epoch_at_start;
+  AttachSummaries(desc, oldest_ts, &out.summaries);
+  out.served_epoch = desc.epoch;
   return out;
 }
 
@@ -650,16 +717,9 @@ Result<QueryAnswer> ShardedQueryServer::Execute(const Query& query,
       if (query.lo > query.hi) return Status::InvalidArgument("lo > hi");
       if (query.lo == kChainMinusInf || query.hi == kChainPlusInf)
         return Status::InvalidArgument("range touches chain sentinels");
-      const std::vector<ShardRouter::SubRange> cover =
-          router_.Cover(query.lo, query.hi);
-      std::vector<size_t> seam_shards;
-      seam_shards.reserve(cover.size());
-      for (const ShardRouter::SubRange& sr : cover)
-        seam_shards.push_back(sr.shard);
-      return RunValidated<QueryAnswer>(
-          seam_shards, [&](bool exclusive, std::vector<bool>* visited) {
-            return ProjectAttempt(query, cover, stats, exclusive, visited);
-          });
+      std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
+      if (stats != nullptr) stats->epoch = desc->epoch;
+      return ProjectOnDescriptor(*desc, query, stats);
     }
     case QueryKind::kJoin: {
       if (stats != nullptr) *stats = SelectStats{};
@@ -668,48 +728,16 @@ Result<QueryAnswer> ShardedQueryServer::Execute(const Query& query,
       std::vector<int64_t> values = query.join_values;
       std::sort(values.begin(), values.end());
       values.erase(std::unique(values.begin(), values.end()), values.end());
-      std::vector<bool> touched(shards_.size(), false);
       for (int64_t a : values) {
         if (!JoinBValueInDomain(a))
           return Status::InvalidArgument("join probe value outside B domain");
-        for (const ShardRouter::SubRange& sr : router_.Cover(
-                 JoinCompositeKey(a, 0), JoinCompositeKey(a, kJoinMaxDup)))
-          touched[sr.shard] = true;
       }
-      std::vector<size_t> seam_shards;
-      for (size_t s = 0; s < touched.size(); ++s) {
-        if (touched[s]) seam_shards.push_back(s);
-      }
-      if (stats != nullptr) stats->shards_queried = seam_shards.size();
-      return RunValidated<QueryAnswer>(
-          seam_shards, [&](bool exclusive, std::vector<bool>* visited) {
-            return JoinAttempt(values, query.join_method, exclusive, visited);
-          });
+      std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
+      if (stats != nullptr) stats->epoch = desc->epoch;
+      return JoinOnDescriptor(*desc, values, query.join_method, stats);
     }
   }
   return Status::InvalidArgument("unknown query kind");
-}
-
-void ShardedQueryServer::SetJoinPartitions(
-    std::vector<CertifiedPartition> partitions) {
-  auto fresh = std::make_shared<const std::vector<CertifiedPartition>>(
-      std::move(partitions));
-  std::lock_guard<std::mutex> lock(partitions_mu_);
-  join_partitions_ = std::move(fresh);
-}
-
-void ShardedQueryServer::EnableSigCache(SigCache::RefreshMode mode,
-                                        size_t max_pairs) {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    uint64_t n = shard->qs->size();
-    if (n < 4) continue;  // nothing worth caching
-    uint64_t n2 = 1;
-    while (n2 * 2 <= n) n2 *= 2;
-    auto plan =
-        SigCachePlanner::Plan(n2, CardinalityDist::Harmonic(n2), max_pairs);
-    shard->qs->EnableSigCache(plan.chosen, mode);
-  }
 }
 
 }  // namespace authdb

@@ -1,29 +1,47 @@
 #ifndef AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
 #define AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
 
-#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <vector>
 
+#include "core/epoch_snapshot.h"
+#include "core/freshness.h"
 #include "core/protocol.h"
 #include "core/query_server.h"
+#include "core/sigcache.h"
 #include "server/shard_router.h"
 #include "server/thread_pool.h"
 
 namespace authdb {
 
-/// A query-serving front end that partitions the key space across K
-/// QueryServer shards — each with its own AuthTable, buffer pools, and
-/// optional SigCache — and serves the unified verified-query surface
-/// (Execute: selections, projections, and authenticated equi-joins) by
-/// fanning per-shard work out over a fixed thread pool, then stitching the
-/// per-shard answers into one answer that the unmodified client-side
-/// verifier accepts.
+/// One published epoch of the whole sharded server: the per-shard immutable
+/// snapshots plus everything a read needs to answer entirely from one
+/// consistent cut — the retained summaries, the certified Bloom partitions,
+/// and the epoch number the cut was published under. Readers pin a
+/// descriptor with one atomic shared_ptr load and never take a lock; a
+/// descriptor (and the chunks its snapshots share) stays alive exactly as
+/// long as some reader pins it or it is the current epoch.
+struct EpochDescriptor {
+  uint64_t epoch = 0;
+  std::vector<std::shared_ptr<const EpochSnapshot>> shards;
+  /// Retained summary run (ascending seq, bounded by summaries_retained).
+  std::shared_ptr<const std::deque<UpdateSummary>> summaries;
+  /// Certified Bloom partitions over S.B installed at this epoch's barrier
+  /// (or by a direct SetJoinPartitions); may be null when joins are off.
+  std::shared_ptr<const std::vector<CertifiedPartition>> partitions;
+  uint64_t total_size = 0;  ///< sum of shard snapshot sizes
+};
+
+/// A query-serving front end that partitions the key space across K shards
+/// and serves the unified verified-query surface (Execute: selections,
+/// projections, and authenticated equi-joins) from immutable, epoch-pinned
+/// copy-on-write snapshots, stitching the per-shard answers into one answer
+/// that the unmodified client-side verifier accepts.
 ///
 /// Why stitching preserves the proofs: the DA signs every record chained to
 /// its *global* neighbors, and the router's partition is contiguous in key
@@ -33,55 +51,62 @@ namespace authdb {
 /// BAS aggregates equals the aggregate the single-server path would have
 /// produced. The only information a shard lacks is the chain neighbor that
 /// lives *outside* its interval; the stitcher resolves those few boundary
-/// keys by probing adjacent shards (PredecessorItem / SuccessorItem).
+/// keys by probing the adjacent shards' snapshots.
 ///
-/// Thread-safety contract (the layered scheme):
-///  * QueryServer and its AuthTable/BufferPool are single-threaded; this
-///    class holds one mutex per shard and takes it around every shard call,
-///    so any number of application threads may call Select / ApplyUpdate /
-///    AddSummary concurrently.
-///  * Reads of disjoint shards proceed in parallel (that is the scaling
-///    story); reads of the same shard serialize on its mutex.
-///  * ApplyUpdate locks only the shards that own a piece of the message, so
-///    updates block reads on the touched shards and nothing else — the
-///    record-level locality the paper contrasts with the MHT root
-///    bottleneck, carried up to the serving layer.
-///  * Read consistency is a pair of seqlocks validated around Select's
-///    whole fan-out + stitch + probe window: a multi-shard ApplyPieces
-///    bumps each involved shard's seam counter (odd while in flight)
-///    under its full lockset — stitched readers validate only the shards
-///    they covered, so disjoint applies never invalidate them — and every
-///    apply bumps the owning shard's apply counter, which readers
-///    validate for exactly the shards their boundary probes examined
-///    (probes re-read shards after the sub-read locks dropped, so any
-///    apply overlapping an examined shard can tear them, while applies
-///    elsewhere cannot). A torn window is restitched; after
-///    `seam_retry_limit` tears the read falls back to taking every shard
-///    lock and reading inline.
-///    An answer therefore never mixes pre- and post-re-chaining states,
-///    even though the per-shard sub-reads take their locks independently.
-///    Single-shard reads that never probe a neighbor skip validation
-///    entirely — they are atomic under their one lock.
+/// Consistency model — per-epoch snapshots, not seqlocks:
+///  * Every read (Select / Execute) pins ONE EpochDescriptor for its whole
+///    fan-out + stitch, including the global boundary probes and cross-
+///    shard join stitching. The answer is a true serializable snapshot of
+///    one published epoch: it can never mix pre- and post-update chain
+///    generations, no matter how ingest races it. There is no retry loop,
+///    no restitching, and no exclusive fallback — reads never contend
+///    with ingest (the only lock a read can touch is the optional
+///    per-shard SigCache's internal mutex, shared among readers of that
+///    shard's cache; with the cache off, reads take no locks at all).
+///  * The update stream builds the next epoch as copy-on-write deltas
+///    against the serving snapshots (ShardVersionBuilder) and publishes it
+///    atomically at the rho-period summary barrier (PublishEpoch): the new
+///    descriptor carries the epoch's snapshots, summaries, and partition
+///    refresh in one shared_ptr swap. Mid-period updates are therefore
+///    invisible until their epoch publishes — `served_epoch` is exact, not
+///    a lower bound.
+///  * The direct ApplyUpdate path (bootstrap, tests, tools) applies and
+///    republishes the current epoch immediately, preserving
+///    read-your-writes for callers that do not run a stream.
+///  * Epoch GC: a superseded descriptor is retired the moment its last
+///    reader unpins it (shared_ptr refcount; untouched chunks survive via
+///    structural sharing with newer epochs). `Options::max_pinned_epochs`
+///    bounds how many retired epochs stalled readers may keep alive before
+///    epoch publication blocks — backpressure that propagates through the
+///    update stream's apply queues to the producer.
 class ShardedQueryServer {
  public:
   struct Options {
-    QueryServer::Options shard;  ///< applied to every shard
-    size_t worker_threads = 4;   ///< pool size for the Select fan-out
-    /// Torn read windows a Select restitches before escalating to the
-    /// all-shard-lock exclusive pass. At least one optimistic pass always
-    /// runs (single-shard no-probe reads never escalate), so 0 escalates
-    /// on the *first* torn window — tests use this to reach the exclusive
-    /// pass without waiting for 8 consecutive tears.
-    int seam_retry_limit = 8;
+    QueryServer::Options shard;  ///< record_len retained for compatibility;
+                                 ///< summaries_retained bounds the summary
+                                 ///< run carried by every epoch
+    size_t worker_threads = 4;   ///< pool size for the read fan-out
+    /// Epoch GC backpressure: maximum number of *superseded* epochs that
+    /// stalled readers may keep pinned before PublishEpoch blocks waiting
+    /// for one to drain (0 = unbounded). The block propagates through the
+    /// update stream's queues to the producer — memory stays bounded even
+    /// against a wedged reader.
+    size_t max_pinned_epochs = 0;
   };
 
   ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
                      ShardRouter router, const Options& options);
 
-  /// Replay a DA update message (also used for the initial bulk stream).
-  /// The message is split by key ownership: the primary mutation goes to
-  /// its owner shard; each re-certified neighbor is routed to *its* owner,
-  /// which can differ when an insert/delete re-chains across a shard seam.
+  /// Replay a DA update message on the direct path: the message is split
+  /// by key ownership, applied to every owning shard's builder, and the
+  /// current epoch is republished so the change is immediately visible
+  /// (read-your-writes; the epoch number does not advance). Intended for
+  /// bootstrap, tests, and tools: each call pays one chunk
+  /// copy-on-write + descriptor install (O(chunk + chunks-per-shard)),
+  /// so bulk loads at production scale should prefer the streaming path
+  /// (ApplyToShardDeferred + one epoch publication), and direct
+  /// publications should not run concurrently with a live update
+  /// stream's mid-period ingest — see PublishEpoch's monotonicity guard.
   Status ApplyUpdate(const SignedRecordUpdate& msg);
 
   /// One shard's slice of an update message, produced by SplitByOwner.
@@ -91,192 +116,201 @@ class ShardedQueryServer {
   };
   /// Split `msg` by key ownership without applying anything: the primary
   /// mutation to its owner shard, each re-certified record to *its* owner.
-  /// ApplyUpdate is exactly SplitByOwner + ApplyToShard per piece; the
-  /// streaming pipeline (server/update_stream.h) uses the same split to
-  /// route pieces onto per-shard apply queues instead.
+  /// An insert/delete near a shard seam re-chains a neighbor stored on the
+  /// adjacent shard, so the split is what keeps each shard's signatures
+  /// current.
   std::vector<ShardPiece> SplitByOwner(const SignedRecordUpdate& msg) const;
 
-  /// Apply one piece to one shard under that shard's mutex. The piece must
-  /// only touch keys the shard owns (i.e. come from SplitByOwner).
-  Status ApplyToShard(size_t shard, const SignedRecordUpdate& piece);
+  /// Apply one piece to one shard's next-epoch builder WITHOUT publishing:
+  /// the change becomes visible only when the epoch containing it is
+  /// published (FreezeShard + PublishEpoch — the update stream's summary
+  /// barrier). The piece must only touch keys the shard owns (i.e. come
+  /// from SplitByOwner). Because visibility is deferred to the atomic
+  /// epoch swap, the pieces of a seam-spanning message may be applied
+  /// independently per shard, in any order — no rendezvous, no joint
+  /// lockset, no torn reads.
+  Status ApplyToShardDeferred(size_t shard, const SignedRecordUpdate& piece);
 
-  /// Apply a multi-shard split atomically with respect to readers: every
-  /// involved shard mutex is held (in ascending shard order — the only
-  /// other path holding two is the Select fallback, which locks the same
-  /// order) while all pieces apply, and each involved shard's seam
-  /// counter is odd for the duration. Holding the lockset alone is not
-  /// enough — Select's sub-reads take their shard locks independently, so
-  /// a cross-seam read could see one shard before this apply and another
-  /// after it; the counters are what let Select detect and restitch such
-  /// a torn window, making the combined protocol the none-or-all
-  /// guarantee. `pieces` must be in ascending shard order, as
-  /// SplitByOwner emits.
-  /// Atomicity is with respect to concurrent readers, not a transaction:
-  /// a piece failing to apply (a protocol violation — the DA's signed
-  /// messages always apply cleanly) stops the sequence and leaves the
-  /// earlier pieces in place, exactly as ApplyUpdate always has; callers
-  /// must treat a failure as fatal to the replica's integrity.
-  Status ApplyPieces(const std::vector<ShardPiece>& pieces);
+  /// Freeze one shard's builder into its next immutable snapshot (cached
+  /// and O(1) when the shard's delta is empty). The update stream calls
+  /// this per shard as each apply queue reaches the summary barrier, so
+  /// snapshot construction parallelizes across shards and the snapshot
+  /// excludes anything pushed after the barrier.
+  std::shared_ptr<const EpochSnapshot> FreezeShard(size_t shard);
 
-  /// Retain a freshly published summary and advance the freshness epoch.
-  /// Summaries are server-wide (the DA's bitmap covers the whole rid
-  /// space), so they live at the router level rather than in any shard.
+  /// The epoch barrier: atomically publish a new EpochDescriptor built
+  /// from `snaps` (one per shard, from FreezeShard), retain `summary` and
+  /// advance the freshness epoch, and install `partition_refresh` (when
+  /// non-empty) so join state rides the same cadence and ordering as the
+  /// bitmaps. Blocks when max_pinned_epochs retired epochs are still
+  /// pinned by readers.
+  void PublishEpoch(UpdateSummary summary,
+                    std::vector<std::shared_ptr<const EpochSnapshot>> snaps,
+                    std::vector<CertifiedPartition> partition_refresh);
+
+  /// Direct-path epoch advance (tests, tools, replayed tapes): freezes
+  /// every shard inline and publishes, equivalent to a stream barrier that
+  /// found every queue drained.
   void AddSummary(UpdateSummary summary);
 
-  /// Epoch bookkeeping: advanced by AddSummary, stamped onto every answer.
+  /// Install / refresh the DA-certified Bloom partitions over S.B on the
+  /// direct path (republishes the current epoch). The update stream
+  /// installs refreshes through PublishEpoch instead, so a served filter
+  /// is never older than one period behind the answer's epoch.
+  void SetJoinPartitions(std::vector<CertifiedPartition> partitions);
+
+  /// Epoch bookkeeping: advanced by PublishEpoch/AddSummary, stamped onto
+  /// every answer from the pinned descriptor.
   const FreshnessTracker& freshness_tracker() const { return tracker_; }
 
-  /// Per-call serving statistics (out-param, never instance state).
+  /// Pin the currently published epoch. Readers do this internally; it is
+  /// exposed for diagnostics and the epoch-GC tests — holding the returned
+  /// pointer keeps that epoch's snapshots alive (and, with
+  /// max_pinned_epochs set, eventually blocks publication: the stalled-
+  /// reader backpressure path).
+  std::shared_ptr<const EpochDescriptor> PinCurrentEpoch() const;
+
+  /// Superseded epochs still alive because a reader pins them (the
+  /// quantity max_pinned_epochs bounds). Diagnostics; approximate under
+  /// concurrent publication.
+  size_t pinned_epochs() const;
+
+  /// Per-call serving statistics (out-param, never instance state). All
+  /// counters describe one pinned-epoch read, so they are snapshot-
+  /// consistent by construction.
   struct SelectStats {
     size_t shards_queried = 0;    ///< sub-ranges fanned out
     size_t shards_nonempty = 0;   ///< sub-answers contributing records
+    uint64_t epoch = 0;           ///< the epoch the read pinned
     SigCache::AggStats agg;       ///< summed over the covered shards
   };
 
-  /// Range selection with proof, stitched across the covered shards. The
-  /// stitch is validated against the seam sequence counter and retried if
-  /// a multi-shard ApplyPieces overlapped it, so the answer is always a
-  /// seam-consistent cut that the unmodified verifier accepts.
+  /// Range selection with proof, stitched across the covered shards of
+  /// one pinned epoch snapshot — wait-free under ingest, and always a
+  /// serializable cut the unmodified verifier accepts.
   Result<SelectionAnswer> Select(int64_t lo, int64_t hi,
                                  SelectStats* stats = nullptr) const;
 
-  /// Execute one query plan — the unified read path, every answer kind
-  /// epoch-stamped and served under the same seam-consistency protocol as
-  /// Select:
-  ///  * kSelect wraps Select.
-  ///  * kProject fans the range out per shard and stitches the digest
-  ///    spine exactly like a selection (outer boundaries resolved by
-  ///    global probes), summing the per-shard aggregates.
-  ///  * kJoin proves each probe value from the shards covering its
-  ///    composite range — match groups and absence witnesses stitch their
-  ///    boundary keys across seams via the same global probes as
-  ///    selection boundaries; certified Bloom partitions are consulted at
-  ///    the router level. Because the per-value scans re-take shard locks,
-  ///    a join validates the apply seqlock of *every* shard it examined
-  ///    (never the single-cover fast path): a record cited for one value
-  ///    must not be re-certified before a later value cites it again, or
-  ///    the deduplicated aggregate would mix chain generations.
+  /// Execute one query plan — the unified read path. Every plan kind
+  /// (selection, projection, equi-join) runs against the same pinned
+  /// descriptor: sub-range scans, digest spines, match groups, absence
+  /// witnesses, boundary probes, and the certified Bloom partitions all
+  /// come from one epoch, and the answer is stamped with exactly that
+  /// epoch.
   Result<QueryAnswer> Execute(const Query& query,
                               SelectStats* stats = nullptr) const;
 
-  /// Install / refresh the DA-certified Bloom partitions over S.B. Join
-  /// plans snapshot the current set; the update stream re-installs the
-  /// certified refresh at every rho-period summary barrier, so a served
-  /// filter is never older than one period behind the published epoch.
-  void SetJoinPartitions(std::vector<CertifiedPartition> partitions);
-
-  /// Plan and pin a per-shard SigCache (lazy or eager refresh). Each shard
-  /// is planned independently against the largest power-of-two prefix of
-  /// its current size — sharding shrinks both the plan space and the blast
-  /// radius of an insert/delete cache invalidation.
+  /// Plan and pin a per-shard SigCache with generation-tagged windows.
+  /// Each shard is planned independently against the largest power-of-two
+  /// prefix of its current snapshot; cached windows are keyed on the
+  /// shard's chain generation, so epochs that leave a shard untouched keep
+  /// its cache hot while any delta invalidates exactly that shard's
+  /// windows (never mixing generations).
   void EnableSigCache(SigCache::RefreshMode mode, size_t max_pairs);
 
   size_t shard_count() const { return shards_.size(); }
   const ShardRouter& router() const { return router_; }
+  /// Total records in the currently published epoch (one descriptor pin —
+  /// snapshot-consistent, unlike a per-shard walk).
   uint64_t size() const;
-
-  /// Seqlock contention counters: reads whose window an apply tore
-  /// (restitched) and escalations to the all-shard-lock exclusive pass.
-  /// Monotonic. Tests assert these are non-zero under churn so the
-  /// atomicity guarantee is demonstrably exercised, not vacuously passed.
-  uint64_t seam_restitches() const {
-    return seam_restitches_.load(std::memory_order_relaxed);
-  }
-  uint64_t seam_exclusive_fallbacks() const {
-    return seam_fallbacks_.load(std::memory_order_relaxed);
-  }
-
-  /// Direct shard access for tests and tools. NOT synchronized — do not
-  /// call while other threads are serving traffic.
-  QueryServer& shard(size_t i) { return *shards_[i]->qs; }
 
  private:
   struct Shard {
-    std::unique_ptr<QueryServer> qs;
+    /// Guards the builder (writers only; readers pin snapshots).
     mutable std::mutex mu;
-    /// Seam seqlock: odd while a joint ApplyPieces involving this shard
-    /// is in flight, bumped under the writer's lockset. Stitched reads
-    /// validate the counters of exactly the shards they covered.
-    mutable std::atomic<uint64_t> seam_seq{0};
-    /// Apply seqlock: odd while *any* apply (single-shard or joint) to
-    /// this shard is in flight. Reads validate it for exactly the shards
-    /// their boundary probes examined — a probe re-reads a shard after
-    /// the sub-read locks dropped, so even a single-shard apply (which
-    /// cannot tear a stitch) can tear it, while applies to unexamined
-    /// shards cannot affect any record the read cited.
-    mutable std::atomic<uint64_t> apply_seq{0};
+    ShardVersionBuilder builder;
+    /// Generation-tagged aggregate cache (EnableSigCache). Internally
+    /// synchronized; `cache_positions` is the n it was planned for — it is
+    /// bypassed whenever the serving snapshot shrank below that.
+    std::unique_ptr<SigCache> sigcache;
+    size_t cache_positions = 0;
   };
 
-  /// The reader half of the seqlock protocol, shared by every plan kind:
-  /// runs `attempt(exclusive, visited)` optimistically — validating the
-  /// seam counters of `seam_shards` and the apply counters of every shard
-  /// the attempt marked visited — restitching torn windows up to the retry
-  /// budget, then escalating to one exclusive pass under every shard lock.
-  /// An attempt that covered at most one seam shard and visited nothing is
-  /// atomic by construction and returns unvalidated (the fast path).
-  template <typename T, typename AttemptFn>
-  Result<T> RunValidated(const std::vector<size_t>& seam_shards,
-                         AttemptFn&& attempt) const;
+  /// Per-shard sub-read results prior to stitching. Scans over a pinned
+  /// snapshot cannot fail, so there is no per-shard error channel here
+  /// (unlike the projection stitch, whose attribute lookups can).
+  struct SubSelect {
+    std::vector<const SnapshotItem*> items;
+    int64_t left_key = 0;
+    int64_t right_key = 0;
+    BasSignature agg;
+    bool nonempty = false;
+  };
 
-  /// One fan-out + stitch pass over `cover`. With `exclusive` false each
-  /// sub-read takes its own shard lock (the caller must validate the
-  /// seqlock counters around the pass); with `exclusive` true the caller
-  /// already holds every shard lock, no locking happens inside, and the
-  /// sub-reads run inline on the calling thread — never through the pool,
-  /// whose workers may be parked on the locks the caller holds. In
-  /// `visited` (may be null) the pass marks every shard a global boundary
-  /// probe examined, i.e. read outside the sub-read locks — a
-  /// single-cover pass that visited nothing is atomic by construction and
-  /// needs no validation.
-  Result<SelectionAnswer> SelectAttempt(
-      int64_t lo, int64_t hi, const std::vector<ShardRouter::SubRange>& cover,
-      SelectStats* stats, bool exclusive, std::vector<bool>* visited) const;
+  /// Scan + aggregate one shard's sub-range of the pinned descriptor.
+  SubSelect ScanShard(const EpochDescriptor& desc, size_t shard, int64_t lo,
+                      int64_t hi, SigCache::AggStats* stats) const;
 
-  /// One projection fan-out + stitch pass — the SelectAttempt shape with a
-  /// digest spine instead of full records, same locking contract.
-  Result<QueryAnswer> ProjectAttempt(
-      const Query& query, const std::vector<ShardRouter::SubRange>& cover,
-      SelectStats* stats, bool exclusive, std::vector<bool>* visited) const;
+  /// Aggregate the chain signatures of ranks [rank_lo, rank_hi] of one
+  /// shard snapshot, through the generation-tagged cache when applicable.
+  BasSignature AggregateRange(size_t shard, const EpochSnapshot& snap,
+                              size_t rank_lo, size_t rank_hi,
+                              SigCache::AggStats* stats) const;
 
-  /// One cross-shard join construction pass over the sorted distinct probe
-  /// values. Marks every shard it scans or probes in `visited` (per-value
-  /// scans re-take locks, so any apply to an examined shard can tear the
-  /// pass), same locking contract as the other attempts. Snapshots the
-  /// certified partitions itself, *after* reading the epoch: refreshes
-  /// install before the epoch advances, so reading in the opposite order
-  /// keeps the invariant that an answer stamped epoch e never cites a
-  /// filter older than period e-1 (fresher than stamped is allowed).
-  Result<QueryAnswer> JoinAttempt(const std::vector<int64_t>& values,
-                                  JoinMethod method, bool exclusive,
-                                  std::vector<bool>* visited) const;
+  /// Global chain neighbors of `key` within the pinned descriptor,
+  /// probing outward from its owner shard. Lock-free: the descriptor is
+  /// immutable, so probes can never be torn by concurrent ingest.
+  const SnapshotItem* GlobalPredecessor(const EpochDescriptor& desc,
+                                        int64_t key) const;
+  const SnapshotItem* GlobalSuccessor(const EpochDescriptor& desc,
+                                      int64_t key) const;
 
-  /// Global chain neighbors of `key`, probing outward from its owner shard
-  /// (takes each probed shard's lock in turn unless `locked`, i.e. the
-  /// caller holds every shard lock already). Marks each examined shard in
-  /// `visited` when non-null — misses count: "no predecessor in this
-  /// shard" is a claim a concurrent insert can falsify.
-  std::optional<AuthTable::Item> GlobalPredecessor(
-      int64_t key, bool locked, std::vector<bool>* visited) const;
-  std::optional<AuthTable::Item> GlobalSuccessor(
-      int64_t key, bool locked, std::vector<bool>* visited) const;
+  Result<SelectionAnswer> SelectOnDescriptor(const EpochDescriptor& desc,
+                                             int64_t lo, int64_t hi,
+                                             SelectStats* stats) const;
+  Result<QueryAnswer> ProjectOnDescriptor(const EpochDescriptor& desc,
+                                          const Query& query,
+                                          SelectStats* stats) const;
+  Result<QueryAnswer> JoinOnDescriptor(const EpochDescriptor& desc,
+                                       const std::vector<int64_t>& values,
+                                       JoinMethod method,
+                                       SelectStats* stats) const;
+
+  /// Attach every retained summary published at/after `oldest_ts`.
+  static void AttachSummaries(const EpochDescriptor& desc, uint64_t oldest_ts,
+                              std::vector<UpdateSummary>* out);
+
+  /// Build + install a descriptor from `snaps` under publish_mu_ (held by
+  /// the caller), retiring the previous descriptor into the GC list.
+  void InstallDescriptorLocked(
+      std::vector<std::shared_ptr<const EpochSnapshot>> snaps);
+  /// Freeze every shard and republish the current epoch (direct path).
+  void RepublishLocked();
+  /// Superseded-but-pinned epoch count; prunes dead entries. Requires
+  /// pin_sync_->mu held (so it stays callable while a backpressured
+  /// publisher holds publish_mu_).
+  size_t LivePinnedLocked() const;
 
   std::shared_ptr<const BasContext> ctx_;
   ShardRouter router_;
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable ThreadPool pool_;
-
-  mutable std::atomic<uint64_t> seam_restitches_{0};
-  mutable std::atomic<uint64_t> seam_fallbacks_{0};
-
-  mutable std::mutex summaries_mu_;
-  std::deque<UpdateSummary> summaries_;
   FreshnessTracker tracker_;
 
-  /// Certified Bloom partitions, swapped wholesale on refresh; join
-  /// attempts copy the shared_ptr and read a stable snapshot lock-free.
-  mutable std::mutex partitions_mu_;
-  std::shared_ptr<const std::vector<CertifiedPartition>> join_partitions_;
+  /// Notified by the descriptor deleter when a retired epoch fully drains
+  /// (its last reader unpinned it) — what PublishEpoch's backpressure
+  /// waits on. Shared with the deleters so late unpins outlive the server.
+  struct PinSync {
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  std::shared_ptr<PinSync> pin_sync_;
+
+  /// Serializes publication (stream barriers, direct applies, partition
+  /// installs). Readers never take it — they atomic-load current_.
+  mutable std::mutex publish_mu_;
+  std::shared_ptr<const EpochDescriptor> current_;  ///< std::atomic_* access
+  /// Superseded descriptors, kept weakly for the pinned-epoch accounting;
+  /// pruned on publication and when the list grows. Guarded by
+  /// pin_sync_->mu, NOT publish_mu_, so the count stays observable while
+  /// a backpressured publisher holds the publish lock.
+  mutable std::vector<std::weak_ptr<const EpochDescriptor>> retired_;
+
+  /// Publication-side state the next descriptor is assembled from
+  /// (guarded by publish_mu_).
+  std::shared_ptr<const std::deque<UpdateSummary>> summaries_;
+  std::shared_ptr<const std::vector<CertifiedPartition>> partitions_;
 };
 
 }  // namespace authdb

@@ -35,20 +35,13 @@ void UpdateStream::PushUpdate(SignedRecordUpdate msg) {
       server_->SplitByOwner(msg);
   std::lock_guard<std::mutex> lock(push_mu_);
   AUTHDB_CHECK(!closed_);
-  if (pieces.size() == 1) {
+  // A seam-spanning message needs no rendezvous: each piece applies to its
+  // own shard's next-epoch builder, and the epoch barrier — behind every
+  // piece on every involved queue — publishes them together atomically.
+  for (ShardedQueryServer::ShardPiece& sp : pieces) {
     Event ev;
-    ev.piece = std::move(pieces[0].piece);
-    Enqueue(pieces[0].shard, std::move(ev));
-  } else if (!pieces.empty()) {
-    // Seam-spanning message: rendezvous so the pieces apply atomically.
-    auto joint = std::make_shared<JointUpdate>();
-    joint->remaining.store(pieces.size());
-    joint->pieces = std::move(pieces);
-    for (const ShardedQueryServer::ShardPiece& sp : joint->pieces) {
-      Event ev;
-      ev.joint = joint;
-      Enqueue(sp.shard, std::move(ev));
-    }
+    ev.piece = std::move(sp.piece);
+    Enqueue(sp.shard, std::move(ev));
   }
   std::lock_guard<std::mutex> slock(stats_mu_);
   ++stats_.updates_pushed;
@@ -63,6 +56,7 @@ void UpdateStream::PushSummary(
   auto barrier = std::make_shared<SummaryBarrier>();
   barrier->summary = std::move(summary);
   barrier->partition_refresh = std::move(partition_refresh);
+  barrier->snaps.resize(queues_.size());
   barrier->remaining.store(queues_.size());
   barrier->enqueue_micros = MonotonicMicros();
   std::lock_guard<std::mutex> lock(push_mu_);
@@ -86,41 +80,30 @@ void UpdateStream::WorkerLoop(size_t shard) {
 
     uint64_t applied = 0, failures = 0;
     if (ev.barrier) {
-      // The worker that takes the barrier to zero is the last shard to
-      // drain past it: every update pushed before the summary has been
-      // applied on every shard, so the epoch may advance.
+      // Freeze this shard's snapshot BEFORE decrementing: the frozen state
+      // is exactly the shard's prefix of the stream up to the barrier,
+      // even if this worker races ahead into next-period updates while
+      // slower shards drain. The decrement's acq_rel ordering publishes
+      // the slot write to the final worker.
+      ev.barrier->snaps[shard] = server_->FreezeShard(shard);
       if (ev.barrier->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last shard over the barrier: every update pushed before the
+        // summary has been applied and frozen on every shard, so the new
+        // epoch — snapshots, summary, and partition refresh — publishes
+        // in one atomic descriptor swap. (This may block on the
+        // max_pinned_epochs budget; the queues then fill and backpressure
+        // reaches the producer.)
+        server_->PublishEpoch(std::move(ev.barrier->summary),
+                              std::move(ev.barrier->snaps),
+                              std::move(ev.barrier->partition_refresh));
         uint64_t latency = MonotonicMicros() - ev.barrier->enqueue_micros;
-        // Install the period's certified filters before the epoch
-        // advances: answers stamped with the new epoch must never cite a
-        // filter from an older period (fresher-than-stamped is allowed,
-        // staler is not — the same direction as the update barrier).
-        if (!ev.barrier->partition_refresh.empty())
-          server_->SetJoinPartitions(std::move(ev.barrier->partition_refresh));
-        server_->AddSummary(std::move(ev.barrier->summary));
         std::lock_guard<std::mutex> slock(stats_mu_);  // rare: once per rho
         ++stats_.summaries_published;
         stats_.publish_latency.Record(latency);
       }
-    } else if (ev.joint) {
-      // Rendezvous: the last arriver applies every piece under all the
-      // involved shard locks; earlier arrivers wait so nothing behind
-      // them on their queue can overtake the joint apply. Only the
-      // executor tallies the operation, attributing it exactly once.
-      JointUpdate& j = *ev.joint;
-      if (j.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        applied = j.pieces.size();
-        if (!server_->ApplyPieces(j.pieces).ok()) failures = 1;
-        std::lock_guard<std::mutex> jlk(j.mu);
-        j.done = true;
-        j.cv.notify_all();
-      } else {
-        std::unique_lock<std::mutex> jlk(j.mu);
-        j.cv.wait(jlk, [&] { return j.done; });
-      }
     } else {
       applied = 1;
-      if (!server_->ApplyToShard(shard, ev.piece).ok()) failures = 1;
+      if (!server_->ApplyToShardDeferred(shard, ev.piece).ok()) failures = 1;
     }
 
     lk.lock();

@@ -18,46 +18,46 @@
 namespace authdb {
 
 /// Streaming ingest of DA output into a live ShardedQueryServer: record
-/// updates and rho-period summaries are applied *concurrently with reads*
-/// instead of in quiesced bulk reloads.
+/// updates and rho-period summaries build the *next* epoch's copy-on-write
+/// snapshots concurrently with reads, which keep serving the previous
+/// published epoch untouched.
 ///
 /// Architecture — one apply queue + worker thread per shard:
 ///
-///   DA ──PushUpdate──► SplitByOwner ──► [q0] worker0 ──► shard 0
-///                                   └─► [q1] worker1 ──► shard 1   ...
+///   DA ──PushUpdate──► SplitByOwner ──► [q0] worker0 ──► shard 0 builder
+///                                   └─► [q1] worker1 ──► shard 1 builder
 ///      ──PushSummary─► barrier fan-out to every queue ──────────────┐
-///                       last worker over the barrier publishes the  │
-///                       summary and advances the freshness epoch ◄──┘
+///                       each worker freezes ITS shard's snapshot at  │
+///                       the barrier; the last one publishes the new  │
+///                       epoch descriptor + summary atomically ◄──────┘
 ///
-/// Ordering contract (what makes reads "epoch-verified"):
-///  * Per shard, pieces apply in push order (FIFO queues), so a shard's
-///    state is always a prefix of the DA's history restricted to its keys.
+/// Ordering contract (what makes reads "epoch-pinned"):
+///  * Per shard, pieces apply in push order (FIFO queues) into that
+///    shard's ShardVersionBuilder — invisible to readers until published.
 ///  * A summary is enqueued to *every* shard queue behind all updates
-///    pushed before it; it publishes (ShardedQueryServer::AddSummary, which
-///    advances the FreshnessTracker epoch) only when the last worker has
-///    reached it. Hence: an answer stamped with epoch e reflects every
-///    update of periods 0..e-1 — the server can never claim an epoch whose
-///    updates it has not applied.
-///  * Workers may run ahead of a barrier on other shards; answers can
-///    therefore be *fresher* than their stamped epoch, never staler.
-///  * An update whose split spans several shards (a seam-re-chaining
-///    insert/delete, or piggybacked renewals) is a rendezvous: the
-///    involved workers park at the event and the last to arrive applies
-///    every piece under all the shard locks at once while each involved
-///    shard's seam counter is odd (ShardedQueryServer::ApplyPieces).
-///    Together with the reader half — Select validates the covered
-///    shards' counters around its fan-out and restitches any read the
-///    joint apply overlapped — a cross-seam read never observes half of
-///    a re-chaining, and the queues cannot stretch the seam-consistency
-///    window the way independent per-shard applies would. Rendezvous
-///    cannot deadlock: producers enqueue each event to all its queues in
-///    one push_mu_ critical section, so any two events appear in the same
-///    relative order on every queue they share.
+///    pushed before it. Each worker reaching the barrier freezes its own
+///    shard's snapshot (so snapshot construction parallelizes and the
+///    frozen state excludes anything pushed after the barrier, even on
+///    shards whose workers run ahead); the last worker publishes the
+///    assembled EpochSnapshot set, the summary, and the period's certified
+///    partition refresh in ONE atomic descriptor swap
+///    (ShardedQueryServer::PublishEpoch). Hence: an answer stamped with
+///    epoch e reflects exactly the updates of periods 0..e-1 — a true
+///    serializable snapshot, not merely a lower bound.
+///  * A seam-spanning update (insert/delete re-chaining a neighbor on an
+///    adjacent shard) needs no rendezvous: its pieces apply independently
+///    to each owning builder, because nothing is visible until the next
+///    barrier publishes all of them together. The joint-lockset /
+///    seam-seqlock machinery this replaced is gone — readers are
+///    wait-free under ingest.
 ///
 /// Producers (typically the single DA feed) block when a shard queue is
 /// `max_queue_depth` deep — backpressure instead of unbounded memory.
-/// Multiple producers are safe; their relative order is serialized at the
-/// push mutex.
+/// Epoch GC backpressure composes with it: when stalled readers keep
+/// `ShardedQueryServer::Options::max_pinned_epochs` retired epochs alive,
+/// PublishEpoch blocks the barrier worker, the queues fill, and PushUpdate
+/// blocks the producer. Multiple producers are safe; their relative order
+/// is serialized at the push mutex.
 class UpdateStream {
  public:
   struct Options {
@@ -76,12 +76,12 @@ class UpdateStream {
   void PushUpdate(SignedRecordUpdate msg);
 
   /// Fan a freshly certified summary out to every shard queue as an epoch
-  /// barrier; it publishes once all shards have drained past it. The
-  /// overload carries the DA's rho-period certified Bloom partition
+  /// barrier; the epoch publishes once all shards have drained past it.
+  /// The overload carries the DA's rho-period certified Bloom partition
   /// refresh (DataAggregator::PeriodOutput::partition_refresh): the
-  /// filters install at the barrier, *before* the epoch advances, so an
+  /// filters ride the same descriptor swap as the epoch itself, so an
   /// answer stamped with epoch e never cites a filter older than period
-  /// e-1 — join state rides the same cadence and ordering as the bitmaps.
+  /// e-1 — join state and bitmaps advance atomically together.
   void PushSummary(UpdateSummary summary);
   void PushSummary(UpdateSummary summary,
                    std::vector<CertifiedPartition> partition_refresh);
@@ -100,38 +100,26 @@ class UpdateStream {
     uint64_t summaries_published = 0;
     uint64_t apply_failures = 0;      ///< rejected by a shard (logged)
     size_t max_queue_depth_seen = 0;  ///< high-water mark across shards
-    LatencyHistogram publish_latency;  ///< PushSummary -> epoch advance
+    LatencyHistogram publish_latency;  ///< PushSummary -> epoch publication
   };
   Stats stats() const;
 
  private:
-  /// Summary fan-out marker shared by all shard queues. The worker that
-  /// decrements `remaining` to zero — necessarily the last shard to drain
-  /// past the barrier — publishes (installing any partition refresh first).
+  /// Summary fan-out marker shared by all shard queues. Each worker
+  /// freezes its shard's snapshot into `snaps` before decrementing
+  /// `remaining`; the worker that reaches zero — necessarily the last
+  /// shard to drain past the barrier — publishes the epoch.
   struct SummaryBarrier {
     UpdateSummary summary;
     std::vector<CertifiedPartition> partition_refresh;
+    std::vector<std::shared_ptr<const EpochSnapshot>> snaps;
     std::atomic<size_t> remaining;
     uint64_t enqueue_micros = 0;
   };
 
-  /// Multi-shard update rendezvous: shared by the involved shard queues;
-  /// the last arriving worker applies every piece atomically while the
-  /// others wait, preserving each queue's FIFO order past the event. The
-  /// executor alone accounts for the applied pieces (and any failure), so
-  /// stats attribute each apply operation exactly once.
-  struct JointUpdate {
-    std::vector<ShardedQueryServer::ShardPiece> pieces;
-    std::atomic<size_t> remaining;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-  };
-
   struct Event {
-    SignedRecordUpdate piece;  ///< valid iff neither pointer is set
+    SignedRecordUpdate piece;                 ///< valid iff barrier unset
     std::shared_ptr<SummaryBarrier> barrier;  ///< summary marker
-    std::shared_ptr<JointUpdate> joint;       ///< multi-shard update
   };
 
   struct ShardQueue {

@@ -26,6 +26,8 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
   struct PerClient {
     LatencyHistogram query_latency, join_latency, projection_latency,
         update_latency;
+    LatencyHistogram epoch_lag;
+    uint64_t min_served_epoch = ~0ull, max_served_epoch = 0;
     VoAccounting vo;
     size_t queries = 0, joins = 0, projections = 0, updates = 0, failures = 0;
   };
@@ -90,6 +92,15 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
       // serving failure; everything else that is not OK counts.
       bool failed = !ans.ok() && !ans.status().IsNotFound();
       if (failed) ++me.failures;
+      if (ans.ok()) {
+        // Snapshot-pin accounting: how far publication ran ahead of the
+        // epoch this read pinned (0 under a quiescent stream).
+        uint64_t served = ans.value().served_epoch;
+        uint64_t current = server->freshness_tracker().current_epoch();
+        me.epoch_lag.Record(current > served ? current - served : 0);
+        me.min_served_epoch = std::min(me.min_served_epoch, served);
+        me.max_served_epoch = std::max(me.max_served_epoch, served);
+      }
       switch (q.kind) {
         case QueryKind::kSelect:
           me.query_latency.Record(latency);
@@ -141,6 +152,11 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
     report.join_latency.Merge(pc.join_latency);
     report.projection_latency.Merge(pc.projection_latency);
     report.update_latency.Merge(pc.update_latency);
+    report.epoch_lag.Merge(pc.epoch_lag);
+    report.min_served_epoch = std::min(report.min_served_epoch,
+                                       pc.min_served_epoch);
+    report.max_served_epoch = std::max(report.max_served_epoch,
+                                       pc.max_served_epoch);
     report.vo.Merge(pc.vo);
   }
   report.elapsed_seconds = static_cast<double>(t_end - t_start) * 1e-6;

@@ -54,6 +54,15 @@ struct MultiClientReport {
   /// Per-kind VO bytes under the paper's constants (core/vo_size.h).
   VoAccounting vo;
 
+  /// Snapshot-pin statistics of the epoch-pinned read path: every read
+  /// pins one published epoch; `epoch_lag` records, per read, how many
+  /// epochs the publisher had advanced past the pinned one by the time
+  /// the answer came back (0 = the answer is the newest epoch; >0 = a
+  /// publication raced the read — bounded staleness, never a torn read).
+  LatencyHistogram epoch_lag;          ///< unit: epochs, not micros
+  uint64_t min_served_epoch = ~0ull;   ///< oldest epoch any read pinned
+  uint64_t max_served_epoch = 0;       ///< newest epoch any read pinned
+
   double KindOpsPerSecond(size_t count) const {
     return elapsed_seconds > 0 ? static_cast<double>(count) / elapsed_seconds
                                : 0.0;

@@ -230,6 +230,29 @@ StalenessAttackReport RunStalenessAttack(
       if (!judge.StaleRids(c.ans, now_post).empty())
         ++report.replays_stale_rid_flagged;
     }
+    // Mixed-generation forgeries: the malicious server splices the
+    // period-closing summary onto each captured old-epoch answer to make
+    // it look current. Judged with min_epoch = 0 — a client with no
+    // independent summary feed — so rejection must come from the answer's
+    // own evidence: the epoch/summary-seq inconsistency when the stamp is
+    // left at the capture epoch, and the glued summary's own bitmap
+    // (which marks every victim) when the stamp is forged upward.
+    for (const Captured& c : captured) {
+      // A fresh verifier per forgery: it holds nothing but what the answer
+      // ships, so acceptance would mean the splice is self-consistent.
+      SelectionAnswer glued = c.ans;
+      glued.summaries.push_back(history.back());
+      ++report.mixed_generation_answers;
+      ClientVerifier naive1(&da.public_key(), &codec, da.hash_mode());
+      if (!naive1.VerifySelectionFresh(c.key, c.key, glued, now_post, 0).ok())
+        ++report.mixed_generation_rejected;
+      SelectionAnswer forged = glued;
+      forged.served_epoch = epoch_now;
+      ++report.mixed_generation_answers;
+      ClientVerifier naive2(&da.public_key(), &codec, da.hash_mode());
+      if (!naive2.VerifySelectionFresh(c.key, c.key, forged, now_post, 0).ok())
+        ++report.mixed_generation_rejected;
+    }
     // The join replays: every captured match row is superseded, so the
     // generalized verifier must reject with the full check and with the
     // epoch stamp deliberately ignored (the bitmap walk alone).

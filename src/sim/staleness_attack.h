@@ -57,6 +57,17 @@ struct StalenessAttackReport {
   /// Replays whose stale rid was pinpointed by ClientVerifier::StaleRids.
   size_t replays_stale_rid_flagged = 0;
 
+  /// Mixed-generation forgeries: a captured old-epoch answer spliced with
+  /// the period-closing summary it never carried — once with the original
+  /// epoch stamp (self-inconsistent: a snapshot of epoch e cannot carry a
+  /// summary of period >= e) and once with the stamp forged to the current
+  /// epoch (the glued summary's own bitmap then indicts the stale
+  /// records). Both variants are judged with min_epoch = 0, i.e. by a
+  /// client with NO independent view of the summary stream — the splice
+  /// must fail on the answer's own evidence.
+  size_t mixed_generation_answers = 0;
+  size_t mixed_generation_rejected = 0;
+
   /// Join-replay tallies (zero unless join_replays_per_period > 0).
   size_t join_replayed_answers = 0;
   size_t join_replays_rejected = 0;  ///< full check (epoch + bitmaps)
@@ -71,6 +82,7 @@ struct StalenessAttackReport {
     return replayed_answers > 0 && honest_accepted == honest_answers &&
            replays_rejected == replayed_answers &&
            replays_rejected_bitmap_only == replayed_answers &&
+           mixed_generation_rejected == mixed_generation_answers &&
            join_replays_rejected == join_replayed_answers &&
            join_replays_rejected_bitmap_only == join_replayed_answers &&
            join_honest_accepted == join_honest_answers;

@@ -69,12 +69,10 @@ class FreshnessPipelineTest : public ::testing::Test {
   }
 
   std::unique_ptr<ShardedQueryServer> MakeServer(size_t shards,
-                                                 int64_t n_keys,
-                                                 int seam_retry_limit = 8) {
+                                                 int64_t n_keys) {
     ShardedQueryServer::Options sopt;
     sopt.shard.record_len = 128;
     sopt.worker_threads = shards;
-    sopt.seam_retry_limit = seam_retry_limit;
     auto server = std::make_unique<ShardedQueryServer>(
         *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), sopt);
     std::vector<Record> records;
@@ -306,17 +304,17 @@ TEST_F(FreshnessPipelineTest, ConcurrentIngestAndEpochVerifiedReads) {
                   .ok());
 }
 
-TEST_F(FreshnessPipelineTest, CrossSeamChurnAppliesAtomically) {
+TEST_F(FreshnessPipelineTest, CrossSeamChurnServesPinnedSnapshots) {
   // Inserts/deletes at shard seams split into multi-shard pieces; the
-  // stream applies them via the ApplyPieces rendezvous (all involved
-  // shard locks held under the seam seqlock) and Select restitches any
-  // read a joint apply overlapped, so concurrent readers never observe a
-  // half-applied re-chaining. The racing readers verify every answer
-  // mid-churn — a torn stitch would mix pre- and post-re-chaining
-  // certifications and fail the gapless-chain/aggregate check, so static
-  // verification during the churn is the direct test of the guarantee
-  // (quiesced-only verification would let a torn read escape unnoticed).
-  // Run under TSan in CI.
+  // stream applies each piece to its shard's next-epoch builder and the
+  // epoch barrier publishes them together in one atomic descriptor swap.
+  // Racing readers pin one descriptor per answer, so no read can ever
+  // observe half of a re-chaining — there is no retry protocol left to
+  // exercise; every mid-churn answer must pass static verification
+  // unconditionally (a torn stitch would mix pre- and post-re-chaining
+  // certifications and fail the gapless-chain/aggregate check). Periods
+  // close mid-churn so descriptor publication itself races the pinned
+  // reads. Run under TSan in CI.
   auto server = MakeServer(4, 64);  // seams at 16, 32, 48
   UpdateStream stream(server.get(), UpdateStream::Options{});
   StreamPeriod(&stream);
@@ -330,16 +328,14 @@ TEST_F(FreshnessPipelineTest, CrossSeamChurnAppliesAtomically) {
   std::atomic<bool> done{false};
   std::atomic<size_t> read_errors{0};
   std::atomic<size_t> verify_failures{0};
+  std::atomic<size_t> epoch_regressions{0};
   std::vector<std::thread> readers;
-  // More readers than pool workers: saturates the fan-out pool and keeps
-  // several stitched reads in flight per joint apply, maximizing torn
-  // windows. (The exclusive fallback itself is pinned deterministically
-  // by ExclusiveFallbackServesConsistentReads below.)
   for (int t = 0; t < 6; ++t) {
     readers.emplace_back([&, t] {
       Rng rng(900 + t);
       VarintGapCodec codec;
       ClientVerifier verifier(da_pub, &codec, hash_mode);
+      uint64_t last_epoch = 0;
       while (!done.load(std::memory_order_relaxed)) {
         int64_t lo = 10 + static_cast<int64_t>(rng.Uniform(40));
         auto ans = server->Select(lo, lo + 12);  // spans a seam
@@ -349,19 +345,15 @@ TEST_F(FreshnessPipelineTest, CrossSeamChurnAppliesAtomically) {
         }
         if (!verifier.VerifySelectionStatic(lo, lo + 12, ans.value()).ok())
           ++verify_failures;
+        // Pinned epochs are monotone per reader: descriptor swaps never
+        // hand back an older epoch.
+        if (ans.value().served_epoch < last_epoch) ++epoch_regressions;
+        last_epoch = ans.value().served_epoch;
       }
     });
   }
-  // At least 12 rounds, then keep churning (bounded) until some reader
-  // demonstrably hit the seqlock's contended path — otherwise the
-  // zero-verify-failures assertion below could pass vacuously on a run
-  // where no read ever overlapped a joint apply and the restitch code
-  // never executed.
   const int64_t seams[] = {16, 32, 48};
-  auto contended = [&] {
-    return server->seam_restitches() + server->seam_exclusive_fallbacks() > 0;
-  };
-  for (int round = 0; round < 12 || (round < 600 && !contended()); ++round) {
+  for (int round = 0; round < 48; ++round) {
     int64_t key = seams[round % 3];
     auto del = da_->DeleteRecord(key);  // re-chains neighbors across seams
     ASSERT_TRUE(del.ok());
@@ -369,6 +361,8 @@ TEST_F(FreshnessPipelineTest, CrossSeamChurnAppliesAtomically) {
     auto ins = da_->InsertRecord({key, 7000 + round});
     ASSERT_TRUE(ins.ok());
     stream.PushUpdate(std::move(ins.value()));
+    // Close a period mid-churn so epoch publication races the readers.
+    if (round % 8 == 7) StreamPeriod(&stream, 100'000);
   }
   StreamPeriod(&stream);
   stream.Flush();
@@ -377,6 +371,7 @@ TEST_F(FreshnessPipelineTest, CrossSeamChurnAppliesAtomically) {
 
   EXPECT_EQ(read_errors.load(), 0u);
   EXPECT_EQ(verify_failures.load(), 0u);
+  EXPECT_EQ(epoch_regressions.load(), 0u);
   EXPECT_EQ(stream.stats().apply_failures, 0u);
   // Quiesced: the churned state is complete and verifiable.
   ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
@@ -384,90 +379,64 @@ TEST_F(FreshnessPipelineTest, CrossSeamChurnAppliesAtomically) {
   ASSERT_TRUE(ans.ok());
   EXPECT_EQ(ans.value().records.size(), 64u);
   EXPECT_TRUE(verifier.VerifySelectionStatic(0, 63, ans.value()).ok());
-  // Non-vacuousness guard: a run where no read ever overlapped a joint
-  // apply exercised none of the restitch machinery, so report it as
-  // skipped (visible in CI) rather than silently green — but not failed,
-  // since a starved runner can legitimately never produce the overlap.
-  RecordProperty("seam_restitches",
-                 static_cast<int>(server->seam_restitches()));
-  RecordProperty("seam_exclusive_fallbacks",
-                 static_cast<int>(server->seam_exclusive_fallbacks()));
-  if (!contended())
-    GTEST_SKIP() << "no read overlapped a joint apply within the round "
-                    "budget; the assertions above held but the restitch "
-                    "path went unexercised this run";
 }
 
-TEST_F(FreshnessPipelineTest, ExclusiveFallbackServesConsistentReads) {
-  // Pin the all-shard-lock exclusive pass: a zero seam retry budget
-  // escalates every read on its *first* torn window, so the fallback
-  // runs on every tear this churn produces rather than only after 8
-  // rare consecutive ones. With more readers than pool workers the
-  // fan-out pool is saturated, so a regression that hands the exclusive
-  // pass's sub-reads to the pool (instead of reading inline under the
-  // held locks) deadlocks here almost immediately instead of hanging CI
-  // on the rare run that escalates. Run under TSan in CI.
-  auto server = MakeServer(4, 64, /*seam_retry_limit=*/0);
+TEST_F(FreshnessPipelineTest, MidPeriodUpdatesInvisibleUntilBarrier) {
+  // The epoch-pinned visibility contract: updates streamed after a barrier
+  // build the NEXT epoch's copy-on-write snapshots and stay invisible —
+  // reads keep serving the published epoch bit-for-bit — until the next
+  // summary publishes them atomically. served_epoch is therefore exact,
+  // not a lower bound.
+  auto server = MakeServer(4, 64);
   UpdateStream stream(server.get(), UpdateStream::Options{});
-  StreamPeriod(&stream);
+  StreamPeriod(&stream);  // summary 0 certifies the bulk load
   stream.Flush();
 
-  const BasPublicKey* da_pub = &da_->public_key();
-  const BasContext::HashMode hash_mode = da_->hash_mode();
+  auto before = server->Select(5, 5);
+  ASSERT_TRUE(before.ok());
+  const int64_t old_value = before.value().records[0].attrs[1];
+  ASSERT_EQ(before.value().served_epoch, 1u);
 
-  std::atomic<bool> done{false};
-  std::atomic<size_t> failures{0};
-  std::vector<std::thread> readers;
-  for (int t = 0; t < 6; ++t) {
-    readers.emplace_back([&, t] {
-      Rng rng(1100 + t);
-      VarintGapCodec codec;
-      ClientVerifier verifier(da_pub, &codec, hash_mode);
-      while (!done.load(std::memory_order_relaxed)) {
-        int64_t lo = 10 + static_cast<int64_t>(rng.Uniform(40));
-        auto ans = server->Select(lo, lo + 12);  // spans a seam
-        if (!ans.ok() ||
-            !verifier.VerifySelectionStatic(lo, lo + 12, ans.value()).ok())
-          ++failures;
-      }
-    });
-  }
-  // Churn until a read demonstrably escalated (bounded), mirroring the
-  // non-vacuousness guard of the churn test above.
-  const int64_t seams[] = {16, 32, 48};
-  for (int round = 0;
-       round < 12 || (round < 600 && server->seam_exclusive_fallbacks() == 0);
-       ++round) {
-    int64_t key = seams[round % 3];
-    auto del = da_->DeleteRecord(key);
-    ASSERT_TRUE(del.ok());
-    stream.PushUpdate(std::move(del.value()));
-    auto ins = da_->InsertRecord({key, 8000 + round});
-    ASSERT_TRUE(ins.ok());
-    stream.PushUpdate(std::move(ins.value()));
-  }
+  clock_.AdvanceMicros(250'000);
+  auto msg = da_->ModifyRecord(5, {5, 4242});
+  ASSERT_TRUE(msg.ok());
+  stream.PushUpdate(std::move(msg.value()));
+  stream.Flush();  // applied to the next-epoch builder — not published
+
+  auto mid = server->Select(5, 5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid.value().served_epoch, 1u);
+  EXPECT_EQ(mid.value().records[0].attrs[1], old_value)
+      << "mid-period update leaked into the pinned epoch";
+
   StreamPeriod(&stream);
   stream.Flush();
-  done.store(true);
-  for (auto& t : readers) t.join();
+  auto after = server->Select(5, 5);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().served_epoch, 2u);
+  EXPECT_EQ(after.value().records[0].attrs[1], 4242);
 
-  EXPECT_EQ(failures.load(), 0u);
-  EXPECT_EQ(stream.stats().apply_failures, 0u);
-  RecordProperty("seam_exclusive_fallbacks",
-                 static_cast<int>(server->seam_exclusive_fallbacks()));
-  if (server->seam_exclusive_fallbacks() == 0)
-    GTEST_SKIP() << "no read tore within the round budget; the exclusive "
-                    "pass went unexercised this run";
+  // The pre-barrier answer still verifies for a client at epoch 1 and is
+  // rejected by a client that has seen epoch 2's summary (the update's
+  // period closed, so the old version is provably superseded).
+  ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
+  uint64_t now = clock_.NowMicros();
+  EXPECT_TRUE(
+      verifier.VerifySelectionFresh(5, 5, mid.value(), now, 1).ok());
+  EXPECT_TRUE(verifier.VerifySelectionFresh(5, 5, mid.value(), now, 2)
+                  .IsVerificationFailed());
+  EXPECT_TRUE(
+      verifier.VerifySelectionFresh(5, 5, after.value(), now, 2).ok());
 }
 
-TEST_F(FreshnessPipelineTest, SingleShardChurnCannotTearBoundaryProbes) {
-  // A single-shard insert/delete cannot tear a *stitch* (it moves no
-  // seam-crossing chain link), but it can tear a read that proves an
-  // empty range: the boundary probes re-read the shard after the
-  // sub-read's lock dropped, so a neighbor re-chained in between would
-  // leave the answer citing a predecessor whose refreshed signature
-  // binds a different successor. Readers verify every answer mid-churn;
-  // the apply seqlock must restitch those windows. Run under TSan in CI.
+TEST_F(FreshnessPipelineTest, BoundaryProbesServeFromPinnedSnapshot) {
+  // A proven-empty answer is assembled entirely from boundary probes; the
+  // probes read the same pinned descriptor as the (empty) scan, so churn
+  // on the gap's chain neighbors — single-shard deletes/inserts via the
+  // direct apply path, which republishes per call — can never produce a
+  // predecessor whose refreshed signature binds a different successor
+  // than the one the answer cites. Every mid-churn answer verifies.
+  // Run under TSan in CI.
   auto server = MakeServer(2, 64);
   // Carve a gap interior to shard 0 so Select(25, 26) is a proven-empty
   // answer assembled entirely from probes.
@@ -494,12 +463,7 @@ TEST_F(FreshnessPipelineTest, SingleShardChurnCannotTearBoundaryProbes) {
       }
     });
   }
-  // Churn the gap's chain neighbors with single-shard deletes/inserts
-  // (every re-certification stays inside shard 0) until a reader's probe
-  // window demonstrably tore, bounded as in the churn test above.
-  for (int round = 0;
-       round < 12 || (round < 600 && server->seam_restitches() == 0);
-       ++round) {
+  for (int round = 0; round < 48; ++round) {
     int64_t key = (round % 2 == 0) ? 23 : 28;
     auto del = da_->DeleteRecord(key);
     ASSERT_TRUE(del.ok());
@@ -512,12 +476,6 @@ TEST_F(FreshnessPipelineTest, SingleShardChurnCannotTearBoundaryProbes) {
   for (auto& t : readers) t.join();
 
   EXPECT_EQ(failures.load(), 0u);
-  RecordProperty("seam_restitches",
-                 static_cast<int>(server->seam_restitches()));
-  if (server->seam_restitches() == 0)
-    GTEST_SKIP() << "no apply overlapped a probing read's window within "
-                    "the round budget; the apply-seqlock validation went "
-                    "unexercised this run";
 }
 
 TEST_F(FreshnessPipelineTest, MultiUpdateRecertifiedAcrossConsecutivePeriods) {
@@ -593,12 +551,14 @@ TEST_F(FreshnessPipelineTest, JoinChurnAcrossSeamsServesVerifiableAnswers) {
   // The unified path under seam churn: readers execute join *and
   // projection* plans spanning the shard seams while the stream applies
   // seam-re-chaining deletes and inserts of the probed B values — plus
-  // periodic certified partition refreshes swapping the Bloom state
-  // mid-flight. Every mid-churn answer must pass the unmodified static
-  // verification: a torn join would mix chain generations inside its
-  // deduplicated aggregate and a torn projection spine would cite a
-  // superseded digest, failing the signature check either way — the
-  // direct test of the unified read validation. Run under TSan in CI.
+  // periodic certified partition refreshes riding the epoch barriers
+  // mid-flight. Every plan kind pins ONE epoch descriptor — scans, match
+  // groups, witnesses, boundary probes, and the Bloom partitions all come
+  // from the same published cut — so every mid-churn answer must pass the
+  // unmodified static verification unconditionally: a torn join would mix
+  // chain generations inside its deduplicated aggregate and a torn
+  // projection spine would cite a superseded digest, failing the
+  // signature check either way. Run under TSan in CI.
   MakeDa(/*sign_attributes=*/true);  // projections need attribute sigs
   auto server = MakeJoinServer(4, 64, 2);
   UpdateStream stream(server.get(), UpdateStream::Options{});
@@ -659,10 +619,7 @@ TEST_F(FreshnessPipelineTest, JoinChurnAcrossSeamsServesVerifiableAnswers) {
       }
     });
   }
-  auto contended = [&] {
-    return server->seam_restitches() + server->seam_exclusive_fallbacks() > 0;
-  };
-  for (int round = 0; round < 12 || (round < 600 && !contended()); ++round) {
+  for (int round = 0; round < 48; ++round) {
     int64_t key =
         JoinCompositeKey(seam_bs[round % seam_bs.size()], 0);
     auto del = da_->DeleteRecord(key);
@@ -704,14 +661,6 @@ TEST_F(FreshnessPipelineTest, JoinChurnAcrossSeamsServesVerifiableAnswers) {
   EXPECT_TRUE(
       verifier.VerifyAnswerFresh(qp, pans.value(), clock_.NowMicros(), epoch)
           .ok());
-  RecordProperty("seam_restitches",
-                 static_cast<int>(server->seam_restitches()));
-  RecordProperty("seam_exclusive_fallbacks",
-                 static_cast<int>(server->seam_exclusive_fallbacks()));
-  if (!contended())
-    GTEST_SKIP() << "no join overlapped an apply within the round budget; "
-                    "the assertions above held but the validation path "
-                    "went unexercised this run";
 }
 
 TEST_F(FreshnessPipelineTest, StalenessAttackJoinReplaysCaught) {
@@ -765,6 +714,12 @@ TEST_F(FreshnessPipelineTest, StalenessAttackAllReplaysCaught) {
   EXPECT_EQ(report.replays_rejected, report.replayed_answers);
   EXPECT_EQ(report.replays_rejected_bitmap_only, report.replayed_answers);
   EXPECT_EQ(report.replays_stale_rid_flagged, report.replayed_answers);
+  // Mixed-generation splices (old-epoch chain + newer summary): both the
+  // stamp-consistent and the stamp-forged variant are rejected 100%, even
+  // by a verifier holding nothing beyond the answer's own evidence.
+  EXPECT_EQ(report.mixed_generation_answers, 2 * report.replayed_answers);
+  EXPECT_EQ(report.mixed_generation_rejected,
+            report.mixed_generation_answers);
   EXPECT_EQ(report.honest_accepted, report.honest_answers);
   EXPECT_GT(report.honest_answers, 0u);
   EXPECT_EQ(report.final_epoch, 4u);  // bulk summary + 3 periods
