@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""Structural invariant linter for the authdb tree.
+
+Four rules, each protecting a contract the compiler cannot see:
+
+* ``epoch-pin`` — read paths of ``ShardedQueryServer`` (its ``const``
+  member functions in ``src/server/sharded_query_server.cc``) must reach
+  per-shard snapshot state only through a pinned ``EpochDescriptor``.
+  Concretely: no ``builder`` access, no ``Freeze``/``InstallDescriptor*``
+  /``Republish*`` calls, no ``atomic_exchange``/``atomic_store`` on the
+  descriptor head, no raw ``current_`` outside ``PinCurrentEpoch``, and
+  ``shards_[...]`` only for the epoch-invariant cache plumbing
+  (``->sigcache`` / ``->cache_positions``). This is the wait-free-reader
+  contract of the epoch-pinned COW design: a reader that touched builder
+  state would observe a half-built next epoch.
+
+* ``raw-mutex`` — no naked ``std::mutex`` / ``std::lock_guard`` /
+  ``std::unique_lock`` / ``std::condition_variable`` (or their include
+  lines) outside ``src/common/thread_annotations.h``. All locking goes
+  through the annotated ``Mutex`` / ``MutexLock`` / ``CondVar`` wrappers
+  so clang's ``-Wthread-safety`` analysis sees every acquisition.
+
+* ``test-labels`` — every test suite registered in
+  ``tests/CMakeLists.txt`` carries at least one CTest label. The CI TSan
+  and smoke lanes select by label; an unlabeled suite silently drops out
+  of every filtered lane.
+
+* ``bench-json`` — every ``bench/bench_*.cc`` drives its measurement
+  through the ``BenchRun`` harness (which implements ``--smoke`` and
+  ``--json``) or google-benchmark (``--benchmark_format=json``). The CI
+  bench gate consumes those JSON artifacts; a bench without them is
+  invisible to the regression gate.
+
+Escape hatch: a violating line is accepted when it (or the line directly
+above it) carries ``// authdb-lint: allow(<rule>)`` — use sparingly and
+say why in the surrounding comment.
+
+Usage:
+    lint_invariants.py [--root DIR]   # lint the tree; findings to stdout
+    lint_invariants.py --self-test    # seeded-violation check of the rules
+
+Exit status: 0 = clean / self-test ok, 1 = findings / self-test failure,
+2 = usage.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+from collections import namedtuple
+
+Finding = namedtuple("Finding", "rule path line msg")
+
+ALLOW_RE = re.compile(r"authdb-lint:\s*allow\(([a-z-]+)\)")
+
+# --------------------------------------------------------------------------
+# Shared helpers
+
+
+def _strip_line_comment(line):
+    return line.split("//", 1)[0]
+
+
+def _allowed(lines, idx, rule):
+    """True when line idx (0-based) or the one above carries an allow."""
+    for i in (idx, idx - 1):
+        if 0 <= i < len(lines):
+            m = ALLOW_RE.search(lines[i])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def _line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------------
+# Rule: raw-mutex
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b")
+RAW_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>")
+
+
+def check_raw_mutex(relpath, text):
+    findings = []
+    lines = text.splitlines()
+    for idx, line in enumerate(lines):
+        code = _strip_line_comment(line)
+        m = RAW_MUTEX_RE.search(code) or RAW_INCLUDE_RE.search(code)
+        if m and not _allowed(lines, idx, "raw-mutex"):
+            findings.append(Finding(
+                "raw-mutex", relpath, idx + 1,
+                "naked %s — use the annotated wrappers from "
+                "common/thread_annotations.h" % m.group(0).strip()))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: epoch-pin
+
+# Forbidden inside const member functions of ShardedQueryServer: each
+# pattern is a route to snapshot state that bypasses the pinned
+# descriptor, or a mutation of the descriptor head.
+EPOCH_PIN_FORBIDDEN = [
+    (re.compile(r"\bbuilder\b"),
+     "touches a ShardVersionBuilder (next-epoch state) from a read path"),
+    (re.compile(r"\bFreeze\w*\s*\("),
+     "freezes a snapshot from a read path"),
+    (re.compile(r"\b(InstallDescriptor\w*|Republish\w*)\s*\("),
+     "publishes a descriptor from a read path"),
+    (re.compile(r"\batomic_(exchange|store)\b"),
+     "mutates the descriptor head from a read path"),
+]
+SHARDS_ACCESS_RE = re.compile(r"shards_\s*\[")
+SHARDS_ALLOWED_RE = re.compile(
+    r"shards_\s*\[[^\]]*\]\s*->\s*(sigcache|cache_positions)\b")
+MEMBER_DEF_RE = re.compile(r"ShardedQueryServer::(\w+)\s*\(")
+
+
+def _match_forward(text, start, open_ch, close_ch):
+    """Offset one past the close_ch matching the open_ch at text[start]."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _const_member_bodies(text):
+    """Yield (name, body_start_offset, body_text) for each const member
+    function definition of ShardedQueryServer in `text` (comments already
+    stripped)."""
+    for m in MEMBER_DEF_RE.finditer(text):
+        paren_open = text.index("(", m.end() - 1)
+        paren_close = _match_forward(text, paren_open, "(", ")")
+        if paren_close < 0:
+            continue
+        brace = text.find("{", paren_close)
+        semi = text.find(";", paren_close)
+        if brace < 0 or (0 <= semi < brace):
+            continue  # declaration or out-of-line data — no body here
+        # Qualifier region ends at a ctor's initializer-list colon, so a
+        # `const` inside an initializer expression is not a cv-qualifier.
+        qualifiers = text[paren_close:brace].split(":", 1)[0]
+        body_end = _match_forward(text, brace, "{", "}")
+        if body_end < 0:
+            continue
+        if re.search(r"\bconst\b", qualifiers):
+            yield m.group(1), brace, text[brace:body_end]
+
+
+def check_epoch_pin(relpath, text):
+    findings = []
+    orig_lines = text.splitlines()
+    stripped = "\n".join(_strip_line_comment(ln) for ln in orig_lines)
+    for name, body_start, body in _const_member_bodies(stripped):
+        for pat, why in EPOCH_PIN_FORBIDDEN:
+            for hit in pat.finditer(body):
+                line = _line_of(stripped, body_start + hit.start())
+                if not _allowed(orig_lines, line - 1, "epoch-pin"):
+                    findings.append(Finding(
+                        "epoch-pin", relpath, line,
+                        "%s(): %s" % (name, why)))
+        if name == "PinCurrentEpoch":
+            continue  # the one blessed accessor of the descriptor head
+        for hit in re.finditer(r"\bcurrent_\b", body):
+            line = _line_of(stripped, body_start + hit.start())
+            if not _allowed(orig_lines, line - 1, "epoch-pin"):
+                findings.append(Finding(
+                    "epoch-pin", relpath, line,
+                    "%s(): raw current_ access — pin the epoch via "
+                    "PinCurrentEpoch() instead" % name))
+        for hit in SHARDS_ACCESS_RE.finditer(body):
+            if SHARDS_ALLOWED_RE.match(body, hit.start()):
+                continue
+            line = _line_of(stripped, body_start + hit.start())
+            if not _allowed(orig_lines, line - 1, "epoch-pin"):
+                findings.append(Finding(
+                    "epoch-pin", relpath, line,
+                    "%s(): shards_[...] beyond ->sigcache/->cache_positions"
+                    " — read snapshot state from the pinned "
+                    "EpochDescriptor" % name))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: test-labels
+
+ADD_TEST_RE = re.compile(r"add_test\s*\(\s*NAME\s+([A-Za-z0-9_]+)")
+SUITES_RE = re.compile(r"set\s*\(\s*AUTHDB_TEST_SUITES\b([^)]*)\)", re.S)
+PROPS_RE = re.compile(r"set_tests_properties\s*\(([^)]*)\)", re.S)
+
+
+def check_test_labels(relpath, text):
+    code = "\n".join(ln.split("#", 1)[0] for ln in text.splitlines())
+    tests = []
+    m = SUITES_RE.search(code)
+    if m:
+        tests.extend(m.group(1).split())
+    tests.extend(n for n in ADD_TEST_RE.findall(code) if not n.startswith("$"))
+
+    labeled = set()
+    for call in PROPS_RE.findall(code):
+        tokens = call.split()
+        if "PROPERTIES" not in tokens or "LABELS" not in tokens:
+            continue
+        names = tokens[:tokens.index("PROPERTIES")]
+        li = tokens.index("LABELS")
+        has_value = li + 1 < len(tokens) and tokens[li + 1].strip('"')
+        if has_value:
+            labeled.update(names)
+
+    findings = []
+    for name in tests:
+        if name not in labeled:
+            findings.append(Finding(
+                "test-labels", relpath, 1,
+                "suite %s has no CTest LABELS — it drops out of every "
+                "label-filtered CI lane (TSan, smoke)" % name))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: bench-json
+
+BENCH_HARNESS_RE = re.compile(
+    r"\bBenchRun\b|\bbenchmark::Initialize\b|\bBENCHMARK_MAIN\b")
+
+
+def check_bench_json(files):
+    """`files` is a list of (relpath, text) for bench/bench_*.cc."""
+    findings = []
+    for relpath, text in files:
+        if not BENCH_HARNESS_RE.search(text):
+            findings.append(Finding(
+                "bench-json", relpath, 1,
+                "bench drives neither BenchRun nor google-benchmark — it "
+                "emits no --json artifact and the CI bench gate cannot "
+                "see it"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+CXX_DIRS = ("src", "tests", "bench", "examples")
+RAW_MUTEX_EXEMPT = "src/common/thread_annotations.h"
+
+
+def lint_tree(root):
+    root = pathlib.Path(root)
+    findings = []
+
+    for d in CXX_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel == RAW_MUTEX_EXEMPT:
+                continue
+            findings.extend(check_raw_mutex(rel, path.read_text()))
+
+    server_cc = root / "src/server/sharded_query_server.cc"
+    if server_cc.is_file():
+        findings.extend(check_epoch_pin(
+            server_cc.relative_to(root).as_posix(), server_cc.read_text()))
+
+    tests_cmake = root / "tests/CMakeLists.txt"
+    if tests_cmake.is_file():
+        findings.extend(check_test_labels(
+            tests_cmake.relative_to(root).as_posix(),
+            tests_cmake.read_text()))
+
+    bench_files = [(p.relative_to(root).as_posix(), p.read_text())
+                   for p in sorted((root / "bench").glob("bench_*.cc"))]
+    findings.extend(check_bench_json(bench_files))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: seed one violation per rule; every seed must be caught, and
+# the allow-escape must suppress.
+
+SELFTEST_RAW_MUTEX = """\
+#include <mutex>
+std::mutex mu;
+void f() { std::lock_guard<std::mutex> lock(mu); }
+"""
+
+SELFTEST_RAW_MUTEX_ALLOWED = """\
+// authdb-lint: allow(raw-mutex)
+std::mutex interop_with_external_api;
+"""
+
+SELFTEST_EPOCH_PIN = """\
+Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo,
+                                                   int64_t hi) const {
+  Shard& sh = *shards_[0];
+  sh.builder.Apply(piece);
+  std::shared_ptr<const EpochDescriptor> d = std::atomic_load(&current_);
+  return FreezeShard(0);
+}
+void ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
+  shards_[0]->builder.Apply(msg);  // write path: must NOT be flagged
+}
+"""
+
+SELFTEST_TEST_LABELS = """\
+set(AUTHDB_TEST_SUITES
+    labeled_test
+    naked_test
+)
+add_test(NAME extra_check COMMAND extra_check)
+set_tests_properties(labeled_test PROPERTIES LABELS "core")
+"""
+
+SELFTEST_BENCH = [
+    ("bench/bench_good.cc", "int main() { BenchRun run(...); }"),
+    ("bench/bench_micro.cc", "int main() { benchmark::Initialize(...); }"),
+    ("bench/bench_naked.cc", "int main() { printf(\"fast\\n\"); }"),
+]
+
+
+def self_test():
+    failures = []
+
+    def expect(label, findings, rule, count):
+        got = [f for f in findings if f.rule == rule]
+        if len(got) != count:
+            failures.append("%s: expected %d %s finding(s), got %d: %r"
+                            % (label, count, rule, len(got), got))
+
+    expect("seeded raw mutex",
+           check_raw_mutex("fake.cc", SELFTEST_RAW_MUTEX), "raw-mutex", 3)
+    expect("allow-escape",
+           check_raw_mutex("fake.cc", SELFTEST_RAW_MUTEX_ALLOWED),
+           "raw-mutex", 0)
+    # Seeded read path: shards_ deref, builder access, raw current_,
+    # Freeze call — and none from the non-const write path below it.
+    expect("seeded epoch-pin",
+           check_epoch_pin("fake.cc", SELFTEST_EPOCH_PIN), "epoch-pin", 4)
+    expect("seeded unlabeled suites",
+           check_test_labels("fake.txt", SELFTEST_TEST_LABELS),
+           "test-labels", 2)
+    expect("seeded naked bench",
+           check_bench_json(SELFTEST_BENCH), "bench-json", 1)
+    naked = check_bench_json(SELFTEST_BENCH)
+    if naked and naked[0].path != "bench/bench_naked.cc":
+        failures.append("bench-json flagged the wrong file: %r" % (naked,))
+
+    if failures:
+        for f in failures:
+            print("self-test FAILED: %s" % f, file=sys.stderr)
+        return 1
+    print("self-test ok: every seeded violation is caught and the "
+          "allow-escape suppresses")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: the script's parent repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation check of the rules")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or pathlib.Path(__file__).resolve().parent.parent
+    findings = lint_tree(root)
+    for f in findings:
+        print("%s:%d: [%s] %s" % (f.path, f.line, f.rule, f.msg))
+    if findings:
+        print("%d invariant violation(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("invariants ok: epoch-pin, raw-mutex, test-labels, bench-json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,121 @@
+#ifndef AUTHDB_COMMON_THREAD_ANNOTATIONS_H_
+#define AUTHDB_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Clang Thread Safety Analysis for the concurrency spine.
+///
+/// The capability model: a Mutex is a *capability* — the ability to touch
+/// the data it guards. Fields declare their owning mutex with GUARDED_BY,
+/// functions declare the capabilities they need with REQUIRES (caller must
+/// hold the lock) or manage with ACQUIRE/RELEASE (lock/unlock inside), and
+/// EXCLUDES documents locks a function takes itself and so must NOT be held
+/// on entry. Clang then proves, at compile time and on every path, that no
+/// guarded field is touched without its capability held — the lock
+/// discipline the epoch-snapshot serving layer depends on stops being a
+/// comment and becomes a build error (`-DAUTHDB_THREAD_SAFETY=ON`, clang
+/// only; gcc compiles the macros away to nothing).
+///
+/// Everything mutex-shaped in the project goes through these wrappers:
+/// `scripts/lint_invariants.py` rejects naked std::mutex / std::lock_guard
+/// outside this header, because an unannotated mutex is invisible to the
+/// analysis and silently re-opens the hole.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AUTHDB_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef AUTHDB_TSA
+#define AUTHDB_TSA(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) AUTHDB_TSA(capability(x))
+#define SCOPED_CAPABILITY AUTHDB_TSA(scoped_lockable)
+#define GUARDED_BY(x) AUTHDB_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) AUTHDB_TSA(pt_guarded_by(x))
+#define ACQUIRE(...) AUTHDB_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) AUTHDB_TSA(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) AUTHDB_TSA(try_acquire_capability(__VA_ARGS__))
+#define REQUIRES(...) AUTHDB_TSA(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) AUTHDB_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) AUTHDB_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) AUTHDB_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS AUTHDB_TSA(no_thread_safety_analysis)
+
+namespace authdb {
+
+class CondVar;
+
+/// std::mutex with the capability attribute: the analysis tracks which
+/// scopes hold it and which fields (GUARDED_BY(this mutex)) it protects.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock (the std::lock_guard replacement). SCOPED_CAPABILITY tells the
+/// analysis the constructor acquires and the destructor releases, so a
+/// MutexLock in scope satisfies GUARDED_BY/REQUIRES checks.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Wait* atomically
+/// release and re-acquire `mu`, so from the static analysis's view the
+/// capability is held across the call — which is exactly the caller's
+/// contract (REQUIRES(mu)). Predicate waits are written as explicit
+/// `while (!pred) cv.Wait(mu);` loops at the call site: the predicate then
+/// reads its guarded fields inside the annotated scope instead of inside
+/// an unanalyzable lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership returns to the caller's scope
+  }
+
+  std::cv_status WaitUntil(
+      Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_until(lk, deadline);
+    lk.release();
+    return st;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace authdb
+
+#endif  // AUTHDB_COMMON_THREAD_ANNOTATIONS_H_

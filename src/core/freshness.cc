@@ -38,7 +38,7 @@ UpdateSummary SummaryBuilder::BuildAndSign(uint64_t seq, uint64_t publish_ts,
 }
 
 void FreshnessTracker::Publish(uint64_t seq, uint64_t publish_ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++publications_;
   if (seq + 1 > epoch_) {
     epoch_ = seq + 1;
@@ -47,17 +47,17 @@ void FreshnessTracker::Publish(uint64_t seq, uint64_t publish_ts) {
 }
 
 uint64_t FreshnessTracker::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return epoch_;
 }
 
 uint64_t FreshnessTracker::latest_publish_ts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return latest_publish_ts_;
 }
 
 uint64_t FreshnessTracker::publications() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return publications_;
 }
 
@@ -66,7 +66,8 @@ Status FreshnessChecker::AddSummary(const UpdateSummary& summary) {
   if (!da_pub_->Verify(summary.SignedMessage().AsSlice(), summary.sig, mode_))
     return Status::VerificationFailed("summary signature mismatch");
   auto after = summaries_.upper_bound(summary.seq);
-  if (after != summaries_.end() && summary.publish_ts > after->second.publish_ts)
+  if (after != summaries_.end() &&
+      summary.publish_ts > after->second.publish_ts)
     return Status::VerificationFailed("summary timestamp regression");
   if (after != summaries_.begin()) {
     auto before = std::prev(after);

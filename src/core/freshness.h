@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "crypto/bas.h"
 #include "crypto/bitmap.h"
 
@@ -79,18 +79,18 @@ class FreshnessTracker {
   /// Summary `seq` finished fanning out. Out-of-order publications are
   /// tolerated (the epoch is the running maximum); duplicates are counted
   /// but do not move the epoch.
-  void Publish(uint64_t seq, uint64_t publish_ts);
+  void Publish(uint64_t seq, uint64_t publish_ts) EXCLUDES(mu_);
 
   /// Latest published summary seq + 1; 0 before the first publication.
-  uint64_t current_epoch() const;
-  uint64_t latest_publish_ts() const;
-  uint64_t publications() const;
+  uint64_t current_epoch() const EXCLUDES(mu_);
+  uint64_t latest_publish_ts() const EXCLUDES(mu_);
+  uint64_t publications() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  uint64_t epoch_ = 0;
-  uint64_t latest_publish_ts_ = 0;
-  uint64_t publications_ = 0;
+  mutable Mutex mu_;
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t latest_publish_ts_ GUARDED_BY(mu_) = 0;
+  uint64_t publications_ GUARDED_BY(mu_) = 0;
 };
 
 /// Client-side freshness checker. Collects verified summaries and answers:

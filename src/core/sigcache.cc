@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
@@ -261,18 +260,18 @@ SigCache::SigCache(std::shared_ptr<const BasContext> ctx,
       leaves_(std::move(leaves)) {}
 
 void SigCache::Pin(int level, uint64_t j) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[Key{level, j}];  // default-constructed: invalid
 }
 
 void SigCache::PinPlan(const std::vector<SigCachePlanner::Choice>& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& c : plan) entries_[Key{c.level, c.j}];
 }
 
 void SigCache::WarmAll() {
   // Fill bottom-up so higher nodes reuse the lower cached nodes.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AggStats scratch;
   for (auto& [key, entry] : entries_) {
     if (!entry.valid) {
@@ -330,7 +329,7 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi, AggStats* stats) {
   AggStats local;
   AggStats* s = stats != nullptr ? stats : &local;
   *s = AggStats{};  // counters cover this call only
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const CurveGroup& curve = ctx_->curve();
   CurveGroup::Jacobian acc = curve.ToJacobian(ECPoint{});
   size_t items = 0;
@@ -374,7 +373,7 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi,
                                       AggStats* stats) {
   AggStats local;
   AggStats* s = stats != nullptr ? stats : &local;  // accumulated, not reset
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const CurveGroup& curve = ctx_->curve();
   CurveGroup::Jacobian acc = curve.ToJacobian(ECPoint{});
   size_t items = 0;
@@ -426,7 +425,7 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi,
 
 void SigCache::OnLeafUpdate(size_t pos, const BasSignature& old_sig,
                             const BasSignature& new_sig) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [key, entry] : entries_) {
     if ((pos >> key.level) != key.j) continue;
     if (mode_ == RefreshMode::kLazy) {
@@ -440,7 +439,7 @@ void SigCache::OnLeafUpdate(size_t pos, const BasSignature& old_sig,
 }
 
 void SigCache::Revise(size_t keep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (entries_.size() <= keep) {
     // Nothing to evict, but the observation window still restarts.
     for (auto& [key, entry] : entries_) entry.access_count = 0;

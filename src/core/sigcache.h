@@ -5,10 +5,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/vo_size.h"
 #include "crypto/bas.h"
 
@@ -105,11 +105,12 @@ class SigCache {
 
   /// Pin a node into the cache (initially invalid; filled on first use or
   /// by eager refresh).
-  void Pin(int level, uint64_t j);
-  void PinPlan(const std::vector<SigCachePlanner::Choice>& plan);
+  void Pin(int level, uint64_t j) EXCLUDES(mu_);
+  void PinPlan(const std::vector<SigCachePlanner::Choice>& plan)
+      EXCLUDES(mu_);
   /// Materialize every pinned entry now (the offline initialization of
   /// Section 4.2) instead of charging the first queries with the fills.
-  void WarmAll();
+  void WarmAll() EXCLUDES(mu_);
 
   struct AggStats {
     size_t point_adds = 0;    ///< EC additions performed
@@ -121,7 +122,8 @@ class SigCache {
   /// Aggregate signature over positions [lo, hi] using the best cached
   /// cover; falls back to leaf signatures where no node applies. `stats`
   /// (optional) is reset on entry: it reports this call only.
-  BasSignature RangeAggregate(size_t lo, size_t hi, AggStats* stats);
+  BasSignature RangeAggregate(size_t lo, size_t hi, AggStats* stats)
+      EXCLUDES(mu_);
 
   /// Generation-tagged aggregate for the epoch-snapshot read path: cached
   /// windows are reused only when their stored generation equals
@@ -135,26 +137,27 @@ class SigCache {
   /// grew. `stats` (optional) is *accumulated into*, not reset — stitched
   /// reads sum one stats block across every covered shard.
   BasSignature RangeAggregate(size_t lo, size_t hi, uint64_t generation,
-                              const LeafProvider& leaves, AggStats* stats);
+                              const LeafProvider& leaves, AggStats* stats)
+      EXCLUDES(mu_);
 
   /// A record at `pos` changed signature. Eager mode patches every cached
   /// ancestor (old out, new in: 2 additions each); lazy mode invalidates.
   void OnLeafUpdate(size_t pos, const BasSignature& old_sig,
-                    const BasSignature& new_sig);
+                    const BasSignature& new_sig) EXCLUDES(mu_);
 
   /// Adaptive revision (Section 4.2): keep the `keep` highest observed-
   /// utility nodes (access_count * savings), evict the rest.
-  void Revise(size_t keep);
+  void Revise(size_t keep) EXCLUDES(mu_);
 
-  size_t entry_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t entry_count() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return entries_.size();
   }
   size_t cache_bytes(const SizeModel& sm) const {
     return entry_count() * sm.signature_bytes;
   }
-  uint64_t eager_patch_adds() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t eager_patch_adds() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return eager_patch_adds_;
   }
 
@@ -176,19 +179,20 @@ class SigCache {
     uint64_t access_count = 0;
   };
 
-  /// Requires mu_ held (recomputes through other cached entries of the
-  /// same generation, fetching leaves from `leaves`).
+  /// Recomputes through other cached entries of the same generation,
+  /// fetching leaves from `leaves`.
   BasSignature ComputeNode(const Key& key, uint64_t generation,
-                           const LeafProvider& leaves, AggStats* stats);
+                           const LeafProvider& leaves, AggStats* stats)
+      REQUIRES(mu_);
 
   std::shared_ptr<const BasContext> ctx_;
   uint64_t n_;
   int max_level_;
   RefreshMode mode_;
   LeafProvider leaves_;
-  mutable std::mutex mu_;
-  std::map<Key, Entry> entries_;
-  uint64_t eager_patch_adds_ = 0;
+  mutable Mutex mu_;
+  std::map<Key, Entry> entries_ GUARDED_BY(mu_);
+  uint64_t eager_patch_adds_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace authdb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <set>
 #include <utility>
 
@@ -23,7 +24,7 @@ ShardedQueryServer::ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
   for (size_t i = 0; i < router_.shard_count(); ++i)
     shards_.push_back(std::make_unique<Shard>());
   // Publish the empty epoch-0 descriptor so readers always have a pin.
-  std::lock_guard<std::mutex> pub(publish_mu_);
+  MutexLock pub(publish_mu_);
   RepublishLocked();
 }
 
@@ -62,8 +63,9 @@ std::vector<ShardedQueryServer::ShardPiece> ShardedQueryServer::SplitByOwner(
 Status ShardedQueryServer::ApplyToShardDeferred(
     size_t shard, const SignedRecordUpdate& piece) {
   AUTHDB_CHECK(shard < shards_.size());
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  return shards_[shard]->builder.Apply(piece);
+  Shard& sh = *shards_[shard];
+  MutexLock lock(sh.mu);
+  return sh.builder.Apply(piece);
 }
 
 Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
@@ -72,7 +74,7 @@ Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
   // SetJoinPartitions) could otherwise freeze a seam-spanning message
   // half-applied — shard 0 post-piece, shard 1 pre-piece — into a
   // descriptor every reader would pin as a torn re-chaining.
-  std::lock_guard<std::mutex> pub(publish_mu_);
+  MutexLock pub(publish_mu_);
   Status st = Status::OK();
   for (const ShardPiece& sp : SplitByOwner(msg)) {
     st = ApplyToShardDeferred(sp.shard, sp.piece);
@@ -88,8 +90,9 @@ Status ShardedQueryServer::ApplyUpdate(const SignedRecordUpdate& msg) {
 std::shared_ptr<const EpochSnapshot> ShardedQueryServer::FreezeShard(
     size_t shard) {
   AUTHDB_CHECK(shard < shards_.size());
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  return shards_[shard]->builder.Freeze();
+  Shard& sh = *shards_[shard];
+  MutexLock lock(sh.mu);
+  return sh.builder.Freeze();
 }
 
 size_t ShardedQueryServer::LivePinnedLocked() const {
@@ -120,13 +123,13 @@ void ShardedQueryServer::InstallDescriptorLocked(
   std::shared_ptr<const EpochDescriptor> desc(
       raw, [sync](const EpochDescriptor* d) {
         delete d;
-        std::lock_guard<std::mutex> lk(sync->mu);
-        sync->cv.notify_all();
+        MutexLock lk(sync->mu);
+        sync->cv.NotifyAll();
       });
   std::shared_ptr<const EpochDescriptor> old =
       std::atomic_exchange(&current_, desc);
   if (old != nullptr) {
-    std::lock_guard<std::mutex> lk(pin_sync_->mu);
+    MutexLock lk(pin_sync_->mu);
     retired_.emplace_back(old);
     // Keep the GC list from accumulating dead weak_ptrs on the
     // direct-apply path (which installs a descriptor per message and
@@ -139,8 +142,9 @@ void ShardedQueryServer::RepublishLocked() {
   std::vector<std::shared_ptr<const EpochSnapshot>> snaps;
   snaps.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
-    snaps.push_back(shards_[s]->builder.Freeze());
+    Shard& sh = *shards_[s];
+    MutexLock lock(sh.mu);
+    snaps.push_back(sh.builder.Freeze());
   }
   InstallDescriptorLocked(std::move(snaps));
 }
@@ -150,17 +154,16 @@ void ShardedQueryServer::PublishEpoch(
     std::vector<std::shared_ptr<const EpochSnapshot>> snaps,
     std::vector<CertifiedPartition> partition_refresh) {
   AUTHDB_CHECK(snaps.size() == shards_.size());
-  std::lock_guard<std::mutex> pub(publish_mu_);
+  MutexLock pub(publish_mu_);
   if (options_.max_pinned_epochs > 0) {
     // Backpressure against stalled readers: wait until fewer than the
     // budget of superseded epochs is still pinned. publish_mu_ stays held
     // — the block is meant to propagate through the update stream's apply
     // queues to the producer. Readers never take either lock, so they
     // drain (and notify through the descriptor deleter) independently.
-    std::unique_lock<std::mutex> lk(pin_sync_->mu);
-    pin_sync_->cv.wait(lk, [&] {
-      return LivePinnedLocked() < options_.max_pinned_epochs;
-    });
+    MutexLock lk(pin_sync_->mu);
+    while (LivePinnedLocked() >= options_.max_pinned_epochs)
+      pin_sync_->cv.Wait(pin_sync_->mu);
   }
   // Monotonicity guard: if a direct-path publication (ApplyUpdate /
   // SetJoinPartitions / AddSummary) raced this barrier and already
@@ -198,7 +201,7 @@ void ShardedQueryServer::AddSummary(UpdateSummary summary) {
 
 void ShardedQueryServer::SetJoinPartitions(
     std::vector<CertifiedPartition> partitions) {
-  std::lock_guard<std::mutex> pub(publish_mu_);
+  MutexLock pub(publish_mu_);
   partitions_ = std::make_shared<const std::vector<CertifiedPartition>>(
       std::move(partitions));
   RepublishLocked();
@@ -213,7 +216,7 @@ size_t ShardedQueryServer::pinned_epochs() const {
   // Deliberately NOT publish_mu_: this diagnostic must answer while a
   // backpressured PublishEpoch holds that lock — observing the stall is
   // the whole point.
-  std::lock_guard<std::mutex> lk(pin_sync_->mu);
+  MutexLock lk(pin_sync_->mu);
   return LivePinnedLocked();
 }
 
@@ -358,7 +361,7 @@ Result<SelectionAnswer> ShardedQueryServer::SelectOnDescriptor(
   uint64_t oldest_ts = ~uint64_t{0};
   bool any = false;
   for (size_t i = 0; i < cover.size(); ++i) {
-    const SubSelect& sub = subs[i];
+    SubSelect& sub = subs[i];
     if (!sub.nonempty) continue;
     if (!any) {
       any = true;
@@ -369,7 +372,7 @@ Result<SelectionAnswer> ShardedQueryServer::SelectOnDescriptor(
       out.records.push_back(item->record);
       oldest_ts = std::min(oldest_ts, item->record.ts);
     }
-    agg_parts.push_back(sub.agg);
+    agg_parts.push_back(std::move(sub.agg));
   }
   if (stats != nullptr) stats->shards_nonempty = agg_parts.size();
 
@@ -512,7 +515,7 @@ Result<QueryAnswer> ShardedQueryServer::ProjectOnDescriptor(
   std::vector<BasSignature> agg_parts;
   uint64_t oldest_ts = ~uint64_t{0};
   bool any = false;
-  for (const SubProject& sub : subs) {
+  for (SubProject& sub : subs) {
     if (!sub.error.ok()) return sub.error;
     if (!sub.nonempty) continue;
     if (!any) {
@@ -520,11 +523,14 @@ Result<QueryAnswer> ShardedQueryServer::ProjectOnDescriptor(
       proj.left_key = sub.left_key;
     }
     proj.right_key = sub.right_key;
-    proj.tuples.insert(proj.tuples.end(), sub.tuples.begin(),
-                       sub.tuples.end());
+    // Tuples carry per-attribute value and index vectors — splice them by
+    // move; the per-shard sub-results are dead after this stitch.
+    proj.tuples.insert(proj.tuples.end(),
+                       std::make_move_iterator(sub.tuples.begin()),
+                       std::make_move_iterator(sub.tuples.end()));
     proj.digests.insert(proj.digests.end(), sub.digests.begin(),
                         sub.digests.end());
-    agg_parts.push_back(sub.agg);
+    agg_parts.push_back(std::move(sub.agg));
     oldest_ts = std::min(oldest_ts, sub.oldest_ts);
   }
   if (stats != nullptr) stats->shards_nonempty = agg_parts.size();

@@ -1,13 +1,13 @@
 #ifndef AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
 #define AUTHDB_SERVER_SHARDED_QUERY_SERVER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "core/epoch_snapshot.h"
 #include "core/freshness.h"
@@ -107,7 +107,7 @@ class ShardedQueryServer {
   /// (ApplyToShardDeferred + one epoch publication), and direct
   /// publications should not run concurrently with a live update
   /// stream's mid-period ingest — see PublishEpoch's monotonicity guard.
-  Status ApplyUpdate(const SignedRecordUpdate& msg);
+  Status ApplyUpdate(const SignedRecordUpdate& msg) EXCLUDES(publish_mu_);
 
   /// One shard's slice of an update message, produced by SplitByOwner.
   struct ShardPiece {
@@ -129,7 +129,8 @@ class ShardedQueryServer {
   /// epoch swap, the pieces of a seam-spanning message may be applied
   /// independently per shard, in any order — no rendezvous, no joint
   /// lockset, no torn reads.
-  Status ApplyToShardDeferred(size_t shard, const SignedRecordUpdate& piece);
+  Status ApplyToShardDeferred(size_t shard, const SignedRecordUpdate& piece)
+      EXCLUDES(publish_mu_);
 
   /// Freeze one shard's builder into its next immutable snapshot (cached
   /// and O(1) when the shard's delta is empty). The update stream calls
@@ -146,18 +147,20 @@ class ShardedQueryServer {
   /// pinned by readers.
   void PublishEpoch(UpdateSummary summary,
                     std::vector<std::shared_ptr<const EpochSnapshot>> snaps,
-                    std::vector<CertifiedPartition> partition_refresh);
+                    std::vector<CertifiedPartition> partition_refresh)
+      EXCLUDES(publish_mu_);
 
   /// Direct-path epoch advance (tests, tools, replayed tapes): freezes
   /// every shard inline and publishes, equivalent to a stream barrier that
   /// found every queue drained.
-  void AddSummary(UpdateSummary summary);
+  void AddSummary(UpdateSummary summary) EXCLUDES(publish_mu_);
 
   /// Install / refresh the DA-certified Bloom partitions over S.B on the
   /// direct path (republishes the current epoch). The update stream
   /// installs refreshes through PublishEpoch instead, so a served filter
   /// is never older than one period behind the answer's epoch.
-  void SetJoinPartitions(std::vector<CertifiedPartition> partitions);
+  void SetJoinPartitions(std::vector<CertifiedPartition> partitions)
+      EXCLUDES(publish_mu_);
 
   /// Epoch bookkeeping: advanced by PublishEpoch/AddSummary, stamped onto
   /// every answer from the pinned descriptor.
@@ -173,7 +176,7 @@ class ShardedQueryServer {
   /// Superseded epochs still alive because a reader pins them (the
   /// quantity max_pinned_epochs bounds). Diagnostics; approximate under
   /// concurrent publication.
-  size_t pinned_epochs() const;
+  size_t pinned_epochs() const EXCLUDES(publish_mu_);
 
   /// Per-call serving statistics (out-param, never instance state). All
   /// counters describe one pinned-epoch read, so they are snapshot-
@@ -217,8 +220,8 @@ class ShardedQueryServer {
  private:
   struct Shard {
     /// Guards the builder (writers only; readers pin snapshots).
-    mutable std::mutex mu;
-    ShardVersionBuilder builder;
+    mutable Mutex mu;
+    ShardVersionBuilder builder GUARDED_BY(mu);
     /// Generation-tagged aggregate cache (EnableSigCache). Internally
     /// synchronized; `cache_positions` is the n it was planned for — it is
     /// bypassed whenever the serving snapshot shrank below that.
@@ -273,13 +276,14 @@ class ShardedQueryServer {
   /// Build + install a descriptor from `snaps` under publish_mu_ (held by
   /// the caller), retiring the previous descriptor into the GC list.
   void InstallDescriptorLocked(
-      std::vector<std::shared_ptr<const EpochSnapshot>> snaps);
+      std::vector<std::shared_ptr<const EpochSnapshot>> snaps)
+      REQUIRES(publish_mu_);
   /// Freeze every shard and republish the current epoch (direct path).
-  void RepublishLocked();
-  /// Superseded-but-pinned epoch count; prunes dead entries. Requires
-  /// pin_sync_->mu held (so it stays callable while a backpressured
-  /// publisher holds publish_mu_).
-  size_t LivePinnedLocked() const;
+  void RepublishLocked() REQUIRES(publish_mu_);
+  /// Superseded-but-pinned epoch count; prunes dead entries. Held under
+  /// pin_sync_->mu, not publish_mu_, so it stays callable while a
+  /// backpressured publisher holds the publish lock.
+  size_t LivePinnedLocked() const REQUIRES(pin_sync_->mu);
 
   std::shared_ptr<const BasContext> ctx_;
   ShardRouter router_;
@@ -292,25 +296,28 @@ class ShardedQueryServer {
   /// (its last reader unpinned it) — what PublishEpoch's backpressure
   /// waits on. Shared with the deleters so late unpins outlive the server.
   struct PinSync {
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   std::shared_ptr<PinSync> pin_sync_;
 
   /// Serializes publication (stream barriers, direct applies, partition
   /// installs). Readers never take it — they atomic-load current_.
-  mutable std::mutex publish_mu_;
+  mutable Mutex publish_mu_;
   std::shared_ptr<const EpochDescriptor> current_;  ///< std::atomic_* access
   /// Superseded descriptors, kept weakly for the pinned-epoch accounting;
   /// pruned on publication and when the list grows. Guarded by
   /// pin_sync_->mu, NOT publish_mu_, so the count stays observable while
   /// a backpressured publisher holds the publish lock.
-  mutable std::vector<std::weak_ptr<const EpochDescriptor>> retired_;
+  mutable std::vector<std::weak_ptr<const EpochDescriptor>> retired_
+      GUARDED_BY(pin_sync_->mu);
 
   /// Publication-side state the next descriptor is assembled from
   /// (guarded by publish_mu_).
-  std::shared_ptr<const std::deque<UpdateSummary>> summaries_;
-  std::shared_ptr<const std::vector<CertifiedPartition>> partitions_;
+  std::shared_ptr<const std::deque<UpdateSummary>> summaries_
+      GUARDED_BY(publish_mu_);
+  std::shared_ptr<const std::vector<CertifiedPartition>> partitions_
+      GUARDED_BY(publish_mu_);
 };
 
 }  // namespace authdb

@@ -13,10 +13,10 @@ ThreadPool::ThreadPool(size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -24,8 +24,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -42,21 +42,26 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
     return;
   }
   auto latch = std::make_shared<Latch>();
-  latch->remaining = tasks.size() - 1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Uncontended (the latch is not yet shared); taken so the analysis sees
+    // the guarded initialization.
+    MutexLock l(latch->mu);
+    latch->remaining = tasks.size() - 1;
+  }
+  {
+    MutexLock lock(mu_);
     for (size_t i = 0; i + 1 < tasks.size(); ++i) {
       queue_.emplace_back([latch, task = std::move(tasks[i])] {
         task();
-        std::lock_guard<std::mutex> l(latch->mu);
-        if (--latch->remaining == 0) latch->cv.notify_one();
+        MutexLock l(latch->mu);
+        if (--latch->remaining == 0) latch->cv.NotifyOne();
       });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   tasks.back()();  // caller's share
-  std::unique_lock<std::mutex> l(latch->mu);
-  latch->cv.wait(l, [&] { return latch->remaining == 0; });
+  MutexLock l(latch->mu);
+  while (latch->remaining != 0) latch->cv.Wait(latch->mu);
 }
 
 }  // namespace authdb

@@ -1,13 +1,13 @@
 #ifndef AUTHDB_SERVER_THREAD_POOL_H_
 #define AUTHDB_SERVER_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace authdb {
 
@@ -29,24 +29,24 @@ class ThreadPool {
   /// executed inline on the calling thread: a single-shard query never pays
   /// a handoff, and the caller contributes a core while it would otherwise
   /// be idle.
-  void RunAll(std::vector<std::function<void()>> tasks);
+  void RunAll(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
 
   size_t worker_count() const { return workers_.size(); }
 
  private:
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = 0;
+    Mutex mu;
+    CondVar cv;
+    size_t remaining GUARDED_BY(mu) = 0;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace authdb

@@ -22,18 +22,18 @@ UpdateStream::~UpdateStream() { Close(); }
 
 void UpdateStream::Enqueue(size_t shard, Event event) {
   ShardQueue& q = *queues_[shard];
-  std::unique_lock<std::mutex> lk(q.mu);
-  q.progress.wait(lk, [&] { return q.q.size() < options_.max_queue_depth; });
+  MutexLock lk(q.mu);
+  while (q.q.size() >= options_.max_queue_depth) q.progress.Wait(q.mu);
   q.q.push_back(std::move(event));
   ++q.enqueued;
   if (q.q.size() > q.max_depth_seen) q.max_depth_seen = q.q.size();
-  q.ready.notify_one();
+  q.ready.NotifyOne();
 }
 
 void UpdateStream::PushUpdate(SignedRecordUpdate msg) {
   std::vector<ShardedQueryServer::ShardPiece> pieces =
       server_->SplitByOwner(msg);
-  std::lock_guard<std::mutex> lock(push_mu_);
+  MutexLock lock(push_mu_);
   AUTHDB_CHECK(!closed_);
   // A seam-spanning message needs no rendezvous: each piece applies to its
   // own shard's next-epoch builder, and the epoch barrier — behind every
@@ -43,7 +43,7 @@ void UpdateStream::PushUpdate(SignedRecordUpdate msg) {
     ev.piece = std::move(sp.piece);
     Enqueue(sp.shard, std::move(ev));
   }
-  std::lock_guard<std::mutex> slock(stats_mu_);
+  MutexLock slock(stats_mu_);
   ++stats_.updates_pushed;
 }
 
@@ -59,7 +59,7 @@ void UpdateStream::PushSummary(
   barrier->snaps.resize(queues_.size());
   barrier->remaining.store(queues_.size());
   barrier->enqueue_micros = MonotonicMicros();
-  std::lock_guard<std::mutex> lock(push_mu_);
+  MutexLock lock(push_mu_);
   AUTHDB_CHECK(!closed_);
   for (size_t s = 0; s < queues_.size(); ++s) {
     Event ev;
@@ -71,12 +71,15 @@ void UpdateStream::PushSummary(
 void UpdateStream::WorkerLoop(size_t shard) {
   ShardQueue& q = *queues_[shard];
   for (;;) {
-    std::unique_lock<std::mutex> lk(q.mu);
-    q.ready.wait(lk, [&] { return !q.q.empty() || stop_.load(); });
-    if (q.q.empty()) break;  // stop requested and fully drained
+    q.mu.Lock();
+    while (q.q.empty() && !stop_.load()) q.ready.Wait(q.mu);
+    if (q.q.empty()) {  // stop requested and fully drained
+      q.mu.Unlock();
+      break;
+    }
     Event ev = std::move(q.q.front());
     q.q.pop_front();
-    lk.unlock();
+    q.mu.Unlock();
 
     uint64_t applied = 0, failures = 0;
     if (ev.barrier) {
@@ -97,7 +100,7 @@ void UpdateStream::WorkerLoop(size_t shard) {
                               std::move(ev.barrier->snaps),
                               std::move(ev.barrier->partition_refresh));
         uint64_t latency = MonotonicMicros() - ev.barrier->enqueue_micros;
-        std::lock_guard<std::mutex> slock(stats_mu_);  // rare: once per rho
+        MutexLock slock(stats_mu_);  // rare: once per rho
         ++stats_.summaries_published;
         stats_.publish_latency.Record(latency);
       }
@@ -106,11 +109,12 @@ void UpdateStream::WorkerLoop(size_t shard) {
       if (!server_->ApplyToShardDeferred(shard, ev.piece).ok()) failures = 1;
     }
 
-    lk.lock();
+    q.mu.Lock();
     q.pieces_applied += applied;
     q.apply_failures += failures;
     ++q.drained;
-    q.progress.notify_all();
+    q.progress.NotifyAll();
+    q.mu.Unlock();
   }
 }
 
@@ -121,29 +125,29 @@ void UpdateStream::Flush() {
   // every queue reaches its target all barriers in the cut have published.
   std::vector<uint64_t> targets(queues_.size());
   {
-    std::lock_guard<std::mutex> lock(push_mu_);
+    MutexLock lock(push_mu_);
     for (size_t s = 0; s < queues_.size(); ++s) {
-      std::lock_guard<std::mutex> qlock(queues_[s]->mu);
+      MutexLock qlock(queues_[s]->mu);
       targets[s] = queues_[s]->enqueued;
     }
   }
   for (size_t s = 0; s < queues_.size(); ++s) {
     ShardQueue& q = *queues_[s];
-    std::unique_lock<std::mutex> lk(q.mu);
-    q.progress.wait(lk, [&] { return q.drained >= targets[s]; });
+    MutexLock lk(q.mu);
+    while (q.drained < targets[s]) q.progress.Wait(q.mu);
   }
 }
 
 void UpdateStream::Close() {
   {
-    std::lock_guard<std::mutex> lock(push_mu_);
+    MutexLock lock(push_mu_);
     if (closed_) return;
     closed_ = true;
   }
   stop_.store(true);
   for (auto& q : queues_) {
-    std::lock_guard<std::mutex> lk(q->mu);
-    q->ready.notify_one();
+    MutexLock lk(q->mu);
+    q->ready.NotifyOne();
   }
   for (auto& q : queues_) q->worker.join();
 }
@@ -151,11 +155,11 @@ void UpdateStream::Close() {
 UpdateStream::Stats UpdateStream::stats() const {
   Stats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     out = stats_;
   }
   for (const auto& q : queues_) {
-    std::lock_guard<std::mutex> lk(q->mu);
+    MutexLock lk(q->mu);
     out.pieces_applied += q->pieces_applied;
     out.apply_failures += q->apply_failures;
     if (q->max_depth_seen > out.max_queue_depth_seen)

@@ -2,16 +2,15 @@
 #define AUTHDB_SERVER_UPDATE_STREAM_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "core/protocol.h"
 #include "server/sharded_query_server.h"
 
@@ -73,7 +72,7 @@ class UpdateStream {
 
   /// Route one DA update message onto the owning shard queue(s). Blocks
   /// while every target queue is at the backpressure bound.
-  void PushUpdate(SignedRecordUpdate msg);
+  void PushUpdate(SignedRecordUpdate msg) EXCLUDES(push_mu_);
 
   /// Fan a freshly certified summary out to every shard queue as an epoch
   /// barrier; the epoch publishes once all shards have drained past it.
@@ -82,17 +81,18 @@ class UpdateStream {
   /// filters ride the same descriptor swap as the epoch itself, so an
   /// answer stamped with epoch e never cites a filter older than period
   /// e-1 — join state and bitmaps advance atomically together.
-  void PushSummary(UpdateSummary summary);
+  void PushSummary(UpdateSummary summary) EXCLUDES(push_mu_);
   void PushSummary(UpdateSummary summary,
-                   std::vector<CertifiedPartition> partition_refresh);
+                   std::vector<CertifiedPartition> partition_refresh)
+      EXCLUDES(push_mu_);
 
   /// Block until everything pushed before the call has been applied (and
   /// any summary among it published).
-  void Flush();
+  void Flush() EXCLUDES(push_mu_);
 
   /// Drain all queues, publish pending summaries, stop the workers. Called
   /// by the destructor; idempotent. No pushes may race with or follow it.
-  void Close();
+  void Close() EXCLUDES(push_mu_);
 
   struct Stats {
     uint64_t updates_pushed = 0;      ///< PushUpdate calls
@@ -102,7 +102,7 @@ class UpdateStream {
     size_t max_queue_depth_seen = 0;  ///< high-water mark across shards
     LatencyHistogram publish_latency;  ///< PushSummary -> epoch publication
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(stats_mu_);
 
  private:
   /// Summary fan-out marker shared by all shard queues. Each worker
@@ -123,18 +123,18 @@ class UpdateStream {
   };
 
   struct ShardQueue {
-    std::mutex mu;
-    std::condition_variable ready;     ///< worker wakeup
-    std::condition_variable progress;  ///< backpressure + Flush wakeup
-    std::deque<Event> q;
-    uint64_t enqueued = 0;
-    uint64_t drained = 0;
+    Mutex mu;
+    CondVar ready;     ///< worker wakeup
+    CondVar progress;  ///< backpressure + Flush wakeup
+    std::deque<Event> q GUARDED_BY(mu);
+    uint64_t enqueued GUARDED_BY(mu) = 0;
+    uint64_t drained GUARDED_BY(mu) = 0;
     // Hot-path counters live here — under the mutex the worker and
     // Enqueue already hold — so the per-event path never touches the
     // global stats lock; stats() merges across shards.
-    uint64_t pieces_applied = 0;
-    uint64_t apply_failures = 0;
-    size_t max_depth_seen = 0;
+    uint64_t pieces_applied GUARDED_BY(mu) = 0;
+    uint64_t apply_failures GUARDED_BY(mu) = 0;
+    size_t max_depth_seen GUARDED_BY(mu) = 0;
     std::thread worker;
   };
 
@@ -145,14 +145,14 @@ class UpdateStream {
   ShardedQueryServer* server_;
   Options options_;
   std::vector<std::unique_ptr<ShardQueue>> queues_;
-  std::mutex push_mu_;  ///< serializes producers: same order on all queues
+  Mutex push_mu_;  ///< serializes producers: same order on all queues
   std::atomic<bool> stop_{false};
-  bool closed_ = false;  ///< guarded by push_mu_
+  bool closed_ GUARDED_BY(push_mu_) = false;
 
   /// Guards the producer-side and per-publication tallies (updates_pushed,
   /// summaries_published, publish_latency) — all off the per-event path.
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Mutex stats_mu_;
+  Stats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace authdb

@@ -1,13 +1,13 @@
 #include "sim/multi_client.h"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 
 namespace authdb {
 
@@ -33,8 +33,8 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
   };
   std::vector<PerClient> per_client(options.clients);
 
-  std::mutex updates_mu;
-  size_t next_update = 0;
+  Mutex updates_mu;
+  size_t next_update = 0;  // guarded by updates_mu (locals can't annotate)
 
   uint64_t domain = static_cast<uint64_t>(options.key_hi) -
                     static_cast<uint64_t>(options.key_lo) + 1;
@@ -52,7 +52,7 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
       bool do_update = rng.NextDouble() < options.update_fraction;
       const SignedRecordUpdate* upd = nullptr;
       if (do_update) {
-        std::lock_guard<std::mutex> lock(updates_mu);
+        MutexLock lock(updates_mu);
         if (next_update < updates.size()) upd = &updates[next_update++];
       }
       if (upd != nullptr) {

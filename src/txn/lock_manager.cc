@@ -26,7 +26,7 @@ bool LockManager::Compatible(const ResourceState& s, TxnId txn,
 
 Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode,
                             uint64_t timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ResourceState& s = table_[res];
   // Idempotent re-acquire in a compatible mode.
   if (mode == LockMode::kShared && s.shared_holders.count(txn))
@@ -44,11 +44,11 @@ Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode,
     // behind it are admitted concurrently.
     if (cur.serving_ticket == ticket && Compatible(cur, txn, mode)) break;
     waited = true;
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       ResourceState& st = table_[res];
       st.abandoned_tickets.insert(ticket);
       SkipAbandoned(&st);
-      cv_.notify_all();
+      cv_.NotifyAll();
       return Status::Aborted("lock timeout on resource " +
                              std::to_string(res));
     }
@@ -64,12 +64,12 @@ Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode,
   }
   held_[txn].insert(res);
   if (waited) ++contention_;
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 void LockManager::Release(TxnId txn, ResourceId res) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = table_.find(res);
   if (it == table_.end()) return;
   ResourceState& s = it->second;
@@ -80,11 +80,11 @@ void LockManager::Release(TxnId txn, ResourceId res) {
   }
   auto hit = held_.find(txn);
   if (hit != held_.end()) hit->second.erase(res);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto hit = held_.find(txn);
   if (hit == held_.end()) return;
   for (ResourceId res : hit->second) {
@@ -97,11 +97,11 @@ void LockManager::ReleaseAll(TxnId txn) {
     }
   }
   held_.erase(hit);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 uint64_t LockManager::contention_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return contention_;
 }
 

@@ -1,14 +1,13 @@
 #ifndef AUTHDB_TXN_LOCK_MANAGER_H_
 #define AUTHDB_TXN_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace authdb {
 
@@ -35,12 +34,12 @@ class LockManager {
   /// Blocks until granted (or timeout). Re-entrant upgrades are not
   /// supported; acquiring a lock already held (same mode) is a no-op.
   Status Acquire(TxnId txn, ResourceId res, LockMode mode,
-                 uint64_t timeout_ms = 10'000);
-  void Release(TxnId txn, ResourceId res);
-  void ReleaseAll(TxnId txn);
+                 uint64_t timeout_ms = 10'000) EXCLUDES(mu_);
+  void Release(TxnId txn, ResourceId res) EXCLUDES(mu_);
+  void ReleaseAll(TxnId txn) EXCLUDES(mu_);
 
   /// Observability: number of acquisitions that had to wait.
-  uint64_t contention_count() const;
+  uint64_t contention_count() const EXCLUDES(mu_);
 
  private:
   struct ResourceState {
@@ -54,11 +53,11 @@ class LockManager {
   static void SkipAbandoned(ResourceState* s);
   bool Compatible(const ResourceState& s, TxnId txn, LockMode mode) const;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<ResourceId, ResourceState> table_;
-  std::map<TxnId, std::set<ResourceId>> held_;
-  uint64_t contention_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<ResourceId, ResourceState> table_ GUARDED_BY(mu_);
+  std::map<TxnId, std::set<ResourceId>> held_ GUARDED_BY(mu_);
+  uint64_t contention_ GUARDED_BY(mu_) = 0;
 };
 
 /// Two-phase-locking transaction handle: locks accumulate during the

@@ -1,0 +1,53 @@
+// Negative-compile demonstration that the thread-safety annotations are
+// load-bearing: this file contains a textbook lock-discipline bug — a
+// GUARDED_BY field written without its mutex held — and MUST FAIL to
+// compile under clang with -Wthread-safety -Werror=thread-safety-analysis.
+//
+// It is deliberately not part of any CMake target. CI compiles it
+// standalone (see the thread-safety job in .github/workflows/ci.yml):
+//
+//   clang++ -fsyntax-only -std=c++17 -Isrc -DAUTHDB_TSA_DEMO=1 \
+//       -Wthread-safety -Werror=thread-safety-analysis tests/tsa_demo.cc
+//
+// and asserts the exit status is NON-zero. If a refactor of
+// common/thread_annotations.h ever turns the attributes into silent
+// no-ops under clang, this file starts compiling and the CI step fails —
+// the annotations cannot quietly stop analyzing.
+
+#ifndef AUTHDB_TSA_DEMO
+#error "negative-compile fixture: build with -DAUTHDB_TSA_DEMO=1"
+#endif
+
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace authdb {
+namespace {
+
+class EpochCounter {
+ public:
+  // BUG (by design): touches published_ without holding mu_. Under
+  // -Werror=thread-safety-analysis clang reports
+  //   writing variable 'published_' requires holding mutex 'mu_'
+  // and refuses the translation unit.
+  void Publish() { ++published_; }
+
+  uint64_t published() const {
+    MutexLock lock(mu_);
+    return published_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  uint64_t published_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+}  // namespace authdb
+
+int main() {
+  authdb::EpochCounter c;
+  c.Publish();
+  return static_cast<int>(c.published());
+}
