@@ -29,6 +29,11 @@ namespace {
 
 void Run(bench::BenchRun* run) {
   const bool smoke = run->smoke();
+  // --no-batch is the ablation switch: every plan rides its own envelope
+  // (a batch of one), so the same engine runs without cross-plan
+  // amortization — shard visits per plan, no shared finalizes.
+  const bool batching = !run->Flag("--no-batch");
+  const size_t batch_size = batching ? 8 : 1;
 
   WorkloadGenerator::Config wcfg;
   wcfg.n_records = smoke ? 256 : 2048;  // distinct B values
@@ -52,15 +57,19 @@ void Run(bench::BenchRun* run) {
       "S rows = " + std::to_string(rows.size()) + " over " +
           std::to_string(wcfg.n_records) + " distinct B values; " +
           std::to_string(clients) +
-          " closed-loop clients at 50% select / 25% join / 25% project");
+          " closed-loop clients at 50% select / 25% join / 25% project; " +
+          (batching ? "PlanBatch x" + std::to_string(batch_size)
+                    : "batching OFF (--no-batch)"));
 
   SystemClock clock;
   auto ctx = BasContext::Default();
 
-  std::printf("\n%8s %10s %10s %10s %10s %12s %12s %12s\n", "shards",
-              "ops/s", "sel/s", "join/s", "proj/s", "sel p99 us",
-              "join p99 us", "proj p99 us");
-  double join_qps_1 = 0, join_qps_4 = 0;
+  std::printf("\n%8s %10s %10s %10s %10s %12s %12s %12s %12s\n", "shards",
+              "ops/s", "sel/s", "join/s", "proj/s", "cap ops/s",
+              "sel p99 us", "join p99 us", "proj p99 us");
+  double read_cap_1 = 0, read_cap_4 = 0;
+  double join_cap_1 = 0, join_cap_4 = 0;
+  double mixed_cap_1 = 0, mixed_cap_4 = 0;
   MultiClientReport last_report;
   for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
     // Fresh DA per configuration so every shard count serves an identical
@@ -127,6 +136,7 @@ void Run(bench::BenchRun* run) {
     mopts.join_b_lo = 0;
     mopts.join_b_hi = 2 * static_cast<int64_t>(wcfg.n_records) - 1;
     mopts.projection_attrs = {1, 2};
+    mopts.batch_size = batch_size;
     mopts.seed = 42;
     MultiClientReport report = RunMultiClientLoad(&server, {}, mopts);
     stop.store(true);
@@ -139,22 +149,65 @@ void Run(bench::BenchRun* run) {
     double sel_qps = report.KindOpsPerSecond(report.queries);
     double join_qps = report.KindOpsPerSecond(report.joins);
     double proj_qps = report.KindOpsPerSecond(report.projections);
-    if (shards == 1) join_qps_1 = join_qps;
-    if (shards == 4) join_qps_4 = join_qps;
-    std::printf("%8zu %10.0f %10.0f %10.0f %10.0f %12llu %12llu %12llu\n",
-                shards, report.ops_per_second, sel_qps, join_qps, proj_qps,
-                static_cast<unsigned long long>(
-                    report.query_latency.PercentileMicros(0.99)),
-                static_cast<unsigned long long>(
-                    report.join_latency.PercentileMicros(0.99)),
-                static_cast<unsigned long long>(
-                    report.projection_latency.PercentileMicros(0.99)));
+
+    // Shard-scaling capacity from per-shard BUSY time, not wall clock:
+    // on a single-core runner all shard workers timeslice one core, so
+    // wall-clock qps cannot show parallel speedup. What sharding divides
+    // is each shard's busy seconds — capacity_K = plans / max_s(busy_s)
+    // is the throughput K truly-parallel cores would sustain, and is the
+    // machine-independent quantity the 4v1 ratios gate.
+    uint64_t busy_max = 0, read_busy_max = 0, join_busy_max = 0;
+    for (const auto& kb : report.batch.shard_busy) {
+      busy_max = std::max(busy_max, kb.visit_us);
+      read_busy_max = std::max(read_busy_max, kb.select_us + kb.project_us);
+      join_busy_max = std::max(join_busy_max, kb.join_us);
+    }
+    size_t reads = report.queries + report.projections;
+    size_t plans = reads + report.joins;
+    double mixed_cap =
+        busy_max > 0 ? static_cast<double>(plans) / (busy_max * 1e-6) : 0;
+    double read_cap = read_busy_max > 0
+                          ? static_cast<double>(reads) / (read_busy_max * 1e-6)
+                          : 0;
+    double join_cap =
+        join_busy_max > 0
+            ? static_cast<double>(report.joins) / (join_busy_max * 1e-6)
+            : 0;
+    if (shards == 1) {
+      read_cap_1 = read_cap;
+      join_cap_1 = join_cap;
+      mixed_cap_1 = mixed_cap;
+    }
+    if (shards == 4) {
+      read_cap_4 = read_cap;
+      join_cap_4 = join_cap;
+      mixed_cap_4 = mixed_cap;
+    }
+
+    std::printf(
+        "%8zu %10.0f %10.0f %10.0f %10.0f %12.0f %12llu %12llu %12llu\n",
+        shards, report.ops_per_second, sel_qps, join_qps, proj_qps, mixed_cap,
+        static_cast<unsigned long long>(
+            report.query_latency.PercentileMicros(0.99)),
+        static_cast<unsigned long long>(
+            report.join_latency.PercentileMicros(0.99)),
+        static_cast<unsigned long long>(
+            report.projection_latency.PercentileMicros(0.99)));
 
     std::string suffix = "_shards_" + std::to_string(shards);
     run->Metric("mixed_ops_per_s" + suffix, report.ops_per_second);
     run->Metric("select_qps" + suffix, sel_qps);
     run->Metric("join_qps" + suffix, join_qps);
     run->Metric("projection_qps" + suffix, proj_qps);
+    run->Metric("mixed_capacity_per_s" + suffix, mixed_cap);
+    run->Metric("read_capacity_per_s" + suffix, read_cap);
+    run->Metric("join_capacity_per_s" + suffix, join_cap);
+    run->Metric("shard_busy_max_us" + suffix,
+                static_cast<double>(busy_max));
+    run->Metric("shard_visits" + suffix,
+                static_cast<double>(report.batch.shard_visits));
+    run->Metric("batch_finalizes" + suffix,
+                static_cast<double>(report.batch.batch_finalizes));
     run->Metric("select_p99_us" + suffix,
                 static_cast<double>(
                     report.query_latency.PercentileMicros(0.99)));
@@ -184,10 +237,19 @@ void Run(bench::BenchRun* run) {
     }
   }
 
-  // The headline ratio: join throughput scaling 1 -> 4 shards — machine-
-  // independent, gated in CI like the selection speedup.
-  double join_ratio = join_qps_1 > 0 ? join_qps_4 / join_qps_1 : 0;
+  // The headline ratios: busy-time capacity scaling 1 -> 4 shards (see the
+  // capacity comment above) — machine-independent, gated in CI with a hard
+  // scaling floor. Uniform sharding over this workload should land near
+  // the shard count minus imbalance; the contract requires >= 2.0 mixed.
+  double read_ratio = read_cap_1 > 0 ? read_cap_4 / read_cap_1 : 0;
+  double join_ratio = join_cap_1 > 0 ? join_cap_4 / join_cap_1 : 0;
+  double mixed_ratio = mixed_cap_1 > 0 ? mixed_cap_4 / mixed_cap_1 : 0;
+  std::printf("\nCapacity scaling 4v1 (busy-time): read %.2fx, join %.2fx, "
+              "mixed %.2fx\n", read_ratio, join_ratio, mixed_ratio);
+  run->Metric("read_qps_ratio_4v1", read_ratio);
   run->Metric("join_qps_ratio_4v1", join_ratio);
+  run->Metric("mixed_ops_ratio_4v1", mixed_ratio);
+  run->Metric("batching_enabled", batching ? 1.0 : 0.0);
 
   // Per-kind VO accounting from the last (4-shard) run: the serving-layer
   // Figure 11 view. Not throughput metrics — reported, never gated.
@@ -211,7 +273,7 @@ void Run(bench::BenchRun* run) {
 }  // namespace authdb
 
 int main(int argc, char** argv) {
-  authdb::bench::BenchRun run(argc, argv, "mixed_queries");
+  authdb::bench::BenchRun run(argc, argv, "mixed_queries", {"--no-batch"});
   authdb::Run(&run);
   return 0;
 }

@@ -34,11 +34,15 @@ inline void Header(const std::string& title, const std::string& note) {
 ///   --json <path>  write a machine-readable run report ({"bench": ...,
 ///                  "smoke": ..., "elapsed_seconds": ..., "metrics": {...}})
 ///                  on exit; the CI smoke job uploads these as artifacts.
+/// A bench may declare extra boolean flags (e.g. "--no-batch" for the
+/// batching ablation) via `extra_flags`; query them with Flag(). Anything
+/// not declared still exits 2, so typos never silently change a run.
 /// Benches record headline numbers via Metric(); the report is written by
 /// the destructor so every early `return` still produces one.
 class BenchRun {
  public:
-  BenchRun(int argc, char** argv, std::string name)
+  BenchRun(int argc, char** argv, std::string name,
+           std::vector<std::string> extra_flags = {})
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -48,8 +52,19 @@ class BenchRun {
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         json_path_ = argv[i] + 7;
       } else {
+        bool known = false;
+        for (const std::string& f : extra_flags) {
+          if (f == argv[i]) {
+            set_flags_.push_back(f);
+            known = true;
+            break;
+          }
+        }
+        if (known) continue;
+        std::string extras;
+        for (const std::string& f : extra_flags) extras += ", " + f;
         std::fprintf(stderr, "%s: unknown flag %s (known: --smoke, --json "
-                     "<path>)\n", name_.c_str(), argv[i]);
+                     "<path>%s)\n", name_.c_str(), argv[i], extras.c_str());
         std::exit(2);
       }
     }
@@ -81,6 +96,13 @@ class BenchRun {
   }
 
   bool smoke() const { return smoke_; }
+  /// True iff a declared extra flag was passed on the command line.
+  bool Flag(const std::string& name) const {
+    for (const std::string& f : set_flags_) {
+      if (f == name) return true;
+    }
+    return false;
+  }
   void Metric(const std::string& key, double value) {
     metrics_.emplace_back(key, value);
   }
@@ -89,6 +111,7 @@ class BenchRun {
   std::string name_;
   std::string json_path_;
   bool smoke_ = false;
+  std::vector<std::string> set_flags_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::chrono::steady_clock::time_point start_;
 };

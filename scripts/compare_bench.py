@@ -35,9 +35,10 @@ bench, and that check is machine-independent.
 
 Usage:
     compare_bench.py --baseline bench_baseline.json --results bench-results/
-    compare_bench.py --baseline ... --self-test  # 2x-slowdown gate check
+    compare_bench.py --baseline ... --self-test  # gate mechanics checks
     compare_bench.py ... --scale-results 0.5     # scale live results (manual)
     compare_bench.py ... --write-baseline        # refresh the baseline file
+    compare_bench.py --ablation on.json off.json # batching ON/OFF delta
 
 Exit status: 0 = no regression, 1 = regression / missing data, 2 = usage.
 """
@@ -49,7 +50,8 @@ import re
 import sys
 
 THROUGHPUT_RE = re.compile(
-    r"(qps|ops_per_second|ops\b|per_s|rate|speedup|retention|throughput)")
+    r"(qps|ops_per_second|ops\b|per_s|rate|speedup|retention|throughput"
+    r"|ratio)")
 
 # Metric classes written into a generated baseline. Only ratio metrics
 # are gated on value: speedup-style ratios get a 0.4 band — headroom over
@@ -68,6 +70,24 @@ RATIO_TOLERANCE = 0.4
 RETENTION_TOLERANCE = 0.5
 DEFAULT_TOLERANCE = 0.25
 COLLAPSE_FRACTION = 0.1
+
+# The shard-scaling contract: these 4-shard-vs-1-shard busy-time capacity
+# ratios (bench_mixed_queries) are REQUIRED gated metrics with a hard
+# absolute floor, independent of the baseline-relative tolerance band. The
+# band catches drift from the recorded value; the floor says the sharded
+# server must scale at all — a ratio at or below ~1x means shard visits
+# have collapsed onto one shard (or the busy accounting broke), which a
+# generous band around a high recorded value could otherwise wave through.
+SCALING_FLOOR_RE = re.compile(
+    r"^(read_qps_ratio_4v1|join_qps_ratio_4v1|mixed_ops_ratio_4v1)$")
+SCALING_FLOOR = 1.2
+# Scaling ratios divide per-shard busy times, which at smoke scale are
+# micro-measurements (a few hundred microseconds of join work per shard)
+# — far noisier than the speedup/retention ratios of whole-run wall
+# clocks. The absolute contract floor above is their primary gate; the
+# baseline-relative band stays loose so runner jitter around a high
+# recorded ratio cannot fail a healthy build.
+SCALING_TOLERANCE = 0.65
 
 
 def is_gated(name):
@@ -103,6 +123,9 @@ def write_baseline(path, results, threshold):
                 entry["tolerance"] = RETENTION_TOLERANCE
             else:
                 entry["informational"] = True
+            if SCALING_FLOOR_RE.match(name):
+                entry["floor"] = SCALING_FLOOR
+                entry["tolerance"] = SCALING_TOLERANCE
             pinned[name] = entry
         if pinned:
             benches[bench] = pinned
@@ -173,8 +196,20 @@ def gate(doc, results, threshold, scale):
                 failures.append(
                     f"{bench}.{name}: {value:.4g} < floor {floor:.4g} "
                     f"(baseline {base:.4g}, tolerance {tolerance:.0%})")
+            # Absolute hard floor (the shard-scaling contract): checked in
+            # addition to the baseline-relative band — a value inside the
+            # band but below the contract floor still fails.
+            hard = entry.get("floor")
+            if hard is not None and value < hard and verdict == "ok":
+                verdict = "BELOW-FLOOR"
+                failures.append(
+                    f"{bench}.{name}: {value:.4g} < required floor "
+                    f"{hard:.4g} (scaling contract, independent of the "
+                    f"baseline band)")
             print(f"  {verdict:>10}  {bench}.{name}: {value:.4g} "
-                  f"vs baseline {base:.4g} (floor {floor:.4g})")
+                  f"vs baseline {base:.4g} (floor {floor:.4g}"
+                  + (f", required >= {hard:.4g}" if hard is not None else "")
+                  + ")")
     print(f"checked {gated} gated + {informational} informational "
           f"(collapse-floor-only) metrics, {len(failures)} failure(s)")
     for f in failures:
@@ -200,6 +235,66 @@ def self_test(doc, threshold):
               file=sys.stderr)
         return 1
     print("self-test ok: uniform 2x slowdown of the baseline is rejected")
+
+    # Scaling-floor mechanics: a ratio INSIDE the baseline-relative band
+    # but below the absolute contract floor must still fail. Synthetic
+    # baseline: recorded 1.3 with the 0.4 ratio band puts the band floor
+    # at 0.78; a measured 1.15 clears that band yet sits below the 1.2
+    # contract floor — only the "floor" key can reject it.
+    floor_doc = {"benches": {"synthetic_scaling": {
+        "mixed_ops_ratio_4v1":
+            {"value": 1.3, "tolerance": 0.4, "floor": SCALING_FLOOR},
+    }}}
+    rc = gate(floor_doc, {"synthetic_scaling": {"mixed_ops_ratio_4v1": 1.15}},
+              threshold, 1.0)
+    if rc == 0:
+        print("SELF-TEST FAILED: a sub-floor scaling ratio (1.15 < "
+              f"{SCALING_FLOOR}) inside the tolerance band passed the gate",
+              file=sys.stderr)
+        return 1
+    print(f"self-test ok: sub-floor scaling ratio (1.15 < {SCALING_FLOOR}) "
+          "is rejected even inside the tolerance band")
+
+    # And the floors must actually be pinned: every scaling-contract ratio
+    # present in the real baseline has to carry the "floor" key, or the
+    # contract silently degrades to the relative band.
+    missing = [
+        f"{bench}.{name}"
+        for bench, metrics in doc.get("benches", {}).items()
+        for name, entry in metrics.items()
+        if SCALING_FLOOR_RE.match(name) and "floor" not in entry
+    ]
+    if missing:
+        print("SELF-TEST FAILED: scaling ratios without a required floor: "
+              + ", ".join(sorted(missing)), file=sys.stderr)
+        return 1
+    return 0
+
+
+def ablation(on_path, off_path):
+    """Informational batching-ablation report: compare one BenchRun JSON
+    produced with batching ON against one with batching OFF and print the
+    per-metric delta. Never gates — the ON run is what the baseline and
+    the scaling contract judge; this step documents what batching buys on
+    the runner that produced the artifacts."""
+    reports = []
+    for path in (on_path, off_path):
+        report = json.loads(pathlib.Path(path).read_text())
+        if "metrics" not in report:
+            print(f"{path}: not a BenchRun report", file=sys.stderr)
+            return 1
+        reports.append(report["metrics"])
+    on, off = reports
+    shared = sorted(set(on) & set(off) - {"batching_enabled"})
+    if not shared:
+        print("no shared metrics between ON and OFF artifacts",
+              file=sys.stderr)
+        return 1
+    print(f"batching ablation (ON vs OFF), {len(shared)} shared metrics:")
+    for name in shared:
+        ratio = on[name] / off[name] if off[name] else float("inf")
+        print(f"  {name}: ON {on[name]:.4g} vs OFF {off[name]:.4g} "
+              f"({ratio:.2f}x)")
     return 0
 
 
@@ -221,8 +316,14 @@ def main():
     ap.add_argument("--write-baseline", action="store_true",
                     help="write the baseline from the results instead of "
                          "gating")
+    ap.add_argument("--ablation", nargs=2, metavar=("ON_JSON", "OFF_JSON"),
+                    help="informational: report the per-metric delta "
+                         "between a batching-ON and a batching-OFF "
+                         "BenchRun artifact (no gating)")
     args = ap.parse_args()
 
+    if args.ablation:
+        return ablation(args.ablation[0], args.ablation[1])
     if args.self_test:
         doc = json.loads(pathlib.Path(args.baseline).read_text())
         return self_test(doc, args.threshold)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Structural invariant linter for the authdb tree.
 
-Four rules, each protecting a contract the compiler cannot see:
+Five rules, each protecting a contract the compiler cannot see:
 
 * ``epoch-pin`` — read paths of ``ShardedQueryServer`` (its ``const``
   member functions in ``src/server/sharded_query_server.cc``) must reach
@@ -30,6 +30,15 @@ Four rules, each protecting a contract the compiler cannot see:
   ``--json``) or google-benchmark (``--benchmark_format=json``). The CI
   bench gate consumes those JSON artifacts; a bench without them is
   invisible to the regression gate.
+
+* ``batch-path`` — the batched executor
+  (``src/server/batch_exec.cc``) must not dispatch shard work from a
+  per-plan loop: a ``for``/``while`` whose header mentions ``plan`` may
+  stitch and aggregate, but a shard dispatch call (``RunVisits`` /
+  ``Execute`` / ``ExecuteBatch`` / ``Select`` / ``ScanShard`` /
+  ``Visit``) inside it reintroduces one-visit-per-plan — exactly the
+  hand-off the PlanBatch envelope exists to amortize away (one visit per
+  covered shard per batch).
 
 Escape hatch: a violating line is accepted when it (or the line directly
 above it) carries ``// authdb-lint: allow(<rule>)`` — use sparingly and
@@ -250,6 +259,48 @@ def check_bench_json(files):
 
 
 # --------------------------------------------------------------------------
+# Rule: batch-path
+
+LOOP_HEADER_RE = re.compile(r"\b(for|while)\s*\(")
+BATCH_DISPATCH_RE = re.compile(
+    r"\b(RunVisits|ExecuteBatch|Execute|Select|ScanShard|Visit)\s*\(")
+
+
+def check_batch_path(relpath, text):
+    findings = []
+    orig_lines = text.splitlines()
+    stripped = "\n".join(_strip_line_comment(ln) for ln in orig_lines)
+    for m in LOOP_HEADER_RE.finditer(stripped):
+        paren_close = _match_forward(stripped, m.end() - 1, "(", ")")
+        if paren_close < 0:
+            continue
+        if not re.search(r"plan", stripped[m.start():paren_close],
+                         re.IGNORECASE):
+            continue
+        rest = stripped[paren_close:].lstrip()
+        if rest.startswith("{"):
+            brace = stripped.index("{", paren_close)
+            body_end = _match_forward(stripped, brace, "{", "}")
+            if body_end < 0:
+                continue
+            body_start, body = brace, stripped[brace:body_end]
+        else:  # single-statement loop body
+            semi = stripped.find(";", paren_close)
+            if semi < 0:
+                continue
+            body_start, body = paren_close, stripped[paren_close:semi + 1]
+        for hit in BATCH_DISPATCH_RE.finditer(body):
+            line = _line_of(stripped, body_start + hit.start())
+            if not _allowed(orig_lines, line - 1, "batch-path"):
+                findings.append(Finding(
+                    "batch-path", relpath, line,
+                    "per-plan loop dispatches %s — the batched executor "
+                    "must visit each shard once per batch, not once per "
+                    "plan" % hit.group(1)))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 CXX_DIRS = ("src", "tests", "bench", "examples")
@@ -272,10 +323,21 @@ def lint_tree(root):
                 continue
             findings.extend(check_raw_mutex(rel, path.read_text()))
 
-    server_cc = root / "src/server/sharded_query_server.cc"
-    if server_cc.is_file():
-        findings.extend(check_epoch_pin(
-            server_cc.relative_to(root).as_posix(), server_cc.read_text()))
+    # The read path spans two translation units: the descriptor-global
+    # helpers and the batched execution engine. Both hold const member
+    # functions of ShardedQueryServer, so both get the epoch-pin scan.
+    for name in ("src/server/sharded_query_server.cc",
+                 "src/server/batch_exec.cc"):
+        server_cc = root / name
+        if server_cc.is_file():
+            findings.extend(check_epoch_pin(
+                server_cc.relative_to(root).as_posix(),
+                server_cc.read_text()))
+
+    batch_cc = root / "src/server/batch_exec.cc"
+    if batch_cc.is_file():
+        findings.extend(check_batch_path(
+            batch_cc.relative_to(root).as_posix(), batch_cc.read_text()))
 
     tests_cmake = root / "tests/CMakeLists.txt"
     if tests_cmake.is_file():
@@ -332,6 +394,24 @@ SELFTEST_BENCH = [
     ("bench/bench_naked.cc", "int main() { printf(\"fast\\n\"); }"),
 ]
 
+SELFTEST_BATCH_PATH = """\
+void BatchEngine::Bad(const PlanBatch& batch) {
+  for (const Query& plan : batch.plans) {
+    srv_.Execute(plan);
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    RunVisits(visits);  // not a per-plan loop: must NOT be flagged
+  }
+  for (size_t p = 0; p < plans.size(); ++p) {
+    results.push_back(StitchSelect(p));  // stitch call: must NOT be flagged
+  }
+  for (const Query& plan : batch.plans) {
+    // authdb-lint: allow(batch-path)
+    srv_.Execute(plan);
+  }
+}
+"""
+
 
 def self_test():
     failures = []
@@ -359,6 +439,11 @@ def self_test():
     naked = check_bench_json(SELFTEST_BENCH)
     if naked and naked[0].path != "bench/bench_naked.cc":
         failures.append("bench-json flagged the wrong file: %r" % (naked,))
+    # Seeded per-plan dispatch is caught once; the per-shard loop, the
+    # stitch call, and the allow-escaped loop all stay silent.
+    expect("seeded batch-path",
+           check_batch_path("fake.cc", SELFTEST_BATCH_PATH),
+           "batch-path", 1)
 
     if failures:
         for f in failures:
@@ -387,7 +472,8 @@ def main(argv):
     if findings:
         print("%d invariant violation(s)" % len(findings), file=sys.stderr)
         return 1
-    print("invariants ok: epoch-pin, raw-mutex, test-labels, bench-json")
+    print("invariants ok: epoch-pin, raw-mutex, test-labels, bench-json, "
+          "batch-path")
     return 0
 
 

@@ -54,6 +54,53 @@ size_t EpochSnapshot::UpperBound(int64_t key) const {
   return starts_[ci] + static_cast<size_t>(it - c.begin());
 }
 
+namespace {
+/// First rank in (start, total] whose key satisfies `past(key)`, galloping
+/// forward: exponential probes from `start`, then a binary search inside
+/// the bracketed window. `past` must be monotone in rank.
+template <typename Past>
+size_t GallopForward(const EpochSnapshot& snap, size_t start, Past past) {
+  size_t total = snap.size();
+  if (start >= total) return total;
+  if (past(snap.ItemAt(start).key())) return start;
+  size_t step = 1;
+  size_t lo = start;  // known: !past(key at lo)
+  size_t hi;
+  for (;;) {
+    hi = lo + step;
+    if (hi >= total) {
+      hi = total;
+      break;
+    }
+    if (past(snap.ItemAt(hi).key())) break;
+    lo = hi;
+    step <<= 1;
+  }
+  // Invariant: !past(lo), past(hi) (or hi == total). Bisect (lo, hi).
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (past(snap.ItemAt(mid).key())) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+}  // namespace
+
+size_t EpochSnapshot::ForwardCursor::LowerBound(int64_t key) {
+  AUTHDB_DCHECK(key >= last_key_);
+  last_key_ = key;
+  pos_ = GallopForward(snap_, pos_, [key](int64_t k) { return k >= key; });
+  return pos_;
+}
+
+size_t EpochSnapshot::ForwardCursor::UpperBoundFrom(size_t start,
+                                                    int64_t key) const {
+  return GallopForward(snap_, start, [key](int64_t k) { return k > key; });
+}
+
 const SnapshotItem& EpochSnapshot::ItemAt(size_t rank) const {
   AUTHDB_CHECK(rank < total_);
   size_t ci = std::upper_bound(starts_.begin(), starts_.end(), rank) -

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/chain.h"
 #include "core/protocol.h"
 #include "core/record.h"
 #include "crypto/bas.h"
@@ -87,6 +88,31 @@ class EpochSnapshot {
   const SnapshotItem* Successor(int64_t key) const;
 
   size_t chunk_count() const { return chunks_.size(); }
+
+  /// Vectorized rank lookup for a batch of probe keys presented in
+  /// ascending order (the LookupBatch discipline: sort the probe keys,
+  /// then walk the snapshot forward once). The cursor remembers the rank
+  /// the previous lookup landed on and gallops forward from there, so a
+  /// whole batch of k sorted probes costs O(k + log n) instead of
+  /// k full binary searches — and, more importantly, touches each chunk's
+  /// key run once, in order.
+  class ForwardCursor {
+   public:
+    explicit ForwardCursor(const EpochSnapshot& snap) : snap_(snap) {}
+
+    /// Rank of the first item with key >= `key`. Keys across calls must be
+    /// non-decreasing (checked in debug builds).
+    size_t LowerBound(int64_t key);
+    /// Rank of the first item with key > `key`, galloping forward from
+    /// `start` (callers pass the matching LowerBound result). Does not
+    /// move the cursor, so overlapping ranges stay correct.
+    size_t UpperBoundFrom(size_t start, int64_t key) const;
+
+   private:
+    const EpochSnapshot& snap_;
+    size_t pos_ = 0;      ///< rank reached by the previous LowerBound
+    int64_t last_key_ = kChainMinusInf;
+  };
 
  private:
   friend class ShardVersionBuilder;

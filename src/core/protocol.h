@@ -120,6 +120,22 @@ struct Query {
   }
 };
 
+/// A group of client plans submitted for execution against ONE pinned
+/// epoch (the batched server path, ShardedQueryServer::ExecuteBatch).
+/// Every plan in the batch is answered from the same serializable cut, and
+/// the executor amortizes shard visits, snapshot walks, and signature
+/// finalization across the whole batch; each plan still yields its own
+/// independently verifiable QueryAnswer.
+struct PlanBatch {
+  std::vector<Query> plans;
+
+  static PlanBatch Of(std::vector<Query> plans) {
+    PlanBatch b;
+    b.plans = std::move(plans);
+    return b;
+  }
+};
+
 /// The attribute set a projection plan actually serves: the requested
 /// positions deduplicated in order, with the index attribute (position 0)
 /// forced to the front when absent — shared by the executors and the

@@ -371,11 +371,80 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi,
                                       uint64_t generation,
                                       const LeafProvider& leaves,
                                       AggStats* stats) {
-  AggStats local;
-  AggStats* s = stats != nullptr ? stats : &local;  // accumulated, not reset
-  MutexLock lock(mu_);
+  // A batch of one: the decomposition, tagging, and stats discipline live
+  // in RangeAggregateBatch so the scalar and batched paths cannot drift.
+  std::vector<AggStats> st(1);
+  if (stats != nullptr) st[0] = *stats;  // accumulated, not reset
+  std::vector<BasSignature> out =
+      RangeAggregateBatch({RangeSpec{lo, hi}}, generation, leaves, &st);
+  if (stats != nullptr) *stats = st[0];
+  return out[0];
+}
+
+struct SigCache::BatchState {
+  std::map<Key, size_t> staged;          ///< window -> index into jacs/keys
+  std::vector<CurveGroup::Jacobian> jacs;
+  std::vector<Key> keys;
+};
+
+CurveGroup::Jacobian SigCache::JacComputeNode(const Key& key,
+                                              uint64_t generation,
+                                              const LeafProvider& leaves,
+                                              BatchState* batch,
+                                              AggStats* stats) {
   const CurveGroup& curve = ctx_->curve();
-  CurveGroup::Jacobian acc = curve.ToJacobian(ECPoint{});
+  size_t lo = key.j << key.level;
+  size_t hi = lo + (size_t{1} << key.level) - 1;
+  CurveGroup::Jacobian acc{};
+  size_t pos = lo;
+  while (pos <= hi && pos < n_) {
+    bool used_cache = false;
+    for (int level = key.level - 1; level >= 1; --level) {
+      size_t m = size_t{1} << level;
+      if (pos % m != 0 || pos + m - 1 > hi) continue;
+      Key sub{level, pos >> level};
+      auto it = entries_.find(sub);
+      if (it == entries_.end()) continue;
+      auto st = batch->staged.find(sub);
+      bool is_staged = st != batch->staged.end();
+      // Sub-windows are reusable only within the same chain generation —
+      // mixing generations inside one recomputed node is exactly what the
+      // tag exists to prevent. A window staged this call IS generation
+      // `generation`; its entry flags just haven't been written yet.
+      if (!is_staged &&
+          (!it->second.valid || it->second.generation != generation)) {
+        continue;
+      }
+      ++it->second.access_count;
+      ++stats->cache_hits;
+      if (is_staged) {
+        acc = curve.JacAdd(acc, batch->jacs[st->second]);
+      } else if (!it->second.sig.point.infinity) {
+        acc = curve.JacAddAffine(acc, it->second.sig.point);
+      }
+      ++stats->point_adds;
+      pos += m;
+      used_cache = true;
+      break;
+    }
+    if (used_cache) continue;
+    BasSignature leaf = leaves(pos);
+    ++stats->leaf_fetches;
+    if (!leaf.point.infinity) acc = curve.JacAddAffine(acc, leaf.point);
+    ++stats->point_adds;
+    ++pos;
+  }
+  if (stats->point_adds > 0) --stats->point_adds;  // n items = n-1 additions
+  return acc;
+}
+
+CurveGroup::Jacobian SigCache::JacRangeWalk(size_t lo, size_t hi,
+                                            uint64_t generation,
+                                            const LeafProvider& leaves,
+                                            BatchState* batch,
+                                            AggStats* s) {
+  const CurveGroup& curve = ctx_->curve();
+  CurveGroup::Jacobian acc{};
   size_t items = 0;
   size_t pos = lo;
   while (pos <= hi) {
@@ -386,27 +455,40 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi,
       for (int level = max_level_; level >= 1; --level) {
         size_t m = size_t{1} << level;
         if (pos % m != 0 || pos + m - 1 > hi || pos + m > n_) continue;
-        auto it = entries_.find(Key{level, pos >> level});
+        Key key{level, pos >> level};
+        auto it = entries_.find(key);
         if (it == entries_.end()) continue;
-        if (it->second.valid && it->second.generation > generation) {
+        auto st = batch->staged.find(key);
+        bool is_staged = st != batch->staged.end();
+        if (!is_staged && it->second.valid &&
+            it->second.generation > generation) {
           // The window already serves a NEWER generation: a reader still
           // pinned to an older epoch must not clobber it (alternating
           // old/new readers would otherwise thrash full recomputes) —
           // fall through to this pos's leaves instead.
           continue;
         }
-        if (!it->second.valid || it->second.generation < generation) {
+        if (!is_staged &&
+            (!it->second.valid || it->second.generation < generation)) {
           // Stale or never-filled window: recompute against this reader's
-          // pinned snapshot and advance the tag.
+          // pinned snapshot and stage the fill — it advances the tag when
+          // the batch's shared inversion writes it back.
           ++s->refreshes;
-          it->second.sig = ComputeNode(it->first, generation, leaves, s);
-          it->second.valid = true;
-          it->second.generation = generation;
+          CurveGroup::Jacobian node =
+              JacComputeNode(key, generation, leaves, batch, s);
+          batch->staged[key] = batch->jacs.size();
+          batch->jacs.push_back(std::move(node));
+          batch->keys.push_back(key);
+          st = batch->staged.find(key);
+          is_staged = true;
         }
         ++it->second.access_count;
         ++s->cache_hits;
-        if (!it->second.sig.point.infinity)
+        if (is_staged) {
+          acc = curve.JacAdd(acc, batch->jacs[st->second]);
+        } else if (!it->second.sig.point.infinity) {
           acc = curve.JacAddAffine(acc, it->second.sig.point);
+        }
         if (items++ > 0) ++s->point_adds;
         pos += m;
         used_cache = true;
@@ -420,7 +502,43 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi,
     if (items++ > 0) ++s->point_adds;
     ++pos;
   }
-  return BasSignature{curve.ToAffine(acc)};
+  return acc;
+}
+
+std::vector<BasSignature> SigCache::RangeAggregateBatch(
+    const std::vector<RangeSpec>& ranges, uint64_t generation,
+    const LeafProvider& leaves, std::vector<AggStats>* per_range_stats) {
+  const CurveGroup& curve = ctx_->curve();
+  if (per_range_stats != nullptr && per_range_stats->size() < ranges.size())
+    per_range_stats->resize(ranges.size());
+  MutexLock lock(mu_);
+  BatchState batch;
+  std::vector<CurveGroup::Jacobian> range_jacs;
+  range_jacs.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    AggStats local;
+    AggStats* s =
+        per_range_stats != nullptr ? &(*per_range_stats)[i] : &local;
+    range_jacs.push_back(
+        JacRangeWalk(ranges[i].lo, ranges[i].hi, generation, leaves, &batch,
+                     s));
+  }
+  // ONE shared inversion finalizes every staged window fill and every
+  // range result together.
+  std::vector<CurveGroup::Jacobian> all = std::move(batch.jacs);
+  for (CurveGroup::Jacobian& rj : range_jacs) all.push_back(std::move(rj));
+  std::vector<ECPoint> pts = curve.ToAffineBatch(all);
+  for (size_t f = 0; f < batch.keys.size(); ++f) {
+    Entry& e = entries_[batch.keys[f]];
+    e.sig = BasSignature{std::move(pts[f])};
+    e.valid = true;
+    e.generation = generation;
+  }
+  std::vector<BasSignature> out;
+  out.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i)
+    out.push_back(BasSignature{std::move(pts[batch.keys.size() + i])});
+  return out;
 }
 
 void SigCache::OnLeafUpdate(size_t pos, const BasSignature& old_sig,

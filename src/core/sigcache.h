@@ -140,6 +140,28 @@ class SigCache {
                               const LeafProvider& leaves, AggStats* stats)
       EXCLUDES(mu_);
 
+  /// An inclusive position range to aggregate (same contract as the
+  /// generation-tagged RangeAggregate).
+  struct RangeSpec {
+    size_t lo = 0, hi = 0;
+  };
+
+  /// Batched window fills + aggregates for one shard visit: every range is
+  /// served under ONE lock hold, and the whole call performs ONE field
+  /// inversion — window fills are staged as Jacobian accumulators (reused
+  /// by later fills and ranges of the same call via Jacobian adds) and
+  /// finalized together with the per-range results through
+  /// CurveGroup::ToAffineBatch. Decomposition, generation tagging, and the
+  /// newer-generation fall-through match the scalar tagged RangeAggregate
+  /// exactly (which is now a batch of one). `per_range_stats`, when
+  /// non-null, is resized to ranges.size() and each range's counters are
+  /// accumulated into the matching slot; fill costs are charged to the
+  /// range that first needed the window.
+  std::vector<BasSignature> RangeAggregateBatch(
+      const std::vector<RangeSpec>& ranges, uint64_t generation,
+      const LeafProvider& leaves, std::vector<AggStats>* per_range_stats)
+      EXCLUDES(mu_);
+
   /// A record at `pos` changed signature. Eager mode patches every cached
   /// ancestor (old out, new in: 2 additions each); lazy mode invalidates.
   void OnLeafUpdate(size_t pos, const BasSignature& old_sig,
@@ -183,6 +205,25 @@ class SigCache {
   /// fetching leaves from `leaves`.
   BasSignature ComputeNode(const Key& key, uint64_t generation,
                            const LeafProvider& leaves, AggStats* stats)
+      REQUIRES(mu_);
+
+  /// Per-call staging area of RangeAggregateBatch: windows filled during
+  /// the call stay Jacobian (visible to later fills and ranges of the same
+  /// call) until the shared batch inversion writes them back affine.
+  struct BatchState;
+
+  /// Jacobian twin of ComputeNode: derives a node from smaller windows of
+  /// the same generation — cached affine entries or fills staged earlier
+  /// in this batch — and leaves, without finalizing.
+  CurveGroup::Jacobian JacComputeNode(const Key& key, uint64_t generation,
+                                      const LeafProvider& leaves,
+                                      BatchState* batch, AggStats* stats)
+      REQUIRES(mu_);
+  /// One range's greedy decomposition walk (the tagged RangeAggregate
+  /// discipline), staging fills into `batch` instead of finalizing them.
+  CurveGroup::Jacobian JacRangeWalk(size_t lo, size_t hi, uint64_t generation,
+                                    const LeafProvider& leaves,
+                                    BatchState* batch, AggStats* stats)
       REQUIRES(mu_);
 
   std::shared_ptr<const BasContext> ctx_;

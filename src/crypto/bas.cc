@@ -127,6 +127,25 @@ BasSignature BasContext::Remove(const BasSignature& acc,
   return BasSignature{curve_->Add(acc.point, curve_->Negate(s.point))};
 }
 
+BasSignature BasContext::Finalize(const BasAccumulator& acc) const {
+  return BasSignature{curve_->ToAffine(acc.jac)};
+}
+
+std::vector<BasSignature> BasContext::FinalizeBatch(
+    const std::vector<const BasAccumulator*>& accs) const {
+  std::vector<CurveGroup::Jacobian> js;
+  js.reserve(accs.size());
+  for (const BasAccumulator* a : accs) {
+    js.push_back(a != nullptr ? a->jac
+                              : CurveGroup::Jacobian{});  // Z=0: infinity
+  }
+  std::vector<ECPoint> pts = curve_->ToAffineBatch(js);
+  std::vector<BasSignature> out;
+  out.reserve(pts.size());
+  for (ECPoint& p : pts) out.push_back(BasSignature{std::move(p)});
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 
 BasPrivateKey BasPrivateKey::Generate(std::shared_ptr<const BasContext> ctx,

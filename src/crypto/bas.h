@@ -34,6 +34,24 @@ struct BasSignature {
   }
 };
 
+/// A deferred-finalization signature aggregate: point additions accumulate
+/// in Jacobian coordinates (cheap mixed adds, no inversion) and the final
+/// affine conversion — the expensive step — is left to
+/// BasContext::FinalizeBatch, which shares ONE field inversion across every
+/// accumulator of a batch. This is how the batched execution path
+/// amortizes proof construction across the plans of one shard visit.
+struct BasAccumulator {
+  CurveGroup::Jacobian jac{};  ///< Z = 0 encodes the empty aggregate
+  size_t count = 0;            ///< signatures added (infinity included)
+
+  bool empty() const { return count == 0; }
+  void Add(const CurveGroup& curve, const BasSignature& sig) {
+    ++count;
+    if (sig.point.infinity) return;
+    jac = curve.JacAddAffine(jac, sig.point);
+  }
+};
+
 /// Shared, immutable BAS domain parameters: a supersingular curve
 /// y^2 = x^3 + x over F_p (p = 3 mod 4, 256 bits), a 160-bit prime subgroup
 /// order r with p + 1 = cofactor * r, the Tate pairing, a generator, and a
@@ -76,6 +94,14 @@ class BasContext {
   BasSignature Combine(const BasSignature& a, const BasSignature& b) const;
   /// Remove one component: acc -= s (used by SigCache eager refresh).
   BasSignature Remove(const BasSignature& acc, const BasSignature& s) const;
+
+  /// Finalize one accumulator (one inversion). Prefer FinalizeBatch.
+  BasSignature Finalize(const BasAccumulator& acc) const;
+  /// Finalize every accumulator with one shared field inversion
+  /// (CurveGroup::ToAffineBatch); accs[i] may be null (skipped). Null and
+  /// empty accumulators finalize to the infinity signature.
+  std::vector<BasSignature> FinalizeBatch(
+      const std::vector<const BasAccumulator*>& accs) const;
 
  private:
   BasContext() = default;

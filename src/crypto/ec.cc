@@ -54,6 +54,37 @@ ECPoint CurveGroup::ToAffine(const Jacobian& j) const {
   return out;
 }
 
+std::vector<ECPoint> CurveGroup::ToAffineBatch(
+    const std::vector<Jacobian>& js) const {
+  const PrimeField& f = *fp_;
+  std::vector<ECPoint> out(js.size());
+  // Montgomery's trick: prefix-multiply the finite Zs, invert the single
+  // running product, then peel per-element inverses off backwards.
+  std::vector<size_t> finite;
+  std::vector<BigInt> prefix;  // prefix[k] = Z_{finite[0]} * ... * Z_{finite[k]}
+  finite.reserve(js.size());
+  prefix.reserve(js.size());
+  BigInt running = f.One();
+  for (size_t i = 0; i < js.size(); ++i) {
+    if (JacIsInfinity(js[i])) continue;  // out[i] stays the infinity point
+    running = f.Mul(running, js[i].Z);
+    finite.push_back(i);
+    prefix.push_back(running);
+  }
+  if (finite.empty()) return out;
+  BigInt inv = f.Inv(running);  // the batch's one inversion
+  for (size_t k = finite.size(); k-- > 0;) {
+    size_t i = finite[k];
+    BigInt zi = k == 0 ? inv : f.Mul(inv, prefix[k - 1]);
+    inv = f.Mul(inv, js[i].Z);  // running inverse of the shorter prefix
+    BigInt zi2 = f.Sqr(zi);
+    out[i].infinity = false;
+    out[i].x = f.Mul(js[i].X, zi2);
+    out[i].y = f.Mul(js[i].Y, f.Mul(zi2, zi));
+  }
+  return out;
+}
+
 CurveGroup::Jacobian CurveGroup::JacDouble(const Jacobian& p) const {
   const PrimeField& f = *fp_;
   if (JacIsInfinity(p) || p.Y.IsZero())

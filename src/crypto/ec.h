@@ -65,6 +65,12 @@ class CurveGroup {
   };
   Jacobian ToJacobian(const ECPoint& p) const;
   ECPoint ToAffine(const Jacobian& j) const;
+  /// Finalize many Jacobian accumulators with ONE field inversion
+  /// (Montgomery's batch-inversion trick) instead of one per point. The
+  /// inversion dominates ToAffine at our field sizes, so finalizing a
+  /// batch of n aggregates costs ~1/n of n individual ToAffine calls —
+  /// the amortization the batched execution path is built on.
+  std::vector<ECPoint> ToAffineBatch(const std::vector<Jacobian>& js) const;
   Jacobian JacDouble(const Jacobian& p) const;
   Jacobian JacAdd(const Jacobian& p, const Jacobian& q) const;
   /// Mixed addition with an affine (non-infinity) second operand.

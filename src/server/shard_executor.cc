@@ -1,0 +1,79 @@
+#include "server/shard_executor.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace authdb {
+
+ShardExecutor::ShardExecutor(size_t shards, bool threaded)
+    : threaded_(threaded) {
+  lanes_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    lanes_.push_back(std::make_unique<Lane>());
+    if (threaded_) {
+      Lane* lane = lanes_.back().get();
+      lane->worker = std::thread([this, lane] { WorkerLoop(lane); });
+    }
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  for (auto& lane : lanes_) {
+    {
+      MutexLock lock(lane->mu);
+      lane->stop = true;
+    }
+    lane->cv.NotifyAll();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+}
+
+void ShardExecutor::WorkerLoop(Lane* lane) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(lane->mu);
+      while (!lane->stop && lane->queue.empty()) lane->cv.Wait(lane->mu);
+      if (lane->queue.empty()) return;  // stop set and drained
+      task = std::move(lane->queue.front());
+      lane->queue.pop_front();
+    }
+    task();
+  }
+}
+
+void ShardExecutor::RunVisits(std::vector<Visit> visits) {
+  if (visits.empty()) return;
+  if (!threaded_) {
+    for (Visit& v : visits) v.fn();
+    return;
+  }
+  auto latch = std::make_shared<Latch>();
+  {
+    // Uncontended (the latch is not yet shared); taken so the analysis
+    // sees the guarded initialization.
+    MutexLock l(latch->mu);
+    latch->remaining = visits.size();
+  }
+  for (Visit& v : visits) {
+    AUTHDB_CHECK(v.shard < lanes_.size());
+    Lane* lane = lanes_[v.shard].get();
+    {
+      MutexLock lock(lane->mu);
+      lane->queue.emplace_back([latch, fn = std::move(v.fn)] {
+        fn();
+        MutexLock l(latch->mu);
+        if (--latch->remaining == 0) latch->cv.NotifyOne();
+      });
+    }
+    lane->cv.NotifyOne();
+  }
+  MutexLock l(latch->mu);
+  while (latch->remaining != 0) latch->cv.Wait(latch->mu);
+}
+
+}  // namespace authdb

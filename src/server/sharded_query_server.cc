@@ -17,7 +17,7 @@ ShardedQueryServer::ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
     : ctx_(std::move(ctx)),
       router_(std::move(router)),
       options_(options),
-      pool_(options.worker_threads),
+      exec_(router_.shard_count(), options.worker_threads > 0),
       pin_sync_(std::make_shared<PinSync>()),
       summaries_(std::make_shared<const std::deque<UpdateSummary>>()) {
   shards_.reserve(router_.shard_count());
@@ -255,7 +255,10 @@ void ShardedQueryServer::EnableSigCache(SigCache::RefreshMode mode,
 }
 
 // ---------------------------------------------------------------------------
-// Read path: one pinned descriptor per answer, wait-free under ingest
+// Read path: one pinned descriptor per answer, wait-free under ingest.
+// The execution engine itself — batch planning, shard visits, stitching —
+// lives in server/batch_exec.cc (BatchEngine); this file keeps only the
+// descriptor-global helpers it shares.
 
 const SnapshotItem* ShardedQueryServer::GlobalPredecessor(
     const EpochDescriptor& desc, int64_t key) const {
@@ -277,159 +280,6 @@ const SnapshotItem* ShardedQueryServer::GlobalSuccessor(
   return nullptr;
 }
 
-BasSignature ShardedQueryServer::AggregateRange(
-    size_t shard, const EpochSnapshot& snap, size_t rank_lo, size_t rank_hi,
-    SigCache::AggStats* stats) const {
-  SigCache* cache = shards_[shard]->sigcache.get();
-  if (cache != nullptr && snap.size() >= shards_[shard]->cache_positions) {
-    // Generation-tagged windows: reused only for readers pinned to the
-    // same chain generation, recomputed from this snapshot otherwise —
-    // cached aggregates never mix generations. (Bypassed when the shard
-    // shrank below the planned position count, where node coverage could
-    // reach past the snapshot.)
-    return cache->RangeAggregate(
-        rank_lo, rank_hi, snap.generation(),
-        [&snap](size_t pos) { return snap.ItemAt(pos).sig; }, stats);
-  }
-  std::vector<ECPoint> pts;
-  pts.reserve(rank_hi - rank_lo + 1);
-  snap.ForEachItem(rank_lo, rank_hi, [&pts](const SnapshotItem& item) {
-    pts.push_back(item.sig.point);
-  });
-  if (stats != nullptr) {
-    stats->point_adds += pts.empty() ? 0 : pts.size() - 1;
-    stats->leaf_fetches += pts.size();
-  }
-  return BasSignature{ctx_->curve().Sum(pts)};
-}
-
-ShardedQueryServer::SubSelect ShardedQueryServer::ScanShard(
-    const EpochDescriptor& desc, size_t shard, int64_t lo, int64_t hi,
-    SigCache::AggStats* stats) const {
-  SubSelect out;
-  out.left_key = kChainMinusInf;
-  out.right_key = kChainPlusInf;
-  const EpochSnapshot& snap = *desc.shards[shard];
-  if (snap.size() == 0) return out;
-  size_t lo_r = snap.LowerBound(lo);
-  size_t hi_r = snap.UpperBound(hi);
-  if (lo_r == hi_r) return out;  // no hits in this shard
-  out.nonempty = true;
-  out.items.reserve(hi_r - lo_r);
-  snap.ForEachItem(lo_r, hi_r - 1, [&out](const SnapshotItem& item) {
-    out.items.push_back(&item);
-  });
-  if (lo_r > 0) out.left_key = snap.ItemAt(lo_r - 1).key();
-  if (hi_r < snap.size()) out.right_key = snap.ItemAt(hi_r).key();
-  out.agg = AggregateRange(shard, snap, lo_r, hi_r - 1, stats);
-  return out;
-}
-
-Result<SelectionAnswer> ShardedQueryServer::SelectOnDescriptor(
-    const EpochDescriptor& desc, int64_t lo, int64_t hi,
-    SelectStats* stats) const {
-  const std::vector<ShardRouter::SubRange> cover = router_.Cover(lo, hi);
-  std::vector<SubSelect> subs(cover.size());
-  std::vector<SigCache::AggStats> sub_stats(cover.size());
-  {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(cover.size());
-    for (size_t i = 0; i < cover.size(); ++i) {
-      tasks.emplace_back([this, &desc, &cover, &subs, &sub_stats, i] {
-        const ShardRouter::SubRange& sr = cover[i];
-        subs[i] = ScanShard(desc, sr.shard, sr.lo, sr.hi, &sub_stats[i]);
-      });
-    }
-    pool_.RunAll(std::move(tasks));
-  }
-  if (stats != nullptr) {
-    stats->shards_queried = cover.size();
-    for (const SigCache::AggStats& s : sub_stats) {
-      stats->agg.point_adds += s.point_adds;
-      stats->agg.leaf_fetches += s.leaf_fetches;
-      stats->agg.cache_hits += s.cache_hits;
-      stats->agg.refreshes += s.refreshes;
-    }
-  }
-
-  // Stitch: concatenate the per-shard results (shard order == key order),
-  // sum the per-shard aggregates, keep the outermost boundaries. Empty
-  // sub-answers contribute nothing — their shard-local proofs are replaced
-  // by global boundary probes where needed.
-  SelectionAnswer out;
-  std::vector<BasSignature> agg_parts;
-  uint64_t oldest_ts = ~uint64_t{0};
-  bool any = false;
-  for (size_t i = 0; i < cover.size(); ++i) {
-    SubSelect& sub = subs[i];
-    if (!sub.nonempty) continue;
-    if (!any) {
-      any = true;
-      out.left_key = sub.left_key;
-    }
-    out.right_key = sub.right_key;
-    for (const SnapshotItem* item : sub.items) {
-      out.records.push_back(item->record);
-      oldest_ts = std::min(oldest_ts, item->record.ts);
-    }
-    agg_parts.push_back(std::move(sub.agg));
-  }
-  if (stats != nullptr) stats->shards_nonempty = agg_parts.size();
-
-  if (!any) {
-    // Empty result across every covered shard: prove it with the global
-    // boundary record, exactly as a single server would.
-    const SnapshotItem* pred = GlobalPredecessor(desc, lo);
-    const SnapshotItem* succ = GlobalSuccessor(desc, hi);
-    if (pred == nullptr && succ == nullptr)
-      return Status::NotFound("empty relation");
-    if (pred != nullptr) {
-      out.proof_record = pred->record;
-      out.agg_sig = pred->sig;
-      const SnapshotItem* pp = GlobalPredecessor(desc, pred->key());
-      out.left_key = pp != nullptr ? pp->key() : kChainMinusInf;
-      out.right_key = succ != nullptr ? succ->key() : kChainPlusInf;
-      oldest_ts = pred->record.ts;
-    } else {
-      out.proof_record = succ->record;
-      out.agg_sig = succ->sig;
-      out.left_key = kChainMinusInf;  // no key below lo, hence none below
-      const SnapshotItem* ss = GlobalSuccessor(desc, succ->key());
-      out.right_key = ss != nullptr ? ss->key() : kChainPlusInf;
-      oldest_ts = succ->record.ts;
-    }
-  } else {
-    // A finite shard-local boundary is already the global chain neighbor
-    // (contiguous partition); a sentinel means the neighbor lives on an
-    // adjacent shard the sub-scan never saw — resolved from the SAME
-    // pinned snapshots, so the probe can never disagree with the scan.
-    if (out.left_key == kChainMinusInf) {
-      const SnapshotItem* pred = GlobalPredecessor(desc, lo);
-      if (pred != nullptr) out.left_key = pred->key();
-    }
-    if (out.right_key == kChainPlusInf) {
-      const SnapshotItem* succ = GlobalSuccessor(desc, hi);
-      if (succ != nullptr) out.right_key = succ->key();
-    }
-    out.agg_sig = ctx_->Aggregate(agg_parts);
-  }
-
-  AttachSummaries(desc, oldest_ts, &out.summaries);
-  out.served_epoch = desc.epoch;
-  return out;
-}
-
-Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
-                                                   SelectStats* stats) const {
-  if (stats != nullptr) *stats = SelectStats{};  // even on early error returns
-  if (lo > hi) return Status::InvalidArgument("lo > hi");
-  if (lo == kChainMinusInf || hi == kChainPlusInf)
-    return Status::InvalidArgument("range touches chain sentinels");
-  std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
-  if (stats != nullptr) stats->epoch = desc->epoch;
-  return SelectOnDescriptor(*desc, lo, hi, stats);
-}
-
 void ShardedQueryServer::AttachSummaries(const EpochDescriptor& desc,
                                          uint64_t oldest_ts,
                                          std::vector<UpdateSummary>* out) {
@@ -437,313 +287,6 @@ void ShardedQueryServer::AttachSummaries(const EpochDescriptor& desc,
   for (const UpdateSummary& s : *desc.summaries) {
     if (s.publish_ts >= oldest_ts) out->push_back(s);
   }
-}
-
-Result<QueryAnswer> ShardedQueryServer::ProjectOnDescriptor(
-    const EpochDescriptor& desc, const Query& query,
-    SelectStats* stats) const {
-  const std::vector<uint32_t> attrs =
-      EffectiveProjectionAttrs(query.attr_indices);
-  const std::vector<ShardRouter::SubRange> cover =
-      router_.Cover(query.lo, query.hi);
-
-  struct SubProject {
-    Status error = Status::OK();
-    bool nonempty = false;
-    std::vector<ProjectedTuple> tuples;
-    std::vector<Digest160> digests;
-    int64_t left_key = kChainMinusInf;
-    int64_t right_key = kChainPlusInf;
-    BasSignature agg;
-    uint64_t oldest_ts = ~uint64_t{0};
-  };
-  std::vector<SubProject> subs(cover.size());
-  {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(cover.size());
-    for (size_t i = 0; i < cover.size(); ++i) {
-      tasks.emplace_back([this, &desc, &cover, &subs, &attrs, i] {
-        const ShardRouter::SubRange& sr = cover[i];
-        SubProject& sub = subs[i];
-        const EpochSnapshot& snap = *desc.shards[sr.shard];
-        if (snap.size() == 0) return;
-        size_t lo_r = snap.LowerBound(sr.lo);
-        size_t hi_r = snap.UpperBound(sr.hi);
-        if (lo_r == hi_r) return;
-        sub.nonempty = true;
-        if (lo_r > 0) sub.left_key = snap.ItemAt(lo_r - 1).key();
-        if (hi_r < snap.size()) sub.right_key = snap.ItemAt(hi_r).key();
-        std::vector<BasSignature> parts;
-        snap.ForEachItem(lo_r, hi_r - 1, [&](const SnapshotItem& item) {
-          if (!sub.error.ok()) return;  // already failed: skip the rest
-          const Record& rec = item.record;
-          if (item.attr_sigs.empty()) {
-            sub.error = Status::InvalidArgument(
-                "projection unavailable: no attribute signatures for key " +
-                std::to_string(rec.key()));
-            return;
-          }
-          ProjectedTuple tuple;
-          tuple.rid = rec.rid;
-          tuple.ts = rec.ts;
-          for (uint32_t a : attrs) {
-            if (a >= rec.attrs.size() || a >= item.attr_sigs.size()) {
-              sub.error = Status::InvalidArgument(
-                  "projected attribute out of range");
-              return;
-            }
-            tuple.attr_indices.push_back(a);
-            tuple.values.push_back(rec.attrs[a]);
-            parts.push_back(item.attr_sigs[a]);
-          }
-          sub.tuples.push_back(std::move(tuple));
-          sub.digests.push_back(rec.Digest());
-          parts.push_back(item.sig);  // chain signature (completeness spine)
-          sub.oldest_ts = std::min(sub.oldest_ts, rec.ts);
-        });
-        if (!sub.error.ok()) return;
-        sub.agg = ctx_->Aggregate(parts);
-      });
-    }
-    pool_.RunAll(std::move(tasks));
-  }
-  if (stats != nullptr) stats->shards_queried = cover.size();
-
-  QueryAnswer out;
-  out.kind = QueryKind::kProject;
-  ProjectedRangeAnswer& proj = out.projection;
-  std::vector<BasSignature> agg_parts;
-  uint64_t oldest_ts = ~uint64_t{0};
-  bool any = false;
-  for (SubProject& sub : subs) {
-    if (!sub.error.ok()) return sub.error;
-    if (!sub.nonempty) continue;
-    if (!any) {
-      any = true;
-      proj.left_key = sub.left_key;
-    }
-    proj.right_key = sub.right_key;
-    // Tuples carry per-attribute value and index vectors — splice them by
-    // move; the per-shard sub-results are dead after this stitch.
-    proj.tuples.insert(proj.tuples.end(),
-                       std::make_move_iterator(sub.tuples.begin()),
-                       std::make_move_iterator(sub.tuples.end()));
-    proj.digests.insert(proj.digests.end(), sub.digests.begin(),
-                        sub.digests.end());
-    agg_parts.push_back(std::move(sub.agg));
-    oldest_ts = std::min(oldest_ts, sub.oldest_ts);
-  }
-  if (stats != nullptr) stats->shards_nonempty = agg_parts.size();
-
-  if (!any) {
-    // Empty result: one global boundary witness proves it, digest-only.
-    const SnapshotItem* pred = GlobalPredecessor(desc, query.lo);
-    const SnapshotItem* succ = GlobalSuccessor(desc, query.hi);
-    if (pred == nullptr && succ == nullptr)
-      return Status::NotFound("empty relation");
-    const SnapshotItem* witness = pred != nullptr ? pred : succ;
-    proj.proof = DigestWitness{witness->key(), witness->record.rid,
-                               witness->record.ts, witness->record.Digest()};
-    proj.agg_sig = witness->sig;
-    if (pred != nullptr) {
-      const SnapshotItem* pp = GlobalPredecessor(desc, pred->key());
-      proj.left_key = pp != nullptr ? pp->key() : kChainMinusInf;
-      proj.right_key = succ != nullptr ? succ->key() : kChainPlusInf;
-    } else {
-      proj.left_key = kChainMinusInf;  // no key below lo, hence none below
-      const SnapshotItem* ss = GlobalSuccessor(desc, succ->key());
-      proj.right_key = ss != nullptr ? ss->key() : kChainPlusInf;
-    }
-    oldest_ts = witness->record.ts;
-  } else {
-    if (proj.left_key == kChainMinusInf) {
-      const SnapshotItem* pred = GlobalPredecessor(desc, query.lo);
-      if (pred != nullptr) proj.left_key = pred->key();
-    }
-    if (proj.right_key == kChainPlusInf) {
-      const SnapshotItem* succ = GlobalSuccessor(desc, query.hi);
-      if (succ != nullptr) proj.right_key = succ->key();
-    }
-    proj.agg_sig = ctx_->Aggregate(agg_parts);
-  }
-
-  AttachSummaries(desc, oldest_ts, &out.summaries);
-  out.served_epoch = desc.epoch;
-  return out;
-}
-
-Result<QueryAnswer> ShardedQueryServer::JoinOnDescriptor(
-    const EpochDescriptor& desc, const std::vector<int64_t>& values,
-    JoinMethod method, SelectStats* stats) const {
-  static const std::vector<CertifiedPartition> kNoPartitions;
-  const std::vector<CertifiedPartition>& partitions =
-      desc.partitions != nullptr ? *desc.partitions : kNoPartitions;
-  QueryAnswer out;
-  out.kind = QueryKind::kJoin;
-  JoinAnswer& ans = out.join;
-  ans.method = method;
-
-  std::set<uint32_t> used_partitions;
-  // Chain signatures included in the aggregate, deduplicated by composite
-  // key across the whole answer (a record may serve several proofs). With
-  // every scan and probe reading the same pinned snapshots, the dedup can
-  // never mix two chain generations of one record — the property the old
-  // seqlock validation existed to defend.
-  std::set<int64_t> included_keys;
-  std::vector<BasSignature> parts;
-  uint64_t oldest_ts = ~uint64_t{0};
-  auto include_item = [&](const SnapshotItem& item) {
-    if (included_keys.insert(item.key()).second) parts.push_back(item.sig);
-    oldest_ts = std::min(oldest_ts, item.record.ts);
-  };
-
-  std::vector<bool> touched(shards_.size(), false);
-  for (int64_t a : values) {
-    const int64_t clo = JoinCompositeKey(a, 0);
-    const int64_t chi = JoinCompositeKey(a, kJoinMaxDup);
-    const std::vector<ShardRouter::SubRange> cover = router_.Cover(clo, chi);
-    // Per-value scan of the covering shards; the edge sub-scans also
-    // report the shard-local boundary items (the global chain neighbors
-    // when present).
-    std::vector<const SnapshotItem*> items;
-    const SnapshotItem* left_b = nullptr;
-    const SnapshotItem* right_b = nullptr;
-    for (size_t i = 0; i < cover.size(); ++i) {
-      const ShardRouter::SubRange& sr = cover[i];
-      touched[sr.shard] = true;
-      const EpochSnapshot& snap = *desc.shards[sr.shard];
-      size_t lo_r = snap.LowerBound(sr.lo);
-      size_t hi_r = snap.UpperBound(sr.hi);
-      if (i == 0 && lo_r > 0) left_b = &snap.ItemAt(lo_r - 1);
-      if (i + 1 == cover.size() && hi_r < snap.size())
-        right_b = &snap.ItemAt(hi_r);
-      if (lo_r < hi_r) {
-        snap.ForEachItem(lo_r, hi_r - 1, [&items](const SnapshotItem& item) {
-          items.push_back(&item);
-        });
-      }
-    }
-
-    if (!items.empty()) {
-      // Match group: stitch its boundary keys across seams exactly like
-      // selection boundaries — a shard-local boundary is already the
-      // global neighbor; a sentinel means it lives on another shard.
-      JoinMatch match;
-      match.a_value = a;
-      if (left_b != nullptr) {
-        match.left_key = left_b->key();
-      } else {
-        const SnapshotItem* pred = GlobalPredecessor(desc, clo);
-        match.left_key = pred != nullptr ? pred->key() : kChainMinusInf;
-      }
-      if (right_b != nullptr) {
-        match.right_key = right_b->key();
-      } else {
-        const SnapshotItem* succ = GlobalSuccessor(desc, chi);
-        match.right_key = succ != nullptr ? succ->key() : kChainPlusInf;
-      }
-      for (const SnapshotItem* item : items) {
-        match.s_records.push_back(item->record);
-        include_item(*item);
-      }
-      ans.matches.push_back(std::move(match));
-      continue;
-    }
-
-    bool need_boundary = true;
-    if (method == JoinMethod::kBloomFilter) {
-      const CertifiedPartition* part = FindCoveringPartition(partitions, a);
-      if (part != nullptr) {
-        used_partitions.insert(part->idx);
-        if (!part->filter.MayContainInt64(a)) {
-          ans.negative_probes.push_back({a, part->idx});
-          need_boundary = false;
-        }
-        // else: false positive — fall back to the boundary proof below.
-      }
-    }
-    if (need_boundary) {
-      // Absence witness adjacent to the gap, possibly on another shard;
-      // its own chain neighbors stitch across seams via global probes
-      // against the same pinned snapshots.
-      const SnapshotItem* witness = left_b;
-      if (witness == nullptr) witness = GlobalPredecessor(desc, clo);
-      if (witness == nullptr) witness = right_b;
-      if (witness == nullptr) witness = GlobalSuccessor(desc, chi);
-      if (witness == nullptr) return Status::NotFound("S is empty");
-      AbsenceProof proof;
-      proof.a_value = a;
-      proof.rec_key = witness->key();
-      proof.rec_rid = witness->record.rid;
-      proof.rec_ts = witness->record.ts;
-      proof.rec_digest = witness->record.Digest();
-      const SnapshotItem* wl = GlobalPredecessor(desc, witness->key());
-      const SnapshotItem* wr = GlobalSuccessor(desc, witness->key());
-      proof.left_key = wl != nullptr ? wl->key() : kChainMinusInf;
-      proof.right_key = wr != nullptr ? wr->key() : kChainPlusInf;
-      include_item(*witness);
-      ans.absence_proofs.push_back(std::move(proof));
-    }
-  }
-
-  for (uint32_t idx : used_partitions) {
-    for (const CertifiedPartition& p : partitions) {
-      if (p.idx == idx) {
-        ans.partitions.push_back(p);
-        parts.push_back(p.sig);
-        break;
-      }
-    }
-  }
-  ans.agg_sig = ctx_->Aggregate(parts);
-
-  if (stats != nullptr) {
-    for (size_t s = 0; s < touched.size(); ++s) {
-      if (touched[s]) ++stats->shards_queried;
-    }
-  }
-  AttachSummaries(desc, oldest_ts, &out.summaries);
-  out.served_epoch = desc.epoch;
-  return out;
-}
-
-Result<QueryAnswer> ShardedQueryServer::Execute(const Query& query,
-                                                SelectStats* stats) const {
-  switch (query.kind) {
-    case QueryKind::kSelect: {
-      QueryAnswer ans;
-      ans.kind = QueryKind::kSelect;
-      AUTHDB_ASSIGN_OR_RETURN(ans.selection,
-                              Select(query.lo, query.hi, stats));
-      ans.served_epoch = ans.selection.served_epoch;
-      return ans;
-    }
-    case QueryKind::kProject: {
-      if (stats != nullptr) *stats = SelectStats{};
-      if (query.lo > query.hi) return Status::InvalidArgument("lo > hi");
-      if (query.lo == kChainMinusInf || query.hi == kChainPlusInf)
-        return Status::InvalidArgument("range touches chain sentinels");
-      std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
-      if (stats != nullptr) stats->epoch = desc->epoch;
-      return ProjectOnDescriptor(*desc, query, stats);
-    }
-    case QueryKind::kJoin: {
-      if (stats != nullptr) *stats = SelectStats{};
-      if (query.join_values.empty())
-        return Status::InvalidArgument("join without probe values");
-      std::vector<int64_t> values = query.join_values;
-      std::sort(values.begin(), values.end());
-      values.erase(std::unique(values.begin(), values.end()), values.end());
-      for (int64_t a : values) {
-        if (!JoinBValueInDomain(a))
-          return Status::InvalidArgument("join probe value outside B domain");
-      }
-      std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
-      if (stats != nullptr) stats->epoch = desc->epoch;
-      return JoinOnDescriptor(*desc, values, query.join_method, stats);
-    }
-  }
-  return Status::InvalidArgument("unknown query kind");
 }
 
 }  // namespace authdb

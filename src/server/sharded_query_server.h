@@ -14,8 +14,8 @@
 #include "core/protocol.h"
 #include "core/query_server.h"
 #include "core/sigcache.h"
+#include "server/shard_executor.h"
 #include "server/shard_router.h"
-#include "server/thread_pool.h"
 
 namespace authdb {
 
@@ -85,7 +85,11 @@ class ShardedQueryServer {
     QueryServer::Options shard;  ///< record_len retained for compatibility;
                                  ///< summaries_retained bounds the summary
                                  ///< run carried by every epoch
-    size_t worker_threads = 4;   ///< pool size for the read fan-out
+    /// Non-zero: one dedicated shard-affine worker thread per shard serves
+    /// the read fan-out (the value beyond zero is ignored — the executor
+    /// is per-shard by construction). Zero: visits run inline on the
+    /// submitting thread.
+    size_t worker_threads = 4;
     /// Epoch GC backpressure: maximum number of *superseded* epochs that
     /// stalled readers may keep pinned before PublishEpoch blocks waiting
     /// for one to drain (0 = unbounded). The block propagates through the
@@ -199,9 +203,50 @@ class ShardedQueryServer {
   /// descriptor: sub-range scans, digest spines, match groups, absence
   /// witnesses, boundary probes, and the certified Bloom partitions all
   /// come from one epoch, and the answer is stamped with exactly that
-  /// epoch.
+  /// epoch. Implemented as a batch of one — Execute and ExecuteBatch
+  /// cannot drift.
   Result<QueryAnswer> Execute(const Query& query,
                               SelectStats* stats = nullptr) const;
+
+  /// Per-kind busy time one shard's visits spent serving a batch, in
+  /// microseconds. `visit_us` is each visit's wall time (it includes lock
+  /// waits and the shared SigCache finalization, so contention inside the
+  /// visit path is visible to the scaling metrics); the per-kind buckets
+  /// cover the request-processing slices only.
+  struct KindBusy {
+    uint64_t select_us = 0;   ///< selection sub-range scans + aggregation
+    uint64_t project_us = 0;  ///< projection scans + digest spines
+    uint64_t join_us = 0;     ///< join probe walks
+    uint64_t visit_us = 0;    ///< whole-visit wall time
+  };
+
+  /// Per-batch serving statistics (out-param, never instance state).
+  struct BatchStats {
+    uint64_t epoch = 0;        ///< the epoch the whole batch pinned
+    size_t plans = 0;          ///< plans submitted (valid or not)
+    size_t shard_visits = 0;   ///< shard visits dispatched (<= shards)
+    /// Busy time by shard (indexed by shard id; accumulated, so one
+    /// BatchStats may total several batches).
+    std::vector<KindBusy> shard_busy;
+    SigCache::AggStats agg;    ///< summed over every plan of the batch
+    /// Shared-inversion finalizations performed (per-visit SigCache batch
+    /// fills + the one batch-level answer finalize).
+    size_t batch_finalizes = 0;
+    /// Per-plan stats, aligned with the submitted plans.
+    std::vector<SelectStats> per_plan;
+  };
+
+  /// Execute a batch of plans against ONE pinned epoch — the batched read
+  /// path. The whole batch pins a single EpochDescriptor (every answer is
+  /// the same serializable cut), visits each covered shard once (per-shard
+  /// task queues, shard-affine workers), walks each shard's snapshot
+  /// forward once over the batch's sorted sub-ranges and join probes, and
+  /// finalizes the batch's aggregate signatures with shared batch
+  /// inversions. Answers are byte-for-byte the answers the one-at-a-time
+  /// Execute path produces, in plan order — each independently acceptable
+  /// to the unmodified client verifier.
+  std::vector<Result<QueryAnswer>> ExecuteBatch(
+      const PlanBatch& batch, BatchStats* stats = nullptr) const;
 
   /// Plan and pin a per-shard SigCache with generation-tagged windows.
   /// Each shard is planned independently against the largest power-of-two
@@ -229,26 +274,10 @@ class ShardedQueryServer {
     size_t cache_positions = 0;
   };
 
-  /// Per-shard sub-read results prior to stitching. Scans over a pinned
-  /// snapshot cannot fail, so there is no per-shard error channel here
-  /// (unlike the projection stitch, whose attribute lookups can).
-  struct SubSelect {
-    std::vector<const SnapshotItem*> items;
-    int64_t left_key = 0;
-    int64_t right_key = 0;
-    BasSignature agg;
-    bool nonempty = false;
-  };
-
-  /// Scan + aggregate one shard's sub-range of the pinned descriptor.
-  SubSelect ScanShard(const EpochDescriptor& desc, size_t shard, int64_t lo,
-                      int64_t hi, SigCache::AggStats* stats) const;
-
-  /// Aggregate the chain signatures of ranks [rank_lo, rank_hi] of one
-  /// shard snapshot, through the generation-tagged cache when applicable.
-  BasSignature AggregateRange(size_t shard, const EpochSnapshot& snap,
-                              size_t rank_lo, size_t rank_hi,
-                              SigCache::AggStats* stats) const;
+  /// The batched read-path engine (server/batch_exec.cc). It plans the
+  /// batch's per-shard request lists, runs the shard visits, and stitches
+  /// the answers from the ShardedQueryServer's private state.
+  friend class BatchEngine;
 
   /// Global chain neighbors of `key` within the pinned descriptor,
   /// probing outward from its owner shard. Lock-free: the descriptor is
@@ -257,17 +286,6 @@ class ShardedQueryServer {
                                         int64_t key) const;
   const SnapshotItem* GlobalSuccessor(const EpochDescriptor& desc,
                                       int64_t key) const;
-
-  Result<SelectionAnswer> SelectOnDescriptor(const EpochDescriptor& desc,
-                                             int64_t lo, int64_t hi,
-                                             SelectStats* stats) const;
-  Result<QueryAnswer> ProjectOnDescriptor(const EpochDescriptor& desc,
-                                          const Query& query,
-                                          SelectStats* stats) const;
-  Result<QueryAnswer> JoinOnDescriptor(const EpochDescriptor& desc,
-                                       const std::vector<int64_t>& values,
-                                       JoinMethod method,
-                                       SelectStats* stats) const;
 
   /// Attach every retained summary published at/after `oldest_ts`.
   static void AttachSummaries(const EpochDescriptor& desc, uint64_t oldest_ts,
@@ -289,7 +307,7 @@ class ShardedQueryServer {
   ShardRouter router_;
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable ThreadPool pool_;
+  mutable ShardExecutor exec_;
   FreshnessTracker tracker_;
 
   /// Notified by the descriptor deleter when a retired epoch fully drains

@@ -30,8 +30,11 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
     uint64_t min_served_epoch = ~0ull, max_served_epoch = 0;
     VoAccounting vo;
     size_t queries = 0, joins = 0, projections = 0, updates = 0, failures = 0;
+    size_t batches = 0;
+    ShardedQueryServer::BatchStats batch;
   };
   std::vector<PerClient> per_client(options.clients);
+  const size_t batch_size = std::max<size_t>(options.batch_size, 1);
 
   Mutex updates_mu;
   size_t next_update = 0;  // guarded by updates_mu (locals can't annotate)
@@ -48,46 +51,12 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
   auto client = [&](size_t id) {
     Rng rng(options.seed * 0x9E3779B9u + id);
     PerClient& me = per_client[id];
-    for (size_t op = 0; op < options.ops_per_client; ++op) {
-      bool do_update = rng.NextDouble() < options.update_fraction;
-      const SignedRecordUpdate* upd = nullptr;
-      if (do_update) {
-        MutexLock lock(updates_mu);
-        if (next_update < updates.size()) upd = &updates[next_update++];
-      }
-      if (upd != nullptr) {
-        uint64_t t0 = MonotonicMicros();
-        Status s = server->ApplyUpdate(*upd);
-        me.update_latency.Record(MonotonicMicros() - t0);
-        ++me.updates;
-        if (!s.ok()) ++me.failures;
-        continue;
-      }
-      // Read op: pick the plan kind, build the plan, Execute it.
-      double kind_draw = rng.NextDouble();
-      Query q;
-      if (kind_draw < options.join_fraction) {
-        std::vector<int64_t> probes;
-        probes.reserve(options.join_probe_count);
-        for (size_t i = 0; i < options.join_probe_count; ++i) {
-          probes.push_back(options.join_b_lo +
-                           static_cast<int64_t>(rng.Uniform(b_domain)));
-        }
-        q = Query::Join(std::move(probes), options.join_method);
-      } else {
-        int64_t lo = options.key_lo +
-                     static_cast<int64_t>(rng.Uniform(domain - span + 1));
-        int64_t hi = lo + static_cast<int64_t>(span) - 1;
-        if (kind_draw <
-            options.join_fraction + options.projection_fraction) {
-          q = Query::Project(lo, hi, options.projection_attrs);
-        } else {
-          q = Query::Select(lo, hi);
-        }
-      }
-      uint64_t t0 = MonotonicMicros();
-      auto ans = server->Execute(q);
-      uint64_t latency = MonotonicMicros() - t0;
+
+    // Record one served plan: client-observed latency (for a batched plan,
+    // the whole envelope's round trip — they are issued and completed
+    // together) plus the per-kind counters and VO accounting.
+    auto account = [&](const Query& q, const Result<QueryAnswer>& ans,
+                       uint64_t latency) {
       // An empty relation is a workload configuration error, not a
       // serving failure; everything else that is not OK counts.
       bool failed = !ans.ok() && !ans.status().IsNotFound();
@@ -131,7 +100,65 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
           }
           break;
       }
+    };
+
+    std::vector<Query> pending;
+    pending.reserve(batch_size);
+    auto flush = [&] {
+      if (pending.empty()) return;
+      PlanBatch pb = PlanBatch::Of(std::move(pending));
+      pending.clear();
+      uint64_t t0 = MonotonicMicros();
+      std::vector<Result<QueryAnswer>> answers =
+          server->ExecuteBatch(pb, &me.batch);
+      uint64_t latency = MonotonicMicros() - t0;
+      ++me.batches;
+      for (size_t i = 0; i < pb.plans.size(); ++i)
+        account(pb.plans[i], answers[i], latency);
+    };
+
+    for (size_t op = 0; op < options.ops_per_client; ++op) {
+      bool do_update = rng.NextDouble() < options.update_fraction;
+      const SignedRecordUpdate* upd = nullptr;
+      if (do_update) {
+        MutexLock lock(updates_mu);
+        if (next_update < updates.size()) upd = &updates[next_update++];
+      }
+      if (upd != nullptr) {
+        flush();  // keep this client's reads ordered before its write
+        uint64_t t0 = MonotonicMicros();
+        Status s = server->ApplyUpdate(*upd);
+        me.update_latency.Record(MonotonicMicros() - t0);
+        ++me.updates;
+        if (!s.ok()) ++me.failures;
+        continue;
+      }
+      // Read op: pick the plan kind, build the plan, batch it up.
+      double kind_draw = rng.NextDouble();
+      Query q;
+      if (kind_draw < options.join_fraction) {
+        std::vector<int64_t> probes;
+        probes.reserve(options.join_probe_count);
+        for (size_t i = 0; i < options.join_probe_count; ++i) {
+          probes.push_back(options.join_b_lo +
+                           static_cast<int64_t>(rng.Uniform(b_domain)));
+        }
+        q = Query::Join(std::move(probes), options.join_method);
+      } else {
+        int64_t lo = options.key_lo +
+                     static_cast<int64_t>(rng.Uniform(domain - span + 1));
+        int64_t hi = lo + static_cast<int64_t>(span) - 1;
+        if (kind_draw <
+            options.join_fraction + options.projection_fraction) {
+          q = Query::Project(lo, hi, options.projection_attrs);
+        } else {
+          q = Query::Select(lo, hi);
+        }
+      }
+      pending.push_back(std::move(q));
+      if (pending.size() >= batch_size) flush();
     }
+    flush();
   };
 
   uint64_t t_start = MonotonicMicros();
@@ -158,6 +185,24 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
     report.max_served_epoch = std::max(report.max_served_epoch,
                                        pc.max_served_epoch);
     report.vo.Merge(pc.vo);
+    report.batches += pc.batches;
+    ShardedQueryServer::BatchStats& b = report.batch;
+    b.epoch = std::max(b.epoch, pc.batch.epoch);
+    b.plans += pc.batch.plans;
+    b.shard_visits += pc.batch.shard_visits;
+    if (b.shard_busy.size() < pc.batch.shard_busy.size())
+      b.shard_busy.resize(pc.batch.shard_busy.size());
+    for (size_t s = 0; s < pc.batch.shard_busy.size(); ++s) {
+      b.shard_busy[s].select_us += pc.batch.shard_busy[s].select_us;
+      b.shard_busy[s].project_us += pc.batch.shard_busy[s].project_us;
+      b.shard_busy[s].join_us += pc.batch.shard_busy[s].join_us;
+      b.shard_busy[s].visit_us += pc.batch.shard_busy[s].visit_us;
+    }
+    b.agg.point_adds += pc.batch.agg.point_adds;
+    b.agg.leaf_fetches += pc.batch.agg.leaf_fetches;
+    b.agg.cache_hits += pc.batch.agg.cache_hits;
+    b.agg.refreshes += pc.batch.agg.refreshes;
+    b.batch_finalizes += pc.batch.batch_finalizes;
   }
   report.elapsed_seconds = static_cast<double>(t_end - t_start) * 1e-6;
   if (report.elapsed_seconds > 0) {

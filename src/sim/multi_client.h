@@ -35,6 +35,13 @@ struct MultiClientOptions {
   JoinMethod join_method = JoinMethod::kBloomFilter;
   std::vector<uint32_t> projection_attrs = {1};
 
+  /// Read plans per PlanBatch envelope. 1 issues every plan on its own
+  /// (a batch of one — the sequential baseline); >1 lets each client
+  /// accumulate up to this many consecutive read plans and submit them in
+  /// one ExecuteBatch call. Update slots flush the pending batch first, so
+  /// batching never reorders a client's reads around its writes.
+  size_t batch_size = 1;
+
   uint64_t seed = 1;
 };
 
@@ -62,6 +69,14 @@ struct MultiClientReport {
   LatencyHistogram epoch_lag;          ///< unit: epochs, not micros
   uint64_t min_served_epoch = ~0ull;   ///< oldest epoch any read pinned
   uint64_t max_served_epoch = 0;       ///< newest epoch any read pinned
+
+  /// Batched-execution accounting, summed over every PlanBatch the load
+  /// issued (batches of one included). `batch.shard_busy[s]` is shard s's
+  /// accumulated per-kind visit time — on a single-core box, per-shard
+  /// busy time (not wall clock) is what shard scaling divides, so capacity
+  /// ratios are derived from max-over-shards busy seconds.
+  size_t batches = 0;
+  ShardedQueryServer::BatchStats batch;
 
   double KindOpsPerSecond(size_t count) const {
     return elapsed_seconds > 0 ? static_cast<double>(count) / elapsed_seconds

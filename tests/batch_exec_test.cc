@@ -1,0 +1,415 @@
+// The batched read path (ShardedQueryServer::ExecuteBatch): a PlanBatch
+// answered from ONE pinned epoch must produce, plan for plan, byte-for-byte
+// the answers the one-at-a-time Execute path serves — same records, same
+// boundary keys, same witnesses, same canonical-affine aggregate points —
+// and every answer must be accepted by the unmodified
+// ClientVerifier::VerifyAnswerFresh. Also covered: per-plan validation
+// error parity, BatchStats accounting, SigCache byte-equivalence, and a
+// churn test that runs batches against live UpdateStream ingest across
+// epoch barriers (the `concurrency` label puts it in the TSan CI lane).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/data_aggregator.h"
+#include "core/verifier.h"
+#include "server/sharded_query_server.h"
+#include "server/update_stream.h"
+
+namespace authdb {
+namespace {
+
+using HashMode = BasContext::HashMode;
+
+// Same composite-keyed S as query_exec_test: duplicated B values with the
+// 4-shard router seamed *inside* B=30's duplicate run, so batched match
+// groups and boundary probes must stitch across shards exactly like the
+// sequential path does.
+class BatchExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0xBA7C);
+    ctx_ = new std::shared_ptr<const BasContext>(
+        BasContext::Generate(96, 64, &rng));
+  }
+
+  void SetUp() override {
+    clock_.SetMicros(1'000'000);
+    rng_ = std::make_unique<Rng>(7);
+    DataAggregator::Options opt;
+    opt.record_len = 128;
+    opt.piggyback_renewal = false;
+    opt.sign_attributes = true;
+    da_ = std::make_unique<DataAggregator>(*ctx_, &clock_, rng_.get(), opt);
+    verifier_ = std::make_unique<ClientVerifier>(&da_->public_key(), &codec_,
+                                                 HashMode::kFast);
+  }
+
+  /// Bulk-load S = {B value -> duplicate count}, enable join partitions,
+  /// and stand up the default 4-shard server (2 worker threads).
+  void Load(const std::map<int64_t, int>& b_counts) {
+    std::vector<Record> records;
+    for (const auto& [b, count] : b_counts) {
+      for (int d = 0; d < count; ++d) {
+        Record r;
+        r.attrs = {JoinCompositeKey(b, static_cast<uint32_t>(d)), b, b * 11};
+        records.push_back(r);
+      }
+    }
+    auto stream = da_->BulkLoad(std::move(records));
+    ASSERT_TRUE(stream.ok());
+    msgs_ = stream.value();
+    da_->EnableJoinPartitions(/*values_per_partition=*/2,
+                              /*bits_per_value=*/8.0);
+    server_ = MakeServer(/*worker_threads=*/2);
+  }
+
+  /// A fresh 4-shard server over the loaded stream; worker_threads = 0
+  /// exercises the inline (caller-thread) ShardExecutor path.
+  std::unique_ptr<ShardedQueryServer> MakeServer(size_t worker_threads) {
+    ShardedQueryServer::Options sopt;
+    sopt.shard.record_len = 128;
+    sopt.worker_threads = worker_threads;
+    auto server = std::make_unique<ShardedQueryServer>(
+        *ctx_,
+        ShardRouter({JoinCompositeKey(30, 1), JoinCompositeKey(50, 0),
+                     JoinCompositeKey(75, 0)}),
+        sopt);
+    for (const auto& msg : msgs_) EXPECT_TRUE(server->ApplyUpdate(msg).ok());
+    server->SetJoinPartitions(da_->join_partitions());
+    return server;
+  }
+
+  static std::map<int64_t, int> DefaultS() {
+    return {{10, 3}, {20, 1}, {30, 3}, {50, 2}, {70, 1}, {90, 2}};
+  }
+
+  /// A mixed batch touching every plan kind and every stitch shape:
+  /// cross-seam selections, an empty range, projections with and without
+  /// the index attribute, both join methods, matched + unmatched probes,
+  /// and the absence witness whose chain neighbors span the 30/50 gap.
+  static std::vector<Query> MixedPlans() {
+    return {
+        Query::Select(JoinCompositeKey(10, 0), JoinCompositeKey(50, 1)),
+        Query::Select(JoinCompositeKey(31, 0), JoinCompositeKey(49, 0)),
+        Query::Select(JoinCompositeKey(10, 0), JoinCompositeKey(90, 1)),
+        Query::Project(JoinCompositeKey(10, 0), JoinCompositeKey(90, 1), {2}),
+        Query::Project(JoinCompositeKey(20, 0), JoinCompositeKey(30, 2),
+                       {0, 1}),
+        Query::Project(JoinCompositeKey(31, 0), JoinCompositeKey(49, 0), {1}),
+        Query::Join({10, 15, 30, 41, 70, 85, 90, 120},
+                    JoinMethod::kBoundaryValues),
+        Query::Join({30}, JoinMethod::kBloomFilter),
+        Query::Join({40}, JoinMethod::kBoundaryValues),
+        Query::Join({10, 90}, JoinMethod::kBloomFilter),
+    };
+  }
+
+  bool PointsEqual(const BasSignature& a, const BasSignature& b) {
+    return (*ctx_)->curve().Equal(a.point, b.point);
+  }
+
+  void ExpectSameSelection(const SelectionAnswer& a, const SelectionAnswer& b) {
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.left_key, b.left_key);
+    EXPECT_EQ(a.right_key, b.right_key);
+    ASSERT_EQ(a.proof_record.has_value(), b.proof_record.has_value());
+    if (a.proof_record) {
+      EXPECT_EQ(*a.proof_record, *b.proof_record);
+    }
+    EXPECT_TRUE(PointsEqual(a.agg_sig, b.agg_sig));
+    EXPECT_EQ(a.summaries.size(), b.summaries.size());
+    EXPECT_EQ(a.served_epoch, b.served_epoch);
+  }
+
+  void ExpectSameProjection(const ProjectedRangeAnswer& a,
+                            const ProjectedRangeAnswer& b) {
+    ASSERT_EQ(a.tuples.size(), b.tuples.size());
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      EXPECT_EQ(a.tuples[i].rid, b.tuples[i].rid);
+      EXPECT_EQ(a.tuples[i].ts, b.tuples[i].ts);
+      EXPECT_EQ(a.tuples[i].attr_indices, b.tuples[i].attr_indices);
+      EXPECT_EQ(a.tuples[i].values, b.tuples[i].values);
+    }
+    EXPECT_EQ(a.digests, b.digests);
+    EXPECT_EQ(a.left_key, b.left_key);
+    EXPECT_EQ(a.right_key, b.right_key);
+    ASSERT_EQ(a.proof.has_value(), b.proof.has_value());
+    if (a.proof) {
+      EXPECT_EQ(a.proof->key, b.proof->key);
+      EXPECT_EQ(a.proof->rid, b.proof->rid);
+      EXPECT_EQ(a.proof->ts, b.proof->ts);
+      EXPECT_EQ(a.proof->digest, b.proof->digest);
+    }
+    EXPECT_TRUE(PointsEqual(a.agg_sig, b.agg_sig));
+  }
+
+  void ExpectSameJoin(const JoinAnswer& a, const JoinAnswer& b) {
+    EXPECT_EQ(a.method, b.method);
+    ASSERT_EQ(a.matches.size(), b.matches.size());
+    for (size_t i = 0; i < a.matches.size(); ++i) {
+      EXPECT_EQ(a.matches[i].a_value, b.matches[i].a_value);
+      EXPECT_EQ(a.matches[i].s_records, b.matches[i].s_records);
+      EXPECT_EQ(a.matches[i].left_key, b.matches[i].left_key);
+      EXPECT_EQ(a.matches[i].right_key, b.matches[i].right_key);
+    }
+    EXPECT_EQ(a.negative_probes, b.negative_probes);
+    ASSERT_EQ(a.partitions.size(), b.partitions.size());
+    for (size_t i = 0; i < a.partitions.size(); ++i)
+      EXPECT_EQ(a.partitions[i].idx, b.partitions[i].idx);
+    ASSERT_EQ(a.absence_proofs.size(), b.absence_proofs.size());
+    for (size_t i = 0; i < a.absence_proofs.size(); ++i) {
+      EXPECT_EQ(a.absence_proofs[i].a_value, b.absence_proofs[i].a_value);
+      EXPECT_EQ(a.absence_proofs[i].rec_key, b.absence_proofs[i].rec_key);
+      EXPECT_EQ(a.absence_proofs[i].rec_rid, b.absence_proofs[i].rec_rid);
+      EXPECT_EQ(a.absence_proofs[i].rec_ts, b.absence_proofs[i].rec_ts);
+      EXPECT_EQ(a.absence_proofs[i].rec_digest,
+                b.absence_proofs[i].rec_digest);
+      EXPECT_EQ(a.absence_proofs[i].left_key, b.absence_proofs[i].left_key);
+      EXPECT_EQ(a.absence_proofs[i].right_key, b.absence_proofs[i].right_key);
+    }
+    EXPECT_TRUE(PointsEqual(a.agg_sig, b.agg_sig));
+  }
+
+  void ExpectSameAnswer(const QueryAnswer& a, const QueryAnswer& b) {
+    ASSERT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.served_epoch, b.served_epoch);
+    EXPECT_EQ(a.summaries.size(), b.summaries.size());
+    switch (a.kind) {
+      case QueryKind::kSelect:
+        ExpectSameSelection(a.selection, b.selection);
+        break;
+      case QueryKind::kProject:
+        ExpectSameProjection(a.projection, b.projection);
+        break;
+      case QueryKind::kJoin:
+        ExpectSameJoin(a.join, b.join);
+        break;
+    }
+  }
+
+  uint64_t Now() { return clock_.NowMicros(); }
+
+  static std::shared_ptr<const BasContext>* ctx_;
+  ManualClock clock_;
+  std::unique_ptr<Rng> rng_;
+  VarintGapCodec codec_;
+  std::unique_ptr<DataAggregator> da_;
+  std::vector<SignedRecordUpdate> msgs_;
+  std::unique_ptr<ShardedQueryServer> server_;
+  std::unique_ptr<ClientVerifier> verifier_;
+};
+std::shared_ptr<const BasContext>* BatchExecTest::ctx_ = nullptr;
+
+TEST_F(BatchExecTest, BatchMatchesSequentialExecution) {
+  Load(DefaultS());
+  std::vector<Query> plans = MixedPlans();
+  ShardedQueryServer::BatchStats stats;
+  auto batched = server_->ExecuteBatch(PlanBatch::Of(plans), &stats);
+  ASSERT_EQ(batched.size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    SCOPED_TRACE("plan " + std::to_string(i));
+    auto seq = server_->Execute(plans[i]);
+    ASSERT_TRUE(batched[i].ok());
+    ASSERT_TRUE(seq.ok());
+    ExpectSameAnswer(batched[i].value(), seq.value());
+    EXPECT_TRUE(verifier_
+                    ->VerifyAnswerFresh(plans[i], batched[i].value(), Now(),
+                                        /*min_epoch=*/0)
+                    .ok());
+  }
+}
+
+TEST_F(BatchExecTest, AllAnswersOfABatchShareOnePinnedEpoch) {
+  Load(DefaultS());
+  ShardedQueryServer::BatchStats stats;
+  auto batched = server_->ExecuteBatch(PlanBatch::Of(MixedPlans()), &stats);
+  for (const auto& r : batched) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().served_epoch, stats.epoch);
+  }
+}
+
+TEST_F(BatchExecTest, InvalidPlansFailIdenticallyWithoutPoisoningTheBatch) {
+  Load(DefaultS());
+  std::vector<Query> plans = {
+      Query::Select(JoinCompositeKey(10, 0), JoinCompositeKey(30, 2)),
+      Query::Select(JoinCompositeKey(50, 0), JoinCompositeKey(10, 0)),  // lo>hi
+      Query::Join({}, JoinMethod::kBoundaryValues),  // no probe values
+      Query::Join({70, 90}, JoinMethod::kBloomFilter),
+  };
+  auto batched = server_->ExecuteBatch(PlanBatch::Of(plans));
+  ASSERT_EQ(batched.size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    SCOPED_TRACE("plan " + std::to_string(i));
+    auto seq = server_->Execute(plans[i]);
+    ASSERT_EQ(batched[i].ok(), seq.ok());
+    if (!seq.ok()) {
+      EXPECT_EQ(batched[i].status().message(), seq.status().message());
+      continue;
+    }
+    ExpectSameAnswer(batched[i].value(), seq.value());
+    EXPECT_TRUE(
+        verifier_->VerifyAnswerFresh(plans[i], batched[i].value(), Now(), 0)
+            .ok());
+  }
+}
+
+TEST_F(BatchExecTest, BatchOfOneIsExactlyExecute) {
+  Load(DefaultS());
+  Query q = Query::Select(JoinCompositeKey(10, 0), JoinCompositeKey(90, 1));
+  ShardedQueryServer::BatchStats stats;
+  auto batched = server_->ExecuteBatch(PlanBatch::Of({q}), &stats);
+  auto seq = server_->Execute(q);
+  ASSERT_EQ(batched.size(), 1u);
+  ASSERT_TRUE(batched[0].ok() && seq.ok());
+  ExpectSameAnswer(batched[0].value(), seq.value());
+  EXPECT_EQ(stats.plans, 1u);
+  ASSERT_EQ(stats.per_plan.size(), 1u);
+  EXPECT_EQ(stats.per_plan[0].epoch, stats.epoch);
+}
+
+TEST_F(BatchExecTest, InlineExecutorMatchesThreadedExecutor) {
+  Load(DefaultS());
+  auto inline_server = MakeServer(/*worker_threads=*/0);
+  std::vector<Query> plans = MixedPlans();
+  auto threaded = server_->ExecuteBatch(PlanBatch::Of(plans));
+  auto inlined = inline_server->ExecuteBatch(PlanBatch::Of(plans));
+  ASSERT_EQ(threaded.size(), inlined.size());
+  for (size_t i = 0; i < threaded.size(); ++i) {
+    SCOPED_TRACE("plan " + std::to_string(i));
+    ASSERT_TRUE(threaded[i].ok() && inlined[i].ok());
+    ExpectSameAnswer(threaded[i].value(), inlined[i].value());
+  }
+}
+
+TEST_F(BatchExecTest, BatchStatsAccountShardVisitsAndFinalizes) {
+  Load(DefaultS());
+  std::vector<Query> plans = MixedPlans();
+  ShardedQueryServer::BatchStats stats;
+  auto batched = server_->ExecuteBatch(PlanBatch::Of(plans), &stats);
+  for (const auto& r : batched) ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.plans, plans.size());
+  ASSERT_EQ(stats.per_plan.size(), plans.size());
+  // One visit per covered shard per batch — never one per plan.
+  EXPECT_GE(stats.shard_visits, 1u);
+  EXPECT_LE(stats.shard_visits, server_->shard_count());
+  ASSERT_EQ(stats.shard_busy.size(), server_->shard_count());
+  uint64_t visit_us = 0;
+  for (const auto& kb : stats.shard_busy) visit_us += kb.visit_us;
+  EXPECT_GT(visit_us, 0u);
+  // At least the one batch-level answer finalize ran.
+  EXPECT_GE(stats.batch_finalizes, 1u);
+  for (const auto& ps : stats.per_plan) EXPECT_EQ(ps.epoch, stats.epoch);
+}
+
+TEST_F(BatchExecTest, SigCacheWindowsKeepBatchByteEquivalent) {
+  Load(DefaultS());
+  // Sequential answers captured BEFORE the cache exists: the cached batch
+  // path (batched window fills, one shared inversion) must reproduce the
+  // exact leaf-path aggregates — canonical affine points, not just
+  // verifying ones.
+  std::vector<Query> plans = MixedPlans();
+  std::vector<QueryAnswer> uncached;
+  for (const auto& q : plans) {
+    auto r = server_->Execute(q);
+    ASSERT_TRUE(r.ok());
+    uncached.push_back(r.MoveValue());
+  }
+  server_->EnableSigCache(SigCache::RefreshMode::kLazy, 4);
+  auto cached = server_->ExecuteBatch(PlanBatch::Of(plans));
+  ASSERT_EQ(cached.size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    SCOPED_TRACE("plan " + std::to_string(i));
+    ASSERT_TRUE(cached[i].ok());
+    ExpectSameAnswer(cached[i].value(), uncached[i]);
+    EXPECT_TRUE(
+        verifier_->VerifyAnswerFresh(plans[i], cached[i].value(), Now(), 0)
+            .ok());
+  }
+}
+
+// Batches against live ingest: an UpdateStream applies modifies and closes
+// rho-periods (epoch barriers with certified partition refreshes) while the
+// main thread runs batched reads. Every batch must stay internally
+// epoch-consistent, answers must keep verifying after the stream quiesces,
+// and the run must cross at least one epoch barrier. Runs under TSan via
+// the `concurrency` suite label.
+TEST_F(BatchExecTest, BatchesStayConsistentUnderLiveIngestAcrossEpochs) {
+  Load(DefaultS());
+  UpdateStream stream(server_.get(), UpdateStream::Options{});
+  std::vector<Query> plans = MixedPlans();
+
+  ShardedQueryServer::BatchStats first_stats;
+  auto first = server_->ExecuteBatch(PlanBatch::Of(plans), &first_stats);
+  for (const auto& r : first) ASSERT_TRUE(r.ok());
+  const uint64_t first_epoch = first_stats.epoch;
+
+  // Producer: bursts of modifies, each burst closed by a summary barrier
+  // (and its certified partition refresh). The clock and the DA are only
+  // ever touched from this thread while it runs.
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    const std::vector<int64_t> bs = {10, 20, 30, 50, 70, 90};
+    for (int period = 0; period < 6; ++period) {
+      for (int64_t b : bs) {
+        int64_t key = JoinCompositeKey(b, 0);
+        auto msg = da_->ModifyRecord(key, {key, b, 1000 + period});
+        ASSERT_TRUE(msg.ok());
+        stream.PushUpdate(std::move(msg.value()));
+      }
+      clock_.AdvanceSeconds(1.0);
+      DataAggregator::PeriodOutput out = da_->PublishSummary();
+      for (const auto& msg : out.recertifications)
+        stream.PushUpdate(msg);
+      stream.PushSummary(std::move(out.summary),
+                         std::move(out.partition_refresh));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::set<uint64_t> epochs_seen = {first_epoch};
+  while (!done.load(std::memory_order_acquire)) {
+    ShardedQueryServer::BatchStats stats;
+    auto batched = server_->ExecuteBatch(PlanBatch::Of(plans), &stats);
+    ASSERT_EQ(batched.size(), plans.size());
+    for (const auto& r : batched) {
+      ASSERT_TRUE(r.ok());
+      // One serializable cut per batch, even mid-barrier.
+      EXPECT_EQ(r.value().served_epoch, stats.epoch);
+    }
+    epochs_seen.insert(stats.epoch);
+  }
+  producer.join();
+  stream.Flush();
+
+  // The quiesced state: a final batch pins the last published epoch, every
+  // answer matching the sequential path and accepted fresh by the client.
+  ShardedQueryServer::BatchStats final_stats;
+  auto final_batch = server_->ExecuteBatch(PlanBatch::Of(plans), &final_stats);
+  epochs_seen.insert(final_stats.epoch);
+  EXPECT_GT(final_stats.epoch, first_epoch)
+      << "the stream never published an epoch barrier";
+  EXPECT_GE(epochs_seen.size(), 2u);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    SCOPED_TRACE("plan " + std::to_string(i));
+    ASSERT_TRUE(final_batch[i].ok());
+    auto seq = server_->Execute(plans[i]);
+    ASSERT_TRUE(seq.ok());
+    ExpectSameAnswer(final_batch[i].value(), seq.value());
+    EXPECT_TRUE(verifier_
+                    ->VerifyAnswerFresh(plans[i], final_batch[i].value(),
+                                        Now(), final_stats.epoch)
+                    .ok());
+  }
+}
+
+}  // namespace
+}  // namespace authdb

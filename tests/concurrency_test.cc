@@ -5,6 +5,7 @@
 // phases); the sanitizer provides the interesting failure mode.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -15,8 +16,8 @@
 
 #include "core/data_aggregator.h"
 #include "core/verifier.h"
+#include "server/shard_executor.h"
 #include "server/sharded_query_server.h"
-#include "server/thread_pool.h"
 #include "sim/multi_client.h"
 
 namespace authdb {
@@ -70,34 +71,65 @@ class ConcurrencyTest : public ::testing::Test {
 };
 std::shared_ptr<const BasContext>* ConcurrencyTest::ctx_ = nullptr;
 
-TEST(ThreadPoolTest, RunAllExecutesEveryTaskOnce) {
-  ThreadPool pool(3);
+TEST(ShardExecutorTest, RunVisitsExecutesEveryVisitOnce) {
+  ShardExecutor exec(3, /*threaded=*/true);
   std::atomic<int> count{0};
-  std::vector<std::function<void()>> tasks;
-  for (int i = 0; i < 64; ++i) tasks.emplace_back([&] { ++count; });
-  pool.RunAll(std::move(tasks));
+  std::vector<ShardExecutor::Visit> visits;
+  for (int i = 0; i < 64; ++i)
+    visits.push_back({static_cast<size_t>(i) % 3, [&] { ++count; }});
+  exec.RunVisits(std::move(visits));
   EXPECT_EQ(count.load(), 64);
 }
 
-TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
-  ThreadPool pool(0);
+TEST(ShardExecutorTest, InlineModeRunsOnCallerThread) {
+  ShardExecutor exec(3, /*threaded=*/false);
   int count = 0;  // no atomics needed: everything runs on this thread
-  std::vector<std::function<void()>> tasks;
-  for (int i = 0; i < 8; ++i) tasks.emplace_back([&] { ++count; });
-  pool.RunAll(std::move(tasks));
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<ShardExecutor::Visit> visits;
+  for (int i = 0; i < 8; ++i) {
+    visits.push_back({static_cast<size_t>(i) % 3, [&, caller] {
+                        EXPECT_EQ(std::this_thread::get_id(), caller);
+                        ++count;
+                      }});
+  }
+  exec.RunVisits(std::move(visits));
   EXPECT_EQ(count, 8);
 }
 
-TEST(ThreadPoolTest, ConcurrentRunAllCallersShareThePool) {
-  ThreadPool pool(2);
+TEST(ShardExecutorTest, VisitsAreShardAffine) {
+  // Every visit for shard s must land on shard s's one worker thread,
+  // across multiple RunVisits rounds.
+  ShardExecutor exec(4, /*threaded=*/true);
+  std::array<std::atomic<std::thread::id>, 4> owner{};
+  std::atomic<int> mismatches{0};
+  for (int round = 0; round < 16; ++round) {
+    std::vector<ShardExecutor::Visit> visits;
+    for (size_t s = 0; s < 4; ++s) {
+      visits.push_back({s, [&, s] {
+                          std::thread::id me = std::this_thread::get_id();
+                          std::thread::id expect{};
+                          if (!owner[s].compare_exchange_strong(expect, me) &&
+                              expect != me) {
+                            ++mismatches;
+                          }
+                        }});
+    }
+    exec.RunVisits(std::move(visits));
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ShardExecutorTest, ConcurrentRunVisitsCallersShareTheLanes) {
+  ShardExecutor exec(2, /*threaded=*/true);
   std::atomic<int> count{0};
   std::vector<std::thread> callers;
   for (int c = 0; c < 4; ++c) {
     callers.emplace_back([&] {
       for (int round = 0; round < 20; ++round) {
-        std::vector<std::function<void()>> tasks;
-        for (int i = 0; i < 5; ++i) tasks.emplace_back([&] { ++count; });
-        pool.RunAll(std::move(tasks));
+        std::vector<ShardExecutor::Visit> visits;
+        for (int i = 0; i < 5; ++i)
+          visits.push_back({static_cast<size_t>(i) % 2, [&] { ++count; }});
+        exec.RunVisits(std::move(visits));
       }
     });
   }
