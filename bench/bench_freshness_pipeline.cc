@@ -82,14 +82,19 @@ IngestTape MakeTape(DataAggregator* da, const PipelineWorkload& w, Rng* rng,
   return tape;
 }
 
+ServerConfig PipelineConfig(size_t shards) {
+  ServerConfig cfg;
+  cfg.node.record_len = 128;
+  cfg.serving.worker_threads = shards;
+  return cfg;
+}
+
 std::unique_ptr<ShardedQueryServer> MakeServer(
     const std::shared_ptr<const BasContext>& ctx, const PipelineWorkload& w,
     size_t shards) {
-  ShardedQueryServer::Options sopt;
-  sopt.shard.record_len = 128;
-  sopt.worker_threads = shards;
   auto server = std::make_unique<ShardedQueryServer>(
-      ctx, ShardRouter::Uniform(shards, w.key_lo, w.key_hi), sopt);
+      ctx, ShardRouter::Uniform(shards, w.key_lo, w.key_hi),
+      PipelineConfig(shards));
   for (const auto& msg : w.bulk) {
     Status s = server->ApplyUpdate(msg);
     AUTHDB_CHECK(s.ok());
@@ -126,9 +131,8 @@ void Run(bench::BenchRun* run) {
   SystemClock clock;
   auto ctx = BasContext::Default();
 
-  std::printf("\n%8s %14s %14s %14s %16s %16s %12s\n", "shards", "ingest/s",
-              "publish p50", "publish p99", "read qps idle",
-              "read qps live", "retained");
+  std::printf("\n%8s %14s %14s %16s %16s %12s\n", "shards", "ingest/s",
+              "publish mean", "read qps idle", "read qps live", "retained");
   for (size_t shards : {size_t{1}, size_t{4}}) {
     // A fresh DA (same seeds) per configuration: the 1- and 4-shard rows
     // measure identical workloads instead of inheriting the previous
@@ -156,9 +160,9 @@ void Run(bench::BenchRun* run) {
 
     // Phase A: drain the pre-signed tape as fast as the apply queues go.
     double ingest_rate = 0;
-    uint64_t publish_p50 = 0, publish_p99 = 0;
+    double publish_mean = 0;
     {
-      UpdateStream stream(server.get(), UpdateStream::Options{});
+      UpdateStream stream(server.get(), PipelineConfig(shards));
       Stopwatch sw;
       for (const IngestTape::Entry& e : tape.entries) {
         if (e.is_summary) {
@@ -169,13 +173,16 @@ void Run(bench::BenchRun* run) {
       }
       stream.Flush();
       double elapsed = sw.ElapsedSeconds();
-      UpdateStream::Stats stats = stream.stats();
-      AUTHDB_CHECK(stats.apply_failures == 0);
-      ingest_rate = elapsed > 0
-                        ? static_cast<double>(stats.updates_pushed) / elapsed
-                        : 0;
-      publish_p50 = stats.publish_latency.PercentileMicros(0.50);
-      publish_p99 = stats.publish_latency.PercentileMicros(0.99);
+      ServerMetrics m = stream.Metrics();
+      AUTHDB_CHECK(m.ingest.apply_failures == 0);
+      ingest_rate =
+          elapsed > 0 ? static_cast<double>(m.ingest.updates_pushed) / elapsed
+                      : 0;
+      publish_mean =
+          m.ingest.summaries_published > 0
+              ? static_cast<double>(m.ingest.publish_wait_us) /
+                    static_cast<double>(m.ingest.summaries_published)
+              : 0;
     }
 
     // Phase B: read throughput, idle vs. racing a live DA feed.
@@ -191,7 +198,7 @@ void Run(bench::BenchRun* run) {
 
     double live_qps = 0;
     {
-      UpdateStream stream(server.get(), UpdateStream::Options{});
+      UpdateStream stream(server.get(), PipelineConfig(shards));
       std::atomic<bool> stop{false};
       std::thread producer([&] {
         Rng prng(31);
@@ -218,21 +225,19 @@ void Run(bench::BenchRun* run) {
       producer.join();
       stream.Flush();
       AUTHDB_CHECK(live.failures == 0);
-      AUTHDB_CHECK(stream.stats().apply_failures == 0);
+      AUTHDB_CHECK(stream.Metrics().ingest.apply_failures == 0);
       live_qps = live.ops_per_second;
     }
 
     double retained =
         idle.ops_per_second > 0 ? live_qps / idle.ops_per_second : 0;
-    std::printf("%8zu %14.0f %12llu us %12llu us %16.0f %16.0f %11.0f%%\n",
-                shards, ingest_rate,
-                static_cast<unsigned long long>(publish_p50),
-                static_cast<unsigned long long>(publish_p99),
+    std::printf("%8zu %14.0f %11.0f us %16.0f %16.0f %11.0f%%\n",
+                shards, ingest_rate, publish_mean,
                 idle.ops_per_second, live_qps, retained * 100);
 
     std::string suffix = "_shards_" + std::to_string(shards);
     run->Metric("ingest_updates_per_s" + suffix, ingest_rate);
-    run->Metric("publish_p99_us" + suffix, static_cast<double>(publish_p99));
+    run->Metric("publish_mean_us" + suffix, publish_mean);
     run->Metric("read_qps_idle" + suffix, idle.ops_per_second);
     run->Metric("read_qps_live_ingest" + suffix, live_qps);
     run->Metric("read_retention_pct" + suffix, retained * 100);

@@ -85,11 +85,11 @@ void Run(bench::BenchRun* run) {
     da.EnableJoinPartitions(/*values_per_partition=*/8,
                             /*bits_per_value=*/8.0);
 
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = shards;
+    ServerConfig cfg;
+    cfg.node.record_len = 128;
+    cfg.serving.worker_threads = shards;
     ShardedQueryServer server(ctx, ShardRouter::Uniform(shards, 0, key_hi),
-                              sopt);
+                              cfg);
     for (const auto& msg : bulk.value()) {
       Status s = server.ApplyUpdate(msg);
       AUTHDB_CHECK(s.ok());
@@ -100,7 +100,7 @@ void Run(bench::BenchRun* run) {
 
     // Live ingest racing the mixed load: quantity modifications plus the
     // rho-period summary + certified Bloom partition refresh.
-    UpdateStream stream(&server, UpdateStream::Options{});
+    UpdateStream stream(&server, cfg);
     std::atomic<bool> stop{false};
     std::thread producer([&] {
       Rng prng(29);
@@ -143,7 +143,7 @@ void Run(bench::BenchRun* run) {
     producer.join();
     stream.Flush();
     AUTHDB_CHECK(report.failures == 0);
-    AUTHDB_CHECK(stream.stats().apply_failures == 0);
+    AUTHDB_CHECK(stream.Metrics().ingest.apply_failures == 0);
     last_report = report;
 
     double sel_qps = report.KindOpsPerSecond(report.queries);
@@ -157,7 +157,7 @@ void Run(bench::BenchRun* run) {
     // is the throughput K truly-parallel cores would sustain, and is the
     // machine-independent quantity the 4v1 ratios gate.
     uint64_t busy_max = 0, read_busy_max = 0, join_busy_max = 0;
-    for (const auto& kb : report.batch.shard_busy) {
+    for (const auto& kb : report.server.exec.shard_busy) {
       busy_max = std::max(busy_max, kb.visit_us);
       read_busy_max = std::max(read_busy_max, kb.select_us + kb.project_us);
       join_busy_max = std::max(join_busy_max, kb.join_us);
@@ -205,9 +205,9 @@ void Run(bench::BenchRun* run) {
     run->Metric("shard_busy_max_us" + suffix,
                 static_cast<double>(busy_max));
     run->Metric("shard_visits" + suffix,
-                static_cast<double>(report.batch.shard_visits));
+                static_cast<double>(report.server.exec.shard_visits));
     run->Metric("batch_finalizes" + suffix,
-                static_cast<double>(report.batch.batch_finalizes));
+                static_cast<double>(report.server.exec.batch_finalizes));
     run->Metric("select_p99_us" + suffix,
                 static_cast<double>(
                     report.query_latency.PercentileMicros(0.99)));

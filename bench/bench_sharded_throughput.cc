@@ -36,13 +36,13 @@ double RunShards(const std::shared_ptr<const BasContext>& ctx,
                  const std::vector<SignedRecordUpdate>& stream,
                  const Workload& w, size_t shards,
                  MultiClientReport* report_out) {
-  ShardedQueryServer::Options sopt;
-  sopt.shard.record_len = 128;
-  sopt.worker_threads = shards;  // one fan-out worker per shard
+  ServerConfig cfg;
+  cfg.node.record_len = 128;
+  cfg.serving.worker_threads = shards;  // one fan-out worker per shard
   ShardedQueryServer server(
       ctx, ShardRouter::Uniform(shards, 0,
                                 static_cast<int64_t>(w.n_records) - 1),
-      sopt);
+      cfg);
   for (const auto& msg : stream) {
     Status s = server.ApplyUpdate(msg);
     AUTHDB_CHECK(s.ok());

@@ -89,6 +89,16 @@ SCALING_FLOOR = 1.2
 # recorded ratio cannot fail a healthy build.
 SCALING_TOLERANCE = 0.65
 
+# The overload contract (bench_open_loop): at 2x measured capacity with
+# admission control on, goodput — served plans only, sheds excluded —
+# must stay at or above this fraction of the closed-loop capacity. Like
+# the scaling floor, this is an absolute machine-independent floor (a
+# ratio of two same-run measurements): a server that collapses under
+# overload instead of shedding fails here even when a generous
+# baseline-relative band would wave it through.
+GOODPUT_FLOOR_RE = re.compile(r"^goodput_ratio_at_2x_capacity$")
+GOODPUT_FLOOR = 0.6
+
 
 def is_gated(name):
     return THROUGHPUT_RE.search(name) is not None
@@ -126,6 +136,8 @@ def write_baseline(path, results, threshold):
             if SCALING_FLOOR_RE.match(name):
                 entry["floor"] = SCALING_FLOOR
                 entry["tolerance"] = SCALING_TOLERANCE
+            if GOODPUT_FLOOR_RE.match(name):
+                entry["floor"] = GOODPUT_FLOOR
             pinned[name] = entry
         if pinned:
             benches[bench] = pinned
@@ -255,14 +267,36 @@ def self_test(doc, threshold):
     print(f"self-test ok: sub-floor scaling ratio (1.15 < {SCALING_FLOOR}) "
           "is rejected even inside the tolerance band")
 
-    # And the floors must actually be pinned: every scaling-contract ratio
-    # present in the real baseline has to carry the "floor" key, or the
-    # contract silently degrades to the relative band.
+    # Goodput-floor mechanics (the overload contract): a goodput ratio
+    # inside the 0.4 relative band around a healthy recorded value but
+    # below the absolute 0.6 floor must still fail — a server that keeps
+    # only half its capacity as goodput under 2x load is overloading
+    # wrong, whatever it did last time.
+    goodput_doc = {"benches": {"synthetic_overload": {
+        "goodput_ratio_at_2x_capacity":
+            {"value": 0.9, "tolerance": 0.4, "floor": GOODPUT_FLOOR},
+    }}}
+    rc = gate(goodput_doc,
+              {"synthetic_overload": {"goodput_ratio_at_2x_capacity": 0.55}},
+              threshold, 1.0)
+    if rc == 0:
+        print("SELF-TEST FAILED: a sub-floor goodput ratio (0.55 < "
+              f"{GOODPUT_FLOOR}) inside the tolerance band passed the gate",
+              file=sys.stderr)
+        return 1
+    print(f"self-test ok: sub-floor goodput ratio (0.55 < {GOODPUT_FLOOR}) "
+          "is rejected even inside the tolerance band")
+
+    # And the floors must actually be pinned: every scaling-contract and
+    # overload-contract ratio present in the real baseline has to carry
+    # the "floor" key, or the contract silently degrades to the relative
+    # band.
     missing = [
         f"{bench}.{name}"
         for bench, metrics in doc.get("benches", {}).items()
         for name, entry in metrics.items()
-        if SCALING_FLOOR_RE.match(name) and "floor" not in entry
+        if (SCALING_FLOOR_RE.match(name) or GOODPUT_FLOOR_RE.match(name))
+        and "floor" not in entry
     ]
     if missing:
         print("SELF-TEST FAILED: scaling ratios without a required floor: "

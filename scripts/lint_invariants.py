@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Structural invariant linter for the authdb tree.
 
-Five rules, each protecting a contract the compiler cannot see:
+Seven rules, each protecting a contract the compiler cannot see:
 
 * ``epoch-pin`` — read paths of ``ShardedQueryServer`` (its ``const``
   member functions in ``src/server/sharded_query_server.cc``) must reach
@@ -39,6 +39,18 @@ Five rules, each protecting a contract the compiler cannot see:
   ``Visit``) inside it reintroduces one-visit-per-plan — exactly the
   hand-off the PlanBatch envelope exists to amortize away (one visit per
   covered shard per batch).
+
+* ``stats-surface`` — every ``struct *Stats`` in ``src/server`` must be
+  surfaced through the unified ``ServerMetrics`` snapshot (defined in, or
+  at least referenced by, ``src/server/metrics.h``). ServerMetrics is the
+  single serving-side telemetry surface; a stats struct it never folds is
+  a second, drifting surface that benches and tests will reach for
+  directly.
+
+* ``metrics-doc`` — every dotted counter name quoted in
+  ``src/server/metrics.cc`` (the stable ``Flatten()`` contract) must
+  appear in the README metrics table. The names are a published API;
+  an undocumented one is unfindable and gets renamed by accident.
 
 Escape hatch: a violating line is accepted when it (or the line directly
 above it) carries ``// authdb-lint: allow(<rule>)`` — use sparingly and
@@ -301,6 +313,60 @@ def check_batch_path(relpath, text):
 
 
 # --------------------------------------------------------------------------
+# Rule: stats-surface
+
+STATS_STRUCT_RE = re.compile(r"\bstruct\s+(\w*Stats)\b")
+
+
+def check_stats_surface(server_files, metrics_text):
+    """`server_files` is a list of (relpath, text) for src/server/*.{h,cc};
+    `metrics_text` is the concatenated text of server/metrics.{h,cc}."""
+    findings = []
+    for relpath, text in server_files:
+        if relpath.endswith("server/metrics.h"):
+            continue  # the surface itself
+        lines = text.splitlines()
+        stripped = "\n".join(_strip_line_comment(ln) for ln in lines)
+        for m in STATS_STRUCT_RE.finditer(stripped):
+            name = m.group(1)
+            line = _line_of(stripped, m.start())
+            if re.search(r"\b%s\b" % re.escape(name), metrics_text):
+                continue
+            if not _allowed(lines, line - 1, "stats-surface"):
+                findings.append(Finding(
+                    "stats-surface", relpath, line,
+                    "struct %s is not surfaced through ServerMetrics "
+                    "(server/metrics.h) — serving-side telemetry has ONE "
+                    "snapshot surface" % name))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: metrics-doc
+
+METRIC_NAME_RE = re.compile(
+    r"\"((?:exec|admission|epoch|ingest)\.[a-z0-9_.]*)\"")
+
+
+def check_metrics_doc(relpath, metrics_cc_text, readme_text):
+    findings = []
+    lines = metrics_cc_text.splitlines()
+    for idx, line in enumerate(lines):
+        code = _strip_line_comment(line)
+        for m in METRIC_NAME_RE.finditer(code):
+            name = m.group(1).rstrip(".")  # per-shard prefixes end with '.'
+            if name in readme_text:
+                continue
+            if not _allowed(lines, idx, "metrics-doc"):
+                findings.append(Finding(
+                    "metrics-doc", relpath, idx + 1,
+                    "metric %r is not documented in the README metrics "
+                    "table — Flatten() names are a stable, published "
+                    "contract" % name))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 CXX_DIRS = ("src", "tests", "bench", "examples")
@@ -348,6 +414,25 @@ def lint_tree(root):
     bench_files = [(p.relative_to(root).as_posix(), p.read_text())
                    for p in sorted((root / "bench").glob("bench_*.cc"))]
     findings.extend(check_bench_json(bench_files))
+
+    server_dir = root / "src/server"
+    if server_dir.is_dir():
+        metrics_text = ""
+        for name in ("src/server/metrics.h", "src/server/metrics.cc"):
+            p = root / name
+            if p.is_file():
+                metrics_text += p.read_text()
+        server_files = [(p.relative_to(root).as_posix(), p.read_text())
+                        for p in sorted(server_dir.rglob("*"))
+                        if p.suffix in (".h", ".cc")]
+        findings.extend(check_stats_surface(server_files, metrics_text))
+
+    metrics_cc = root / "src/server/metrics.cc"
+    readme = root / "README.md"
+    if metrics_cc.is_file() and readme.is_file():
+        findings.extend(check_metrics_doc(
+            metrics_cc.relative_to(root).as_posix(),
+            metrics_cc.read_text(), readme.read_text()))
     return findings
 
 
@@ -413,6 +498,29 @@ void BatchEngine::Bad(const PlanBatch& batch) {
 """
 
 
+SELFTEST_STATS_SURFACE = [
+    ("src/server/orphan.h", "struct OrphanStats { uint64_t hits = 0; };"),
+    ("src/server/folded.h", "struct FoldedStats { uint64_t hits = 0; };"),
+    ("src/server/escaped.h",
+     "// authdb-lint: allow(stats-surface)\n"
+     "struct InternalScratchStats { uint64_t hits = 0; };"),
+]
+SELFTEST_STATS_METRICS_TEXT = """\
+struct ServerMetrics { };
+void Fold(const FoldedStats& s);
+"""
+
+SELFTEST_METRICS_DOC_CC = """\
+  put("exec.batches", static_cast<double>(exec.batches));
+  put("exec.undocumented_thing", 0.0);
+  out.emplace_back(std::string("exec.batch.shard_busy_us.") + sfx, 0.0);
+"""
+SELFTEST_METRICS_DOC_README = """\
+| `exec.batches` | ExecuteBatch calls served |
+| `exec.batch.shard_busy_us.<s>` | per-shard busy time |
+"""
+
+
 def self_test():
     failures = []
 
@@ -444,6 +552,19 @@ def self_test():
     expect("seeded batch-path",
            check_batch_path("fake.cc", SELFTEST_BATCH_PATH),
            "batch-path", 1)
+    # Orphan stats struct caught; the folded one and the allow-escape stay
+    # silent.
+    stats = check_stats_surface(SELFTEST_STATS_SURFACE,
+                                SELFTEST_STATS_METRICS_TEXT)
+    expect("seeded orphan stats struct", stats, "stats-surface", 1)
+    if stats and stats[0].path != "src/server/orphan.h":
+        failures.append("stats-surface flagged the wrong file: %r" % (stats,))
+    # Undocumented metric name caught; the documented scalar and the
+    # per-shard prefix (matched with its '.' suffix trimmed) stay silent.
+    expect("seeded undocumented metric",
+           check_metrics_doc("fake.cc", SELFTEST_METRICS_DOC_CC,
+                             SELFTEST_METRICS_DOC_README),
+           "metrics-doc", 1)
 
     if failures:
         for f in failures:
@@ -473,7 +594,7 @@ def main(argv):
         print("%d invariant violation(s)" % len(findings), file=sys.stderr)
         return 1
     print("invariants ok: epoch-pin, raw-mutex, test-labels, bench-json, "
-          "batch-path")
+          "batch-path, stats-surface, metrics-doc")
     return 0
 
 

@@ -7,10 +7,13 @@
 
 namespace authdb {
 
-/// Fixed-bucket latency histogram: bucket i counts operations whose latency
-/// in microseconds falls in [2^i, 2^{i+1}) (bucket 0 is [0, 2)). Cheap to
-/// record under load, mergeable across client threads, and good enough for
-/// percentile reporting at the resolution a throughput harness needs.
+/// Log-bucketed HDR-style latency histogram. Values below 2^kSubBits are
+/// recorded exactly; above that, each power-of-two octave is split into
+/// 2^kSubBits linear sub-buckets, so the bucket width at value v is at
+/// most v / 2^kSubBits — a bounded ~3% relative error at every quantile,
+/// including p99/p999, instead of the 2x error of plain power-of-two
+/// buckets. Cheap to record under load (one shift + one clz) and mergeable
+/// across client threads.
 class LatencyHistogram {
  public:
   void Record(uint64_t micros) {
@@ -29,6 +32,7 @@ class LatencyHistogram {
   }
 
   uint64_t count() const { return count_; }
+  uint64_t SumMicros() const { return sum_micros_; }
   double MeanMicros() const {
     return count_ == 0 ? 0 : static_cast<double>(sum_micros_) / count_;
   }
@@ -43,7 +47,11 @@ class LatencyHistogram {
     uint64_t seen = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
       seen += buckets_[i];
-      if (seen > target) return (uint64_t{2} << i) - 1;  // bucket upper edge
+      if (seen > target) {
+        uint64_t edge = BucketUpperEdge(i);
+        // The true maximum is a tighter edge for the top bucket.
+        return edge < max_micros_ ? edge : max_micros_;
+      }
     }
     return max_micros_;
   }
@@ -51,13 +59,31 @@ class LatencyHistogram {
   uint64_t MaxMicros() const { return max_micros_; }
 
  private:
-  static int BucketOf(uint64_t micros) {
-    int b = 0;
-    while ((uint64_t{2} << b) <= micros && b < 39) ++b;
-    return b;
+  /// 2^kSubBits linear sub-buckets per octave: relative quantile error is
+  /// bounded by 1 / (2^kSubBits + 1) ~ 3%.
+  static constexpr uint64_t kSubBits = 5;
+  static constexpr uint64_t kSub = uint64_t{1} << kSubBits;  // 32
+  /// Octaves above the exact region; covers values up to ~2^45 us.
+  static constexpr size_t kOctaves = 41;
+  static constexpr size_t kBuckets = kOctaves * kSub;
+
+  static size_t BucketOf(uint64_t v) {
+    if (v < kSub) return static_cast<size_t>(v);  // exact region
+    int msb = 63 - __builtin_clzll(v);
+    size_t shift = static_cast<size_t>(msb) - kSubBits;
+    size_t idx = (static_cast<size_t>(msb) - kSubBits) * kSub +
+                 static_cast<size_t>(v >> shift);
+    return idx < kBuckets ? idx : kBuckets - 1;
   }
 
-  std::array<uint64_t, 40> buckets_{};
+  static uint64_t BucketUpperEdge(size_t idx) {
+    if (idx < kSub) return static_cast<uint64_t>(idx);  // exact
+    size_t shift = idx / kSub - 1;
+    uint64_t base = static_cast<uint64_t>(idx % kSub + kSub) << shift;
+    return base + ((uint64_t{1} << shift) - 1);
+  }
+
+  std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
   uint64_t sum_micros_ = 0;
   uint64_t max_micros_ = 0;

@@ -70,6 +70,9 @@ class Status {
   const std::string& message() const { return msg_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsVerificationFailed() const {
     return code_ == StatusCode::kVerificationFailed;
   }

@@ -154,12 +154,25 @@ inline std::vector<uint32_t> EffectiveProjectionAttrs(
   return out;
 }
 
+/// How a plan left the server. kServed is the normal path. kShedRetryAfter
+/// is an explicit load-shed under admission control: the server refused to
+/// execute the plan, stamped the answer with its current epoch and a
+/// retry-after hint, and returned NO payload. A shed is an honest,
+/// verifier-distinguishable outcome — ClientVerifier::VerifyAnswerFresh
+/// maps a payload-free shed to ResourceExhausted (retry), and a shed that
+/// smuggles any payload to VerificationFailed (a tampering server cannot
+/// use "shed" to sneak an unverified or stale answer past the client).
+enum class AnswerOutcome { kServed, kShedRetryAfter };
+
 /// One answer envelope for every plan kind, uniformly epoch-stamped so
 /// ClientVerifier::VerifyAnswerFresh applies the same freshness discipline
 /// to joins and projections as to selections. Exactly the member matching
 /// `kind` is meaningful.
 struct QueryAnswer {
   QueryKind kind = QueryKind::kSelect;
+  AnswerOutcome outcome = AnswerOutcome::kServed;
+  /// kShedRetryAfter only: advisory client backoff hint.
+  uint64_t retry_after_micros = 0;
   SelectionAnswer selection;
   ProjectedRangeAnswer projection;
   JoinAnswer join;
@@ -189,6 +202,19 @@ struct QueryAnswer {
     return bytes;
   }
 };
+
+/// The canonical shed answer: kind echoed, current epoch stamped, backoff
+/// hint attached, every payload member left empty.
+inline QueryAnswer MakeShedAnswer(QueryKind kind, uint64_t served_epoch,
+                                  uint64_t retry_after_micros) {
+  QueryAnswer a;
+  a.kind = kind;
+  a.outcome = AnswerOutcome::kShedRetryAfter;
+  a.retry_after_micros = retry_after_micros;
+  a.served_epoch = served_epoch;
+  a.selection.served_epoch = served_epoch;
+  return a;
+}
 
 }  // namespace authdb
 

@@ -260,6 +260,25 @@ Status ClientVerifier::VerifyAnswerFresh(const Query& query,
   // a verified-yet-incomplete answer.
   if (ans.kind != query.kind)
     return Status::VerificationFailed("answer kind does not match the query");
+  if (ans.outcome == AnswerOutcome::kShedRetryAfter) {
+    // An admission-control shed is an honest refusal, never a result: any
+    // payload riding on one is a server trying to pass off unverified (or
+    // stale) data under the shed banner, so it is treated as tampering,
+    // not as overload.
+    const bool payload_free =
+        ans.selection.records.empty() && !ans.selection.proof_record &&
+        ans.selection.summaries.empty() && ans.projection.tuples.empty() &&
+        !ans.projection.proof && ans.join.matches.empty() &&
+        ans.join.absence_proofs.empty() && ans.join.partitions.empty() &&
+        ans.summaries.empty();
+    if (!payload_free) {
+      return Status::VerificationFailed(
+          "shed answer carries payload — a shed is a refusal, not a result");
+    }
+    return Status::ResourceExhausted(
+        "query shed by server admission control (retry after " +
+        std::to_string(ans.retry_after_micros) + "us)");
+  }
   if (ans.served_epoch < min_epoch) {
     return Status::VerificationFailed(
         "answer served under epoch " + std::to_string(ans.served_epoch) +

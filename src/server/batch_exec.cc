@@ -46,15 +46,13 @@ uint64_t ElapsedUs(Clock::time_point a, Clock::time_point b) {
 
 class BatchEngine {
  public:
-  using SelectStats = ShardedQueryServer::SelectStats;
-  using BatchStats = ShardedQueryServer::BatchStats;
-  using KindBusy = ShardedQueryServer::KindBusy;
-
   BatchEngine(const ShardedQueryServer& srv, const EpochDescriptor& desc)
       : srv_(srv), desc_(desc), curve_(srv.ctx_->curve()) {}
 
+  /// Execute the batch, filling `stats` (one call's tally — the caller
+  /// folds it into the server's cumulative MetricsCore).
   std::vector<Result<QueryAnswer>> Run(const PlanBatch& batch,
-                                       BatchStats* stats);
+                                       BatchExecStats* stats);
 
  private:
   /// One selection/projection sub-range on one shard (a router cover
@@ -106,18 +104,18 @@ class BatchEngine {
 
   Status ValidateAndPlan(const Query& q, size_t p);
   void Visit(size_t shard, const std::vector<size_t>& rr,
-             const std::vector<size_t>& pr, KindBusy* busy,
+             const std::vector<size_t>& pr, ShardBusy* busy,
              size_t* finalizes);
 
   Result<QueryAnswer> StitchSelect(size_t p, const Query& q,
                                    BasAccumulator* acc, bool* needs_final,
-                                   SelectStats* ps);
+                                   BatchExecStats* bs);
   Result<QueryAnswer> StitchProject(size_t p, const Query& q,
                                     BasAccumulator* acc, bool* needs_final,
-                                    SelectStats* ps);
+                                    BatchExecStats* bs);
   Result<QueryAnswer> StitchJoin(size_t p, const Query& q,
                                  BasAccumulator* acc, bool* needs_final,
-                                 SelectStats* ps);
+                                 BatchExecStats* bs);
 
   const ShardedQueryServer& srv_;
   const EpochDescriptor& desc_;
@@ -187,7 +185,7 @@ Status BatchEngine::ValidateAndPlan(const Query& q, size_t p) {
 }
 
 void BatchEngine::Visit(size_t shard, const std::vector<size_t>& rr,
-                        const std::vector<size_t>& pr, KindBusy* busy,
+                        const std::vector<size_t>& pr, ShardBusy* busy,
                         size_t* finalizes) {
   const Clock::time_point visit_start = Clock::now();
   const EpochSnapshot& snap = *desc_.shards[shard];
@@ -334,7 +332,7 @@ void BatchEngine::Visit(size_t shard, const std::vector<size_t>& rr,
 Result<QueryAnswer> BatchEngine::StitchSelect(size_t p, const Query& q,
                                               BasAccumulator* acc,
                                               bool* needs_final,
-                                              SelectStats* ps) {
+                                              BatchExecStats* bs) {
   const PlanWork& work = work_[p];
   QueryAnswer answer;
   answer.kind = QueryKind::kSelect;
@@ -348,10 +346,10 @@ Result<QueryAnswer> BatchEngine::StitchSelect(size_t p, const Query& q,
   bool any = false;
   for (size_t ri : work.range_reqs) {
     RangeRes& sub = range_res_[ri];
-    ps->agg.point_adds += sub.agg_stats.point_adds;
-    ps->agg.leaf_fetches += sub.agg_stats.leaf_fetches;
-    ps->agg.cache_hits += sub.agg_stats.cache_hits;
-    ps->agg.refreshes += sub.agg_stats.refreshes;
+    bs->agg_point_adds += sub.agg_stats.point_adds;
+    bs->agg_leaf_fetches += sub.agg_stats.leaf_fetches;
+    bs->agg_cache_hits += sub.agg_stats.cache_hits;
+    bs->agg_refreshes += sub.agg_stats.refreshes;
     if (!sub.nonempty) continue;
     if (!any) {
       any = true;
@@ -368,7 +366,6 @@ Result<QueryAnswer> BatchEngine::StitchSelect(size_t p, const Query& q,
       acc->jac = curve_.JacAdd(acc->jac, sub.agg);
       ++acc->count;
     }
-    ++ps->shards_nonempty;
   }
 
   if (!any) {
@@ -418,7 +415,8 @@ Result<QueryAnswer> BatchEngine::StitchSelect(size_t p, const Query& q,
 Result<QueryAnswer> BatchEngine::StitchProject(size_t p, const Query& q,
                                                BasAccumulator* acc,
                                                bool* needs_final,
-                                               SelectStats* ps) {
+                                               BatchExecStats* bs) {
+  (void)bs;
   const PlanWork& work = work_[p];
   QueryAnswer answer;
   answer.kind = QueryKind::kProject;
@@ -445,7 +443,6 @@ Result<QueryAnswer> BatchEngine::StitchProject(size_t p, const Query& q,
     acc->jac = curve_.JacAdd(acc->jac, sub.proj_agg);
     ++acc->count;
     oldest_ts = std::min(oldest_ts, sub.oldest_ts);
-    ++ps->shards_nonempty;
   }
 
   if (!any) {
@@ -488,8 +485,8 @@ Result<QueryAnswer> BatchEngine::StitchProject(size_t p, const Query& q,
 Result<QueryAnswer> BatchEngine::StitchJoin(size_t p, const Query& q,
                                             BasAccumulator* acc,
                                             bool* needs_final,
-                                            SelectStats* ps) {
-  (void)ps;
+                                            BatchExecStats* bs) {
+  (void)bs;
   const PlanWork& work = work_[p];
   static const std::vector<CertifiedPartition> kNoPartitions;
   const std::vector<CertifiedPartition>& partitions =
@@ -605,21 +602,23 @@ Result<QueryAnswer> BatchEngine::StitchJoin(size_t p, const Query& q,
 }
 
 std::vector<Result<QueryAnswer>> BatchEngine::Run(const PlanBatch& batch,
-                                                  BatchStats* stats) {
+                                                  BatchExecStats* stats) {
   const std::vector<Query>& plans = batch.plans;
   const size_t n_shards = desc_.shards.size();
 
-  BatchStats bs;
+  BatchExecStats& bs = *stats;
   bs.epoch = desc_.epoch;
   bs.plans = plans.size();
   bs.shard_busy.resize(n_shards);
-  bs.per_plan.resize(plans.size());
 
   work_.resize(plans.size());
   plan_attrs_.resize(plans.size());
   std::vector<Status> invalid(plans.size(), Status::OK());
-  for (size_t p = 0; p < plans.size(); ++p)
+  for (size_t p = 0; p < plans.size(); ++p) {
     invalid[p] = ValidateAndPlan(plans[p], p);
+    if (!invalid[p].ok()) ++bs.invalid_plans;
+    bs.shards_queried += work_[p].shards_queried;
+  }
   range_res_.resize(range_reqs_.size());
   probe_res_.resize(probe_reqs_.size());
 
@@ -656,19 +655,16 @@ std::vector<Result<QueryAnswer>> BatchEngine::Run(const PlanBatch& batch,
       results.push_back(invalid[p]);
       continue;
     }
-    SelectStats& ps = bs.per_plan[p];
-    ps.epoch = desc_.epoch;
-    ps.shards_queried = work_[p].shards_queried;
     bool nf = false;
     switch (plans[p].kind) {
       case QueryKind::kSelect:
-        results.push_back(StitchSelect(p, plans[p], &plan_acc[p], &nf, &ps));
+        results.push_back(StitchSelect(p, plans[p], &plan_acc[p], &nf, &bs));
         break;
       case QueryKind::kProject:
-        results.push_back(StitchProject(p, plans[p], &plan_acc[p], &nf, &ps));
+        results.push_back(StitchProject(p, plans[p], &plan_acc[p], &nf, &bs));
         break;
       case QueryKind::kJoin:
-        results.push_back(StitchJoin(p, plans[p], &plan_acc[p], &nf, &ps));
+        results.push_back(StitchJoin(p, plans[p], &plan_acc[p], &nf, &bs));
         break;
     }
     needs_final[p] = nf && results.back().ok();
@@ -702,62 +698,86 @@ std::vector<Result<QueryAnswer>> BatchEngine::Run(const PlanBatch& batch,
     }
   }
 
-  for (const SelectStats& ps : bs.per_plan) {
-    bs.agg.point_adds += ps.agg.point_adds;
-    bs.agg.leaf_fetches += ps.agg.leaf_fetches;
-    bs.agg.cache_hits += ps.agg.cache_hits;
-    bs.agg.refreshes += ps.agg.refreshes;
-  }
-
-  if (stats != nullptr) {
-    // Scalars and busy buckets accumulate (one BatchStats may total many
-    // batches); per_plan always describes THIS batch.
-    stats->epoch = bs.epoch;
-    stats->plans += bs.plans;
-    stats->shard_visits += bs.shard_visits;
-    if (stats->shard_busy.size() < n_shards) stats->shard_busy.resize(n_shards);
-    for (size_t s = 0; s < n_shards; ++s) {
-      stats->shard_busy[s].select_us += bs.shard_busy[s].select_us;
-      stats->shard_busy[s].project_us += bs.shard_busy[s].project_us;
-      stats->shard_busy[s].join_us += bs.shard_busy[s].join_us;
-      stats->shard_busy[s].visit_us += bs.shard_busy[s].visit_us;
-    }
-    stats->agg.point_adds += bs.agg.point_adds;
-    stats->agg.leaf_fetches += bs.agg.leaf_fetches;
-    stats->agg.cache_hits += bs.agg.cache_hits;
-    stats->agg.refreshes += bs.agg.refreshes;
-    stats->batch_finalizes += bs.batch_finalizes;
-    stats->per_plan = std::move(bs.per_plan);
-  }
   return results;
 }
 
 // ---------------------------------------------------------------------------
 // The public read surface: ExecuteBatch, with Execute and Select as
-// batches of one.
+// batches of one. Admission control (when enabled) wraps the engine here:
+// plans are routed through the two-lane controller, refused plans come
+// back as epoch-stamped shed answers in plan order, and the engine only
+// ever sees the admitted sub-batch.
 
 std::vector<Result<QueryAnswer>> ShardedQueryServer::ExecuteBatch(
-    const PlanBatch& batch, BatchStats* stats) const {
+    const PlanBatch& batch) const {
   std::shared_ptr<const EpochDescriptor> desc = PinCurrentEpoch();
-  BatchEngine engine(*this, *desc);
-  return engine.Run(batch, stats);
+  if (admission_ == nullptr) {
+    BatchExecStats bs;
+    BatchEngine engine(*this, *desc);
+    std::vector<Result<QueryAnswer>> out = engine.Run(batch, &bs);
+    metrics_.FoldBatch(bs);
+    return out;
+  }
+
+  std::vector<QueryKind> kinds;
+  kinds.reserve(batch.plans.size());
+  for (const Query& q : batch.plans) kinds.push_back(q.kind);
+  std::vector<uint8_t> admitted;
+  const size_t granted = admission_->AdmitPlans(kinds, &admitted);
+  const uint64_t retry_us = admission_->retry_after_micros();
+
+  if (granted == batch.plans.size()) {
+    BatchExecStats bs;
+    BatchEngine engine(*this, *desc);
+    std::vector<Result<QueryAnswer>> out = engine.Run(batch, &bs);
+    metrics_.FoldBatch(bs);
+    admission_->Release(granted);
+    return out;
+  }
+
+  std::vector<Result<QueryAnswer>> ran;
+  if (granted > 0) {
+    PlanBatch sub;
+    sub.plans.reserve(granted);
+    for (size_t i = 0; i < batch.plans.size(); ++i) {
+      if (admitted[i]) sub.plans.push_back(batch.plans[i]);
+    }
+    BatchExecStats bs;
+    BatchEngine engine(*this, *desc);
+    ran = engine.Run(sub, &bs);
+    metrics_.FoldBatch(bs);
+    admission_->Release(granted);
+  }
+
+  // Weave the shed answers back so results stay aligned with plan order.
+  std::vector<Result<QueryAnswer>> out;
+  out.reserve(batch.plans.size());
+  size_t next_ran = 0;
+  for (size_t i = 0; i < batch.plans.size(); ++i) {
+    if (admitted[i]) {
+      out.push_back(std::move(ran[next_ran++]));
+    } else {
+      out.push_back(MakeShedAnswer(batch.plans[i].kind, desc->epoch, retry_us));
+    }
+  }
+  return out;
 }
 
-Result<QueryAnswer> ShardedQueryServer::Execute(const Query& query,
-                                                SelectStats* stats) const {
-  if (stats != nullptr) *stats = SelectStats{};  // even on early error returns
-  BatchStats bs;
-  std::vector<Result<QueryAnswer>> out =
-      ExecuteBatch(PlanBatch::Of({query}), &bs);
+Result<QueryAnswer> ShardedQueryServer::Execute(const Query& query) const {
+  std::vector<Result<QueryAnswer>> out = ExecuteBatch(PlanBatch::Of({query}));
   AUTHDB_CHECK(out.size() == 1);
-  if (stats != nullptr) *stats = bs.per_plan[0];
   return std::move(out[0]);
 }
 
-Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo, int64_t hi,
-                                                   SelectStats* stats) const {
-  Result<QueryAnswer> r = Execute(Query::Select(lo, hi), stats);
+Result<SelectionAnswer> ShardedQueryServer::Select(int64_t lo,
+                                                   int64_t hi) const {
+  Result<QueryAnswer> r = Execute(Query::Select(lo, hi));
   if (!r.ok()) return r.status();
+  if (r.value().outcome == AnswerOutcome::kShedRetryAfter) {
+    // SelectionAnswer has no outcome channel; surface the shed as the
+    // same status the verifier maps it to.
+    return Status::ResourceExhausted("selection shed by admission control");
+  }
   return std::move(r.value().selection);
 }
 

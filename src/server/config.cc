@@ -1,0 +1,40 @@
+#include "server/config.h"
+
+#include <string>
+
+namespace authdb {
+
+Result<ServerConfig> ServerConfig::Validated() const {
+  if (node.record_len == 0)
+    return Status::InvalidArgument("node.record_len must be >= 1");
+  if (node.summaries_retained == 0) {
+    return Status::InvalidArgument(
+        "node.summaries_retained must be >= 1 (every epoch carries its "
+        "summary run)");
+  }
+  if (serving.worker_threads > 4096) {
+    return Status::InvalidArgument(
+        "serving.worker_threads is a per-shard flag, not a pool size: " +
+        std::to_string(serving.worker_threads) + " is not plausible");
+  }
+  if (ingest.max_queue_depth == 0) {
+    return Status::InvalidArgument(
+        "ingest.max_queue_depth must be >= 1 (0 would deadlock every "
+        "producer)");
+  }
+  if (admission.enabled) {
+    if (admission.max_inflight_plans == 0) {
+      return Status::InvalidArgument(
+          "admission.max_inflight_plans must be >= 1 when admission is "
+          "enabled (0 sheds everything)");
+    }
+    if (admission.starvation_bound == 0) {
+      return Status::InvalidArgument(
+          "admission.starvation_bound must be >= 1 (the bulk lane must "
+          "eventually be granted)");
+    }
+  }
+  return *this;
+}
+
+}  // namespace authdb

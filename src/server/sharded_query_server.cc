@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "core/chain.h"
 
@@ -13,13 +14,18 @@ namespace authdb {
 
 ShardedQueryServer::ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
                                        ShardRouter router,
-                                       const Options& options)
+                                       const ServerConfig& config)
     : ctx_(std::move(ctx)),
       router_(std::move(router)),
-      options_(options),
-      exec_(router_.shard_count(), options.worker_threads > 0),
+      config_(config),
+      exec_(router_.shard_count(), config.serving.worker_threads > 0),
+      metrics_(router_.shard_count()),
       pin_sync_(std::make_shared<PinSync>()),
       summaries_(std::make_shared<const std::deque<UpdateSummary>>()) {
+  Result<ServerConfig> checked = config.Validated();
+  AUTHDB_CHECK(checked.ok() && "invalid ServerConfig");
+  if (config_.admission.enabled)
+    admission_ = std::make_unique<AdmissionController>(config_.admission);
   shards_.reserve(router_.shard_count());
   for (size_t i = 0; i < router_.shard_count(); ++i)
     shards_.push_back(std::make_unique<Shard>());
@@ -147,6 +153,7 @@ void ShardedQueryServer::RepublishLocked() {
     snaps.push_back(sh.builder.Freeze());
   }
   InstallDescriptorLocked(std::move(snaps));
+  metrics_.RecordPublish(0);  // direct path never waits on the pin budget
 }
 
 void ShardedQueryServer::PublishEpoch(
@@ -155,15 +162,20 @@ void ShardedQueryServer::PublishEpoch(
     std::vector<CertifiedPartition> partition_refresh) {
   AUTHDB_CHECK(snaps.size() == shards_.size());
   MutexLock pub(publish_mu_);
-  if (options_.max_pinned_epochs > 0) {
+  uint64_t backpressure_us = 0;
+  if (config_.serving.max_pinned_epochs > 0) {
     // Backpressure against stalled readers: wait until fewer than the
     // budget of superseded epochs is still pinned. publish_mu_ stays held
     // — the block is meant to propagate through the update stream's apply
     // queues to the producer. Readers never take either lock, so they
     // drain (and notify through the descriptor deleter) independently.
     MutexLock lk(pin_sync_->mu);
-    while (LivePinnedLocked() >= options_.max_pinned_epochs)
-      pin_sync_->cv.Wait(pin_sync_->mu);
+    if (LivePinnedLocked() >= config_.serving.max_pinned_epochs) {
+      const uint64_t t0 = MonotonicMicros();
+      while (LivePinnedLocked() >= config_.serving.max_pinned_epochs)
+        pin_sync_->cv.Wait(pin_sync_->mu);
+      backpressure_us = MonotonicMicros() - t0;
+    }
   }
   // Monotonicity guard: if a direct-path publication (ApplyUpdate /
   // SetJoinPartitions / AddSummary) raced this barrier and already
@@ -187,9 +199,10 @@ void ShardedQueryServer::PublishEpoch(
   tracker_.Publish(summary.seq, summary.publish_ts);
   auto sums = std::make_shared<std::deque<UpdateSummary>>(*summaries_);
   sums->push_back(std::move(summary));
-  while (sums->size() > options_.shard.summaries_retained) sums->pop_front();
+  while (sums->size() > config_.node.summaries_retained) sums->pop_front();
   summaries_ = std::move(sums);
   InstallDescriptorLocked(std::move(snaps));
+  metrics_.RecordPublish(backpressure_us);
 }
 
 void ShardedQueryServer::AddSummary(UpdateSummary summary) {
@@ -222,6 +235,15 @@ size_t ShardedQueryServer::pinned_epochs() const {
 
 uint64_t ShardedQueryServer::size() const {
   return PinCurrentEpoch()->total_size;
+}
+
+ServerMetrics ShardedQueryServer::Metrics() const {
+  ServerMetrics m;
+  metrics_.Snapshot(&m);
+  if (admission_ != nullptr) admission_->Snapshot(&m.admission);
+  m.epoch.current = tracker_.current_epoch();
+  m.epoch.pinned = pinned_epochs();
+  return m;
 }
 
 void ShardedQueryServer::EnableSigCache(SigCache::RefreshMode mode,

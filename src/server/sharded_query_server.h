@@ -14,6 +14,9 @@
 #include "core/protocol.h"
 #include "core/query_server.h"
 #include "core/sigcache.h"
+#include "server/admission.h"
+#include "server/config.h"
+#include "server/metrics.h"
 #include "server/shard_executor.h"
 #include "server/shard_router.h"
 
@@ -75,31 +78,26 @@ struct EpochDescriptor {
 ///    read-your-writes for callers that do not run a stream.
 ///  * Epoch GC: a superseded descriptor is retired the moment its last
 ///    reader unpins it (shared_ptr refcount; untouched chunks survive via
-///    structural sharing with newer epochs). `Options::max_pinned_epochs`
-///    bounds how many retired epochs stalled readers may keep alive before
-///    epoch publication blocks — backpressure that propagates through the
-///    update stream's apply queues to the producer.
+///    structural sharing with newer epochs).
+///    `ServerConfig::Serving::max_pinned_epochs` bounds how many retired
+///    epochs stalled readers may keep alive before epoch publication
+///    blocks — backpressure that propagates through the update stream's
+///    apply queues to the producer.
+///
+/// Overload model — admission control (ServerConfig::Admission): with
+/// admission enabled, ExecuteBatch routes every plan through the two-lane
+/// AdmissionController before touching the engine. Plans that do not get
+/// an execution slot are answered with AnswerOutcome::kShedRetryAfter —
+/// an honest, payload-free, epoch-stamped refusal the client verifier
+/// maps to ResourceExhausted (and a shed that carries payload to
+/// VerificationFailed). Selections ride the priority lane; projections
+/// and joins ride the bulk lane and shed first under pressure.
 class ShardedQueryServer {
  public:
-  struct Options {
-    QueryServer::Options shard;  ///< record_len retained for compatibility;
-                                 ///< summaries_retained bounds the summary
-                                 ///< run carried by every epoch
-    /// Non-zero: one dedicated shard-affine worker thread per shard serves
-    /// the read fan-out (the value beyond zero is ignored — the executor
-    /// is per-shard by construction). Zero: visits run inline on the
-    /// submitting thread.
-    size_t worker_threads = 4;
-    /// Epoch GC backpressure: maximum number of *superseded* epochs that
-    /// stalled readers may keep pinned before PublishEpoch blocks waiting
-    /// for one to drain (0 = unbounded). The block propagates through the
-    /// update stream's queues to the producer — memory stays bounded even
-    /// against a wedged reader.
-    size_t max_pinned_epochs = 0;
-  };
-
+  /// `config` must pass ServerConfig::Validated(); the constructor
+  /// CHECK-fails otherwise.
   ShardedQueryServer(std::shared_ptr<const BasContext> ctx,
-                     ShardRouter router, const Options& options);
+                     ShardRouter router, const ServerConfig& config);
 
   /// Replay a DA update message on the direct path: the message is split
   /// by key ownership, applied to every owning shard's builder, and the
@@ -182,21 +180,12 @@ class ShardedQueryServer {
   /// concurrent publication.
   size_t pinned_epochs() const EXCLUDES(publish_mu_);
 
-  /// Per-call serving statistics (out-param, never instance state). All
-  /// counters describe one pinned-epoch read, so they are snapshot-
-  /// consistent by construction.
-  struct SelectStats {
-    size_t shards_queried = 0;    ///< sub-ranges fanned out
-    size_t shards_nonempty = 0;   ///< sub-answers contributing records
-    uint64_t epoch = 0;           ///< the epoch the read pinned
-    SigCache::AggStats agg;       ///< summed over the covered shards
-  };
-
   /// Range selection with proof, stitched across the covered shards of
   /// one pinned epoch snapshot — wait-free under ingest, and always a
-  /// serializable cut the unmodified verifier accepts.
-  Result<SelectionAnswer> Select(int64_t lo, int64_t hi,
-                                 SelectStats* stats = nullptr) const;
+  /// serializable cut the unmodified verifier accepts. With admission
+  /// enabled, a shed selection returns ResourceExhausted (SelectionAnswer
+  /// has no outcome channel of its own).
+  Result<SelectionAnswer> Select(int64_t lo, int64_t hi) const;
 
   /// Execute one query plan — the unified read path. Every plan kind
   /// (selection, projection, equi-join) runs against the same pinned
@@ -205,36 +194,7 @@ class ShardedQueryServer {
   /// come from one epoch, and the answer is stamped with exactly that
   /// epoch. Implemented as a batch of one — Execute and ExecuteBatch
   /// cannot drift.
-  Result<QueryAnswer> Execute(const Query& query,
-                              SelectStats* stats = nullptr) const;
-
-  /// Per-kind busy time one shard's visits spent serving a batch, in
-  /// microseconds. `visit_us` is each visit's wall time (it includes lock
-  /// waits and the shared SigCache finalization, so contention inside the
-  /// visit path is visible to the scaling metrics); the per-kind buckets
-  /// cover the request-processing slices only.
-  struct KindBusy {
-    uint64_t select_us = 0;   ///< selection sub-range scans + aggregation
-    uint64_t project_us = 0;  ///< projection scans + digest spines
-    uint64_t join_us = 0;     ///< join probe walks
-    uint64_t visit_us = 0;    ///< whole-visit wall time
-  };
-
-  /// Per-batch serving statistics (out-param, never instance state).
-  struct BatchStats {
-    uint64_t epoch = 0;        ///< the epoch the whole batch pinned
-    size_t plans = 0;          ///< plans submitted (valid or not)
-    size_t shard_visits = 0;   ///< shard visits dispatched (<= shards)
-    /// Busy time by shard (indexed by shard id; accumulated, so one
-    /// BatchStats may total several batches).
-    std::vector<KindBusy> shard_busy;
-    SigCache::AggStats agg;    ///< summed over every plan of the batch
-    /// Shared-inversion finalizations performed (per-visit SigCache batch
-    /// fills + the one batch-level answer finalize).
-    size_t batch_finalizes = 0;
-    /// Per-plan stats, aligned with the submitted plans.
-    std::vector<SelectStats> per_plan;
-  };
+  Result<QueryAnswer> Execute(const Query& query) const;
 
   /// Execute a batch of plans against ONE pinned epoch — the batched read
   /// path. The whole batch pins a single EpochDescriptor (every answer is
@@ -244,9 +204,17 @@ class ShardedQueryServer {
   /// finalizes the batch's aggregate signatures with shared batch
   /// inversions. Answers are byte-for-byte the answers the one-at-a-time
   /// Execute path produces, in plan order — each independently acceptable
-  /// to the unmodified client verifier.
-  std::vector<Result<QueryAnswer>> ExecuteBatch(
-      const PlanBatch& batch, BatchStats* stats = nullptr) const;
+  /// to the unmodified client verifier. With admission enabled, plans the
+  /// controller refuses come back as ok() results carrying
+  /// AnswerOutcome::kShedRetryAfter (still in plan order).
+  std::vector<Result<QueryAnswer>> ExecuteBatch(const PlanBatch& batch) const;
+
+  /// One consistent snapshot of the serving-side counters: execution
+  /// (exec.*), admission control (admission.*), and epoch publication
+  /// (epoch.*). Cheap (relaxed atomic loads + one short admission lock);
+  /// safe to call from any thread at any time. Ingest counters (ingest.*)
+  /// are filled by UpdateStream::Metrics(), which wraps this.
+  ServerMetrics Metrics() const;
 
   /// Plan and pin a per-shard SigCache with generation-tagged windows.
   /// Each shard is planned independently against the largest power-of-two
@@ -305,10 +273,15 @@ class ShardedQueryServer {
 
   std::shared_ptr<const BasContext> ctx_;
   ShardRouter router_;
-  Options options_;
+  ServerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable ShardExecutor exec_;
   FreshnessTracker tracker_;
+  /// Cumulative execution counters (relaxed atomics; ExecuteBatch folds
+  /// one BatchExecStats per call, Metrics() snapshots).
+  mutable MetricsCore metrics_;
+  /// Present iff config_.admission.enabled.
+  std::unique_ptr<AdmissionController> admission_;
 
   /// Notified by the descriptor deleter when a retired epoch fully drains
   /// (its last reader unpinned it) — what PublishEpoch's backpressure

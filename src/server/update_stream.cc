@@ -7,10 +7,11 @@
 
 namespace authdb {
 
-UpdateStream::UpdateStream(ShardedQueryServer* server, const Options& options)
-    : server_(server), options_(options) {
+UpdateStream::UpdateStream(ShardedQueryServer* server,
+                           const ServerConfig& config)
+    : server_(server), max_queue_depth_(config.ingest.max_queue_depth) {
   AUTHDB_CHECK(server_ != nullptr);
-  AUTHDB_CHECK(options_.max_queue_depth >= 1);
+  AUTHDB_CHECK(config.Validated().ok() && "invalid ServerConfig");
   queues_.reserve(server_->shard_count());
   for (size_t s = 0; s < server_->shard_count(); ++s)
     queues_.push_back(std::make_unique<ShardQueue>());
@@ -23,7 +24,14 @@ UpdateStream::~UpdateStream() { Close(); }
 void UpdateStream::Enqueue(size_t shard, Event event) {
   ShardQueue& q = *queues_[shard];
   MutexLock lk(q.mu);
-  while (q.q.size() >= options_.max_queue_depth) q.progress.Wait(q.mu);
+  if (q.q.size() >= max_queue_depth_) {
+    // The backpressure block — measured, so a producer stalled behind a
+    // wedged reader (epoch-pin budget -> barrier -> full queues) shows up
+    // as ingest.push_block_us instead of silent lost throughput.
+    const uint64_t t0 = MonotonicMicros();
+    while (q.q.size() >= max_queue_depth_) q.progress.Wait(q.mu);
+    q.push_block_us += MonotonicMicros() - t0;
+  }
   q.q.push_back(std::move(event));
   ++q.enqueued;
   if (q.q.size() > q.max_depth_seen) q.max_depth_seen = q.q.size();
@@ -43,8 +51,8 @@ void UpdateStream::PushUpdate(SignedRecordUpdate msg) {
     ev.piece = std::move(sp.piece);
     Enqueue(sp.shard, std::move(ev));
   }
-  MutexLock slock(stats_mu_);
-  ++stats_.updates_pushed;
+  MutexLock slock(tally_mu_);
+  ++tally_.updates_pushed;
 }
 
 void UpdateStream::PushSummary(UpdateSummary summary) {
@@ -100,9 +108,9 @@ void UpdateStream::WorkerLoop(size_t shard) {
                               std::move(ev.barrier->snaps),
                               std::move(ev.barrier->partition_refresh));
         uint64_t latency = MonotonicMicros() - ev.barrier->enqueue_micros;
-        MutexLock slock(stats_mu_);  // rare: once per rho
-        ++stats_.summaries_published;
-        stats_.publish_latency.Record(latency);
+        MutexLock slock(tally_mu_);  // rare: once per rho
+        ++tally_.summaries_published;
+        tally_.publish_wait_us += latency;
       }
     } else {
       applied = 1;
@@ -152,20 +160,23 @@ void UpdateStream::Close() {
   for (auto& q : queues_) q->worker.join();
 }
 
-UpdateStream::Stats UpdateStream::stats() const {
-  Stats out;
+ServerMetrics UpdateStream::Metrics() const {
+  ServerMetrics m = server_->Metrics();
   {
-    MutexLock lock(stats_mu_);
-    out = stats_;
+    MutexLock lock(tally_mu_);
+    m.ingest.updates_pushed = tally_.updates_pushed;
+    m.ingest.summaries_published = tally_.summaries_published;
+    m.ingest.publish_wait_us = tally_.publish_wait_us;
   }
   for (const auto& q : queues_) {
     MutexLock lk(q->mu);
-    out.pieces_applied += q->pieces_applied;
-    out.apply_failures += q->apply_failures;
-    if (q->max_depth_seen > out.max_queue_depth_seen)
-      out.max_queue_depth_seen = q->max_depth_seen;
+    m.ingest.pieces_applied += q->pieces_applied;
+    m.ingest.apply_failures += q->apply_failures;
+    m.ingest.push_block_us += q->push_block_us;
+    if (q->max_depth_seen > m.ingest.queue_depth_max)
+      m.ingest.queue_depth_max = q->max_depth_seen;
   }
-  return out;
+  return m;
 }
 
 }  // namespace authdb

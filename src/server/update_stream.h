@@ -9,9 +9,10 @@
 #include <thread>
 #include <vector>
 
-#include "common/histogram.h"
 #include "common/thread_annotations.h"
 #include "core/protocol.h"
+#include "server/config.h"
+#include "server/metrics.h"
 #include "server/sharded_query_server.h"
 
 namespace authdb {
@@ -51,20 +52,21 @@ namespace authdb {
 ///    wait-free under ingest.
 ///
 /// Producers (typically the single DA feed) block when a shard queue is
-/// `max_queue_depth` deep — backpressure instead of unbounded memory.
-/// Epoch GC backpressure composes with it: when stalled readers keep
-/// `ShardedQueryServer::Options::max_pinned_epochs` retired epochs alive,
-/// PublishEpoch blocks the barrier worker, the queues fill, and PushUpdate
-/// blocks the producer. Multiple producers are safe; their relative order
-/// is serialized at the push mutex.
+/// `ServerConfig::Ingest::max_queue_depth` deep — backpressure instead of
+/// unbounded memory. Epoch GC backpressure composes with it: when stalled
+/// readers keep `ServerConfig::Serving::max_pinned_epochs` retired epochs
+/// alive, PublishEpoch blocks the barrier worker, the queues fill, and
+/// PushUpdate blocks the producer. Both waits are measured —
+/// `ingest.push_block_us` and `epoch.publish_backpressure_us` in the
+/// metrics snapshot — so overload is observable end to end. Multiple
+/// producers are safe; their relative order is serialized at the push
+/// mutex.
 class UpdateStream {
  public:
-  struct Options {
-    size_t max_queue_depth = 4096;  ///< per-shard backpressure bound
-  };
-
-  /// `server` must outlive the stream.
-  UpdateStream(ShardedQueryServer* server, const Options& options);
+  /// `server` must outlive the stream. `config` must pass Validated();
+  /// only the `ingest` layer is consumed here (the server consumed the
+  /// rest — pass the same config to both).
+  UpdateStream(ShardedQueryServer* server, const ServerConfig& config);
   ~UpdateStream();
 
   UpdateStream(const UpdateStream&) = delete;
@@ -94,15 +96,11 @@ class UpdateStream {
   /// by the destructor; idempotent. No pushes may race with or follow it.
   void Close() EXCLUDES(push_mu_);
 
-  struct Stats {
-    uint64_t updates_pushed = 0;      ///< PushUpdate calls
-    uint64_t pieces_applied = 0;      ///< per-shard apply operations
-    uint64_t summaries_published = 0;
-    uint64_t apply_failures = 0;      ///< rejected by a shard (logged)
-    size_t max_queue_depth_seen = 0;  ///< high-water mark across shards
-    LatencyHistogram publish_latency;  ///< PushSummary -> epoch publication
-  };
-  Stats stats() const EXCLUDES(stats_mu_);
+  /// The full serving+ingest metrics snapshot: the server's sections
+  /// (exec/admission/epoch) plus this stream's `ingest` counters. The one
+  /// telemetry surface of the ingest layer — there is no separate stats
+  /// struct to drift from it.
+  ServerMetrics Metrics() const EXCLUDES(tally_mu_);
 
  private:
   /// Summary fan-out marker shared by all shard queues. Each worker
@@ -135,6 +133,8 @@ class UpdateStream {
     uint64_t pieces_applied GUARDED_BY(mu) = 0;
     uint64_t apply_failures GUARDED_BY(mu) = 0;
     size_t max_depth_seen GUARDED_BY(mu) = 0;
+    /// Producer block time on this queue's backpressure bound.
+    uint64_t push_block_us GUARDED_BY(mu) = 0;
     std::thread worker;
   };
 
@@ -143,16 +143,22 @@ class UpdateStream {
   void Enqueue(size_t shard, Event event);
 
   ShardedQueryServer* server_;
-  Options options_;
+  size_t max_queue_depth_;
   std::vector<std::unique_ptr<ShardQueue>> queues_;
   Mutex push_mu_;  ///< serializes producers: same order on all queues
   std::atomic<bool> stop_{false};
   bool closed_ GUARDED_BY(push_mu_) = false;
 
-  /// Guards the producer-side and per-publication tallies (updates_pushed,
-  /// summaries_published, publish_latency) — all off the per-event path.
-  mutable Mutex stats_mu_;
-  Stats stats_ GUARDED_BY(stats_mu_);
+  /// Producer-side and per-publication tallies — all off the per-event
+  /// path (hot-path counters live on the shard queues, under the mutex
+  /// those paths already hold).
+  struct ProducerTally {
+    uint64_t updates_pushed = 0;
+    uint64_t summaries_published = 0;
+    uint64_t publish_wait_us = 0;  ///< PushSummary -> epoch publication
+  };
+  mutable Mutex tally_mu_;
+  ProducerTally tally_ GUARDED_BY(tally_mu_);
 };
 
 }  // namespace authdb

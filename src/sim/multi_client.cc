@@ -30,8 +30,8 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
     uint64_t min_served_epoch = ~0ull, max_served_epoch = 0;
     VoAccounting vo;
     size_t queries = 0, joins = 0, projections = 0, updates = 0, failures = 0;
+    size_t shed = 0;
     size_t batches = 0;
-    ShardedQueryServer::BatchStats batch;
   };
   std::vector<PerClient> per_client(options.clients);
   const size_t batch_size = std::max<size_t>(options.batch_size, 1);
@@ -61,20 +61,24 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
       // serving failure; everything else that is not OK counts.
       bool failed = !ans.ok() && !ans.status().IsNotFound();
       if (failed) ++me.failures;
-      if (ans.ok()) {
+      const bool served =
+          ans.ok() && ans.value().outcome == AnswerOutcome::kServed;
+      if (ans.ok() && !served) ++me.shed;
+      if (served) {
         // Snapshot-pin accounting: how far publication ran ahead of the
         // epoch this read pinned (0 under a quiescent stream).
-        uint64_t served = ans.value().served_epoch;
+        uint64_t served_epoch = ans.value().served_epoch;
         uint64_t current = server->freshness_tracker().current_epoch();
-        me.epoch_lag.Record(current > served ? current - served : 0);
-        me.min_served_epoch = std::min(me.min_served_epoch, served);
-        me.max_served_epoch = std::max(me.max_served_epoch, served);
+        me.epoch_lag.Record(current > served_epoch ? current - served_epoch
+                                                   : 0);
+        me.min_served_epoch = std::min(me.min_served_epoch, served_epoch);
+        me.max_served_epoch = std::max(me.max_served_epoch, served_epoch);
       }
       switch (q.kind) {
         case QueryKind::kSelect:
           me.query_latency.Record(latency);
           ++me.queries;
-          if (ans.ok()) {
+          if (served) {
             ++me.vo.select_answers;
             me.vo.select_bytes += ans.value().vo_bytes(size_model);
           }
@@ -82,7 +86,7 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
         case QueryKind::kProject:
           me.projection_latency.Record(latency);
           ++me.projections;
-          if (ans.ok()) {
+          if (served) {
             ++me.vo.project_answers;
             me.vo.project_bytes += ans.value().vo_bytes(size_model);
           }
@@ -90,7 +94,7 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
         case QueryKind::kJoin:
           me.join_latency.Record(latency);
           ++me.joins;
-          if (ans.ok()) {
+          if (served) {
             ++me.vo.join_answers;
             me.vo.join_bytes += ans.value().vo_bytes(size_model);
             me.vo.join_bloom_bytes +=
@@ -109,8 +113,7 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
       PlanBatch pb = PlanBatch::Of(std::move(pending));
       pending.clear();
       uint64_t t0 = MonotonicMicros();
-      std::vector<Result<QueryAnswer>> answers =
-          server->ExecuteBatch(pb, &me.batch);
+      std::vector<Result<QueryAnswer>> answers = server->ExecuteBatch(pb);
       uint64_t latency = MonotonicMicros() - t0;
       ++me.batches;
       for (size_t i = 0; i < pb.plans.size(); ++i)
@@ -161,6 +164,7 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
     flush();
   };
 
+  const ServerMetrics before = server->Metrics();
   uint64_t t_start = MonotonicMicros();
   std::vector<std::thread> threads;
   threads.reserve(options.clients);
@@ -169,12 +173,14 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
   uint64_t t_end = MonotonicMicros();
 
   MultiClientReport report;
+  report.server = server->Metrics().Delta(before);
   for (const PerClient& pc : per_client) {
     report.queries += pc.queries;
     report.joins += pc.joins;
     report.projections += pc.projections;
     report.updates += pc.updates;
     report.failures += pc.failures;
+    report.shed += pc.shed;
     report.query_latency.Merge(pc.query_latency);
     report.join_latency.Merge(pc.join_latency);
     report.projection_latency.Merge(pc.projection_latency);
@@ -186,23 +192,6 @@ MultiClientReport RunMultiClientLoad(ShardedQueryServer* server,
                                        pc.max_served_epoch);
     report.vo.Merge(pc.vo);
     report.batches += pc.batches;
-    ShardedQueryServer::BatchStats& b = report.batch;
-    b.epoch = std::max(b.epoch, pc.batch.epoch);
-    b.plans += pc.batch.plans;
-    b.shard_visits += pc.batch.shard_visits;
-    if (b.shard_busy.size() < pc.batch.shard_busy.size())
-      b.shard_busy.resize(pc.batch.shard_busy.size());
-    for (size_t s = 0; s < pc.batch.shard_busy.size(); ++s) {
-      b.shard_busy[s].select_us += pc.batch.shard_busy[s].select_us;
-      b.shard_busy[s].project_us += pc.batch.shard_busy[s].project_us;
-      b.shard_busy[s].join_us += pc.batch.shard_busy[s].join_us;
-      b.shard_busy[s].visit_us += pc.batch.shard_busy[s].visit_us;
-    }
-    b.agg.point_adds += pc.batch.agg.point_adds;
-    b.agg.leaf_fetches += pc.batch.agg.leaf_fetches;
-    b.agg.cache_hits += pc.batch.agg.cache_hits;
-    b.agg.refreshes += pc.batch.agg.refreshes;
-    b.batch_finalizes += pc.batch.batch_finalizes;
   }
   report.elapsed_seconds = static_cast<double>(t_end - t_start) * 1e-6;
   if (report.elapsed_seconds > 0) {

@@ -7,6 +7,7 @@
 
 #include "common/histogram.h"
 #include "core/protocol.h"
+#include "server/metrics.h"
 #include "server/sharded_query_server.h"
 
 namespace authdb {
@@ -51,6 +52,10 @@ struct MultiClientReport {
   size_t projections = 0;  ///< projection plans served
   size_t updates = 0;
   size_t failures = 0;  ///< Execute errors or ApplyUpdate errors
+  /// Plans refused with AnswerOutcome::kShedRetryAfter (admission control
+  /// enabled and the server over capacity). Shed plans still count in
+  /// their per-kind totals above but carry no VO or epoch accounting.
+  size_t shed = 0;
   double elapsed_seconds = 0;
   double ops_per_second = 0;  ///< aggregate throughput (all kinds + updates)
   /// Per-query-kind latency breakdown (selection / join / projection).
@@ -70,13 +75,15 @@ struct MultiClientReport {
   uint64_t min_served_epoch = ~0ull;   ///< oldest epoch any read pinned
   uint64_t max_served_epoch = 0;       ///< newest epoch any read pinned
 
-  /// Batched-execution accounting, summed over every PlanBatch the load
-  /// issued (batches of one included). `batch.shard_busy[s]` is shard s's
+  /// Batched-execution accounting: PlanBatch envelopes the load issued
+  /// (batches of one included).
+  size_t batches = 0;
+  /// The server-side metrics delta over exactly this run (two snapshots
+  /// bracket the load). `server.exec.shard_busy[s]` is shard s's
   /// accumulated per-kind visit time — on a single-core box, per-shard
   /// busy time (not wall clock) is what shard scaling divides, so capacity
   /// ratios are derived from max-over-shards busy seconds.
-  size_t batches = 0;
-  ShardedQueryServer::BatchStats batch;
+  ServerMetrics server;
 
   double KindOpsPerSecond(size_t count) const {
     return elapsed_seconds > 0 ? static_cast<double>(count) / elapsed_seconds

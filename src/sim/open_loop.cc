@@ -1,0 +1,248 @@
+#include "sim/open_loop.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace authdb {
+namespace {
+
+// Instantaneous arrival rate (plans/us) at schedule time `t_micros`.
+// Poisson is stationary; burst alternates high/low windows whose weighted
+// mean equals the base rate, so the offered-QPS knob stays truthful.
+double RateAt(const OpenLoopOptions& o, uint64_t t_micros) {
+  const double base = o.target_qps * 1e-6;
+  if (o.arrivals == OpenLoopOptions::Arrivals::kPoisson) return base;
+  const double duty = std::min(std::max(o.burst_duty, 1e-6), 1.0 - 1e-6);
+  const double high = base * o.burst_factor;
+  // duty*high + (1-duty)*low = base  =>  low solves the long-run mean.
+  const double low =
+      std::max(base * (1.0 - duty * o.burst_factor) / (1.0 - duty), 1e-12);
+  const uint64_t period = std::max<uint64_t>(o.burst_period_micros, 1);
+  const uint64_t phase = t_micros % period;
+  const bool in_burst =
+      phase < static_cast<uint64_t>(duty * static_cast<double>(period));
+  return in_burst ? high : low;
+}
+
+}  // namespace
+
+std::vector<Arrival> BuildArrivalSchedule(const OpenLoopOptions& o) {
+  AUTHDB_CHECK(o.target_qps > 0);
+  AUTHDB_CHECK(o.key_lo <= o.key_hi);
+  AUTHDB_CHECK(o.query_span >= 1);
+  AUTHDB_CHECK(o.join_fraction + o.projection_fraction <= 1.0);
+  if (o.join_fraction > 0) {
+    AUTHDB_CHECK(o.join_b_lo <= o.join_b_hi);
+    AUTHDB_CHECK(o.join_probe_count >= 1);
+  }
+  if (o.arrivals == OpenLoopOptions::Arrivals::kBurst) {
+    AUTHDB_CHECK(o.burst_factor >= 1.0);
+    AUTHDB_CHECK(o.burst_duty * o.burst_factor <= 1.0);
+  }
+
+  const uint64_t domain = static_cast<uint64_t>(o.key_hi) -
+                          static_cast<uint64_t>(o.key_lo) + 1;
+  const uint64_t span = std::min(o.query_span, domain);
+  const uint64_t b_domain =
+      o.join_fraction > 0 ? static_cast<uint64_t>(o.join_b_hi) -
+                                static_cast<uint64_t>(o.join_b_lo) + 1
+                          : 1;
+  const size_t contexts = std::max<size_t>(o.contexts, 1);
+
+  Rng rng(o.seed);
+  std::vector<Arrival> schedule;
+  schedule.reserve(o.total_arrivals);
+  double t = 0;  // fractional micros; rounded per arrival, never accumulated
+  for (size_t i = 0; i < o.total_arrivals; ++i) {
+    // Thinning-free variable-rate sampling: draw the next gap at the rate
+    // in effect NOW. Exact for Poisson; for burst a window boundary can
+    // stretch one gap, which only softens the burst edge by one arrival.
+    t += rng.Exponential(RateAt(o, static_cast<uint64_t>(t)));
+    Arrival a;
+    a.due_micros = static_cast<uint64_t>(t);
+    a.context = static_cast<uint32_t>(rng.Uniform(contexts));
+    const double kind_draw = rng.NextDouble();
+    if (kind_draw < o.join_fraction) {
+      std::vector<int64_t> probes;
+      probes.reserve(o.join_probe_count);
+      for (size_t p = 0; p < o.join_probe_count; ++p) {
+        probes.push_back(o.join_b_lo +
+                         static_cast<int64_t>(rng.Uniform(b_domain)));
+      }
+      a.plan = Query::Join(std::move(probes), o.join_method);
+    } else {
+      const int64_t lo =
+          o.key_lo + static_cast<int64_t>(rng.Uniform(domain - span + 1));
+      const int64_t hi = lo + static_cast<int64_t>(span) - 1;
+      if (kind_draw < o.join_fraction + o.projection_fraction) {
+        a.plan = Query::Project(lo, hi, o.projection_attrs);
+      } else {
+        a.plan = Query::Select(lo, hi);
+      }
+    }
+    schedule.push_back(std::move(a));
+  }
+  return schedule;
+}
+
+OpenLoopReport RunOpenLoopLoad(ShardedQueryServer* server,
+                               const OpenLoopOptions& options) {
+  AUTHDB_CHECK(server != nullptr);
+  const std::vector<Arrival> schedule = BuildArrivalSchedule(options);
+  const size_t threads_n = std::max<size_t>(options.dispatch_threads, 1);
+  const size_t batch_cap = std::max<size_t>(options.batch_size, 1);
+
+  struct PerThread {
+    size_t served_selects = 0, served_projects = 0, served_joins = 0;
+    size_t shed_selects = 0, shed_projects = 0, shed_joins = 0;
+    size_t not_found = 0, failures = 0;
+    LatencyHistogram select_latency, project_latency, join_latency;
+    LatencyHistogram queue_delay, shed_latency;
+  };
+  std::vector<PerThread> per_thread(threads_n);
+
+  // Shared cursor into the time-ordered schedule: dispatchers claim the
+  // next arrival, sleep until it is due, then additionally claim any
+  // arrivals ALREADY past due (up to batch_cap) — the backlog a real
+  // front end would coalesce. Arrivals are never dispatched early.
+  std::atomic<size_t> next{0};
+
+  const ServerMetrics before = server->Metrics();
+  const uint64_t t_start = MonotonicMicros();
+
+  auto dispatcher = [&](size_t tid) {
+    PerThread& me = per_thread[tid];
+    std::vector<size_t> claimed;
+    claimed.reserve(batch_cap);
+    for (;;) {
+      const size_t first = next.fetch_add(1, std::memory_order_relaxed);
+      if (first >= schedule.size()) break;
+      const uint64_t due_abs = t_start + schedule[first].due_micros;
+      uint64_t now = MonotonicMicros();
+      if (now < due_abs) {
+        std::this_thread::sleep_for(std::chrono::microseconds(due_abs - now));
+        now = MonotonicMicros();
+      }
+      claimed.clear();
+      claimed.push_back(first);
+      while (claimed.size() < batch_cap) {
+        size_t j = next.load(std::memory_order_relaxed);
+        if (j >= schedule.size() ||
+            t_start + schedule[j].due_micros > now ||
+            !next.compare_exchange_weak(j, j + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+        claimed.push_back(j);
+      }
+
+      std::vector<Query> plans;
+      plans.reserve(claimed.size());
+      for (size_t idx : claimed) {
+        me.queue_delay.Record(now - std::min(t_start + schedule[idx].due_micros,
+                                             now));
+        plans.push_back(schedule[idx].plan);
+      }
+      std::vector<Result<QueryAnswer>> answers =
+          server->ExecuteBatch(PlanBatch::Of(std::move(plans)));
+      const uint64_t done = MonotonicMicros();
+
+      for (size_t k = 0; k < claimed.size(); ++k) {
+        const Arrival& a = schedule[claimed[k]];
+        // Latency from the SCHEDULED arrival: a plan the harness or the
+        // server let queue is charged for every microsecond it waited.
+        const uint64_t sched_abs = t_start + a.due_micros;
+        const uint64_t latency = done > sched_abs ? done - sched_abs : 0;
+        const Result<QueryAnswer>& ans = answers[k];
+        if (!ans.ok()) {
+          if (ans.status().IsNotFound()) {
+            ++me.not_found;
+          } else {
+            ++me.failures;
+          }
+          continue;
+        }
+        if (ans.value().outcome == AnswerOutcome::kShedRetryAfter) {
+          me.shed_latency.Record(latency);
+          switch (a.plan.kind) {
+            case QueryKind::kSelect: ++me.shed_selects; break;
+            case QueryKind::kProject: ++me.shed_projects; break;
+            case QueryKind::kJoin: ++me.shed_joins; break;
+          }
+          continue;
+        }
+        switch (a.plan.kind) {
+          case QueryKind::kSelect:
+            ++me.served_selects;
+            me.select_latency.Record(latency);
+            break;
+          case QueryKind::kProject:
+            ++me.served_projects;
+            me.project_latency.Record(latency);
+            break;
+          case QueryKind::kJoin:
+            ++me.served_joins;
+            me.join_latency.Record(latency);
+            break;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(threads_n);
+  for (size_t i = 0; i < threads_n; ++i) threads.emplace_back(dispatcher, i);
+  for (std::thread& th : threads) th.join();
+  const uint64_t t_end = MonotonicMicros();
+
+  OpenLoopReport report;
+  report.server = server->Metrics().Delta(before);
+  report.offered = schedule.size();
+  for (const Arrival& a : schedule) {
+    switch (a.plan.kind) {
+      case QueryKind::kSelect: ++report.offered_selects; break;
+      case QueryKind::kProject: ++report.offered_projects; break;
+      case QueryKind::kJoin: ++report.offered_joins; break;
+    }
+  }
+  for (const PerThread& pt : per_thread) {
+    report.served_selects += pt.served_selects;
+    report.served_projects += pt.served_projects;
+    report.served_joins += pt.served_joins;
+    report.shed_selects += pt.shed_selects;
+    report.shed_projects += pt.shed_projects;
+    report.shed_joins += pt.shed_joins;
+    report.not_found += pt.not_found;
+    report.failures += pt.failures;
+    report.select_latency.Merge(pt.select_latency);
+    report.project_latency.Merge(pt.project_latency);
+    report.join_latency.Merge(pt.join_latency);
+    report.queue_delay.Merge(pt.queue_delay);
+    report.shed_latency.Merge(pt.shed_latency);
+  }
+  report.served =
+      report.served_selects + report.served_projects + report.served_joins;
+  report.shed = report.shed_selects + report.shed_projects + report.shed_joins;
+  report.elapsed_seconds = static_cast<double>(t_end - t_start) * 1e-6;
+  if (report.elapsed_seconds > 0) {
+    report.offered_qps =
+        static_cast<double>(report.offered) / report.elapsed_seconds;
+    report.goodput_qps =
+        static_cast<double>(report.served) / report.elapsed_seconds;
+  }
+  if (report.offered > 0) {
+    report.shed_rate =
+        static_cast<double>(report.shed) / static_cast<double>(report.offered);
+  }
+  return report;
+}
+
+}  // namespace authdb

@@ -44,16 +44,16 @@ StalenessAttackReport RunStalenessAttack(
   da_opt.piggyback_renewal = false;
   DataAggregator da(ctx, &clock, &rng, da_opt);
 
-  ShardedQueryServer::Options sopt;
-  sopt.shard.record_len = 128;
-  sopt.worker_threads = opt.worker_threads;
+  ServerConfig cfg;
+  cfg.node.record_len = 128;
+  cfg.serving.worker_threads = opt.worker_threads;
   ShardedQueryServer server(
       ctx,
       ShardRouter::Uniform(
           opt.shards, 0,
           record_key(static_cast<int64_t>(opt.n_records) - 1)),
-      sopt);
-  UpdateStream stream(&server, UpdateStream::Options{});
+      cfg);
+  UpdateStream stream(&server, cfg);
 
   StalenessAttackReport report;
   VarintGapCodec codec;
@@ -297,9 +297,9 @@ StalenessAttackReport RunStalenessAttack(
     ++report.periods_run;
   }
 
-  UpdateStream::Stats stats = stream.stats();
-  report.updates_streamed = stats.updates_pushed;
-  report.summaries_published = stats.summaries_published;
+  ServerMetrics metrics = stream.Metrics();
+  report.updates_streamed = metrics.ingest.updates_pushed;
+  report.summaries_published = metrics.ingest.summaries_published;
   report.final_epoch = server.freshness_tracker().current_epoch();
   return report;
 }

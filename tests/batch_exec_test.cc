@@ -4,7 +4,7 @@
 // boundary keys, same witnesses, same canonical-affine aggregate points —
 // and every answer must be accepted by the unmodified
 // ClientVerifier::VerifyAnswerFresh. Also covered: per-plan validation
-// error parity, BatchStats accounting, SigCache byte-equivalence, and a
+// error parity, ServerMetrics accounting, SigCache byte-equivalence, and a
 // churn test that runs batches against live UpdateStream ingest across
 // epoch barriers (the `concurrency` label puts it in the TSan CI lane).
 #include <gtest/gtest.h>
@@ -73,15 +73,19 @@ class BatchExecTest : public ::testing::Test {
 
   /// A fresh 4-shard server over the loaded stream; worker_threads = 0
   /// exercises the inline (caller-thread) ShardExecutor path.
+  static ServerConfig Config(size_t worker_threads) {
+    ServerConfig cfg;
+    cfg.node.record_len = 128;
+    cfg.serving.worker_threads = worker_threads;
+    return cfg;
+  }
+
   std::unique_ptr<ShardedQueryServer> MakeServer(size_t worker_threads) {
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = worker_threads;
     auto server = std::make_unique<ShardedQueryServer>(
         *ctx_,
         ShardRouter({JoinCompositeKey(30, 1), JoinCompositeKey(50, 0),
                      JoinCompositeKey(75, 0)}),
-        sopt);
+        Config(worker_threads));
     for (const auto& msg : msgs_) EXPECT_TRUE(server->ApplyUpdate(msg).ok());
     server->SetJoinPartitions(da_->join_partitions());
     return server;
@@ -211,8 +215,7 @@ std::shared_ptr<const BasContext>* BatchExecTest::ctx_ = nullptr;
 TEST_F(BatchExecTest, BatchMatchesSequentialExecution) {
   Load(DefaultS());
   std::vector<Query> plans = MixedPlans();
-  ShardedQueryServer::BatchStats stats;
-  auto batched = server_->ExecuteBatch(PlanBatch::Of(plans), &stats);
+  auto batched = server_->ExecuteBatch(PlanBatch::Of(plans));
   ASSERT_EQ(batched.size(), plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
     SCOPED_TRACE("plan " + std::to_string(i));
@@ -229,12 +232,16 @@ TEST_F(BatchExecTest, BatchMatchesSequentialExecution) {
 
 TEST_F(BatchExecTest, AllAnswersOfABatchShareOnePinnedEpoch) {
   Load(DefaultS());
-  ShardedQueryServer::BatchStats stats;
-  auto batched = server_->ExecuteBatch(PlanBatch::Of(MixedPlans()), &stats);
+  auto batched = server_->ExecuteBatch(PlanBatch::Of(MixedPlans()));
+  ASSERT_FALSE(batched.empty());
+  ASSERT_TRUE(batched[0].ok());
+  const uint64_t epoch = batched[0].value().served_epoch;
   for (const auto& r : batched) {
     ASSERT_TRUE(r.ok());
-    EXPECT_EQ(r.value().served_epoch, stats.epoch);
+    EXPECT_EQ(r.value().served_epoch, epoch);
   }
+  // The metrics snapshot saw the same pinned epoch.
+  EXPECT_EQ(server_->Metrics().exec.last_epoch, epoch);
 }
 
 TEST_F(BatchExecTest, InvalidPlansFailIdenticallyWithoutPoisoningTheBatch) {
@@ -265,15 +272,15 @@ TEST_F(BatchExecTest, InvalidPlansFailIdenticallyWithoutPoisoningTheBatch) {
 TEST_F(BatchExecTest, BatchOfOneIsExactlyExecute) {
   Load(DefaultS());
   Query q = Query::Select(JoinCompositeKey(10, 0), JoinCompositeKey(90, 1));
-  ShardedQueryServer::BatchStats stats;
-  auto batched = server_->ExecuteBatch(PlanBatch::Of({q}), &stats);
+  const ServerMetrics before = server_->Metrics();
+  auto batched = server_->ExecuteBatch(PlanBatch::Of({q}));
   auto seq = server_->Execute(q);
   ASSERT_EQ(batched.size(), 1u);
   ASSERT_TRUE(batched[0].ok() && seq.ok());
   ExpectSameAnswer(batched[0].value(), seq.value());
-  EXPECT_EQ(stats.plans, 1u);
-  ASSERT_EQ(stats.per_plan.size(), 1u);
-  EXPECT_EQ(stats.per_plan[0].epoch, stats.epoch);
+  const ServerMetrics delta = server_->Metrics().Delta(before);
+  EXPECT_EQ(delta.exec.batches, 2u);  // the batch of one + Execute's own
+  EXPECT_EQ(delta.exec.plans, 2u);
 }
 
 TEST_F(BatchExecTest, InlineExecutorMatchesThreadedExecutor) {
@@ -290,24 +297,26 @@ TEST_F(BatchExecTest, InlineExecutorMatchesThreadedExecutor) {
   }
 }
 
-TEST_F(BatchExecTest, BatchStatsAccountShardVisitsAndFinalizes) {
+TEST_F(BatchExecTest, MetricsAccountShardVisitsAndFinalizes) {
   Load(DefaultS());
   std::vector<Query> plans = MixedPlans();
-  ShardedQueryServer::BatchStats stats;
-  auto batched = server_->ExecuteBatch(PlanBatch::Of(plans), &stats);
+  const ServerMetrics before = server_->Metrics();
+  auto batched = server_->ExecuteBatch(PlanBatch::Of(plans));
   for (const auto& r : batched) ASSERT_TRUE(r.ok());
-  EXPECT_EQ(stats.plans, plans.size());
-  ASSERT_EQ(stats.per_plan.size(), plans.size());
+  const ServerMetrics delta = server_->Metrics().Delta(before);
+  EXPECT_EQ(delta.exec.batches, 1u);
+  EXPECT_EQ(delta.exec.plans, plans.size());
+  EXPECT_EQ(delta.exec.invalid_plans, 0u);
   // One visit per covered shard per batch — never one per plan.
-  EXPECT_GE(stats.shard_visits, 1u);
-  EXPECT_LE(stats.shard_visits, server_->shard_count());
-  ASSERT_EQ(stats.shard_busy.size(), server_->shard_count());
+  EXPECT_GE(delta.exec.shard_visits, 1u);
+  EXPECT_LE(delta.exec.shard_visits, server_->shard_count());
+  ASSERT_EQ(delta.exec.shard_busy.size(), server_->shard_count());
   uint64_t visit_us = 0;
-  for (const auto& kb : stats.shard_busy) visit_us += kb.visit_us;
+  for (const auto& kb : delta.exec.shard_busy) visit_us += kb.visit_us;
   EXPECT_GT(visit_us, 0u);
   // At least the one batch-level answer finalize ran.
-  EXPECT_GE(stats.batch_finalizes, 1u);
-  for (const auto& ps : stats.per_plan) EXPECT_EQ(ps.epoch, stats.epoch);
+  EXPECT_GE(delta.exec.batch_finalizes, 1u);
+  EXPECT_EQ(delta.exec.last_epoch, batched[0].value().served_epoch);
 }
 
 TEST_F(BatchExecTest, SigCacheWindowsKeepBatchByteEquivalent) {
@@ -344,13 +353,12 @@ TEST_F(BatchExecTest, SigCacheWindowsKeepBatchByteEquivalent) {
 // the `concurrency` suite label.
 TEST_F(BatchExecTest, BatchesStayConsistentUnderLiveIngestAcrossEpochs) {
   Load(DefaultS());
-  UpdateStream stream(server_.get(), UpdateStream::Options{});
+  UpdateStream stream(server_.get(), Config(2));
   std::vector<Query> plans = MixedPlans();
 
-  ShardedQueryServer::BatchStats first_stats;
-  auto first = server_->ExecuteBatch(PlanBatch::Of(plans), &first_stats);
+  auto first = server_->ExecuteBatch(PlanBatch::Of(plans));
   for (const auto& r : first) ASSERT_TRUE(r.ok());
-  const uint64_t first_epoch = first_stats.epoch;
+  const uint64_t first_epoch = first[0].value().served_epoch;
 
   // Producer: bursts of modifies, each burst closed by a summary barrier
   // (and its certified partition refresh). The clock and the DA are only
@@ -377,25 +385,27 @@ TEST_F(BatchExecTest, BatchesStayConsistentUnderLiveIngestAcrossEpochs) {
 
   std::set<uint64_t> epochs_seen = {first_epoch};
   while (!done.load(std::memory_order_acquire)) {
-    ShardedQueryServer::BatchStats stats;
-    auto batched = server_->ExecuteBatch(PlanBatch::Of(plans), &stats);
+    auto batched = server_->ExecuteBatch(PlanBatch::Of(plans));
     ASSERT_EQ(batched.size(), plans.size());
+    ASSERT_TRUE(batched[0].ok());
+    const uint64_t batch_epoch = batched[0].value().served_epoch;
     for (const auto& r : batched) {
       ASSERT_TRUE(r.ok());
       // One serializable cut per batch, even mid-barrier.
-      EXPECT_EQ(r.value().served_epoch, stats.epoch);
+      EXPECT_EQ(r.value().served_epoch, batch_epoch);
     }
-    epochs_seen.insert(stats.epoch);
+    epochs_seen.insert(batch_epoch);
   }
   producer.join();
   stream.Flush();
 
   // The quiesced state: a final batch pins the last published epoch, every
   // answer matching the sequential path and accepted fresh by the client.
-  ShardedQueryServer::BatchStats final_stats;
-  auto final_batch = server_->ExecuteBatch(PlanBatch::Of(plans), &final_stats);
-  epochs_seen.insert(final_stats.epoch);
-  EXPECT_GT(final_stats.epoch, first_epoch)
+  auto final_batch = server_->ExecuteBatch(PlanBatch::Of(plans));
+  ASSERT_TRUE(final_batch[0].ok());
+  const uint64_t final_epoch = final_batch[0].value().served_epoch;
+  epochs_seen.insert(final_epoch);
+  EXPECT_GT(final_epoch, first_epoch)
       << "the stream never published an epoch barrier";
   EXPECT_GE(epochs_seen.size(), 2u);
   for (size_t i = 0; i < plans.size(); ++i) {
@@ -406,7 +416,7 @@ TEST_F(BatchExecTest, BatchesStayConsistentUnderLiveIngestAcrossEpochs) {
     ExpectSameAnswer(final_batch[i].value(), seq.value());
     EXPECT_TRUE(verifier_
                     ->VerifyAnswerFresh(plans[i], final_batch[i].value(),
-                                        Now(), final_stats.epoch)
+                                        Now(), final_epoch)
                     .ok());
   }
 }

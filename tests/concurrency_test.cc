@@ -45,11 +45,11 @@ class ConcurrencyTest : public ::testing::Test {
   std::unique_ptr<ShardedQueryServer> MakeServer(size_t shards,
                                                  size_t workers,
                                                  int64_t n_keys) {
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = workers;
+    ServerConfig cfg;
+    cfg.node.record_len = 128;
+    cfg.serving.worker_threads = workers;
     auto server = std::make_unique<ShardedQueryServer>(
-        *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), sopt);
+        *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), cfg);
     std::vector<Record> records;
     for (int64_t k = 0; k < n_keys; ++k) {
       Record r;

@@ -70,11 +70,11 @@ class FreshnessPipelineTest : public ::testing::Test {
 
   std::unique_ptr<ShardedQueryServer> MakeServer(size_t shards,
                                                  int64_t n_keys) {
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = shards;
+    cfg_ = ServerConfig();
+    cfg_.node.record_len = 128;
+    cfg_.serving.worker_threads = shards;
     auto server = std::make_unique<ShardedQueryServer>(
-        *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), sopt);
+        *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), cfg_);
     std::vector<Record> records;
     for (int64_t k = 0; k < n_keys; ++k) {
       Record r;
@@ -94,13 +94,13 @@ class FreshnessPipelineTest : public ::testing::Test {
   std::unique_ptr<ShardedQueryServer> MakeJoinServer(size_t shards,
                                                      int64_t n_b,
                                                      uint32_t dups) {
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = shards;
+    cfg_ = ServerConfig();
+    cfg_.node.record_len = 128;
+    cfg_.serving.worker_threads = shards;
     auto server = std::make_unique<ShardedQueryServer>(
         *ctx_,
         ShardRouter::Uniform(shards, 0, JoinCompositeKey(n_b - 1, dups)),
-        sopt);
+        cfg_);
     std::vector<Record> records;
     for (int64_t b = 0; b < n_b; ++b) {
       for (uint32_t d = 0; d < dups; ++d) {
@@ -135,12 +135,13 @@ class FreshnessPipelineTest : public ::testing::Test {
   std::unique_ptr<Rng> rng_;
   VarintGapCodec codec_;
   std::unique_ptr<DataAggregator> da_;
+  ServerConfig cfg_;  ///< the config MakeServer/MakeJoinServer last used
 };
 std::shared_ptr<const BasContext>* FreshnessPipelineTest::ctx_ = nullptr;
 
 TEST_F(FreshnessPipelineTest, StreamAppliesUpdatesAndPublishesEpoch) {
   auto server = MakeServer(4, 64);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);  // summary 0 certifies the bulk load
   stream.Flush();
   EXPECT_EQ(server->freshness_tracker().current_epoch(), 1u);
@@ -155,12 +156,12 @@ TEST_F(FreshnessPipelineTest, StreamAppliesUpdatesAndPublishesEpoch) {
   stream.Flush();
 
   EXPECT_EQ(server->freshness_tracker().current_epoch(), 2u);
-  UpdateStream::Stats stats = stream.stats();
-  EXPECT_EQ(stats.updates_pushed, 16u);
-  EXPECT_EQ(stats.summaries_published, 2u);
-  EXPECT_EQ(stats.apply_failures, 0u);
-  EXPECT_EQ(stats.pieces_applied, 16u);
-  EXPECT_EQ(stats.publish_latency.count(), 2u);
+  ServerMetrics m = stream.Metrics();
+  EXPECT_EQ(m.ingest.updates_pushed, 16u);
+  EXPECT_EQ(m.ingest.summaries_published, 2u);
+  EXPECT_EQ(m.ingest.apply_failures, 0u);
+  EXPECT_EQ(m.ingest.pieces_applied, 16u);
+  EXPECT_EQ(m.epoch.current, 2u);
 
   // Answers are stamped with the published epoch and still verify.
   auto ans = server->Select(0, 63);
@@ -175,9 +176,9 @@ TEST_F(FreshnessPipelineTest, StreamAppliesUpdatesAndPublishesEpoch) {
 
 TEST_F(FreshnessPipelineTest, BackpressureBoundsQueueDepthWithoutDeadlock) {
   auto server = MakeServer(2, 32);
-  UpdateStream::Options sopt;
-  sopt.max_queue_depth = 2;
-  UpdateStream stream(server.get(), sopt);
+  ServerConfig scfg = cfg_;
+  scfg.ingest.max_queue_depth = 2;
+  UpdateStream stream(server.get(), scfg);
   for (int i = 0; i < 50; ++i) {
     int64_t key = static_cast<int64_t>(rng_->Uniform(32));
     auto msg = da_->ModifyRecord(key, {key, i});
@@ -185,17 +186,17 @@ TEST_F(FreshnessPipelineTest, BackpressureBoundsQueueDepthWithoutDeadlock) {
     stream.PushUpdate(std::move(msg.value()));
   }
   stream.Flush();
-  UpdateStream::Stats stats = stream.stats();
-  EXPECT_EQ(stats.pieces_applied, 50u);
-  EXPECT_LE(stats.max_queue_depth_seen, 2u);
-  EXPECT_EQ(stats.apply_failures, 0u);
+  ServerMetrics m = stream.Metrics();
+  EXPECT_EQ(m.ingest.pieces_applied, 50u);
+  EXPECT_LE(m.ingest.queue_depth_max, 2u);
+  EXPECT_EQ(m.ingest.apply_failures, 0u);
 }
 
 TEST_F(FreshnessPipelineTest, SummaryBarrierWaitsForEveryShard) {
   // A burst touching every shard, then the epoch barrier: when the epoch
   // has advanced, every update pushed before the summary must be visible.
   auto server = MakeServer(4, 64);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);
   stream.Flush();
 
@@ -218,8 +219,7 @@ TEST_F(FreshnessPipelineTest, SummaryBarrierWaitsForEveryShard) {
 
 TEST_F(FreshnessPipelineTest, CloseIsIdempotentAndDrains) {
   auto server = MakeServer(2, 32);
-  auto stream =
-      std::make_unique<UpdateStream>(server.get(), UpdateStream::Options{});
+  auto stream = std::make_unique<UpdateStream>(server.get(), cfg_);
   StreamPeriod(stream.get());
   stream->Flush();
   clock_.AdvanceMicros(250'000);
@@ -231,9 +231,9 @@ TEST_F(FreshnessPipelineTest, CloseIsIdempotentAndDrains) {
   StreamPeriod(stream.get());
   stream->Close();  // drains the backlog, publishes the pending summary
   stream->Close();  // idempotent
-  UpdateStream::Stats stats = stream->stats();
-  EXPECT_EQ(stats.pieces_applied, 10u);
-  EXPECT_EQ(stats.summaries_published, 2u);
+  ServerMetrics m = stream->Metrics();
+  EXPECT_EQ(m.ingest.pieces_applied, 10u);
+  EXPECT_EQ(m.ingest.summaries_published, 2u);
   stream.reset();  // destructor after explicit Close is a no-op
   EXPECT_EQ(server->freshness_tracker().current_epoch(), 2u);
 }
@@ -262,7 +262,7 @@ TEST_F(FreshnessPipelineTest, ConcurrentIngestAndEpochVerifiedReads) {
   // Readers verify the live epoch stamp while a writer streams three
   // periods of updates + summaries; run under TSan in CI.
   auto server = MakeServer(4, 128);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);
   stream.Flush();
 
@@ -316,7 +316,7 @@ TEST_F(FreshnessPipelineTest, CrossSeamChurnServesPinnedSnapshots) {
   // close mid-churn so descriptor publication itself races the pinned
   // reads. Run under TSan in CI.
   auto server = MakeServer(4, 64);  // seams at 16, 32, 48
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);
   stream.Flush();
 
@@ -372,7 +372,7 @@ TEST_F(FreshnessPipelineTest, CrossSeamChurnServesPinnedSnapshots) {
   EXPECT_EQ(read_errors.load(), 0u);
   EXPECT_EQ(verify_failures.load(), 0u);
   EXPECT_EQ(epoch_regressions.load(), 0u);
-  EXPECT_EQ(stream.stats().apply_failures, 0u);
+  EXPECT_EQ(stream.Metrics().ingest.apply_failures, 0u);
   // Quiesced: the churned state is complete and verifiable.
   ClientVerifier verifier(&da_->public_key(), &codec_, da_->hash_mode());
   auto ans = server->Select(0, 63);
@@ -388,7 +388,7 @@ TEST_F(FreshnessPipelineTest, MidPeriodUpdatesInvisibleUntilBarrier) {
   // summary publishes them atomically. served_epoch is therefore exact,
   // not a lower bound.
   auto server = MakeServer(4, 64);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);  // summary 0 certifies the bulk load
   stream.Flush();
 
@@ -486,7 +486,7 @@ TEST_F(FreshnessPipelineTest, MultiUpdateRecertifiedAcrossConsecutivePeriods) {
   // pre-recert version — the 2*rho staleness bound, across two
   // consecutive periods.
   auto server = MakeServer(2, 16);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);  // summary 0 certifies the bulk load
   stream.Flush();
 
@@ -561,7 +561,7 @@ TEST_F(FreshnessPipelineTest, JoinChurnAcrossSeamsServesVerifiableAnswers) {
   // signature check either way. Run under TSan in CI.
   MakeDa(/*sign_attributes=*/true);  // projections need attribute sigs
   auto server = MakeJoinServer(4, 64, 2);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);
   stream.Flush();
 
@@ -639,7 +639,7 @@ TEST_F(FreshnessPipelineTest, JoinChurnAcrossSeamsServesVerifiableAnswers) {
 
   EXPECT_EQ(read_errors.load(), 0u);
   EXPECT_EQ(verify_failures.load(), 0u);
-  EXPECT_EQ(stream.stats().apply_failures, 0u);
+  EXPECT_EQ(stream.Metrics().ingest.apply_failures, 0u);
   // Quiesced: a join and a projection verify *fresh* under the final
   // published epoch.
   VarintGapCodec codec;

@@ -61,14 +61,14 @@ class QueryExecTest : public ::testing::Test {
     da_->EnableJoinPartitions(/*values_per_partition=*/2,
                               /*bits_per_value=*/8.0);
 
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = 2;
+    ServerConfig cfg;
+    cfg.node.record_len = 128;
+    cfg.serving.worker_threads = 2;
     server_ = std::make_unique<ShardedQueryServer>(
         *ctx_,
         ShardRouter({JoinCompositeKey(30, 1), JoinCompositeKey(50, 0),
                      JoinCompositeKey(75, 0)}),
-        sopt);
+        cfg);
     QueryServer::Options qopt;
     qopt.record_len = 128;
     reference_ = std::make_unique<QueryServer>(*ctx_, qopt);
@@ -161,11 +161,11 @@ TEST_F(QueryExecTest, JoinMixedMatchedUnmatchedAcrossShards) {
   for (JoinMethod method :
        {JoinMethod::kBloomFilter, JoinMethod::kBoundaryValues}) {
     Query q = Query::Join(r_values, method);
-    ShardedQueryServer::SelectStats stats;
-    auto ans = server_->Execute(q, &stats);
+    const ServerMetrics before = server_->Metrics();
+    auto ans = server_->Execute(q);
     ASSERT_TRUE(ans.ok());
     EXPECT_EQ(ans.value().join.matches.size(), 4u);  // 10, 30, 70, 90
-    EXPECT_GT(stats.shards_queried, 1u);
+    EXPECT_GT(server_->Metrics().Delta(before).exec.shards_queried, 1u);
     EXPECT_TRUE(
         verifier_->VerifyAnswerFresh(q, ans.value(), Now(), 0).ok());
     auto ref = reference_->Execute(q);
@@ -297,12 +297,12 @@ TEST_F(QueryExecTest, ProjectionServedAcrossShardsVerifies) {
   // forces the index attribute in so the spine stays bound.
   Query q = Query::Project(JoinCompositeKey(10, 0), JoinCompositeKey(70, 0),
                            {1, 2});
-  ShardedQueryServer::SelectStats stats;
-  auto ans = server_->Execute(q, &stats);
+  const ServerMetrics before = server_->Metrics();
+  auto ans = server_->Execute(q);
   ASSERT_TRUE(ans.ok());
   const ProjectedRangeAnswer& proj = ans.value().projection;
   EXPECT_EQ(proj.tuples.size(), 10u);  // 3+1+3+2+1 records in [10, 70]
-  EXPECT_GT(stats.shards_queried, 1u);
+  EXPECT_GT(server_->Metrics().Delta(before).exec.shards_queried, 1u);
   ASSERT_FALSE(proj.tuples.empty());
   EXPECT_EQ(proj.tuples[0].attr_indices.front(), 0u);  // forced index attr
   EXPECT_EQ(proj.tuples[0].attr_indices.size(), 3u);

@@ -42,11 +42,11 @@ class ShardedServerTest : public ::testing::Test {
   /// Build a K-shard server over [0, 198] and a single-server reference,
   /// both fed the same bulk stream of records with the given keys.
   void Load(size_t shards, const std::vector<int64_t>& keys) {
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = 2;
+    ServerConfig cfg;
+    cfg.node.record_len = 128;
+    cfg.serving.worker_threads = 2;
     server_ = std::make_unique<ShardedQueryServer>(
-        *ctx_, ShardRouter::Uniform(shards, 0, 198), sopt);
+        *ctx_, ShardRouter::Uniform(shards, 0, 198), cfg);
     QueryServer::Options qopt;
     qopt.record_len = 128;
     reference_ = std::make_unique<QueryServer>(*ctx_, qopt);
@@ -122,11 +122,11 @@ TEST_F(ShardedServerTest, SingleShardRangeVerifies) {
 
 TEST_F(ShardedServerTest, SeamSpanningRangeVerifies) {
   Load(4, EvenKeys());
-  ShardedQueryServer::SelectStats stats;
-  auto ans = server_->Select(40, 110, &stats);  // shards 0, 1, 2
+  const ServerMetrics before = server_->Metrics();
+  auto ans = server_->Select(40, 110);  // shards 0, 1, 2
   ASSERT_TRUE(ans.ok());
-  EXPECT_EQ(stats.shards_queried, 3u);
-  EXPECT_EQ(stats.shards_nonempty, 3u);
+  const ServerMetrics delta = server_->Metrics().Delta(before);
+  EXPECT_EQ(delta.exec.shards_queried, 3u);
   EXPECT_EQ(ans.value().records.size(), 36u);  // even keys 40..110
   EXPECT_TRUE(verifier_->VerifySelection(40, 110, ans.value(), Now()).ok());
 }
@@ -270,18 +270,16 @@ TEST_F(ShardedServerTest, PerShardSigCacheKeepsAnswersVerifiable) {
   Load(4, EvenKeys());
   server_->EnableSigCache(SigCache::RefreshMode::kLazy, 4);
   Rng rng(31);
-  ShardedQueryServer::SelectStats total;
+  const ServerMetrics before = server_->Metrics();
   for (int trial = 0; trial < 20; ++trial) {
     int64_t lo = static_cast<int64_t>(rng.Uniform(180));
     int64_t hi = lo + static_cast<int64_t>(rng.Uniform(60));
-    ShardedQueryServer::SelectStats stats;
-    auto ans = server_->Select(lo, hi, &stats);
+    auto ans = server_->Select(lo, hi);
     ASSERT_TRUE(ans.ok());
     EXPECT_TRUE(verifier_->VerifySelection(lo, hi, ans.value(), Now()).ok())
         << lo << ".." << hi;
-    total.agg.cache_hits += stats.agg.cache_hits;
   }
-  EXPECT_GT(total.agg.cache_hits, 0u);
+  EXPECT_GT(server_->Metrics().Delta(before).exec.agg_cache_hits, 0u);
   // Updates keep flowing correctly through the cached shards.
   auto msg = da_->ModifyRecord(60, {60, 5, 5});
   ASSERT_TRUE(msg.ok());

@@ -160,12 +160,12 @@ class SnapshotGcTest : public ::testing::Test {
   std::unique_ptr<ShardedQueryServer> MakeServer(size_t shards,
                                                  int64_t n_keys,
                                                  size_t max_pinned_epochs) {
-    ShardedQueryServer::Options sopt;
-    sopt.shard.record_len = 128;
-    sopt.worker_threads = shards;
-    sopt.max_pinned_epochs = max_pinned_epochs;
+    cfg_ = ServerConfig();
+    cfg_.node.record_len = 128;
+    cfg_.serving.worker_threads = shards;
+    cfg_.serving.max_pinned_epochs = max_pinned_epochs;
     auto server = std::make_unique<ShardedQueryServer>(
-        *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), sopt);
+        *ctx_, ShardRouter::Uniform(shards, 0, n_keys - 1), cfg_);
     std::vector<Record> records;
     for (int64_t k = 0; k < n_keys; ++k) {
       Record r;
@@ -198,12 +198,13 @@ class SnapshotGcTest : public ::testing::Test {
   std::unique_ptr<Rng> rng_;
   VarintGapCodec codec_;
   std::unique_ptr<DataAggregator> da_;
+  ServerConfig cfg_;  ///< the config MakeServer last built a server from
 };
 std::shared_ptr<const BasContext>* SnapshotGcTest::ctx_ = nullptr;
 
 TEST_F(SnapshotGcTest, PinnedReaderSurvivesLaterPublications) {
   auto server = MakeServer(4, 64, /*max_pinned_epochs=*/0);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);  // summary 0 certifies the bulk load
   stream.Flush();
   ASSERT_EQ(server->freshness_tracker().current_epoch(), 1u);
@@ -261,7 +262,7 @@ TEST_F(SnapshotGcTest, PinnedReaderSurvivesLaterPublications) {
 
 TEST_F(SnapshotGcTest, RetiredEpochsAreFreedWhenUnpinned) {
   auto server = MakeServer(2, 32, /*max_pinned_epochs=*/0);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);
   stream.Flush();
 
@@ -287,7 +288,7 @@ TEST_F(SnapshotGcTest, RetiredEpochsAreFreedWhenUnpinned) {
 
 TEST_F(SnapshotGcTest, MaxPinnedEpochsBackpressuresPublication) {
   auto server = MakeServer(2, 32, /*max_pinned_epochs=*/1);
-  UpdateStream stream(server.get(), UpdateStream::Options{});
+  UpdateStream stream(server.get(), cfg_);
   StreamPeriod(&stream);
   stream.Flush();
   ASSERT_EQ(server->freshness_tracker().current_epoch(), 1u);
