@@ -279,16 +279,25 @@ void Run(bench::BenchRun* run) {
 
     auto served = server->Execute(q);
     AUTHDB_CHECK(served.ok());
-    AUTHDB_CHECK(
-        verifier.VerifyAnswerFresh(q, served.value(), now, epoch).ok());
 
     QueryAnswer honest_shed = MakeShedAnswer(q.kind, epoch, 500);
-    Status s_shed = verifier.VerifyAnswerFresh(q, honest_shed, now, epoch);
-    AUTHDB_CHECK(s_shed.IsResourceExhausted());
-
-    QueryAnswer tampered = std::move(honest_shed);
+    QueryAnswer tampered = honest_shed;
     tampered.selection.records = served.value().selection.records;
-    Status s_tampered = verifier.VerifyAnswerFresh(q, tampered, now, epoch);
+
+    // All three verdicts come out of ONE VerifyAnswerBatch call — the
+    // batched client path must tell a served answer, an honest refusal,
+    // and a forged refusal apart exactly like the sequential verifier.
+    PlanBatch trio = PlanBatch::Of({q, q, q});
+    std::vector<Result<QueryAnswer>> trio_answers;
+    trio_answers.push_back(served.value());
+    trio_answers.push_back(std::move(honest_shed));
+    trio_answers.push_back(std::move(tampered));
+    std::vector<Status> verdicts =
+        verifier.VerifyAnswerBatch(trio, trio_answers, now, epoch);
+    AUTHDB_CHECK(verdicts[0].ok());
+    const Status& s_shed = verdicts[1];
+    AUTHDB_CHECK(s_shed.IsResourceExhausted());
+    const Status& s_tampered = verdicts[2];
     AUTHDB_CHECK(!s_tampered.ok());
     AUTHDB_CHECK(!s_tampered.IsResourceExhausted());
     std::printf("verifier: served ok; honest shed -> ResourceExhausted; "

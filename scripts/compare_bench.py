@@ -89,6 +89,17 @@ SCALING_FLOOR = 1.2
 # recorded ratio cannot fail a healthy build.
 SCALING_TOLERANCE = 0.65
 
+# The crypto hot-path contract (bench_table3_crypto): the multi-buffer
+# SHA front end must beat the forced-scalar tier by >= 1.5x on the bulk
+# digest workload. The measured quotient depends on which dispatch tier
+# the host runs (SHA-NI lands far above AVX2, which lands above nothing),
+# so a baseline-relative band recorded on one tier is meaningless on
+# another runner class — the tolerance is set wide enough that only the
+# absolute contract floor gates, on every tier that claims to be SIMD.
+SIMD_SPEEDUP_RE = re.compile(r"^sha(1|256)_multibuf_speedup$")
+SIMD_SPEEDUP_FLOOR = 1.5
+SIMD_SPEEDUP_TOLERANCE = 0.9
+
 # The overload contract (bench_open_loop): at 2x measured capacity with
 # admission control on, goodput — served plans only, sheds excluded —
 # must stay at or above this fraction of the closed-loop capacity. Like
@@ -138,6 +149,9 @@ def write_baseline(path, results, threshold):
                 entry["tolerance"] = SCALING_TOLERANCE
             if GOODPUT_FLOOR_RE.match(name):
                 entry["floor"] = GOODPUT_FLOOR
+            if SIMD_SPEEDUP_RE.match(name):
+                entry["floor"] = SIMD_SPEEDUP_FLOOR
+                entry["tolerance"] = SIMD_SPEEDUP_TOLERANCE
             pinned[name] = entry
         if pinned:
             benches[bench] = pinned
@@ -287,15 +301,37 @@ def self_test(doc, threshold):
     print(f"self-test ok: sub-floor goodput ratio (0.55 < {GOODPUT_FLOOR}) "
           "is rejected even inside the tolerance band")
 
-    # And the floors must actually be pinned: every scaling-contract and
-    # overload-contract ratio present in the real baseline has to carry
-    # the "floor" key, or the contract silently degrades to the relative
-    # band.
+    # SIMD-speedup-floor mechanics (the crypto hot-path contract): a
+    # speedup inside the deliberately loose relative band but below the
+    # absolute 1.5x floor must still fail — a "SIMD" front end that does
+    # not beat scalar is a regression whatever tier recorded the baseline.
+    simd_doc = {"benches": {"synthetic_crypto": {
+        "sha1_multibuf_speedup":
+            {"value": 9.0, "tolerance": SIMD_SPEEDUP_TOLERANCE,
+             "floor": SIMD_SPEEDUP_FLOOR},
+    }}}
+    rc = gate(simd_doc,
+              {"synthetic_crypto": {"sha1_multibuf_speedup": 1.2}},
+              threshold, 1.0)
+    if rc == 0:
+        print("SELF-TEST FAILED: a sub-floor SIMD speedup (1.2 < "
+              f"{SIMD_SPEEDUP_FLOOR}) inside the tolerance band passed "
+              "the gate", file=sys.stderr)
+        return 1
+    print(f"self-test ok: sub-floor SIMD speedup (1.2 < "
+          f"{SIMD_SPEEDUP_FLOOR}) is rejected even inside the tolerance "
+          "band")
+
+    # And the floors must actually be pinned: every scaling-contract,
+    # overload-contract, and crypto-contract ratio present in the real
+    # baseline has to carry the "floor" key, or the contract silently
+    # degrades to the relative band.
     missing = [
         f"{bench}.{name}"
         for bench, metrics in doc.get("benches", {}).items()
         for name, entry in metrics.items()
-        if (SCALING_FLOOR_RE.match(name) or GOODPUT_FLOOR_RE.match(name))
+        if (SCALING_FLOOR_RE.match(name) or GOODPUT_FLOOR_RE.match(name)
+            or SIMD_SPEEDUP_RE.match(name))
         and "floor" not in entry
     ]
     if missing:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Structural invariant linter for the authdb tree.
 
-Seven rules, each protecting a contract the compiler cannot see:
+Eight rules, each protecting a contract the compiler cannot see:
 
 * ``epoch-pin`` — read paths of ``ShardedQueryServer`` (its ``const``
   member functions in ``src/server/sharded_query_server.cc``) must reach
@@ -10,7 +10,7 @@ Seven rules, each protecting a contract the compiler cannot see:
   /``Republish*`` calls, no ``atomic_exchange``/``atomic_store`` on the
   descriptor head, no raw ``current_`` outside ``PinCurrentEpoch``, and
   ``shards_[...]`` only for the epoch-invariant cache plumbing
-  (``->sigcache`` / ``->cache_positions``). This is the wait-free-reader
+  (``->cache_slot``). This is the wait-free-reader
   contract of the epoch-pinned COW design: a reader that touched builder
   state would observe a half-built next epoch.
 
@@ -51,6 +51,21 @@ Seven rules, each protecting a contract the compiler cannot see:
   ``src/server/metrics.cc`` (the stable ``Flatten()`` contract) must
   appear in the README metrics table. The names are a published API;
   an undocumented one is unfindable and gets renamed by accident.
+
+* ``crypto-batch`` — the crypto hot-path files (``core/chain.h``,
+  ``core/sigcache.cc``, ``core/verifier.cc``,
+  ``server/batch_exec.cc``) must not fold digests or finalize
+  signatures one message at a time where a batched variant exists:
+  single-message ``Sha1::Hash``/``Sha256::Hash`` (use
+  ``Sha*::HashMany``), per-record ``.Digest()`` (use
+  ``RecordDigestMany``), and scalar ``Finalize(`` (use
+  ``FinalizeBatch`` / ``ToAffineBatch``). One stray scalar call in a
+  per-tuple loop quietly serializes what the SIMD front end and the
+  shared Montgomery inversions batch — exactly the regression the
+  crypto-bench speedup gate exists to catch, caught here before it
+  costs a bench run. Genuinely single-shot sites (a lone join witness,
+  one boundary record) take the allow-escape with a comment saying why
+  the batch cannot apply.
 
 Escape hatch: a violating line is accepted when it (or the line directly
 above it) carries ``// authdb-lint: allow(<rule>)`` — use sparingly and
@@ -139,7 +154,7 @@ EPOCH_PIN_FORBIDDEN = [
 ]
 SHARDS_ACCESS_RE = re.compile(r"shards_\s*\[")
 SHARDS_ALLOWED_RE = re.compile(
-    r"shards_\s*\[[^\]]*\]\s*->\s*(sigcache|cache_positions)\b")
+    r"shards_\s*\[[^\]]*\]\s*->\s*cache_slot\b")
 MEMBER_DEF_RE = re.compile(r"ShardedQueryServer::(\w+)\s*\(")
 
 
@@ -367,6 +382,43 @@ def check_metrics_doc(relpath, metrics_cc_text, readme_text):
 
 
 # --------------------------------------------------------------------------
+# Rule: crypto-batch
+
+CRYPTO_BATCH_FILES = (
+    "src/core/chain.h",
+    "src/core/sigcache.cc",
+    "src/core/verifier.cc",
+    "src/server/batch_exec.cc",
+)
+# Each pattern is a scalar crypto call with a batched sibling. Finalize(
+# deliberately does not match FinalizeBatch( — the batched call is the
+# fix, not a finding.
+CRYPTO_BATCH_PATTERNS = [
+    (re.compile(r"\bSha(?:1|256)::Hash\s*\("),
+     "single-message Sha*::Hash on a crypto hot path — batch through "
+     "Sha1::HashMany / Sha256::HashMany"),
+    (re.compile(r"\.Digest\s*\(\s*\)"),
+     "per-record Record::Digest on a crypto hot path — batch through "
+     "RecordDigestMany"),
+    (re.compile(r"(?:->|\.)\s*Finalize\s*\("),
+     "scalar Finalize on a crypto hot path — share one Montgomery "
+     "inversion via FinalizeBatch / ToAffineBatch"),
+]
+
+
+def check_crypto_batch(relpath, text):
+    findings = []
+    lines = text.splitlines()
+    for idx, line in enumerate(lines):
+        code = _strip_line_comment(line)
+        for pat, msg in CRYPTO_BATCH_PATTERNS:
+            if pat.search(code) and not _allowed(lines, idx, "crypto-batch"):
+                findings.append(
+                    Finding("crypto-batch", relpath, idx + 1, msg))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 CXX_DIRS = ("src", "tests", "bench", "examples")
@@ -433,6 +485,12 @@ def lint_tree(root):
         findings.extend(check_metrics_doc(
             metrics_cc.relative_to(root).as_posix(),
             metrics_cc.read_text(), readme.read_text()))
+
+    for name in CRYPTO_BATCH_FILES:
+        p = root / name
+        if p.is_file():
+            findings.extend(check_crypto_batch(
+                p.relative_to(root).as_posix(), p.read_text()))
     return findings
 
 
@@ -520,6 +578,19 @@ SELFTEST_METRICS_DOC_README = """\
 | `exec.batch.shard_busy_us.<s>` | per-shard busy time |
 """
 
+SELFTEST_CRYPTO_BATCH = """\
+void Hot(const Record* recs, size_t n, Digest160* out) {
+  Digest160 d = Sha1::Hash(msg);                  // flagged
+  Digest160 d2 = recs[0].Digest();                // flagged
+  BasSignature s = ctx->Finalize(acc);            // flagged
+  Sha1::HashMany(msgs.data(), msgs.size(), out);  // batched: silent
+  RecordDigestMany(recs, n, out);                 // batched: silent
+  auto sigs = ctx->FinalizeBatch(accs);           // batched: silent
+  // authdb-lint: allow(crypto-batch) lone boundary witness
+  Digest160 d3 = recs[n - 1].Digest();            // escaped: silent
+}
+"""
+
 
 def self_test():
     failures = []
@@ -565,6 +636,11 @@ def self_test():
            check_metrics_doc("fake.cc", SELFTEST_METRICS_DOC_CC,
                              SELFTEST_METRICS_DOC_README),
            "metrics-doc", 1)
+    # Three scalar crypto calls caught; the batched siblings and the
+    # allow-escaped single-shot site stay silent.
+    expect("seeded scalar crypto",
+           check_crypto_batch("fake.cc", SELFTEST_CRYPTO_BATCH),
+           "crypto-batch", 3)
 
     if failures:
         for f in failures:
@@ -594,7 +670,7 @@ def main(argv):
         print("%d invariant violation(s)" % len(findings), file=sys.stderr)
         return 1
     print("invariants ok: epoch-pin, raw-mutex, test-labels, bench-json, "
-          "batch-path, stats-surface, metrics-doc")
+          "batch-path, stats-surface, metrics-doc, crypto-batch")
     return 0
 
 

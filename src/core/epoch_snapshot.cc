@@ -13,7 +13,16 @@ namespace authdb {
 
 EpochSnapshot::EpochSnapshot(std::vector<std::shared_ptr<const Chunk>> chunks,
                              uint64_t generation)
-    : chunks_(std::move(chunks)), generation_(generation) {
+    : EpochSnapshot(std::move(chunks), {}, generation) {}
+
+EpochSnapshot::EpochSnapshot(
+    std::vector<std::shared_ptr<const Chunk>> chunks,
+    std::vector<std::shared_ptr<const ECPoint>> chunk_aggs,
+    uint64_t generation)
+    : chunks_(std::move(chunks)),
+      chunk_aggs_(std::move(chunk_aggs)),
+      generation_(generation) {
+  AUTHDB_CHECK(chunk_aggs_.empty() || chunk_aggs_.size() == chunks_.size());
   starts_.reserve(chunks_.size());
   first_keys_.reserve(chunks_.size());
   size_t rank = 0;
@@ -24,6 +33,20 @@ EpochSnapshot::EpochSnapshot(std::vector<std::shared_ptr<const Chunk>> chunks,
     rank += c->size();
   }
   total_ = rank;
+}
+
+size_t EpochSnapshot::ChunkAggregateAt(size_t pos, size_t hi,
+                                       ECPoint* agg) const {
+  if (chunk_aggs_.empty() || pos >= total_) return 0;
+  size_t ci = static_cast<size_t>(
+      std::upper_bound(starts_.begin(), starts_.end(), pos) -
+      starts_.begin() - 1);
+  // Only a span starting exactly at a chunk boundary is precomputed.
+  if (starts_[ci] != pos || chunk_aggs_[ci] == nullptr) return 0;
+  size_t len = chunks_[ci]->size();
+  if (pos + len - 1 > hi) return 0;
+  *agg = *chunk_aggs_[ci];
+  return len;
 }
 
 size_t EpochSnapshot::LowerBound(int64_t key) const {
@@ -128,8 +151,9 @@ const SnapshotItem* EpochSnapshot::Successor(int64_t key) const {
 // ---------------------------------------------------------------------------
 // ShardVersionBuilder
 
-ShardVersionBuilder::ShardVersionBuilder(size_t chunk_target)
-    : chunk_target_(chunk_target) {
+ShardVersionBuilder::ShardVersionBuilder(
+    size_t chunk_target, std::shared_ptr<const BasContext> barrier_ctx)
+    : chunk_target_(chunk_target), barrier_ctx_(std::move(barrier_ctx)) {
   AUTHDB_CHECK(chunk_target_ >= 2);
 }
 
@@ -145,6 +169,9 @@ ShardVersionBuilder::Chunk* ShardVersionBuilder::Mutate(size_t ci) {
     chunks_[ci] = std::make_shared<Chunk>(*chunks_[ci]);
     owned_[ci] = true;
   }
+  // The chunk's precomputed aggregate is stale the moment the delta
+  // touches it; Freeze() rebuilds every null entry at the barrier.
+  chunk_aggs_[ci].reset();
   // Owned chunks are exclusively ours until the next Freeze: the const in
   // the shared_ptr type only protects the frozen copies.
   return const_cast<Chunk*>(chunks_[ci].get());
@@ -154,6 +181,7 @@ void ShardVersionBuilder::Rebalance(size_t ci) {
   Chunk* c = const_cast<Chunk*>(chunks_[ci].get());
   if (c->empty()) {
     chunks_.erase(chunks_.begin() + ci);
+    chunk_aggs_.erase(chunk_aggs_.begin() + ci);
     owned_.erase(owned_.begin() + ci);
     first_keys_.erase(first_keys_.begin() + ci);
     return;
@@ -163,6 +191,7 @@ void ShardVersionBuilder::Rebalance(size_t ci) {
         c->begin() + static_cast<ptrdiff_t>(c->size() / 2), c->end());
     c->erase(c->begin() + static_cast<ptrdiff_t>(c->size() / 2), c->end());
     chunks_.insert(chunks_.begin() + ci + 1, right);
+    chunk_aggs_.insert(chunk_aggs_.begin() + ci + 1, nullptr);
     owned_.insert(owned_.begin() + ci + 1, true);
     first_keys_.insert(first_keys_.begin() + ci + 1, right->front().key());
   }
@@ -175,6 +204,7 @@ Status ShardVersionBuilder::ApplyInsert(const CertifiedRecord& cr) {
     auto c = std::make_shared<Chunk>();
     c->push_back(SnapshotItem{cr.record, cr.sig, cr.attr_sigs});
     chunks_.push_back(std::move(c));
+    chunk_aggs_.push_back(nullptr);
     owned_.push_back(true);
     first_keys_.push_back(key);
     ++size_;
@@ -256,12 +286,38 @@ Status ShardVersionBuilder::Apply(const SignedRecordUpdate& piece) {
   return Status::OK();
 }
 
+void ShardVersionBuilder::PrecomputeChunkAggregates() {
+  if (barrier_ctx_ == nullptr) return;
+  const CurveGroup& curve = barrier_ctx_->curve();
+  std::vector<size_t> fresh;
+  std::vector<CurveGroup::Jacobian> jacs;
+  for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+    if (chunk_aggs_[ci] != nullptr) continue;  // shared chunk: write-once
+    CurveGroup::Jacobian acc{};
+    for (const SnapshotItem& item : *chunks_[ci]) {
+      if (!item.sig.point.infinity)
+        acc = curve.JacAddAffine(acc, item.sig.point);
+    }
+    fresh.push_back(ci);
+    jacs.push_back(std::move(acc));
+  }
+  if (fresh.empty()) return;
+  // ONE shared inversion finalizes every rebuilt chunk aggregate.
+  std::vector<ECPoint> pts = curve.ToAffineBatch(jacs);
+  for (size_t k = 0; k < fresh.size(); ++k) {
+    chunk_aggs_[fresh[k]] =
+        std::make_shared<const ECPoint>(std::move(pts[k]));
+  }
+}
+
 std::shared_ptr<const EpochSnapshot> ShardVersionBuilder::Freeze() {
   if (!changed_ && last_frozen_ != nullptr) return last_frozen_;
   if (changed_) ++generation_;
   changed_ = false;
   std::fill(owned_.begin(), owned_.end(), false);
-  last_frozen_ = std::make_shared<const EpochSnapshot>(chunks_, generation_);
+  PrecomputeChunkAggregates();
+  last_frozen_ = std::make_shared<const EpochSnapshot>(chunks_, chunk_aggs_,
+                                                       generation_);
   return last_frozen_;
 }
 

@@ -50,6 +50,12 @@ class EpochSnapshot {
   EpochSnapshot() = default;
   EpochSnapshot(std::vector<std::shared_ptr<const Chunk>> chunks,
                 uint64_t generation);
+  /// As above, with barrier-precomputed per-chunk chain-signature
+  /// aggregates (parallel to `chunks`; entries may be null). See
+  /// ChunkAggregateAt.
+  EpochSnapshot(std::vector<std::shared_ptr<const Chunk>> chunks,
+                std::vector<std::shared_ptr<const ECPoint>> chunk_aggs,
+                uint64_t generation);
 
   uint64_t size() const { return total_; }
   uint64_t generation() const { return generation_; }
@@ -89,6 +95,17 @@ class EpochSnapshot {
 
   size_t chunk_count() const { return chunks_.size(); }
 
+  /// Barrier-precomputed aggregate spans: when a whole chunk starts
+  /// exactly at rank `pos`, ends at/before rank `hi` (inclusive), and its
+  /// aggregate was precomputed, stores the affine sum of the chunk's chain
+  /// signatures in `*agg` and returns the chunk's length; returns 0
+  /// otherwise. Aggregates are computed write-once at
+  /// ShardVersionBuilder::Freeze and shared across epochs exactly like the
+  /// chunks themselves, so a SigCache window fill or seam stitch over a
+  /// frozen shard starts from precomputed prefixes instead of refetching
+  /// every leaf signature.
+  size_t ChunkAggregateAt(size_t pos, size_t hi, ECPoint* agg) const;
+
   /// Vectorized rank lookup for a batch of probe keys presented in
   /// ascending order (the LookupBatch discipline: sort the probe keys,
   /// then walk the snapshot forward once). The cursor remembers the rank
@@ -118,6 +135,9 @@ class EpochSnapshot {
   friend class ShardVersionBuilder;
 
   std::vector<std::shared_ptr<const Chunk>> chunks_;
+  /// Parallel to chunks_ (or empty): the affine sum of each chunk's chain
+  /// signatures, shared across epochs with the chunk.
+  std::vector<std::shared_ptr<const ECPoint>> chunk_aggs_;
   std::vector<size_t> starts_;      ///< starts_[i] = rank of chunks_[i][0]
   std::vector<int64_t> first_keys_; ///< chunks_[i][0].key()
   uint64_t total_ = 0;
@@ -141,7 +161,14 @@ class EpochSnapshot {
 class ShardVersionBuilder {
  public:
   /// `chunk_target`: preferred items per chunk; chunks split at twice this.
-  explicit ShardVersionBuilder(size_t chunk_target = 128);
+  /// `barrier_ctx` (optional): when set, Freeze() precomputes each dirty
+  /// chunk's chain-signature aggregate at the epoch barrier — write-once,
+  /// finalized with one shared batch inversion, and shared across epochs
+  /// like the chunk itself (EpochSnapshot::ChunkAggregateAt). Null skips
+  /// the precomputation (snapshots then answer ChunkAggregateAt with 0).
+  explicit ShardVersionBuilder(
+      size_t chunk_target = 128,
+      std::shared_ptr<const BasContext> barrier_ctx = nullptr);
 
   /// Apply one DA update piece (the shard-owned slice of a
   /// SignedRecordUpdate). Mirrors the QueryServer apply semantics:
@@ -176,8 +203,16 @@ class ShardVersionBuilder {
   Status ApplyReplace(const CertifiedRecord& cr);  // modify / re-certify
   Status ApplyDelete(int64_t key);
 
+  /// Rebuild the chain aggregate of every chunk the delta touched (null
+  /// entries of chunk_aggs_), finalizing all of them with ONE shared batch
+  /// inversion. No-op without a barrier context.
+  void PrecomputeChunkAggregates();
+
   size_t chunk_target_;
+  std::shared_ptr<const BasContext> barrier_ctx_;
   std::vector<std::shared_ptr<const Chunk>> chunks_;
+  /// Parallel to chunks_: precomputed aggregates, null while dirty.
+  std::vector<std::shared_ptr<const ECPoint>> chunk_aggs_;
   std::vector<bool> owned_;  ///< chunks_[i] is exclusively ours (mutable)
   std::vector<int64_t> first_keys_;
   uint64_t size_ = 0;

@@ -222,6 +222,8 @@ Result<QueryAnswer> QueryServer::ExecuteProject(const Query& query) const {
     proj.right_key = scan.right_boundary ? scan.right_boundary->record.key()
                                          : kChainPlusInf;
     std::vector<BasSignature> parts;
+    std::vector<const Record*> spine;
+    spine.reserve(scan.items.size());
     for (const AuthTable::Item& item : scan.items) {
       const Record& rec = item.record;
       auto sig_it = attr_sigs_.find(rec.key());
@@ -240,10 +242,13 @@ Result<QueryAnswer> QueryServer::ExecuteProject(const Query& query) const {
         parts.push_back(sig_it->second[i]);
       }
       proj.tuples.push_back(std::move(tuple));
-      proj.digests.push_back(rec.Digest());
+      spine.push_back(&rec);
       parts.push_back(item.sig);  // the chain signature (completeness spine)
       oldest_ts = std::min(oldest_ts, rec.ts);
     }
+    // Digest spine in one multi-buffer SHA pass over the scanned records.
+    proj.digests.resize(spine.size());
+    RecordDigestMany(spine.data(), spine.size(), proj.digests.data());
     proj.agg_sig = ctx_->Aggregate(parts);
   }
   StampFreshness(oldest_ts, &ans);

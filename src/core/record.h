@@ -44,6 +44,32 @@ struct Record {
   }
 };
 
+/// Batched Record::Digest over an array of record pointers: every canonical
+/// byte string crosses the multi-buffer SHA front end (Sha1::HashMany) in
+/// one pass. Digest spines and chain-message walks should prefer this over
+/// per-record Digest() calls.
+inline void RecordDigestMany(const Record* const* recs, size_t count,
+                             Digest160* out) {
+  std::vector<ByteBuffer> bufs;
+  bufs.reserve(count);
+  std::vector<Slice> views;
+  views.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bufs.push_back(recs[i]->CanonicalBytes());
+    views.push_back(bufs.back().AsSlice());
+  }
+  Sha1::HashMany(views.data(), count, out);
+}
+
+/// Contiguous-array convenience overload of RecordDigestMany.
+inline void RecordDigestMany(const Record* recs, size_t count,
+                             Digest160* out) {
+  std::vector<const Record*> ptrs;
+  ptrs.reserve(count);
+  for (size_t i = 0; i < count; ++i) ptrs.push_back(&recs[i]);
+  RecordDigestMany(ptrs.data(), count, out);
+}
+
 inline std::vector<uint8_t> Record::Serialize(size_t record_len) const {
   ByteBuffer buf;
   buf.PutU64(rid);

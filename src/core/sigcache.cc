@@ -45,6 +45,16 @@ CardinalityDist CardinalityDist::UniformRange(uint64_t n, uint64_t lo,
   return CardinalityDist(std::move(p));
 }
 
+CardinalityDist CardinalityDist::Blend(const CardinalityDist& a,
+                                       const CardinalityDist& b, double w) {
+  AUTHDB_CHECK(a.N() == b.N());
+  AUTHDB_CHECK(0.0 <= w && w <= 1.0);
+  std::vector<double> p(a.N() + 1, 0.0);
+  for (uint64_t q = 1; q <= a.N(); ++q)
+    p[q] = (1.0 - w) * a.P(q) + w * b.P(q);
+  return CardinalityDist(std::move(p));
+}
+
 uint64_t SigTreeXi(uint64_t n, int level, uint64_t j, uint64_t q) {
   AUTHDB_CHECK(IsPowerOfTwo(n));
   uint64_t m = uint64_t{1} << level;
@@ -370,13 +380,14 @@ BasSignature SigCache::RangeAggregate(size_t lo, size_t hi, AggStats* stats) {
 BasSignature SigCache::RangeAggregate(size_t lo, size_t hi,
                                       uint64_t generation,
                                       const LeafProvider& leaves,
-                                      AggStats* stats) {
+                                      AggStats* stats,
+                                      const SpanProvider& spans) {
   // A batch of one: the decomposition, tagging, and stats discipline live
   // in RangeAggregateBatch so the scalar and batched paths cannot drift.
   std::vector<AggStats> st(1);
   if (stats != nullptr) st[0] = *stats;  // accumulated, not reset
-  std::vector<BasSignature> out =
-      RangeAggregateBatch({RangeSpec{lo, hi}}, generation, leaves, &st);
+  std::vector<BasSignature> out = RangeAggregateBatch(
+      {RangeSpec{lo, hi}}, generation, leaves, &st, spans);
   if (stats != nullptr) *stats = st[0];
   return out[0];
 }
@@ -390,6 +401,7 @@ struct SigCache::BatchState {
 CurveGroup::Jacobian SigCache::JacComputeNode(const Key& key,
                                               uint64_t generation,
                                               const LeafProvider& leaves,
+                                              const SpanProvider& spans,
                                               BatchState* batch,
                                               AggStats* stats) {
   const CurveGroup& curve = ctx_->curve();
@@ -428,6 +440,20 @@ CurveGroup::Jacobian SigCache::JacComputeNode(const Key& key,
       break;
     }
     if (used_cache) continue;
+    // Precomputed prefix (a frozen chunk aggregate) before single leaves:
+    // the fill consumes whole chunks in one addition each. The clamp to
+    // this node's interval keeps the fold byte-identical to the leaf walk.
+    if (spans != nullptr) {
+      ECPoint span_agg;
+      size_t len = spans(pos, std::min(hi, n_ - 1), &span_agg);
+      if (len > 0) {
+        ++stats->span_hits;
+        if (!span_agg.infinity) acc = curve.JacAddAffine(acc, span_agg);
+        ++stats->point_adds;
+        pos += len;
+        continue;
+      }
+    }
     BasSignature leaf = leaves(pos);
     ++stats->leaf_fetches;
     if (!leaf.point.infinity) acc = curve.JacAddAffine(acc, leaf.point);
@@ -441,6 +467,7 @@ CurveGroup::Jacobian SigCache::JacComputeNode(const Key& key,
 CurveGroup::Jacobian SigCache::JacRangeWalk(size_t lo, size_t hi,
                                             uint64_t generation,
                                             const LeafProvider& leaves,
+                                            const SpanProvider& spans,
                                             BatchState* batch,
                                             AggStats* s) {
   const CurveGroup& curve = ctx_->curve();
@@ -475,7 +502,7 @@ CurveGroup::Jacobian SigCache::JacRangeWalk(size_t lo, size_t hi,
           // the batch's shared inversion writes it back.
           ++s->refreshes;
           CurveGroup::Jacobian node =
-              JacComputeNode(key, generation, leaves, batch, s);
+              JacComputeNode(key, generation, leaves, spans, batch, s);
           batch->staged[key] = batch->jacs.size();
           batch->jacs.push_back(std::move(node));
           batch->keys.push_back(key);
@@ -496,6 +523,19 @@ CurveGroup::Jacobian SigCache::JacRangeWalk(size_t lo, size_t hi,
       }
     }
     if (used_cache) continue;
+    // Precomputed prefix before single leaves — the seam-stitch fallback
+    // consumes whole frozen chunks in one addition each.
+    if (spans != nullptr) {
+      ECPoint span_agg;
+      size_t len = spans(pos, hi, &span_agg);
+      if (len > 0) {
+        ++s->span_hits;
+        if (!span_agg.infinity) acc = curve.JacAddAffine(acc, span_agg);
+        if (items++ > 0) ++s->point_adds;
+        pos += len;
+        continue;
+      }
+    }
     BasSignature leaf = leaves(pos);
     ++s->leaf_fetches;
     if (!leaf.point.infinity) acc = curve.JacAddAffine(acc, leaf.point);
@@ -507,7 +547,8 @@ CurveGroup::Jacobian SigCache::JacRangeWalk(size_t lo, size_t hi,
 
 std::vector<BasSignature> SigCache::RangeAggregateBatch(
     const std::vector<RangeSpec>& ranges, uint64_t generation,
-    const LeafProvider& leaves, std::vector<AggStats>* per_range_stats) {
+    const LeafProvider& leaves, std::vector<AggStats>* per_range_stats,
+    const SpanProvider& spans) {
   const CurveGroup& curve = ctx_->curve();
   if (per_range_stats != nullptr && per_range_stats->size() < ranges.size())
     per_range_stats->resize(ranges.size());
@@ -519,9 +560,8 @@ std::vector<BasSignature> SigCache::RangeAggregateBatch(
     AggStats local;
     AggStats* s =
         per_range_stats != nullptr ? &(*per_range_stats)[i] : &local;
-    range_jacs.push_back(
-        JacRangeWalk(ranges[i].lo, ranges[i].hi, generation, leaves, &batch,
-                     s));
+    range_jacs.push_back(JacRangeWalk(ranges[i].lo, ranges[i].hi, generation,
+                                      leaves, spans, &batch, s));
   }
   // ONE shared inversion finalizes every staged window fill and every
   // range result together.

@@ -25,6 +25,11 @@ class CardinalityDist {
   /// Uniform over [lo, hi] cardinalities, zero elsewhere (e.g. the paper's
   /// selectivity band [sf/2, 3sf/2] of Section 5.1).
   static CardinalityDist UniformRange(uint64_t n, uint64_t lo, uint64_t hi);
+  /// Pointwise mixture (1-w)*a + w*b over the same N — the online planner
+  /// retune interpolates between the assumed (harmonic) and observed-miss
+  /// (uniform) distributions with the live hit/miss mix as the weight.
+  static CardinalityDist Blend(const CardinalityDist& a,
+                               const CardinalityDist& b, double w);
 
   double P(uint64_t q) const { return p_[q]; }
   uint64_t N() const { return p_.size() - 1; }
@@ -99,6 +104,15 @@ class SigCache {
   /// Supplies the signature of the record at a rank (the query server backs
   /// this with its scanned range or its index).
   using LeafProvider = std::function<BasSignature(size_t pos)>;
+  /// Supplies a precomputed aggregate over a rank span: when a span starts
+  /// exactly at `pos` and ends at/before `hi` (inclusive), stores its
+  /// affine aggregate in `*agg` and returns the span length, else 0. The
+  /// snapshot path backs this with the epoch barrier's write-once chunk
+  /// aggregates (EpochSnapshot::ChunkAggregateAt), so window fills and
+  /// leaf-fold fallbacks start from precomputed prefixes instead of
+  /// refetching each leaf.
+  using SpanProvider = std::function<size_t(size_t pos, size_t hi,
+                                            ECPoint* agg)>;
 
   SigCache(std::shared_ptr<const BasContext> ctx, uint64_t n_positions,
            RefreshMode mode, LeafProvider leaves);
@@ -116,7 +130,8 @@ class SigCache {
     size_t point_adds = 0;    ///< EC additions performed
     size_t leaf_fetches = 0;  ///< individual signatures pulled
     size_t cache_hits = 0;    ///< cached nodes used
-    size_t refreshes = 0;     ///< lazy refreshes triggered
+    size_t refreshes = 0;     ///< lazy refreshes triggered (window fills)
+    size_t span_hits = 0;     ///< precomputed-prefix (chunk) aggregates used
   };
 
   /// Aggregate signature over positions [lo, hi] using the best cached
@@ -137,7 +152,8 @@ class SigCache {
   /// grew. `stats` (optional) is *accumulated into*, not reset — stitched
   /// reads sum one stats block across every covered shard.
   BasSignature RangeAggregate(size_t lo, size_t hi, uint64_t generation,
-                              const LeafProvider& leaves, AggStats* stats)
+                              const LeafProvider& leaves, AggStats* stats,
+                              const SpanProvider& spans = nullptr)
       EXCLUDES(mu_);
 
   /// An inclusive position range to aggregate (same contract as the
@@ -157,10 +173,13 @@ class SigCache {
   /// non-null, is resized to ranges.size() and each range's counters are
   /// accumulated into the matching slot; fill costs are charged to the
   /// range that first needed the window.
+  /// `spans` (optional) short-circuits leaf folds with precomputed span
+  /// aggregates; results are byte-identical either way (point addition is
+  /// associative and commutative), only the work distribution changes.
   std::vector<BasSignature> RangeAggregateBatch(
       const std::vector<RangeSpec>& ranges, uint64_t generation,
-      const LeafProvider& leaves, std::vector<AggStats>* per_range_stats)
-      EXCLUDES(mu_);
+      const LeafProvider& leaves, std::vector<AggStats>* per_range_stats,
+      const SpanProvider& spans = nullptr) EXCLUDES(mu_);
 
   /// A record at `pos` changed signature. Eager mode patches every cached
   /// ancestor (old out, new in: 2 additions each); lazy mode invalidates.
@@ -217,12 +236,14 @@ class SigCache {
   /// in this batch — and leaves, without finalizing.
   CurveGroup::Jacobian JacComputeNode(const Key& key, uint64_t generation,
                                       const LeafProvider& leaves,
+                                      const SpanProvider& spans,
                                       BatchState* batch, AggStats* stats)
       REQUIRES(mu_);
   /// One range's greedy decomposition walk (the tagged RangeAggregate
   /// discipline), staging fills into `batch` instead of finalizing them.
   CurveGroup::Jacobian JacRangeWalk(size_t lo, size_t hi, uint64_t generation,
                                     const LeafProvider& leaves,
+                                    const SpanProvider& spans,
                                     BatchState* batch, AggStats* stats)
       REQUIRES(mu_);
 

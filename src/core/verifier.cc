@@ -1,7 +1,9 @@
 #include "core/verifier.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/chain.h"
@@ -9,12 +11,20 @@
 
 namespace authdb {
 
-Status ClientVerifier::VerifySelectionStatic(int64_t lo, int64_t hi,
-                                             const SelectionAnswer& ans) const {
+namespace {
+
+/// Everything VerifySelectionStatic checks short of the aggregate
+/// signature itself: structural completeness, then the chain messages the
+/// signature must cover. Shared by the sequential path (which verifies the
+/// aggregate inline) and VerifyAnswerBatch (which defers every answer's
+/// aggregate into one shared-inversion check).
+Status BuildSelectionMessages(int64_t lo, int64_t hi,
+                              const SelectionAnswer& ans,
+                              std::vector<ByteBuffer>* messages_out) {
+  std::vector<ByteBuffer>& messages = *messages_out;
   if (lo > hi || lo == kChainMinusInf || hi == kChainPlusInf)
     return Status::InvalidArgument("bad query range");
 
-  std::vector<ByteBuffer> messages;
   if (ans.records.empty()) {
     // Empty result: the proof record's chain must span the whole range.
     if (!ans.proof_record)
@@ -40,17 +50,35 @@ Status ClientVerifier::VerifySelectionStatic(int64_t lo, int64_t hi,
       if (i > 0 && ans.records[i - 1].key() >= k)
         return Status::VerificationFailed("records not in key order");
     }
+    // One multi-buffer SHA pass over every record's canonical bytes; the
+    // chain messages are then assembled from the precomputed digests.
+    std::vector<Digest160> digests(ans.records.size());
+    RecordDigestMany(ans.records.data(), ans.records.size(), digests.data());
     for (size_t i = 0; i < ans.records.size(); ++i) {
       int64_t left = i == 0 ? ans.left_key : ans.records[i - 1].key();
       int64_t right = i + 1 == ans.records.size() ? ans.right_key
                                                   : ans.records[i + 1].key();
-      messages.push_back(ChainMessage(ans.records[i], left, right));
+      messages.push_back(
+          ChainMessage(ans.records[i].key(), digests[i], left, right));
     }
   }
+  return Status::OK();
+}
+
+std::vector<Slice> MessageViews(const std::vector<ByteBuffer>& messages) {
   std::vector<Slice> views;
   views.reserve(messages.size());
   for (const ByteBuffer& m : messages) views.push_back(m.AsSlice());
-  if (!da_pub_->VerifyAggregate(views, ans.agg_sig, mode_))
+  return views;
+}
+
+}  // namespace
+
+Status ClientVerifier::VerifySelectionStatic(int64_t lo, int64_t hi,
+                                             const SelectionAnswer& ans) const {
+  std::vector<ByteBuffer> messages;
+  AUTHDB_RETURN_NOT_OK(BuildSelectionMessages(lo, hi, ans, &messages));
+  if (!da_pub_->VerifyAggregate(MessageViews(messages), ans.agg_sig, mode_))
     return Status::VerificationFailed("aggregate signature mismatch");
   return Status::OK();
 }
@@ -121,8 +149,14 @@ std::vector<uint64_t> ClientVerifier::StaleRids(const SelectionAnswer& ans,
 // ---------------------------------------------------------------------------
 // Projection
 
-Status ClientVerifier::VerifyProjectionStatic(
-    const Query& query, const ProjectedRangeAnswer& ans) const {
+namespace {
+
+/// Projection twin of BuildSelectionMessages: spine + attribute messages,
+/// aggregate check deferred to the caller.
+Status BuildProjectionMessages(const Query& query,
+                               const ProjectedRangeAnswer& ans,
+                               std::vector<ByteBuffer>* messages_out) {
+  std::vector<ByteBuffer>& messages = *messages_out;
   const int64_t lo = query.lo, hi = query.hi;
   if (lo > hi || lo == kChainMinusInf || hi == kChainPlusInf)
     return Status::InvalidArgument("bad query range");
@@ -135,7 +169,6 @@ Status ClientVerifier::VerifyProjectionStatic(
   if (index_pos == attrs.size())
     return Status::VerificationFailed("projection lost the index attribute");
 
-  std::vector<ByteBuffer> messages;
   if (ans.tuples.empty()) {
     // Empty result: the witness's chain must span the whole range. Its
     // content enters through the shipped digest, as in [24].
@@ -183,10 +216,16 @@ Status ClientVerifier::VerifyProjectionStatic(
       }
     }
   }
-  std::vector<Slice> views;
-  views.reserve(messages.size());
-  for (const ByteBuffer& m : messages) views.push_back(m.AsSlice());
-  if (!da_pub_->VerifyAggregate(views, ans.agg_sig, mode_))
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ClientVerifier::VerifyProjectionStatic(
+    const Query& query, const ProjectedRangeAnswer& ans) const {
+  std::vector<ByteBuffer> messages;
+  AUTHDB_RETURN_NOT_OK(BuildProjectionMessages(query, ans, &messages));
+  if (!da_pub_->VerifyAggregate(MessageViews(messages), ans.agg_sig, mode_))
     return Status::VerificationFailed("projection aggregate mismatch");
   return Status::OK();
 }
@@ -250,10 +289,13 @@ Status ClientVerifier::VerifyJoin(const Query& query, const QueryAnswer& ans,
 // ---------------------------------------------------------------------------
 // Unified envelope
 
-Status ClientVerifier::VerifyAnswerFresh(const Query& query,
-                                         const QueryAnswer& ans, uint64_t now,
-                                         uint64_t min_epoch,
-                                         uint64_t max_partition_age_micros) {
+namespace {
+
+/// The kind/shed/epoch/splice gate of VerifyAnswerFresh, shared verbatim
+/// with VerifyAnswerBatch. Returns OK when the per-kind pipeline should
+/// run; any other status is the answer's final verdict.
+Status EnvelopePrecheck(const Query& query, const QueryAnswer& ans,
+                        uint64_t min_epoch) {
   // The answer kind is server-controlled: dispatching on it without this
   // check would let a server answer a join with an honest *selection*
   // (verifying fine) while the join member the client reads stays empty —
@@ -287,8 +329,16 @@ Status ClientVerifier::VerifyAnswerFresh(const Query& query,
   }
   // Reject mixed-generation splices (old-epoch content + later-period
   // summaries) uniformly across every plan kind.
-  AUTHDB_RETURN_NOT_OK(
-      CheckEpochSummaryConsistency(ans.served_epoch, ans.summaries));
+  return CheckEpochSummaryConsistency(ans.served_epoch, ans.summaries);
+}
+
+}  // namespace
+
+Status ClientVerifier::VerifyAnswerFresh(const Query& query,
+                                         const QueryAnswer& ans, uint64_t now,
+                                         uint64_t min_epoch,
+                                         uint64_t max_partition_age_micros) {
+  AUTHDB_RETURN_NOT_OK(EnvelopePrecheck(query, ans, min_epoch));
   switch (ans.kind) {
     case QueryKind::kSelect:
       // The selection member carries its own stamp + summaries (mirrored
@@ -302,6 +352,200 @@ Status ClientVerifier::VerifyAnswerFresh(const Query& query,
       return VerifyJoin(query, ans, now, max_partition_age_micros);
   }
   return Status::InvalidArgument("unknown answer kind");
+}
+
+std::vector<Status> ClientVerifier::VerifyAnswerBatch(
+    const PlanBatch& batch, const std::vector<Result<QueryAnswer>>& answers,
+    uint64_t now, uint64_t min_epoch, const BatchVerifyOptions& opts,
+    BatchVerifyStats* stats) {
+  const size_t n = batch.plans.size();
+  std::vector<Status> out(n, Status::OK());
+  if (answers.size() != n) {
+    for (Status& s : out)
+      s = Status::InvalidArgument("answer count does not match the batch");
+    return out;
+  }
+  if (stats != nullptr) *stats = BatchVerifyStats{};
+  if (stats != nullptr) stats->answers = n;
+
+  /// One answer's deferred work: the chain messages whose aggregate still
+  /// needs checking (selections/projections), and whether the serial
+  /// freshness walk should run.
+  struct Pending {
+    std::vector<ByteBuffer> messages;
+    const BasSignature* agg = nullptr;
+    const char* mismatch = nullptr;
+    bool freshness = false;
+  };
+  std::vector<Pending> pend(n);
+
+  // Phase 1 — stateless, answer-parallel: envelope gate, structural
+  // checks, message building; joins run their whole static pipeline here
+  // (their aggregates are heterogeneous per proof, verified inside
+  // JoinVerifier). Nothing in this phase touches freshness_, so striping
+  // answers across workers cannot reorder anything observable.
+  auto static_one = [&](size_t i) {
+    if (!answers[i].ok()) {
+      out[i] = answers[i].status();
+      return;
+    }
+    const Query& q = batch.plans[i];
+    const QueryAnswer& ans = answers[i].value();
+    out[i] = EnvelopePrecheck(q, ans, min_epoch);
+    if (!out[i].ok()) return;
+    switch (ans.kind) {
+      case QueryKind::kSelect: {
+        // Mirror VerifySelectionFresh: the selection member carries its
+        // own stamp and summary run.
+        const SelectionAnswer& sel = ans.selection;
+        if (sel.served_epoch < min_epoch) {
+          out[i] = Status::VerificationFailed(
+              "answer served under epoch " +
+              std::to_string(sel.served_epoch) +
+              " but the summary stream has reached epoch " +
+              std::to_string(min_epoch));
+          return;
+        }
+        out[i] = CheckEpochSummaryConsistency(sel.served_epoch,
+                                              sel.summaries);
+        if (!out[i].ok()) return;
+        out[i] = BuildSelectionMessages(q.lo, q.hi, sel, &pend[i].messages);
+        if (!out[i].ok()) return;
+        pend[i].agg = &sel.agg_sig;
+        pend[i].mismatch = "aggregate signature mismatch";
+        return;
+      }
+      case QueryKind::kProject:
+        out[i] = BuildProjectionMessages(q, ans.projection,
+                                         &pend[i].messages);
+        if (!out[i].ok()) return;
+        pend[i].agg = &ans.projection.agg_sig;
+        pend[i].mismatch = "projection aggregate mismatch";
+        return;
+      case QueryKind::kJoin:
+        out[i] = VerifyJoinStatic(q, ans.join);
+        if (out[i].ok()) pend[i].freshness = true;
+        return;
+    }
+    out[i] = Status::InvalidArgument("unknown answer kind");
+  };
+  const size_t workers = std::min(opts.worker_threads, n);
+  if (workers > 1) {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        for (size_t i = t; i < n; i += workers) static_one(i);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  } else {
+    for (size_t i = 0; i < n; ++i) static_one(i);
+  }
+
+  // Phase 2 — every deferred aggregate in ONE shared-inversion pass.
+  std::vector<BasAggregateClaim> claims;
+  std::vector<size_t> owner;
+  for (size_t i = 0; i < n; ++i) {
+    if (!out[i].ok() || pend[i].agg == nullptr) continue;
+    BasAggregateClaim claim;
+    claim.messages = MessageViews(pend[i].messages);
+    claim.agg = *pend[i].agg;
+    claims.push_back(std::move(claim));
+    owner.push_back(i);
+  }
+  if (!claims.empty()) {
+    std::vector<bool> ok = da_pub_->VerifyAggregateBatch(claims, mode_);
+    for (size_t k = 0; k < claims.size(); ++k) {
+      if (ok[k]) {
+        pend[owner[k]].freshness = true;
+      } else {
+        out[owner[k]] = Status::VerificationFailed(pend[owner[k]].mismatch);
+      }
+    }
+    if (stats != nullptr) {
+      stats->aggregate_claims = claims.size();
+      stats->shared_inversions = 1;
+    }
+  }
+
+  // Phase 3 — freshness, strictly serial in answer order: summaries an
+  // earlier answer ingests are visible to every later walk, exactly as in
+  // the sequential loop.
+  for (size_t i = 0; i < n; ++i) {
+    if (!out[i].ok() || !pend[i].freshness) continue;
+    const QueryAnswer& ans = answers[i].value();
+    switch (ans.kind) {
+      case QueryKind::kSelect: {
+        const SelectionAnswer& sel = ans.selection;
+        for (const UpdateSummary& s : sel.summaries) {
+          out[i] = freshness_.AddSummary(s);
+          if (!out[i].ok()) break;
+        }
+        if (!out[i].ok()) break;
+        for (const Record& r : sel.records) {
+          out[i] = freshness_.CheckRecord(r.rid, r.ts, now);
+          if (!out[i].ok()) break;
+        }
+        if (out[i].ok() && sel.proof_record) {
+          out[i] = freshness_.CheckRecord(sel.proof_record->rid,
+                                          sel.proof_record->ts, now);
+        }
+        break;
+      }
+      case QueryKind::kProject: {
+        for (const UpdateSummary& s : ans.summaries) {
+          out[i] = freshness_.AddSummary(s);
+          if (!out[i].ok()) break;
+        }
+        if (!out[i].ok()) break;
+        for (const ProjectedTuple& t : ans.projection.tuples) {
+          out[i] = freshness_.CheckRecord(t.rid, t.ts, now);
+          if (!out[i].ok()) break;
+        }
+        if (out[i].ok() && ans.projection.proof) {
+          out[i] = freshness_.CheckRecord(ans.projection.proof->rid,
+                                          ans.projection.proof->ts, now);
+        }
+        break;
+      }
+      case QueryKind::kJoin: {
+        for (const UpdateSummary& s : ans.summaries) {
+          out[i] = freshness_.AddSummary(s);
+          if (!out[i].ok()) break;
+        }
+        if (!out[i].ok()) break;
+        for (const JoinMatch& m : ans.join.matches) {
+          for (const Record& r : m.s_records) {
+            out[i] = freshness_.CheckRecord(r.rid, r.ts, now);
+            if (!out[i].ok()) break;
+          }
+          if (!out[i].ok()) break;
+        }
+        if (out[i].ok()) {
+          for (const AbsenceProof& p : ans.join.absence_proofs) {
+            out[i] = freshness_.CheckRecord(p.rec_rid, p.rec_ts, now);
+            if (!out[i].ok()) break;
+          }
+        }
+        if (out[i].ok() && opts.max_partition_age_micros > 0) {
+          uint64_t latest = freshness_.latest_publish_ts();
+          for (const CertifiedPartition& p : ans.join.partitions) {
+            if (p.ts + opts.max_partition_age_micros < latest) {
+              out[i] = Status::VerificationFailed(
+                  "partition filter certified " +
+                  std::to_string(latest - p.ts) +
+                  "us before the latest summary (bound " +
+                  std::to_string(opts.max_partition_age_micros) + "us)");
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<uint64_t> ClientVerifier::StaleRids(const QueryAnswer& ans,

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/result.h"
 #include "core/freshness.h"
 #include "core/protocol.h"
 
@@ -77,6 +78,46 @@ class ClientVerifier {
   Status VerifyAnswerFresh(const Query& query, const QueryAnswer& ans,
                            uint64_t now, uint64_t min_epoch,
                            uint64_t max_partition_age_micros = 0);
+
+  struct BatchVerifyOptions {
+    /// Worker threads for the stateless phase (structural checks, message
+    /// building, join static pipelines). 0 = run inline on the caller.
+    size_t worker_threads = 0;
+    /// Join partition-age bound, as in VerifyAnswerFresh.
+    uint64_t max_partition_age_micros = 0;
+  };
+  struct BatchVerifyStats {
+    size_t answers = 0;
+    /// Aggregate-signature claims folded into the one shared-inversion
+    /// check (selections + projections; join aggregates verify inside
+    /// their static pipelines).
+    size_t aggregate_claims = 0;
+    /// Shared batch finalizations performed (1 when any claims, else 0) —
+    /// the client-side mirror of the server's exec.batch.finalizes.
+    size_t shared_inversions = 0;
+  };
+
+  /// Verify a PlanBatch's answers — verdict-for-verdict identical to
+  /// calling VerifyAnswerFresh(plans[i], answers[i], ...) in order, but
+  /// with the crypto batched: every selection and projection aggregate
+  /// check in the batch shares ONE Montgomery batch inversion
+  /// (BasPublicKey::VerifyAggregateBatch, the client-side mirror of the
+  /// server's FinalizeBatch), and the stateless phase optionally fans out
+  /// across opts.worker_threads. Freshness ingestion stays strictly
+  /// serial in answer order — summaries an earlier answer carries are
+  /// visible to every later answer's freshness walk, exactly as in the
+  /// sequential loop — and an answer that fails its structural or
+  /// aggregate check ingests nothing, also as in the sequential loop.
+  std::vector<Status> VerifyAnswerBatch(
+      const PlanBatch& batch, const std::vector<Result<QueryAnswer>>& answers,
+      uint64_t now, uint64_t min_epoch, const BatchVerifyOptions& opts,
+      BatchVerifyStats* stats = nullptr);
+  std::vector<Status> VerifyAnswerBatch(
+      const PlanBatch& batch, const std::vector<Result<QueryAnswer>>& answers,
+      uint64_t now, uint64_t min_epoch) {
+    return VerifyAnswerBatch(batch, answers, now, min_epoch,
+                             BatchVerifyOptions());
+  }
 
   /// Served-projection pipeline: digest-spine completeness + attribute
   /// authenticity (one aggregate), then the per-tuple freshness walk over

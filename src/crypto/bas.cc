@@ -63,7 +63,7 @@ void BasContext::BuildFixedBaseTable() {
   }
 }
 
-ECPoint BasContext::FixedBaseMult(const BigInt& k) const {
+CurveGroup::Jacobian BasContext::FixedBaseMultJac(const BigInt& k) const {
   BigInt scalar = BigInt::Compare(k, curve_->order()) >= 0
                       ? BigInt::Mod(k, curve_->order())
                       : k;
@@ -75,12 +75,27 @@ ECPoint BasContext::FixedBaseMult(const BigInt& k) const {
     if (nibble != 0)
       acc = curve_->JacAddAffine(acc, fixed_base_[w][nibble - 1]);
   }
-  return curve_->ToAffine(acc);
+  return acc;
+}
+
+ECPoint BasContext::FixedBaseMult(const BigInt& k) const {
+  return curve_->ToAffine(FixedBaseMultJac(k));
 }
 
 BigInt BasContext::HashToScalar(Slice msg) const {
   Digest256 d = Sha256::Hash(msg);
   return BigInt::Mod(BigInt::FromBytes(d.AsSlice()), curve_->order());
+}
+
+void BasContext::HashToScalarMany(const Slice* msgs, size_t count,
+                                  BigInt* out) const {
+  if (count == 0) return;
+  std::vector<Digest256> digests(count);
+  Sha256::HashMany(msgs, count, digests.data());
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = BigInt::Mod(BigInt::FromBytes(digests[i].AsSlice()),
+                         curve_->order());
+  }
 }
 
 ECPoint BasContext::HashToPoint(Slice msg, HashMode mode) const {
@@ -186,11 +201,12 @@ bool BasPublicKey::VerifyAggregate(const std::vector<Slice>& messages,
   std::vector<ECPoint> hashed;
   hashed.reserve(messages.size());
   if (mode == BasContext::HashMode::kFast) {
-    // Sum exponents in Z_r, one fixed-base multiplication.
+    // Batch-hash every message, sum exponents in Z_r, one fixed-base mult.
+    std::vector<BigInt> hs(messages.size());
+    ctx_->HashToScalarMany(messages.data(), messages.size(), hs.data());
     BigInt sum;
-    for (const Slice& m : messages)
-      sum = BigInt::Mod(BigInt::Add(sum, ctx_->HashToScalar(m)),
-                        ctx_->order());
+    for (const BigInt& h : hs)
+      sum = BigInt::Mod(BigInt::Add(sum, h), ctx_->order());
     hashed.push_back(ctx_->FixedBaseMult(sum));
   } else {
     for (const Slice& m : messages)
@@ -201,6 +217,50 @@ bool BasPublicKey::VerifyAggregate(const std::vector<Slice>& messages,
   Fp2Elem lhs = e.Pair(agg.point, ctx_->generator());
   Fp2Elem rhs = e.Pair(h_sum, pk_);
   return e.Equal(lhs, rhs);
+}
+
+std::vector<bool> BasPublicKey::VerifyAggregateBatch(
+    const std::vector<BasAggregateClaim>& claims,
+    BasContext::HashMode mode) const {
+  std::vector<bool> ok(claims.size(), false);
+  if (claims.empty()) return ok;
+  const CurveGroup& curve = ctx_->curve();
+  // Per-claim hash-sum accumulators; the affine conversion is deferred and
+  // shared below.
+  std::vector<CurveGroup::Jacobian> sums;
+  sums.reserve(claims.size());
+  if (mode == BasContext::HashMode::kFast) {
+    // Flatten every claim's messages into one multi-buffer SHA pass.
+    std::vector<Slice> flat;
+    for (const auto& c : claims)
+      flat.insert(flat.end(), c.messages.begin(), c.messages.end());
+    std::vector<BigInt> hs(flat.size());
+    ctx_->HashToScalarMany(flat.data(), flat.size(), hs.data());
+    size_t at = 0;
+    for (const auto& c : claims) {
+      BigInt sum;
+      for (size_t i = 0; i < c.messages.size(); ++i)
+        sum = BigInt::Mod(BigInt::Add(sum, hs[at++]), ctx_->order());
+      sums.push_back(ctx_->FixedBaseMultJac(sum));
+    }
+  } else {
+    for (const auto& c : claims) {
+      CurveGroup::Jacobian acc = curve.ToJacobian(ECPoint{});
+      for (const Slice& m : c.messages)
+        acc = curve.JacAddAffine(acc, ctx_->HashToPoint(m, mode));
+      sums.push_back(acc);
+    }
+  }
+  // ONE Montgomery batch inversion across every claim's hash sum — the
+  // client-side mirror of FinalizeBatch on the server.
+  std::vector<ECPoint> h_sums = curve.ToAffineBatch(sums);
+  const TatePairing& e = ctx_->pairing();
+  for (size_t i = 0; i < claims.size(); ++i) {
+    Fp2Elem lhs = e.Pair(claims[i].agg.point, ctx_->generator());
+    Fp2Elem rhs = e.Pair(h_sums[i], pk_);
+    ok[i] = e.Equal(lhs, rhs);
+  }
+  return ok;
 }
 
 }  // namespace authdb

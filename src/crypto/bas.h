@@ -85,8 +85,15 @@ class BasContext {
   ECPoint HashToPoint(Slice msg, HashMode mode) const;
   /// SHA-256(msg) reduced into Z_r (the exponent used by kFast).
   BigInt HashToScalar(Slice msg) const;
+  /// Batched HashToScalar: every message is hashed through the multi-buffer
+  /// SHA front end (Sha256::HashMany) in one pass, then reduced into Z_r.
+  /// `out` must hold `count` scalars; equivalent to HashToScalar per msg.
+  void HashToScalarMany(const Slice* msgs, size_t count, BigInt* out) const;
   /// k * G through the fixed-base window table (~40 mixed additions).
   ECPoint FixedBaseMult(const BigInt& k) const;
+  /// k * G left as a Jacobian accumulator (no inversion): callers doing
+  /// many multiplications batch the affine conversion via ToAffineBatch.
+  CurveGroup::Jacobian FixedBaseMultJac(const BigInt& k) const;
 
   /// Aggregate signatures by point addition (associative & commutative).
   BasSignature Aggregate(const std::vector<BasSignature>& sigs) const;
@@ -114,6 +121,13 @@ class BasContext {
   std::vector<std::vector<ECPoint>> fixed_base_;
 };
 
+/// One element of BasPublicKey::VerifyAggregateBatch: an aggregate
+/// signature and the messages it is claimed to cover.
+struct BasAggregateClaim {
+  std::vector<Slice> messages;
+  BasSignature agg;
+};
+
 class BasPublicKey {
  public:
   BasPublicKey() = default;
@@ -128,6 +142,15 @@ class BasPublicKey {
   /// e(sigma_agg, G) == e(sum_i H(m_i), pk).
   bool VerifyAggregate(
       const std::vector<Slice>& messages, const BasSignature& agg,
+      BasContext::HashMode mode = BasContext::HashMode::kSecure) const;
+
+  /// Verify many aggregate claims at once. Verdict-identical to calling
+  /// VerifyAggregate per claim, but all messages cross the multi-buffer
+  /// SHA front end in one pass (kFast) and the per-claim hash-sum points
+  /// are finalized with ONE shared Montgomery batch inversion — the
+  /// client-side mirror of BasContext::FinalizeBatch.
+  std::vector<bool> VerifyAggregateBatch(
+      const std::vector<BasAggregateClaim>& claims,
       BasContext::HashMode mode = BasContext::HashMode::kSecure) const;
 
   const ECPoint& point() const { return pk_; }

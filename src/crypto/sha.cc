@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "crypto/simd/sha_multibuf.h"
+
 namespace authdb {
 
 namespace {
@@ -133,6 +135,10 @@ Digest160 Sha1::Hash(Slice data) {
   return h.Finish();
 }
 
+void Sha1::HashMany(const Slice* msgs, size_t count, Digest160* out) {
+  simd::Sha1HashMany(msgs, count, out);
+}
+
 Digest160 Sha1::HashPair(const Digest160& a, const Digest160& b) {
   Sha1 h;
   h.Update(a.AsSlice());
@@ -252,6 +258,10 @@ Digest256 Sha256::Hash(Slice data) {
   Sha256 h;
   h.Update(data);
   return h.Finish();
+}
+
+void Sha256::HashMany(const Slice* msgs, size_t count, Digest256* out) {
+  simd::Sha256HashMany(msgs, count, out);
 }
 
 }  // namespace authdb

@@ -2,6 +2,7 @@
 #define AUTHDB_CRYPTO_SHA_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -41,6 +42,11 @@ class Sha1 {
   static Digest160 Hash(Slice data);
   /// Hash the concatenation of two digests: h(a | b), the Merkle node rule.
   static Digest160 HashPair(const Digest160& a, const Digest160& b);
+  /// Hash `count` independent messages: out[i] = SHA-1(msgs[i]). The batch
+  /// entry point hot paths should prefer over per-message Hash: it runs the
+  /// process-wide SIMD tier (SHA-NI / AVX2 multi-buffer / scalar, see
+  /// crypto/simd/cpu_features.h) and is bit-identical to Hash per message.
+  static void HashMany(const Slice* msgs, size_t count, Digest160* out);
 
  private:
   void ProcessBlock(const uint8_t* block);
@@ -59,6 +65,8 @@ class Sha256 {
   Digest256 Finish();
 
   static Digest256 Hash(Slice data);
+  /// Batched one-shot hashing; see Sha1::HashMany.
+  static void HashMany(const Slice* msgs, size_t count, Digest256* out);
 
  private:
   void ProcessBlock(const uint8_t* block);

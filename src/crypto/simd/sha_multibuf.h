@@ -1,0 +1,33 @@
+#ifndef AUTHDB_CRYPTO_SIMD_SHA_MULTIBUF_H_
+#define AUTHDB_CRYPTO_SIMD_SHA_MULTIBUF_H_
+
+#include <cstddef>
+
+#include "common/slice.h"
+#include "crypto/sha.h"
+#include "crypto/simd/cpu_features.h"
+
+namespace authdb {
+namespace simd {
+
+/// Hash `count` independent messages: out[i] = SHA-1(msgs[i]). Dispatches
+/// on ActiveShaDispatch(); any count (0 is a no-op), any alignment, any
+/// lengths. Output is bit-identical to the scalar Sha1::Hash per message —
+/// the tiers differ only in schedule, never in the function computed.
+void Sha1HashMany(const Slice* msgs, size_t count, Digest160* out);
+
+/// Hash `count` independent messages: out[i] = SHA-256(msgs[i]).
+void Sha256HashMany(const Slice* msgs, size_t count, Digest256* out);
+
+/// Tier-forced variants for tests and the bench ablation: run a specific
+/// implementation regardless of the process-wide selection. A tier the CPU
+/// cannot run falls back exactly like AUTHDB_SHA_DISPATCH would.
+void Sha1HashManyTier(ShaDispatch tier, const Slice* msgs, size_t count,
+                      Digest160* out);
+void Sha256HashManyTier(ShaDispatch tier, const Slice* msgs, size_t count,
+                        Digest256* out);
+
+}  // namespace simd
+}  // namespace authdb
+
+#endif  // AUTHDB_CRYPTO_SIMD_SHA_MULTIBUF_H_

@@ -25,6 +25,10 @@ std::vector<std::pair<std::string, double>> ServerMetrics::Flatten() const {
   put("exec.agg.leaf_fetches", static_cast<double>(exec.agg_leaf_fetches));
   put("exec.agg.cache_hits", static_cast<double>(exec.agg_cache_hits));
   put("exec.agg.refreshes", static_cast<double>(exec.agg_refreshes));
+  put("exec.agg.span_hits", static_cast<double>(exec.agg_span_hits));
+  put("exec.crypto.digests_hashed",
+      static_cast<double>(exec.digests_hashed));
+  put("exec.cache.retunes", static_cast<double>(exec.cache_retunes));
   put("exec.last_epoch", static_cast<double>(exec.last_epoch));
   for (size_t s = 0; s < exec.shard_busy.size(); ++s) {
     const std::string sfx = std::to_string(s);
@@ -101,6 +105,9 @@ ServerMetrics ServerMetrics::Delta(const ServerMetrics& since) const {
       sub(exec.agg_leaf_fetches, since.exec.agg_leaf_fetches);
   d.exec.agg_cache_hits = sub(exec.agg_cache_hits, since.exec.agg_cache_hits);
   d.exec.agg_refreshes = sub(exec.agg_refreshes, since.exec.agg_refreshes);
+  d.exec.agg_span_hits = sub(exec.agg_span_hits, since.exec.agg_span_hits);
+  d.exec.digests_hashed = sub(exec.digests_hashed, since.exec.digests_hashed);
+  d.exec.cache_retunes = sub(exec.cache_retunes, since.exec.cache_retunes);
   for (size_t s = 0; s < d.exec.shard_busy.size(); ++s) {
     if (s >= since.exec.shard_busy.size()) break;
     const ShardBusy& b = since.exec.shard_busy[s];
@@ -175,6 +182,8 @@ void MetricsCore::FoldBatch(const BatchExecStats& batch) {
   agg_leaf_fetches_.fetch_add(batch.agg_leaf_fetches, kRelaxed);
   agg_cache_hits_.fetch_add(batch.agg_cache_hits, kRelaxed);
   agg_refreshes_.fetch_add(batch.agg_refreshes, kRelaxed);
+  agg_span_hits_.fetch_add(batch.agg_span_hits, kRelaxed);
+  digests_hashed_.fetch_add(batch.digests_hashed, kRelaxed);
   last_epoch_.store(batch.epoch, kRelaxed);
   for (size_t s = 0; s < batch.shard_busy.size() && s < shard_busy_.size();
        ++s) {
@@ -196,6 +205,10 @@ void MetricsCore::RecordPublish(uint64_t backpressure_us) {
     publish_backpressure_us_.fetch_add(backpressure_us, kRelaxed);
 }
 
+void MetricsCore::RecordCacheRetunes(uint64_t installs) {
+  cache_retunes_.fetch_add(installs, kRelaxed);
+}
+
 void MetricsCore::Snapshot(ServerMetrics* out) const {
   ServerMetrics::Exec& e = out->exec;
   e.batches = batches_.load(kRelaxed);
@@ -208,6 +221,9 @@ void MetricsCore::Snapshot(ServerMetrics* out) const {
   e.agg_leaf_fetches = agg_leaf_fetches_.load(kRelaxed);
   e.agg_cache_hits = agg_cache_hits_.load(kRelaxed);
   e.agg_refreshes = agg_refreshes_.load(kRelaxed);
+  e.agg_span_hits = agg_span_hits_.load(kRelaxed);
+  e.digests_hashed = digests_hashed_.load(kRelaxed);
+  e.cache_retunes = cache_retunes_.load(kRelaxed);
   e.last_epoch = last_epoch_.load(kRelaxed);
   e.shard_busy.resize(shard_busy_.size());
   for (size_t s = 0; s < shard_busy_.size(); ++s) {

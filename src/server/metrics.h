@@ -39,6 +39,8 @@ struct BatchExecStats {
   uint64_t agg_leaf_fetches = 0;
   uint64_t agg_cache_hits = 0;
   uint64_t agg_refreshes = 0;
+  uint64_t agg_span_hits = 0;   ///< precomputed chunk prefixes used
+  uint64_t digests_hashed = 0;  ///< tuple digests via multi-buffer SHA
   std::vector<ShardBusy> shard_busy;  ///< indexed by shard id
 };
 
@@ -62,7 +64,15 @@ struct ServerMetrics {
     uint64_t agg_point_adds = 0;  ///< EC point additions (aggregation)
     uint64_t agg_leaf_fetches = 0;
     uint64_t agg_cache_hits = 0;  ///< SigCache window hits
-    uint64_t agg_refreshes = 0;   ///< SigCache window refreshes
+    uint64_t agg_refreshes = 0;   ///< SigCache window fills (lazy refresh)
+    /// Aggregations short-circuited by epoch-barrier chunk aggregates
+    /// (precomputed prefixes) instead of per-leaf folds.
+    uint64_t agg_span_hits = 0;
+    /// Tuple digests produced through the multi-buffer SHA front end
+    /// (projection digest spines) — the "hashes hashed" crypto counter.
+    uint64_t digests_hashed = 0;
+    /// Online planner retunes that installed a changed per-shard plan.
+    uint64_t cache_retunes = 0;
     uint64_t last_epoch = 0;      ///< epoch the most recent batch pinned
     std::vector<ShardBusy> shard_busy;  ///< cumulative, indexed by shard
   } exec;
@@ -139,6 +149,8 @@ class MetricsCore {
 
   void FoldBatch(const BatchExecStats& batch);
   void RecordPublish(uint64_t backpressure_us);
+  /// The online planner installed `installs` changed per-shard plans.
+  void RecordCacheRetunes(uint64_t installs);
 
   /// Fill `out->exec` and the publication counters of `out->epoch`.
   void Snapshot(ServerMetrics* out) const;
@@ -161,6 +173,9 @@ class MetricsCore {
   std::atomic<uint64_t> agg_leaf_fetches_{0};
   std::atomic<uint64_t> agg_cache_hits_{0};
   std::atomic<uint64_t> agg_refreshes_{0};
+  std::atomic<uint64_t> agg_span_hits_{0};
+  std::atomic<uint64_t> digests_hashed_{0};
+  std::atomic<uint64_t> cache_retunes_{0};
   std::atomic<uint64_t> last_epoch_{0};
   std::atomic<uint64_t> published_total_{0};
   std::atomic<uint64_t> publish_backpressure_us_{0};

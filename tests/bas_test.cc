@@ -68,6 +68,56 @@ TEST_F(BasTest, AggregateVerifies) {
   }
 }
 
+TEST_F(BasTest, VerifyAggregateBatchMatchesSequential) {
+  // The batched verifier (one flat multi-buffer hash pass, one shared
+  // Montgomery batch inversion) must reach the same verdicts as per-claim
+  // VerifyAggregate — including a tampered claim in the middle and an
+  // empty claim against the infinity aggregate.
+  for (HashMode mode : {HashMode::kSecure, HashMode::kFast}) {
+    std::vector<std::vector<std::string>> bufs;
+    std::vector<BasAggregateClaim> claims;
+    for (int c = 0; c < 5; ++c) {
+      bufs.emplace_back();
+      std::vector<BasSignature> sigs;
+      for (int i = 0; i < c; ++i) {
+        bufs.back().push_back("claim-" + std::to_string(c) + "-tuple-" +
+                              std::to_string(i));
+        sigs.push_back(key_->Sign(Slice(bufs.back().back()), mode));
+      }
+      BasAggregateClaim claim;
+      claim.agg = (*ctx_)->Aggregate(sigs);
+      for (const auto& m : bufs.back()) claim.messages.emplace_back(m);
+      claims.push_back(std::move(claim));
+    }
+    // Tamper with claim 2: drop its last message but keep the aggregate.
+    claims[2].messages.pop_back();
+    std::vector<bool> got =
+        key_->public_key().VerifyAggregateBatch(claims, mode);
+    ASSERT_EQ(got.size(), claims.size());
+    for (size_t c = 0; c < claims.size(); ++c) {
+      bool want = key_->public_key().VerifyAggregate(claims[c].messages,
+                                                     claims[c].agg, mode);
+      EXPECT_EQ(got[c], want) << "mode=" << static_cast<int>(mode)
+                              << " claim=" << c;
+      EXPECT_EQ(want, c != 2) << "claim=" << c;
+    }
+  }
+}
+
+TEST_F(BasTest, HashToScalarManyMatchesSequential) {
+  std::vector<std::string> bufs;
+  std::vector<Slice> msgs;
+  for (int i = 0; i < 13; ++i) {
+    bufs.push_back("scalar-msg-" + std::to_string(i));
+  }
+  for (const auto& b : bufs) msgs.emplace_back(b);
+  std::vector<BigInt> got(msgs.size());
+  (*ctx_)->HashToScalarMany(msgs.data(), msgs.size(), got.data());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(BigInt::Compare(got[i], (*ctx_)->HashToScalar(msgs[i])), 0);
+  }
+}
+
 TEST_F(BasTest, AggregateIsOrderIndependent) {
   std::vector<std::string> msgs = {"x", "y", "z"};
   std::vector<BasSignature> sigs;

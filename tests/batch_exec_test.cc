@@ -230,6 +230,52 @@ TEST_F(BatchExecTest, BatchMatchesSequentialExecution) {
   }
 }
 
+TEST_F(BatchExecTest, BatchVerifyMatchesSequentialVerdictsFieldForField) {
+  Load(DefaultS());
+  std::vector<Query> plans = MixedPlans();
+  auto answers = server_->ExecuteBatch(PlanBatch::Of(plans));
+  ASSERT_EQ(answers.size(), plans.size());
+  // Tamper with one selection (drop a record) and one projection (flip a
+  // projected value) so failing verdicts are compared too, not only
+  // passing ones.
+  ASSERT_GE(answers[0].value().selection.records.size(), 2u);
+  answers[0].value().selection.records.pop_back();
+  ASSERT_FALSE(answers[4].value().projection.tuples.empty());
+  answers[4].value().projection.tuples[0].values.back() ^= 1;
+
+  // The sequential reference: one fresh verifier driving VerifyAnswerFresh
+  // answer by answer.
+  std::vector<Status> seq;
+  {
+    ClientVerifier v(&da_->public_key(), &codec_, HashMode::kFast);
+    for (size_t i = 0; i < plans.size(); ++i)
+      seq.push_back(v.VerifyAnswerFresh(plans[i], answers[i].value(), Now(),
+                                        /*min_epoch=*/0));
+  }
+  EXPECT_FALSE(seq[0].ok());
+  EXPECT_FALSE(seq[4].ok());
+
+  for (size_t threads : {size_t{0}, size_t{3}}) {
+    SCOPED_TRACE("worker_threads " + std::to_string(threads));
+    ClientVerifier v(&da_->public_key(), &codec_, HashMode::kFast);
+    ClientVerifier::BatchVerifyOptions opts;
+    opts.worker_threads = threads;
+    ClientVerifier::BatchVerifyStats stats;
+    std::vector<Status> got = v.VerifyAnswerBatch(
+        PlanBatch::Of(plans), answers, Now(), /*min_epoch=*/0, opts, &stats);
+    ASSERT_EQ(got.size(), seq.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE("plan " + std::to_string(i));
+      EXPECT_EQ(got[i].code(), seq[i].code());
+      EXPECT_EQ(got[i].ToString(), seq[i].ToString());
+    }
+    EXPECT_EQ(stats.answers, plans.size());
+    // Selections + projections fold into ONE shared-inversion pass.
+    EXPECT_EQ(stats.aggregate_claims, 6u);
+    EXPECT_EQ(stats.shared_inversions, 1u);
+  }
+}
+
 TEST_F(BatchExecTest, AllAnswersOfABatchShareOnePinnedEpoch) {
   Load(DefaultS());
   auto batched = server_->ExecuteBatch(PlanBatch::Of(MixedPlans()));

@@ -29,6 +29,9 @@ const char* const kStableNames[] = {
     "exec.agg.leaf_fetches",
     "exec.agg.cache_hits",
     "exec.agg.refreshes",
+    "exec.agg.span_hits",
+    "exec.crypto.digests_hashed",
+    "exec.cache.retunes",
     "exec.last_epoch",
     "admission.enabled",
     "admission.admitted_total",

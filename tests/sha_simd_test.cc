@@ -1,0 +1,216 @@
+#include "crypto/simd/sha_multibuf.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "crypto/sha.h"
+#include "crypto/simd/cpu_features.h"
+
+// Scalar-vs-SIMD cross-checks for the multi-buffer SHA front end. Every
+// tier the build can express is run against the scalar reference over all
+// lane counts (1..2x the vector width), block-boundary lengths, and
+// deliberately misaligned buffers — the dispatch choice must never be
+// observable in a digest.
+
+namespace authdb {
+namespace {
+
+using simd::ShaDispatch;
+
+std::vector<ShaDispatch> TiersToTest() {
+  // Request every tier; the library clamps unsupported ones to a runnable
+  // fallback, so on any hardware this at least re-checks scalar and at
+  // best covers SHA-NI and AVX2 against it.
+  return {ShaDispatch::kScalar, ShaDispatch::kAvx2, ShaDispatch::kShaNi};
+}
+
+// The lengths where Merkle-Damgard padding changes shape: empty message,
+// one byte below/at the 56-byte length-field boundary, around one full
+// block, and multi-block tails on both sides of the boundary.
+const size_t kBoundaryLengths[] = {0,  1,  55,  56,  57,  63,  64,
+                                   65, 119, 120, 127, 128, 129, 200};
+
+std::string RandomMessage(Rng* rng, size_t len) {
+  std::string msg(len, 0);
+  for (auto& c : msg) c = static_cast<char>(rng->Uniform(256));
+  return msg;
+}
+
+TEST(ShaSimdTest, ReportActiveDispatch) {
+  // Informational: make the selected tier visible in test logs so a CI
+  // matrix leg's AUTHDB_SHA_DISPATCH override is auditable.
+  const ShaDispatch d = simd::ActiveShaDispatch();
+  RecordProperty("sha_dispatch", simd::ShaDispatchName(d));
+  SUCCEED() << "active dispatch: " << simd::ShaDispatchName(d)
+            << " (cpu avx2=" << simd::CpuHasAvx2()
+            << " shani=" << simd::CpuHasShaNi() << ")";
+}
+
+TEST(ShaSimdTest, Sha1AllTiersMatchScalarAllLaneCounts) {
+  Rng rng(101);
+  for (size_t count = 1; count <= 17; ++count) {
+    std::vector<std::string> bufs;
+    bufs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      bufs.push_back(RandomMessage(&rng, rng.Uniform(300)));
+    }
+    std::vector<Slice> msgs;
+    std::vector<Digest160> want(count);
+    for (size_t i = 0; i < count; ++i) {
+      msgs.emplace_back(bufs[i]);
+      want[i] = Sha1::Hash(msgs[i]);
+    }
+    for (ShaDispatch tier : TiersToTest()) {
+      std::vector<Digest160> got(count);
+      simd::Sha1HashManyTier(tier, msgs.data(), count, got.data());
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << "tier=" << simd::ShaDispatchName(tier) << " count=" << count
+            << " lane=" << i << " len=" << bufs[i].size();
+      }
+    }
+  }
+}
+
+TEST(ShaSimdTest, Sha256AllTiersMatchScalarAllLaneCounts) {
+  Rng rng(102);
+  for (size_t count = 1; count <= 17; ++count) {
+    std::vector<std::string> bufs;
+    bufs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      bufs.push_back(RandomMessage(&rng, rng.Uniform(300)));
+    }
+    std::vector<Slice> msgs;
+    std::vector<Digest256> want(count);
+    for (size_t i = 0; i < count; ++i) {
+      msgs.emplace_back(bufs[i]);
+      want[i] = Sha256::Hash(msgs[i]);
+    }
+    for (ShaDispatch tier : TiersToTest()) {
+      std::vector<Digest256> got(count);
+      simd::Sha256HashManyTier(tier, msgs.data(), count, got.data());
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << "tier=" << simd::ShaDispatchName(tier) << " count=" << count
+            << " lane=" << i << " len=" << bufs[i].size();
+      }
+    }
+  }
+}
+
+TEST(ShaSimdTest, BlockBoundaryLengths) {
+  // One batch holding every padding-shape edge case at once, so lanes with
+  // different block counts (1 vs 2 vs 4) share a vector group.
+  Rng rng(103);
+  std::vector<std::string> bufs;
+  for (size_t len : kBoundaryLengths) {
+    bufs.push_back(RandomMessage(&rng, len));
+  }
+  std::vector<Slice> msgs;
+  std::vector<Digest160> want1(bufs.size());
+  std::vector<Digest256> want2(bufs.size());
+  for (size_t i = 0; i < bufs.size(); ++i) {
+    msgs.emplace_back(bufs[i]);
+    want1[i] = Sha1::Hash(msgs[i]);
+    want2[i] = Sha256::Hash(msgs[i]);
+  }
+  for (ShaDispatch tier : TiersToTest()) {
+    std::vector<Digest160> got1(bufs.size());
+    std::vector<Digest256> got2(bufs.size());
+    simd::Sha1HashManyTier(tier, msgs.data(), msgs.size(), got1.data());
+    simd::Sha256HashManyTier(tier, msgs.data(), msgs.size(), got2.data());
+    for (size_t i = 0; i < bufs.size(); ++i) {
+      EXPECT_EQ(got1[i], want1[i]) << "sha1 tier="
+                                   << simd::ShaDispatchName(tier)
+                                   << " len=" << bufs[i].size();
+      EXPECT_EQ(got2[i], want2[i]) << "sha256 tier="
+                                   << simd::ShaDispatchName(tier)
+                                   << " len=" << bufs[i].size();
+    }
+  }
+}
+
+TEST(ShaSimdTest, UnalignedBuffers) {
+  // Slices starting at every offset 1..31 within an oversized backing
+  // buffer: the vector loads must not require any alignment.
+  Rng rng(104);
+  std::vector<uint8_t> backing(4096);
+  for (auto& b : backing) b = static_cast<uint8_t>(rng.Uniform(256));
+  for (size_t offset = 1; offset <= 31; ++offset) {
+    std::vector<Slice> msgs;
+    std::vector<Digest160> want(8);
+    for (size_t i = 0; i < 8; ++i) {
+      const size_t len = 40 + 17 * i;  // spans 1- and 2-block messages
+      msgs.emplace_back(backing.data() + offset + 96 * i, len);
+      want[i] = Sha1::Hash(msgs[i]);
+    }
+    for (ShaDispatch tier : TiersToTest()) {
+      std::vector<Digest160> got(8);
+      simd::Sha1HashManyTier(tier, msgs.data(), msgs.size(), got.data());
+      for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(got[i], want[i]) << "tier=" << simd::ShaDispatchName(tier)
+                                   << " offset=" << offset << " lane=" << i;
+      }
+    }
+  }
+}
+
+TEST(ShaSimdTest, HashManyMatchesFipsVectors) {
+  const std::string abc = "abc";
+  const std::string empty;
+  const std::string two_block =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  std::vector<Slice> msgs = {Slice(abc), Slice(empty), Slice(two_block)};
+  std::vector<Digest160> d1(3);
+  Sha1::HashMany(msgs.data(), msgs.size(), d1.data());
+  EXPECT_EQ(d1[0].ToHex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(d1[1].ToHex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(d1[2].ToHex(), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  std::vector<Digest256> d2(3);
+  Sha256::HashMany(msgs.data(), msgs.size(), d2.data());
+  EXPECT_EQ(d2[0].ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(d2[1].ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(d2[2].ToHex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(ShaSimdTest, ZeroCountIsNoOp) {
+  for (ShaDispatch tier : TiersToTest()) {
+    simd::Sha1HashManyTier(tier, nullptr, 0, nullptr);
+    simd::Sha256HashManyTier(tier, nullptr, 0, nullptr);
+  }
+  Sha1::HashMany(nullptr, 0, nullptr);
+  Sha256::HashMany(nullptr, 0, nullptr);
+}
+
+TEST(ShaSimdTest, LongMessages) {
+  // Multi-kilobyte lanes with very different block counts in one group.
+  Rng rng(105);
+  std::vector<std::string> bufs;
+  for (size_t i = 0; i < 8; ++i) {
+    bufs.push_back(RandomMessage(&rng, 1 + i * 700));
+  }
+  std::vector<Slice> msgs;
+  std::vector<Digest256> want(bufs.size());
+  for (size_t i = 0; i < bufs.size(); ++i) {
+    msgs.emplace_back(bufs[i]);
+    want[i] = Sha256::Hash(msgs[i]);
+  }
+  for (ShaDispatch tier : TiersToTest()) {
+    std::vector<Digest256> got(bufs.size());
+    simd::Sha256HashManyTier(tier, msgs.data(), msgs.size(), got.data());
+    for (size_t i = 0; i < bufs.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "tier=" << simd::ShaDispatchName(tier)
+                                 << " len=" << bufs[i].size();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace authdb
