@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "core/data_aggregator.h"
 #include "core/join.h"
+#include "crypto/bloom.h"
 #include "workload/tpce.h"
 
 namespace authdb {
@@ -70,7 +71,8 @@ struct JoinBench {
   }
 };
 
-void Run(bool smoke) {
+void Run(bench::BenchRun* run) {
+  const bool smoke = run->smoke();
   uint64_t scale = bench::ScaleDivisor(smoke ? 64 : 8);
   bench::Header(
       "Figure 11: Primary Key-Foreign Key Equi-Join VO size (BV vs BF)",
@@ -137,6 +139,103 @@ void Run(bool smoke) {
       "\nShape checks vs paper: BF consistently below BV; BV largest at "
       "small alpha; BF minimized around m/IB = 8-12; both grow with "
       "selectivity, BV steeper.\n");
+
+  // (e) Incremental refresh vs full rebuild at the largest partition size.
+  // Insert-only periods ship a small certified delta filter that the server
+  // merges in place; a full rebuild re-adds every remaining value before
+  // re-signing. Both paths pay one signature and one digest over the same
+  // filter geometry, so the ratio isolates the work the delta path avoids.
+  // Gated in CI with a hard >= 2x floor (compare_bench.py).
+  {
+    const size_t n_values = smoke ? (size_t{1} << 20) : (size_t{1} << 21);
+    const size_t kDeltaInserts = 16;
+    const int kReps = 5;
+    std::vector<int64_t> all_values(n_values);
+    for (size_t i = 0; i < n_values; ++i)
+      all_values[i] = static_cast<int64_t>(2 * i);  // odd values stay free
+    uint64_t ts = b.clock.NowMicros();
+    std::vector<CertifiedPartition> big =
+        b.authority->BuildPartitions(all_values, n_values, 8.0, ts);
+    AUTHDB_CHECK(big.size() == 1);
+    std::vector<int64_t> inserts(kDeltaInserts);
+    for (size_t i = 0; i < kDeltaInserts; ++i)
+      inserts[i] = static_cast<int64_t>(2 * i + 1);
+
+    double rebuild_us = 0, delta_us = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch sw;
+      CertifiedPartition rebuilt =
+          b.authority->RebuildPartition(big[0], all_values, ts + rep + 1);
+      double t = sw.ElapsedMicros();
+      AUTHDB_CHECK(rebuilt.filter.ones() > 0);
+      if (rep == 0 || t < rebuild_us) rebuild_us = t;
+    }
+    for (int rep = 0; rep < kReps; ++rep) {
+      CertifiedPartition live = big[0];  // copy outside the stopwatch
+      Stopwatch sw;
+      PartitionDelta delta =
+          b.authority->RefreshWithDelta(&live, inserts, ts + rep + 1);
+      double t = sw.ElapsedMicros();
+      AUTHDB_CHECK(delta.delta.bit_count() > 0);
+      if (rep == 0 || t < delta_us) delta_us = t;
+    }
+    double refresh_ratio = delta_us > 0 ? rebuild_us / delta_us : 0;
+    std::printf(
+        "\n(e) Partition refresh cost at IB/p = %zu (insert-only period, "
+        "%zu new values):\n    full rebuild %.1f usec, delta refresh %.1f "
+        "usec -> delta is %.2fx cheaper\n",
+        n_values, kDeltaInserts, rebuild_us, delta_us, refresh_ratio);
+    run->Metric("refresh_cost_ratio_delta_vs_rebuild", refresh_ratio);
+    run->Metric("refresh_rebuild_us", rebuild_us);
+    run->Metric("refresh_delta_us", delta_us);
+  }
+
+  // (f) Batched vs scalar probe throughput on an out-of-cache filter —
+  // the join hot path's ProbeMany (bulk hashing + block prefetch) against
+  // the legacy one-key-at-a-time MayContainInt64 loop over the same keys.
+  {
+    const size_t n_keys = smoke ? (size_t{1} << 23) : (size_t{1} << 24);
+    const size_t n_probes = smoke ? (size_t{1} << 19) : (size_t{1} << 22);
+    const int kReps = 3;
+    BloomFilter filter = BloomFilter::WithBitsPerKey(n_keys, 8.0);
+    Rng prng(0x9e3779b9);
+    for (size_t i = 0; i < n_keys; ++i)
+      filter.AddInt64(static_cast<int64_t>(prng.Next()));
+    std::vector<int64_t> probe_keys(n_probes);
+    for (size_t i = 0; i < n_probes; ++i)
+      probe_keys[i] = static_cast<int64_t>(prng.Next());
+    std::vector<uint8_t> hits(n_probes);
+
+    double scalar_us = 0, batched_us = 0;
+    uint64_t sink = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch sw;
+      for (size_t i = 0; i < n_probes; ++i)
+        hits[i] = filter.MayContainInt64(probe_keys[i]) ? 1 : 0;
+      double t = sw.ElapsedMicros();
+      for (uint8_t h : hits) sink += h;
+      if (rep == 0 || t < scalar_us) scalar_us = t;
+    }
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch sw;
+      filter.ProbeMany(probe_keys.data(), n_probes, hits.data());
+      double t = sw.ElapsedMicros();
+      for (uint8_t h : hits) sink += h;
+      if (rep == 0 || t < batched_us) batched_us = t;
+    }
+    AUTHDB_CHECK(sink > 0);  // keep the probe loops observable
+    double speedup = batched_us > 0 ? scalar_us / batched_us : 0;
+    double batched_mps = batched_us > 0 ? n_probes / batched_us : 0;
+    std::printf(
+        "\n(f) Join probe throughput, %zu probes against a %.1f KB filter:\n"
+        "    scalar %.0f usec (%.1f Mprobe/s), ProbeMany %.0f usec "
+        "(%.1f Mprobe/s) -> %.2fx\n",
+        n_probes, filter.byte_size() / 1024.0, scalar_us,
+        scalar_us > 0 ? n_probes / scalar_us : 0, batched_us, batched_mps,
+        speedup);
+    run->Metric("join_probe_throughput_speedup", speedup);
+    run->Metric("join_probe_batched_mprobe_per_s", batched_mps);
+  }
 }
 
 }  // namespace
@@ -144,6 +243,6 @@ void Run(bool smoke) {
 
 int main(int argc, char** argv) {
   authdb::bench::BenchRun run(argc, argv, "fig11_join");
-  authdb::Run(run.smoke());
+  authdb::Run(&run);
   return 0;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Structural invariant linter for the authdb tree.
 
-Eight rules, each protecting a contract the compiler cannot see:
+Nine rules, each protecting a contract the compiler cannot see:
 
 * ``epoch-pin`` — read paths of ``ShardedQueryServer`` (its ``const``
   member functions in ``src/server/sharded_query_server.cc``) must reach
@@ -66,6 +66,17 @@ Eight rules, each protecting a contract the compiler cannot see:
   costs a bench run. Genuinely single-shot sites (a lone join witness,
   one boundary record) take the allow-escape with a comment saying why
   the batch cannot apply.
+
+* ``bloom-batch`` — the join hot-path files (``core/join.cc``,
+  ``server/batch_exec.cc``) must not probe the certified Bloom
+  partitions one key at a time: per-key ``MayContain`` /
+  ``MayContainInt64`` re-hashes and cache-misses per value what
+  ``BloomFilter::ProbeMany`` batches (bulk hashing plus a block
+  prefetch sweep over the cache-line-blocked layout). Group a plan's
+  unmatched probe values by covering partition and issue one ProbeMany
+  per group. Deliberate scalar sites — the ablation path behind
+  ``ServerConfig::Serving::scalar_bloom_probes`` — take the
+  allow-escape with a comment saying why.
 
 Escape hatch: a violating line is accepted when it (or the line directly
 above it) carries ``// authdb-lint: allow(<rule>)`` — use sparingly and
@@ -419,6 +430,31 @@ def check_crypto_batch(relpath, text):
 
 
 # --------------------------------------------------------------------------
+# Rule: bloom-batch
+
+BLOOM_BATCH_FILES = (
+    "src/core/join.cc",
+    "src/server/batch_exec.cc",
+)
+BLOOM_SCALAR_RE = re.compile(r"(?:->|\.)\s*MayContain(?:Int64)?\s*\(")
+
+
+def check_bloom_batch(relpath, text):
+    findings = []
+    lines = text.splitlines()
+    for idx, line in enumerate(lines):
+        code = _strip_line_comment(line)
+        if BLOOM_SCALAR_RE.search(code) and not _allowed(lines, idx,
+                                                         "bloom-batch"):
+            findings.append(Finding(
+                "bloom-batch", relpath, idx + 1,
+                "per-key Bloom probe on the join hot path — group values "
+                "by covering partition and batch through "
+                "BloomFilter::ProbeMany"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 CXX_DIRS = ("src", "tests", "bench", "examples")
@@ -490,6 +526,12 @@ def lint_tree(root):
         p = root / name
         if p.is_file():
             findings.extend(check_crypto_batch(
+                p.relative_to(root).as_posix(), p.read_text()))
+
+    for name in BLOOM_BATCH_FILES:
+        p = root / name
+        if p.is_file():
+            findings.extend(check_bloom_batch(
                 p.relative_to(root).as_posix(), p.read_text()))
     return findings
 
@@ -592,6 +634,17 @@ void Hot(const Record* recs, size_t n, Digest160* out) {
 """
 
 
+SELFTEST_BLOOM_BATCH = """\
+void Stitch(const CertifiedPartition* part, int64_t a) {
+  bool hit = part->filter.MayContainInt64(a);       // flagged
+  bool hit2 = part->filter.MayContain(key);         // flagged
+  part->filter.ProbeMany(keys.data(), n, out);      // batched: silent
+  // authdb-lint: allow(bloom-batch) ablation-only scalar probe path
+  bool hit3 = part->filter.MayContainInt64(a);      // escaped: silent
+}
+"""
+
+
 def self_test():
     failures = []
 
@@ -641,6 +694,11 @@ def self_test():
     expect("seeded scalar crypto",
            check_crypto_batch("fake.cc", SELFTEST_CRYPTO_BATCH),
            "crypto-batch", 3)
+    # Two per-key probes caught; the ProbeMany call and the allow-escaped
+    # ablation site stay silent.
+    expect("seeded scalar bloom probe",
+           check_bloom_batch("fake.cc", SELFTEST_BLOOM_BATCH),
+           "bloom-batch", 2)
 
     if failures:
         for f in failures:
@@ -670,7 +728,8 @@ def main(argv):
         print("%d invariant violation(s)" % len(findings), file=sys.stderr)
         return 1
     print("invariants ok: epoch-pin, raw-mutex, test-labels, bench-json, "
-          "batch-path, stats-surface, metrics-doc, crypto-batch")
+          "batch-path, stats-surface, metrics-doc, crypto-batch, "
+          "bloom-batch")
     return 0
 
 

@@ -40,12 +40,16 @@ std::vector<BasSignature> DataAggregator::MaybeSignAttributes(
   return SignAttributes(rec);
 }
 
-void DataAggregator::MarkJoinDirty(int64_t composite_key) {
+void DataAggregator::MarkJoinDirty(int64_t composite_key, bool is_delete) {
   if (join_partitions_.empty()) return;
   int64_t b = JoinBValue(composite_key);
   for (const CertifiedPartition& p : join_partitions_) {
     if (p.lo_b <= b && b <= p.hi_b) {
-      dirty_partitions_.insert(p.idx);
+      if (is_delete) {
+        delete_dirty_.insert(p.idx);
+      } else {
+        pending_insert_b_[p.idx].push_back(b);
+      }
       return;
     }
   }
@@ -80,7 +84,8 @@ const std::vector<CertifiedPartition>& DataAggregator::EnableJoinPartitions(
   }
   join_partitions_ = join_authority_->BuildPartitions(
       distinct_b, values_per_partition, bits_per_value, clock_->NowMicros());
-  dirty_partitions_.clear();
+  pending_insert_b_.clear();
+  delete_dirty_.clear();
   return join_partitions_;
 }
 
@@ -150,7 +155,7 @@ Result<SignedRecordUpdate> DataAggregator::InsertRecord(
   BasSignature sig = SignChained(rec, left, right);
   AUTHDB_RETURN_NOT_OK(table_.Insert(rec, sig));
   summary_.MarkUpdated(rec.rid);
-  MarkJoinDirty(key);
+  MarkJoinDirty(key, /*is_delete=*/false);
   SignedRecordUpdate msg;
   msg.kind = SignedRecordUpdate::Kind::kInsert;
   msg.key = key;
@@ -166,7 +171,7 @@ Result<SignedRecordUpdate> DataAggregator::DeleteRecord(int64_t key) {
   auto [left, right] = table_.NeighborKeys(key);
   AUTHDB_RETURN_NOT_OK(table_.Delete(key));
   summary_.MarkUpdated(victim.record.rid);
-  MarkJoinDirty(key);
+  MarkJoinDirty(key, /*is_delete=*/true);
   SignedRecordUpdate msg;
   msg.kind = SignedRecordUpdate::Kind::kDelete;
   msg.key = key;
@@ -224,19 +229,26 @@ DataAggregator::PeriodOutput DataAggregator::PublishSummary() {
     Recertify(rec.key(), &msg.recertified);
     if (!msg.recertified.empty()) out.recertifications.push_back(std::move(msg));
   }
-  // Join state rides the same cadence: dirty partitions (an insert added a
-  // distinct B value the filter lacks; a delete left one the filter cannot
-  // forget) are rebuilt from the table, the rest re-signed with the new
-  // timestamp so served filters are never older than one period.
+  // Join state rides the same cadence. Delete-dirty partitions are rebuilt
+  // from a table scan (a delete left a B value the filter cannot forget);
+  // everything else ships a cheap delta — a small filter over the period's
+  // inserted B values, or an empty recertification — that skips both the
+  // scan and the full re-hash, so refreshes stay cheap as partitions grow.
   if (join_authority_ != nullptr) {
     uint64_t now = clock_->NowMicros();
+    static const std::vector<int64_t> kNoValues;
     for (CertifiedPartition& p : join_partitions_) {
-      p = dirty_partitions_.count(p.idx) > 0
-              ? join_authority_->RebuildPartition(p, DistinctBValuesIn(p), now)
-              : join_authority_->Recertify(p, now);
+      if (delete_dirty_.count(p.idx) > 0) {
+        p = join_authority_->RebuildPartition(p, DistinctBValuesIn(p), now);
+        out.partition_refresh.full.push_back(p);
+      } else {
+        auto it = pending_insert_b_.find(p.idx);
+        out.partition_refresh.deltas.push_back(join_authority_->RefreshWithDelta(
+            &p, it == pending_insert_b_.end() ? kNoValues : it->second, now));
+      }
     }
-    dirty_partitions_.clear();
-    out.partition_refresh = join_partitions_;
+    pending_insert_b_.clear();
+    delete_dirty_.clear();
   }
   return out;
 }

@@ -2,6 +2,7 @@
 #define AUTHDB_CORE_DATA_AGGREGATOR_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -51,12 +52,15 @@ class DataAggregator {
   /// Close the current rho-period: emit the certified summary plus the
   /// re-certification messages for records updated multiple times in the
   /// closed period (Section 3.1), plus — when join partitions are enabled —
-  /// the freshly certified partition filters (dirty ones rebuilt, the rest
-  /// re-signed with the new timestamp) for the servers' join state.
+  /// the period's partition maintenance: delete-dirty partitions are
+  /// rebuilt from the table and ship as full certified filters; insert-only
+  /// and untouched partitions ship cheap deltas (a small same-geometry
+  /// filter over the period's new B values, or an empty recertification)
+  /// that the servers merge into their live filters at the epoch barrier.
   struct PeriodOutput {
     UpdateSummary summary;
     std::vector<SignedRecordUpdate> recertifications;
-    std::vector<CertifiedPartition> partition_refresh;
+    PartitionRefresh partition_refresh;
   };
   PeriodOutput PublishSummary();
 
@@ -102,9 +106,11 @@ class DataAggregator {
                         std::vector<CertifiedRecord>* out);
   /// Attribute signatures when Options::sign_attributes, else empty.
   std::vector<BasSignature> MaybeSignAttributes(const Record& rec) const;
-  /// Mark the partition covering B = JoinBValue(key) dirty (no-op unless
-  /// join partitions are enabled).
-  void MarkJoinDirty(int64_t composite_key);
+  /// Record a join-state mutation for B = JoinBValue(key) (no-op unless
+  /// join partitions are enabled): inserts queue the B value for the
+  /// covering partition's next delta; deletes force a full rebuild of it
+  /// at the next PublishSummary (filters cannot forget).
+  void MarkJoinDirty(int64_t composite_key, bool is_delete);
   /// Distinct B values currently stored in the partition's range.
   std::vector<int64_t> DistinctBValuesIn(const CertifiedPartition& p) const;
 
@@ -120,7 +126,11 @@ class DataAggregator {
   // Join partition state (empty / null unless EnableJoinPartitions ran).
   std::unique_ptr<JoinAuthority> join_authority_;
   std::vector<CertifiedPartition> join_partitions_;
-  std::set<uint32_t> dirty_partitions_;
+  /// Per-partition B values inserted since the last summary (the next
+  /// delta's contents; duplicates are harmless — merging is idempotent).
+  std::map<uint32_t, std::vector<int64_t>> pending_insert_b_;
+  /// Partitions that saw a delete since the last summary: full rebuild.
+  std::set<uint32_t> delete_dirty_;
   uint64_t summary_seq_ = 0;
   uint64_t renewal_cursor_ = 0;  // background renewal scan position (rid)
   uint64_t signatures_issued_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -63,6 +64,59 @@ CertifiedPartition JoinAuthority::RebuildPartition(
   return Certify(std::move(part));
 }
 
+PartitionDelta JoinAuthority::RefreshWithDelta(
+    CertifiedPartition* live, const std::vector<int64_t>& new_values,
+    uint64_t ts) const {
+  PartitionDelta out;
+  out.idx = live->idx;
+  out.ts = ts;
+  if (!new_values.empty()) {
+    out.delta =
+        BloomFilter(live->filter.bit_count(), live->filter.hash_count());
+    for (int64_t v : new_values) out.delta.AddInt64(v);
+    // Merge into the shadow buffer, then flip: the DA's own readers (none
+    // today, but the contract is the same as the server's epoch swap)
+    // never see a half-merged filter.
+    DoubleBufferedBloom buffers(std::move(live->filter));
+    AUTHDB_CHECK(buffers.MergeIntoShadow(out.delta));
+    buffers.SwitchCurrent();
+    live->filter = buffers.TakeCurrent();
+  }
+  live->ts = ts;
+  live->sig = key_->Sign(live->SignedMessage().AsSlice(), mode_);
+  out.sig = live->sig;
+  return out;
+}
+
+bool ApplyPartitionRefresh(const PartitionRefresh& refresh,
+                           std::vector<CertifiedPartition>* partitions) {
+  for (const CertifiedPartition& f : refresh.full) {
+    bool replaced = false;
+    for (CertifiedPartition& p : *partitions) {
+      if (p.idx == f.idx) {
+        p = f;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) partitions->push_back(f);
+  }
+  for (const PartitionDelta& d : refresh.deltas) {
+    CertifiedPartition* target = nullptr;
+    for (CertifiedPartition& p : *partitions) {
+      if (p.idx == d.idx) {
+        target = &p;
+        break;
+      }
+    }
+    if (target == nullptr) return false;
+    if (!target->filter.Merge(d.delta)) return false;
+    target->ts = d.ts;
+    target->sig = d.sig;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // JoinProver
 
@@ -121,6 +175,9 @@ Result<JoinAnswer> JoinProver::Join(const std::vector<int64_t>& r_values,
       parts.push_back(item.sig);
   };
 
+  // Pass 1: match groups; unmatched values fall through (sorted order
+  // preserved so the emitted proof artifacts match the legacy ordering).
+  std::vector<int64_t> unmatched;
   for (int64_t a : values) {
     AUTHDB_ASSIGN_OR_RETURN(JoinMatch match, MatchGroup(a));
     if (!match.s_records.empty()) {
@@ -132,18 +189,42 @@ Result<JoinAnswer> JoinProver::Join(const std::vector<int64_t>& r_values,
       ans.matches.push_back(std::move(match));
       continue;
     }
+    unmatched.push_back(a);
+  }
+
+  // Pass 2 (BF): one batched filter probe per covering partition instead
+  // of a per-key scatter — ProbeMany bulk-hashes and prefetches blocks.
+  std::vector<const CertifiedPartition*> covering(unmatched.size(), nullptr);
+  std::vector<uint8_t> maybe_present(unmatched.size(), 1);
+  if (method == JoinMethod::kBloomFilter && !unmatched.empty()) {
+    std::map<const CertifiedPartition*, std::vector<size_t>> by_part;
+    for (size_t i = 0; i < unmatched.size(); ++i) {
+      covering[i] = FindCoveringPartition(*partitions_, unmatched[i]);
+      if (covering[i] != nullptr) by_part[covering[i]].push_back(i);
+    }
+    std::vector<int64_t> keys;
+    std::vector<uint8_t> results;
+    for (const auto& [part, idxs] : by_part) {
+      keys.clear();
+      for (size_t i : idxs) keys.push_back(unmatched[i]);
+      results.resize(keys.size());
+      part->filter.ProbeMany(keys.data(), keys.size(), results.data());
+      for (size_t j = 0; j < idxs.size(); ++j)
+        maybe_present[idxs[j]] = results[j];
+    }
+  }
+
+  // Pass 3: emit negative probes / boundary fallbacks in value order.
+  for (size_t i = 0; i < unmatched.size(); ++i) {
+    int64_t a = unmatched[i];
     bool need_boundary = true;
-    if (method == JoinMethod::kBloomFilter) {
-      // Locate the (unique) partition covering `a` and probe its filter.
-      const CertifiedPartition* part = FindCoveringPartition(*partitions_, a);
-      if (part != nullptr) {
-        used_partitions.insert(part->idx);
-        if (!part->filter.MayContainInt64(a)) {
-          ans.negative_probes.push_back({a, part->idx});
-          need_boundary = false;
-        }
-        // else: false positive — fall back to boundary proof below.
+    if (method == JoinMethod::kBloomFilter && covering[i] != nullptr) {
+      used_partitions.insert(covering[i]->idx);
+      if (!maybe_present[i]) {
+        ans.negative_probes.push_back({a, covering[i]->idx});
+        need_boundary = false;
       }
+      // else: false positive — fall back to a boundary proof below.
     }
     if (need_boundary) {
       AUTHDB_ASSIGN_OR_RETURN(AbsenceProof proof, ProveAbsence(a));
@@ -209,7 +290,9 @@ Status JoinVerifier::Verify(const std::vector<int64_t>& r_values,
     }
   }
 
-  // 2. Negative probes: the certified filter must actually answer "no".
+  // 2. Negative probes: the certified filter must actually answer "no" —
+  //    re-probed through the same batched path the prover used.
+  std::map<const CertifiedPartition*, std::vector<int64_t>> probes_by_part;
   for (const auto& [a, pidx] : ans.negative_probes) {
     if (!pending.erase(a))
       return Status::VerificationFailed("negative probe for unqueried value");
@@ -224,9 +307,16 @@ Status JoinVerifier::Verify(const std::vector<int64_t>& r_values,
       return Status::VerificationFailed("probe against missing partition");
     if (a < part->lo_b || a > part->hi_b)
       return Status::VerificationFailed("probe outside partition range");
-    if (part->filter.MayContainInt64(a))
-      return Status::VerificationFailed(
-          "filter contains a value claimed absent");
+    probes_by_part[part].push_back(a);
+  }
+  for (const auto& [part, keys] : probes_by_part) {
+    std::vector<uint8_t> results(keys.size());
+    part->filter.ProbeMany(keys.data(), keys.size(), results.data());
+    for (uint8_t maybe : results) {
+      if (maybe)
+        return Status::VerificationFailed(
+            "filter contains a value claimed absent");
+    }
   }
 
   // 3. Absence witnesses: the witness chain must bracket the value.

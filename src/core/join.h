@@ -47,7 +47,7 @@ struct CertifiedPartition {
   uint32_t idx = 0;
   int64_t lo_b = 0, hi_b = 0;  ///< inclusive range of B values covered
   uint64_t ts = 0;
-  BloomFilter filter{8, 1};
+  BloomFilter filter;
   BasSignature sig;
 
   ByteBuffer SignedMessage() const {
@@ -63,6 +63,40 @@ struct CertifiedPartition {
     return buf;
   }
 };
+
+/// An insert-only refresh of one partition: a small delta filter with the
+/// live partition's geometry, plus the DA's signature over the POST-merge
+/// SignedMessage. The server ORs the delta into its current filter
+/// (BloomFilter::Merge is a deterministic bit-OR, so DA and server
+/// reproduce bit-identical merged filters) and installs the new ts + sig;
+/// any divergence makes the shipped certificate fail client verification.
+/// An empty delta filter is a pure recertification (timestamp bump only).
+/// Deletes cannot ride a delta — Bloom filters cannot forget — so a
+/// delete-dirty partition ships as a full CertifiedPartition rebuild.
+struct PartitionDelta {
+  uint32_t idx = 0;
+  uint64_t ts = 0;
+  BloomFilter delta;  ///< empty ⇒ recertification only
+  BasSignature sig;   ///< over the post-merge SignedMessage
+};
+
+/// One rho-period's worth of partition maintenance, shipped DA -> server
+/// at the epoch barrier: full rebuilds for delete-dirty partitions, cheap
+/// deltas (merge or recertify) for everything else.
+struct PartitionRefresh {
+  std::vector<CertifiedPartition> full;
+  std::vector<PartitionDelta> deltas;
+  bool empty() const { return full.empty() && deltas.empty(); }
+};
+
+/// Apply one refresh to a partitions vector in place: full rebuilds
+/// replace the matching partition by idx (or append a new one), deltas
+/// merge into the matching filter and install the post-merge ts + sig.
+/// Returns false when a delta references a missing partition or its
+/// geometry mismatches — the caller should treat the refresh as
+/// corrupt and keep its previous state.
+bool ApplyPartitionRefresh(const PartitionRefresh& refresh,
+                           std::vector<CertifiedPartition>* partitions);
 
 /// The (unique) partition whose [lo_b, hi_b] range covers `b`, or nullptr
 /// when none does — shared by the single-node prover and the sharded
@@ -97,6 +131,18 @@ class JoinAuthority {
   CertifiedPartition RebuildPartition(
       const CertifiedPartition& old,
       const std::vector<int64_t>& remaining_values, uint64_t ts) const;
+
+  /// Refresh a live partition in place from an insert-only update set:
+  /// builds a same-geometry delta filter over `new_values`, merges it
+  /// into the live filter double-buffered (readers of the old buffer are
+  /// unaffected until the switch), stamps `ts`, and signs the post-merge
+  /// message. The returned delta is what ships to the server — merging
+  /// it there must reproduce these exact bits for the signature to
+  /// verify client-side. With empty `new_values` this degenerates to a
+  /// recertification delta.
+  PartitionDelta RefreshWithDelta(CertifiedPartition* live,
+                                  const std::vector<int64_t>& new_values,
+                                  uint64_t ts) const;
 
   /// Re-certify an unchanged partition with a fresh timestamp (the
   /// rho-period refresh of the streaming pipeline: clients can then bound

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <iterator>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -504,7 +505,6 @@ Result<QueryAnswer> BatchEngine::StitchJoin(size_t p, const Query& q,
                                             BasAccumulator* acc,
                                             bool* needs_final,
                                             BatchExecStats* bs) {
-  (void)bs;
   const PlanWork& work = work_[p];
   static const std::vector<CertifiedPartition> kNoPartitions;
   const std::vector<CertifiedPartition>& partitions =
@@ -513,6 +513,47 @@ Result<QueryAnswer> BatchEngine::StitchJoin(size_t p, const Query& q,
   answer.kind = QueryKind::kJoin;
   JoinAnswer& ans = answer.join;
   ans.method = q.join_method;
+
+  // Batched Bloom pre-pass (the join hot path): every unmatched probe
+  // value is grouped by its covering partition and the group goes through
+  // ONE ProbeMany call — bulk hashing plus a block-prefetch sweep over
+  // the filter — before the stitch walk below consumes the verdicts. The
+  // scalar_bloom_probes ablation flag forces the legacy per-key probe so
+  // CI can measure what batching buys; answers are identical either way.
+  std::vector<const CertifiedPartition*> cover(work.values.size(), nullptr);
+  std::vector<uint8_t> maybe(work.values.size(), 0);
+  if (q.join_method == JoinMethod::kBloomFilter && !partitions.empty()) {
+    std::map<const CertifiedPartition*, std::vector<size_t>> by_part;
+    for (size_t vi = 0; vi < work.values.size(); ++vi) {
+      bool matched = false;
+      for (size_t pi : work.probe_reqs[vi])
+        if (!probe_res_[pi].items.empty()) {
+          matched = true;  // match groups never consult the filter
+          break;
+        }
+      if (matched) continue;
+      const CertifiedPartition* part =
+          FindCoveringPartition(partitions, work.values[vi]);
+      if (part == nullptr) continue;
+      cover[vi] = part;
+      by_part[part].push_back(vi);
+    }
+    for (const auto& [part, vis] : by_part) {
+      bs->bloom_probes += vis.size();
+      if (srv_.config_.serving.scalar_bloom_probes) {
+        for (size_t vi : vis)
+          // authdb-lint: allow(bloom-batch) ablation-only scalar probe path
+          maybe[vi] = part->filter.MayContainInt64(work.values[vi]) ? 1 : 0;
+      } else {
+        std::vector<int64_t> keys(vis.size());
+        for (size_t i = 0; i < vis.size(); ++i) keys[i] = work.values[vis[i]];
+        std::vector<uint8_t> hits(vis.size());
+        part->filter.ProbeMany(keys.data(), keys.size(), hits.data());
+        for (size_t i = 0; i < vis.size(); ++i) maybe[vis[i]] = hits[i];
+      }
+      for (size_t vi : vis) bs->bloom_block_hits += maybe[vi];
+    }
+  }
 
   std::set<uint32_t> used_partitions;
   // Chain signatures included in the aggregate, deduplicated by composite
@@ -568,15 +609,14 @@ Result<QueryAnswer> BatchEngine::StitchJoin(size_t p, const Query& q,
     }
 
     bool need_boundary = true;
-    if (q.join_method == JoinMethod::kBloomFilter) {
-      const CertifiedPartition* part = FindCoveringPartition(partitions, a);
-      if (part != nullptr) {
-        used_partitions.insert(part->idx);
-        if (!part->filter.MayContainInt64(a)) {
-          ans.negative_probes.push_back({a, part->idx});
-          need_boundary = false;
-        }
-        // else: false positive — fall back to the boundary proof below.
+    if (const CertifiedPartition* part = cover[vi]; part != nullptr) {
+      used_partitions.insert(part->idx);
+      if (maybe[vi] == 0) {
+        ans.negative_probes.push_back({a, part->idx});
+        need_boundary = false;
+      } else {
+        // False positive — fall back to the boundary proof below.
+        ++bs->bloom_fp_fallbacks;
       }
     }
     if (need_boundary) {

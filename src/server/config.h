@@ -51,6 +51,12 @@ struct ServerConfig {
     /// automatically; RetuneSigCache() stays available to callers. Plans
     /// that come out unchanged keep their warm windows.
     size_t sigcache_retune_publications = 0;
+    /// Ablation: force the legacy per-key Bloom probe on the join hot
+    /// path instead of the batched ProbeMany (no bulk hashing, no block
+    /// prefetch). Answers are identical — the filters are the same — so
+    /// this isolates what the batch probe buys (CI's scalar-probe bench
+    /// artifact). Never enable in production.
+    bool scalar_bloom_probes = false;
   } serving;
 
   struct Ingest {

@@ -28,6 +28,14 @@ std::vector<std::pair<std::string, double>> ServerMetrics::Flatten() const {
   put("exec.agg.span_hits", static_cast<double>(exec.agg_span_hits));
   put("exec.crypto.digests_hashed",
       static_cast<double>(exec.digests_hashed));
+  put("exec.bloom.probes", static_cast<double>(exec.bloom_probes));
+  put("exec.bloom.block_hits", static_cast<double>(exec.bloom_block_hits));
+  put("exec.bloom.fp_fallbacks",
+      static_cast<double>(exec.bloom_fp_fallbacks));
+  put("exec.bloom.delta_merges",
+      static_cast<double>(exec.bloom_delta_merges));
+  put("exec.bloom.full_rebuilds",
+      static_cast<double>(exec.bloom_full_rebuilds));
   put("exec.cache.retunes", static_cast<double>(exec.cache_retunes));
   put("exec.last_epoch", static_cast<double>(exec.last_epoch));
   for (size_t s = 0; s < exec.shard_busy.size(); ++s) {
@@ -107,6 +115,15 @@ ServerMetrics ServerMetrics::Delta(const ServerMetrics& since) const {
   d.exec.agg_refreshes = sub(exec.agg_refreshes, since.exec.agg_refreshes);
   d.exec.agg_span_hits = sub(exec.agg_span_hits, since.exec.agg_span_hits);
   d.exec.digests_hashed = sub(exec.digests_hashed, since.exec.digests_hashed);
+  d.exec.bloom_probes = sub(exec.bloom_probes, since.exec.bloom_probes);
+  d.exec.bloom_block_hits =
+      sub(exec.bloom_block_hits, since.exec.bloom_block_hits);
+  d.exec.bloom_fp_fallbacks =
+      sub(exec.bloom_fp_fallbacks, since.exec.bloom_fp_fallbacks);
+  d.exec.bloom_delta_merges =
+      sub(exec.bloom_delta_merges, since.exec.bloom_delta_merges);
+  d.exec.bloom_full_rebuilds =
+      sub(exec.bloom_full_rebuilds, since.exec.bloom_full_rebuilds);
   d.exec.cache_retunes = sub(exec.cache_retunes, since.exec.cache_retunes);
   for (size_t s = 0; s < d.exec.shard_busy.size(); ++s) {
     if (s >= since.exec.shard_busy.size()) break;
@@ -184,6 +201,9 @@ void MetricsCore::FoldBatch(const BatchExecStats& batch) {
   agg_refreshes_.fetch_add(batch.agg_refreshes, kRelaxed);
   agg_span_hits_.fetch_add(batch.agg_span_hits, kRelaxed);
   digests_hashed_.fetch_add(batch.digests_hashed, kRelaxed);
+  bloom_probes_.fetch_add(batch.bloom_probes, kRelaxed);
+  bloom_block_hits_.fetch_add(batch.bloom_block_hits, kRelaxed);
+  bloom_fp_fallbacks_.fetch_add(batch.bloom_fp_fallbacks, kRelaxed);
   last_epoch_.store(batch.epoch, kRelaxed);
   for (size_t s = 0; s < batch.shard_busy.size() && s < shard_busy_.size();
        ++s) {
@@ -209,6 +229,12 @@ void MetricsCore::RecordCacheRetunes(uint64_t installs) {
   cache_retunes_.fetch_add(installs, kRelaxed);
 }
 
+void MetricsCore::RecordPartitionRefresh(uint64_t delta_merges,
+                                         uint64_t full_rebuilds) {
+  bloom_delta_merges_.fetch_add(delta_merges, kRelaxed);
+  bloom_full_rebuilds_.fetch_add(full_rebuilds, kRelaxed);
+}
+
 void MetricsCore::Snapshot(ServerMetrics* out) const {
   ServerMetrics::Exec& e = out->exec;
   e.batches = batches_.load(kRelaxed);
@@ -223,6 +249,11 @@ void MetricsCore::Snapshot(ServerMetrics* out) const {
   e.agg_refreshes = agg_refreshes_.load(kRelaxed);
   e.agg_span_hits = agg_span_hits_.load(kRelaxed);
   e.digests_hashed = digests_hashed_.load(kRelaxed);
+  e.bloom_probes = bloom_probes_.load(kRelaxed);
+  e.bloom_block_hits = bloom_block_hits_.load(kRelaxed);
+  e.bloom_fp_fallbacks = bloom_fp_fallbacks_.load(kRelaxed);
+  e.bloom_delta_merges = bloom_delta_merges_.load(kRelaxed);
+  e.bloom_full_rebuilds = bloom_full_rebuilds_.load(kRelaxed);
   e.cache_retunes = cache_retunes_.load(kRelaxed);
   e.last_epoch = last_epoch_.load(kRelaxed);
   e.shard_busy.resize(shard_busy_.size());

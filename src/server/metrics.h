@@ -41,6 +41,9 @@ struct BatchExecStats {
   uint64_t agg_refreshes = 0;
   uint64_t agg_span_hits = 0;   ///< precomputed chunk prefixes used
   uint64_t digests_hashed = 0;  ///< tuple digests via multi-buffer SHA
+  uint64_t bloom_probes = 0;    ///< join values probed against a filter
+  uint64_t bloom_block_hits = 0;    ///< probes answered "maybe present"
+  uint64_t bloom_fp_fallbacks = 0;  ///< positives resolved by absence proof
   std::vector<ShardBusy> shard_busy;  ///< indexed by shard id
 };
 
@@ -71,6 +74,18 @@ struct ServerMetrics {
     /// Tuple digests produced through the multi-buffer SHA front end
     /// (projection digest spines) — the "hashes hashed" crypto counter.
     uint64_t digests_hashed = 0;
+    /// Join-batch Bloom probes (ProbeMany on the certified partition
+    /// filters): values probed, probes that answered "maybe present"
+    /// (block hits), and positives that fell back to a boundary absence
+    /// proof (filter false positives on truly absent values).
+    uint64_t bloom_probes = 0;
+    uint64_t bloom_block_hits = 0;
+    uint64_t bloom_fp_fallbacks = 0;
+    /// Partition-refresh installs at the epoch barrier: cheap delta
+    /// merges (insert-only periods, incl. empty recertifications) vs
+    /// full certified rebuilds (delete-dirty or wholesale installs).
+    uint64_t bloom_delta_merges = 0;
+    uint64_t bloom_full_rebuilds = 0;
     /// Online planner retunes that installed a changed per-shard plan.
     uint64_t cache_retunes = 0;
     uint64_t last_epoch = 0;      ///< epoch the most recent batch pinned
@@ -151,6 +166,9 @@ class MetricsCore {
   void RecordPublish(uint64_t backpressure_us);
   /// The online planner installed `installs` changed per-shard plans.
   void RecordCacheRetunes(uint64_t installs);
+  /// A partition refresh installed `delta_merges` merged deltas and
+  /// `full_rebuilds` full certified filters.
+  void RecordPartitionRefresh(uint64_t delta_merges, uint64_t full_rebuilds);
 
   /// Fill `out->exec` and the publication counters of `out->epoch`.
   void Snapshot(ServerMetrics* out) const;
@@ -175,6 +193,11 @@ class MetricsCore {
   std::atomic<uint64_t> agg_refreshes_{0};
   std::atomic<uint64_t> agg_span_hits_{0};
   std::atomic<uint64_t> digests_hashed_{0};
+  std::atomic<uint64_t> bloom_probes_{0};
+  std::atomic<uint64_t> bloom_block_hits_{0};
+  std::atomic<uint64_t> bloom_fp_fallbacks_{0};
+  std::atomic<uint64_t> bloom_delta_merges_{0};
+  std::atomic<uint64_t> bloom_full_rebuilds_{0};
   std::atomic<uint64_t> cache_retunes_{0};
   std::atomic<uint64_t> last_epoch_{0};
   std::atomic<uint64_t> published_total_{0};

@@ -159,7 +159,7 @@ void ShardedQueryServer::RepublishLocked() {
 void ShardedQueryServer::PublishEpoch(
     UpdateSummary summary,
     std::vector<std::shared_ptr<const EpochSnapshot>> snaps,
-    std::vector<CertifiedPartition> partition_refresh) {
+    PartitionRefresh partition_refresh) {
   AUTHDB_CHECK(snaps.size() == shards_.size());
   MutexLock pub(publish_mu_);
   uint64_t backpressure_us = 0;
@@ -193,8 +193,21 @@ void ShardedQueryServer::PublishEpoch(
     }
   }
   if (!partition_refresh.empty()) {
+    // Double-buffered refresh: build the next partitions vector as a copy
+    // of the current one (the shadow), apply full rebuilds and delta
+    // merges there, and let InstallDescriptorLocked's swap publish it.
+    // Readers keep probing the filters of their pinned epoch throughout.
+    auto next = partitions_ != nullptr
+                    ? std::vector<CertifiedPartition>(*partitions_)
+                    : std::vector<CertifiedPartition>();
+    // A refresh that fails to apply (delta for a missing partition or a
+    // geometry mismatch) is a protocol violation from the DA feed; the
+    // CHECK keeps a corrupt join state out of every future epoch.
+    AUTHDB_CHECK(ApplyPartitionRefresh(partition_refresh, &next));
+    metrics_.RecordPartitionRefresh(partition_refresh.deltas.size(),
+                                    partition_refresh.full.size());
     partitions_ = std::make_shared<const std::vector<CertifiedPartition>>(
-        std::move(partition_refresh));
+        std::move(next));
   }
   tracker_.Publish(summary.seq, summary.publish_ts);
   auto sums = std::make_shared<std::deque<UpdateSummary>>(*summaries_);
@@ -214,15 +227,22 @@ void ShardedQueryServer::PublishEpoch(
 }
 
 void ShardedQueryServer::AddSummary(UpdateSummary summary) {
+  AddSummary(std::move(summary), {});
+}
+
+void ShardedQueryServer::AddSummary(UpdateSummary summary,
+                                    PartitionRefresh partition_refresh) {
   std::vector<std::shared_ptr<const EpochSnapshot>> snaps;
   snaps.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) snaps.push_back(FreezeShard(s));
-  PublishEpoch(std::move(summary), std::move(snaps), {});
+  PublishEpoch(std::move(summary), std::move(snaps),
+               std::move(partition_refresh));
 }
 
 void ShardedQueryServer::SetJoinPartitions(
     std::vector<CertifiedPartition> partitions) {
   MutexLock pub(publish_mu_);
+  metrics_.RecordPartitionRefresh(0, partitions.size());
   partitions_ = std::make_shared<const std::vector<CertifiedPartition>>(
       std::move(partitions));
   RepublishLocked();

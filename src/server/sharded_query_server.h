@@ -143,19 +143,26 @@ class ShardedQueryServer {
 
   /// The epoch barrier: atomically publish a new EpochDescriptor built
   /// from `snaps` (one per shard, from FreezeShard), retain `summary` and
-  /// advance the freshness epoch, and install `partition_refresh` (when
+  /// advance the freshness epoch, and apply `partition_refresh` (when
   /// non-empty) so join state rides the same cadence and ordering as the
-  /// bitmaps. Blocks when max_pinned_epochs retired epochs are still
-  /// pinned by readers.
+  /// bitmaps. The refresh is double-buffered: full rebuilds and delta
+  /// merges are applied to a fresh copy of the current partitions vector
+  /// (the shadow), and the descriptor swap is the switch — readers on a
+  /// pinned epoch never observe a half-merged filter. Blocks when
+  /// max_pinned_epochs retired epochs are still pinned by readers.
   void PublishEpoch(UpdateSummary summary,
                     std::vector<std::shared_ptr<const EpochSnapshot>> snaps,
-                    std::vector<CertifiedPartition> partition_refresh)
-      EXCLUDES(publish_mu_);
+                    PartitionRefresh partition_refresh) EXCLUDES(publish_mu_);
 
   /// Direct-path epoch advance (tests, tools, replayed tapes): freezes
   /// every shard inline and publishes, equivalent to a stream barrier that
   /// found every queue drained.
   void AddSummary(UpdateSummary summary) EXCLUDES(publish_mu_);
+  /// Same, carrying the period's certified partition refresh so direct-path
+  /// callers install filters and epoch in the same descriptor swap, exactly
+  /// like the stream barrier.
+  void AddSummary(UpdateSummary summary, PartitionRefresh partition_refresh)
+      EXCLUDES(publish_mu_);
 
   /// Install / refresh the DA-certified Bloom partitions over S.B on the
   /// direct path (republishes the current epoch). The update stream

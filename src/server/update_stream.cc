@@ -56,11 +56,18 @@ void UpdateStream::PushUpdate(SignedRecordUpdate msg) {
 }
 
 void UpdateStream::PushSummary(UpdateSummary summary) {
-  PushSummary(std::move(summary), {});
+  PushSummary(std::move(summary), PartitionRefresh{});
 }
 
 void UpdateStream::PushSummary(
     UpdateSummary summary, std::vector<CertifiedPartition> partition_refresh) {
+  PartitionRefresh refresh;
+  refresh.full = std::move(partition_refresh);
+  PushSummary(std::move(summary), std::move(refresh));
+}
+
+void UpdateStream::PushSummary(UpdateSummary summary,
+                               PartitionRefresh partition_refresh) {
   auto barrier = std::make_shared<SummaryBarrier>();
   barrier->summary = std::move(summary);
   barrier->partition_refresh = std::move(partition_refresh);

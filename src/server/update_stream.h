@@ -78,12 +78,17 @@ class UpdateStream {
 
   /// Fan a freshly certified summary out to every shard queue as an epoch
   /// barrier; the epoch publishes once all shards have drained past it.
-  /// The overload carries the DA's rho-period certified Bloom partition
-  /// refresh (DataAggregator::PeriodOutput::partition_refresh): the
-  /// filters ride the same descriptor swap as the epoch itself, so an
-  /// answer stamped with epoch e never cites a filter older than period
-  /// e-1 — join state and bitmaps advance atomically together.
+  /// The overloads carry the DA's rho-period certified Bloom partition
+  /// refresh (DataAggregator::PeriodOutput::partition_refresh — full
+  /// rebuilds plus insert-only delta merges): the filters ride the same
+  /// descriptor swap as the epoch itself, so an answer stamped with epoch
+  /// e never cites a filter older than period e-1, and readers on a
+  /// pinned epoch never observe a half-merged filter — join state and
+  /// bitmaps advance atomically together. The vector overload wraps a
+  /// wholesale partition replacement as a full-rebuild refresh.
   void PushSummary(UpdateSummary summary) EXCLUDES(push_mu_);
+  void PushSummary(UpdateSummary summary, PartitionRefresh partition_refresh)
+      EXCLUDES(push_mu_);
   void PushSummary(UpdateSummary summary,
                    std::vector<CertifiedPartition> partition_refresh)
       EXCLUDES(push_mu_);
@@ -109,7 +114,7 @@ class UpdateStream {
   /// shard to drain past the barrier — publishes the epoch.
   struct SummaryBarrier {
     UpdateSummary summary;
-    std::vector<CertifiedPartition> partition_refresh;
+    PartitionRefresh partition_refresh;
     std::vector<std::shared_ptr<const EpochSnapshot>> snaps;
     std::atomic<size_t> remaining;
     uint64_t enqueue_micros = 0;

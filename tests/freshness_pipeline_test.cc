@@ -88,21 +88,25 @@ class FreshnessPipelineTest : public ::testing::Test {
     return server;
   }
 
-  /// Build a sharded server over a composite-keyed S relation (B values
-  /// 0..n_b-1, `dups` rows each) with certified Bloom partitions — the
-  /// join-serving configuration.
+  /// Build a sharded server over a composite-keyed S relation (n_b B
+  /// values 0, stride, 2*stride, ..., `dups` rows each) with certified
+  /// Bloom partitions — the join-serving configuration. stride > 1 leaves
+  /// in-range absent values for the filters to answer negatively.
   std::unique_ptr<ShardedQueryServer> MakeJoinServer(size_t shards,
                                                      int64_t n_b,
-                                                     uint32_t dups) {
+                                                     uint32_t dups,
+                                                     int64_t stride = 1) {
     cfg_ = ServerConfig();
     cfg_.node.record_len = 128;
     cfg_.serving.worker_threads = shards;
     auto server = std::make_unique<ShardedQueryServer>(
         *ctx_,
-        ShardRouter::Uniform(shards, 0, JoinCompositeKey(n_b - 1, dups)),
+        ShardRouter::Uniform(shards, 0,
+                             JoinCompositeKey((n_b - 1) * stride, dups)),
         cfg_);
     std::vector<Record> records;
-    for (int64_t b = 0; b < n_b; ++b) {
+    for (int64_t i = 0; i < n_b; ++i) {
+      const int64_t b = i * stride;
       for (uint32_t d = 0; d < dups; ++d) {
         Record r;
         r.attrs = {JoinCompositeKey(b, d), b, b * 3};
@@ -661,6 +665,90 @@ TEST_F(FreshnessPipelineTest, JoinChurnAcrossSeamsServesVerifiableAnswers) {
   EXPECT_TRUE(
       verifier.VerifyAnswerFresh(qp, pans.value(), clock_.NowMicros(), epoch)
           .ok());
+}
+
+TEST_F(FreshnessPipelineTest, BloomProbesRaceDeltaRefreshAtEpochBarrier) {
+  // Insert-only churn: every rho-period's partition refresh arrives as
+  // pure delta merges, installed double-buffered at the epoch barrier
+  // (merge onto a copy, publish via the descriptor swap). Readers hammer
+  // Bloom-method joins — batched ProbeMany against the pinned
+  // descriptor's filters — while barriers swap refreshed filters in. A
+  // reader on a pinned epoch must never observe a half-merged filter, so
+  // every mid-refresh answer passes the unmodified static verification:
+  // a torn filter would flip a negative probe into a signed-digest
+  // mismatch. Run under TSan in CI.
+  auto server = MakeJoinServer(4, 32, 2, /*stride=*/2);  // B: even 0..62
+  UpdateStream stream(server.get(), cfg_);
+  StreamPeriod(&stream);
+  stream.Flush();
+
+  const BasPublicKey* da_pub = &da_->public_key();
+  const BasContext::HashMode hash_mode = da_->hash_mode();
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> read_errors{0};
+  std::atomic<size_t> verify_failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(2100 + t);
+      VarintGapCodec codec;
+      ClientVerifier verifier(da_pub, &codec, hash_mode);
+      while (!done.load(std::memory_order_relaxed)) {
+        // A present even value, its odd neighbor (in-range: the filter
+        // answers it — absent until its insert publishes, matched after),
+        // and a far out-of-range value (boundary witness): match groups,
+        // batched negative probes, and witnesses in one plan.
+        int64_t b = 2 * static_cast<int64_t>(rng.Uniform(30));
+        Query q =
+            Query::Join({b, b + 1, b + 1000}, JoinMethod::kBloomFilter);
+        auto ans = server->Execute(q);
+        if (!ans.ok()) {
+          ++read_errors;
+          continue;
+        }
+        if (!verifier.VerifyJoinStatic(q, ans.value().join).ok())
+          ++verify_failures;
+      }
+    });
+  }
+  for (int round = 0; round < 24; ++round) {
+    // Insert a brand-new odd B value inside a certified partition's
+    // range: the next barrier's refresh merges it as a delta.
+    const int64_t b = 2 * round + 1;
+    auto ins = da_->InsertRecord({JoinCompositeKey(b, 0), b, 7000 + round});
+    ASSERT_TRUE(ins.ok());
+    stream.PushUpdate(std::move(ins.value()));
+    if (round % 6 == 5) StreamPeriod(&stream, 100'000);
+  }
+  StreamPeriod(&stream);
+  stream.Flush();
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(verify_failures.load(), 0u);
+  ServerMetrics m = stream.Metrics();
+  EXPECT_EQ(m.ingest.apply_failures, 0u);
+  // The refreshes really took the delta path (insert-only periods), on
+  // top of the initial SetJoinPartitions full install; the readers'
+  // probes really went through the batched filter path.
+  EXPECT_GT(m.exec.bloom_delta_merges, 0u);
+  EXPECT_GT(m.exec.bloom_full_rebuilds, 0u);
+
+  // Quiesced: the inserted odd values are now match groups, a
+  // never-inserted in-range value goes through the batched filter probe,
+  // and the whole answer verifies fresh under the final epoch.
+  VarintGapCodec codec;
+  ClientVerifier verifier(&da_->public_key(), &codec, da_->hash_mode());
+  const uint64_t epoch = server->freshness_tracker().current_epoch();
+  Query q = Query::Join({1, 2, 49, 1001}, JoinMethod::kBloomFilter);
+  auto ans = server->Execute(q);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_TRUE(
+      verifier.VerifyAnswerFresh(q, ans.value(), clock_.NowMicros(), epoch)
+          .ok());
+  EXPECT_GT(stream.Metrics().exec.bloom_probes, 0u);
 }
 
 TEST_F(FreshnessPipelineTest, StalenessAttackJoinReplaysCaught) {

@@ -220,6 +220,80 @@ TEST_F(JoinTest, PartitionRebuildAfterDeletion) {
                                        rebuilt.sig, HashMode::kFast));
 }
 
+TEST_F(JoinTest, DeltaRefreshEquivalentToFullRebuildForInserts) {
+  // Insert-only period: merging a small delta filter into the live
+  // partition must produce the SAME certified filter as rebuilding from
+  // the full value set — bit-identical digest, valid signature, and a
+  // verifier verdict indistinguishable from the rebuild path.
+  const CertifiedPartition* live = nullptr;
+  for (const auto& p : partitions_)
+    if (p.lo_b <= 30 && 30 <= p.hi_b) live = &p;
+  ASSERT_NE(live, nullptr);  // covers {30, 50}
+  const std::vector<int64_t> inserted = {35, 42};
+
+  CertifiedPartition via_delta = *live;
+  PartitionDelta delta = authority_->RefreshWithDelta(
+      &via_delta, inserted, clock_.NowMicros() + 1);
+  CertifiedPartition via_rebuild = authority_->RebuildPartition(
+      *live, /*remaining_values=*/{30, 50, 35, 42}, clock_.NowMicros() + 1);
+
+  EXPECT_EQ(via_delta.filter.CertificationDigest(),
+            via_rebuild.filter.CertificationDigest());
+  EXPECT_EQ(via_delta.filter.bytes(), via_rebuild.filter.bytes());
+  // Both certifications verify; the delta's signature covers the
+  // POST-merge state, so it is the rebuild's signature contract exactly.
+  for (const CertifiedPartition* p : {&via_delta, &via_rebuild}) {
+    EXPECT_TRUE(da_->public_key().Verify(p->SignedMessage().AsSlice(), p->sig,
+                                         HashMode::kFast));
+  }
+  EXPECT_TRUE(da_->public_key().Verify(via_delta.SignedMessage().AsSlice(),
+                                       delta.sig, HashMode::kFast));
+}
+
+TEST_F(JoinTest, ApplyPartitionRefreshMergesDeltasAndReplacesFulls) {
+  std::vector<CertifiedPartition> live = partitions_;
+  const uint32_t target = live.back().idx;
+  CertifiedPartition refreshed = live.back();
+  PartitionRefresh refresh;
+  refresh.deltas.push_back(authority_->RefreshWithDelta(
+      &refreshed, {65}, clock_.NowMicros() + 1));
+  ASSERT_TRUE(ApplyPartitionRefresh(refresh, &live));
+  EXPECT_EQ(live.back().filter.bytes(), refreshed.filter.bytes());
+  EXPECT_EQ(live.back().ts, refreshed.ts);
+
+  // Full rebuilds replace by idx.
+  PartitionRefresh full;
+  full.full.push_back(authority_->RebuildPartition(
+      live.front(), {10}, clock_.NowMicros() + 2));
+  ASSERT_TRUE(ApplyPartitionRefresh(full, &live));
+  EXPECT_FALSE(live.front().filter.MayContainInt64(20));
+
+  // A delta naming a missing partition or the wrong geometry is a
+  // protocol violation, not a silent skip.
+  PartitionRefresh missing;
+  missing.deltas.push_back(PartitionDelta{});
+  missing.deltas.back().idx = 9999;
+  EXPECT_FALSE(ApplyPartitionRefresh(missing, &live));
+  PartitionRefresh mismatch;
+  mismatch.deltas.push_back(PartitionDelta{});
+  mismatch.deltas.back().idx = target;
+  mismatch.deltas.back().delta = BloomFilter(64, 1);
+  EXPECT_FALSE(ApplyPartitionRefresh(mismatch, &live));
+}
+
+TEST_F(JoinTest, TamperedDeltaMergedFilterDetected) {
+  // The server merges the certified delta but then flips a bit: the
+  // signature over the post-merge SignedMessage must fail.
+  CertifiedPartition refreshed = partitions_[0];
+  authority_->RefreshWithDelta(&refreshed, {15}, clock_.NowMicros() + 1);
+  ASSERT_TRUE(da_->public_key().Verify(refreshed.SignedMessage().AsSlice(),
+                                       refreshed.sig, HashMode::kFast));
+  CertifiedPartition tampered = refreshed;
+  tampered.filter.AddInt64(999999);  // extra bits after certification
+  EXPECT_FALSE(da_->public_key().Verify(tampered.SignedMessage().AsSlice(),
+                                        tampered.sig, HashMode::kFast));
+}
+
 TEST_F(JoinTest, VoSizeBfSmallerThanBvWhenMostlyUnmatched) {
   SizeModel sm;
   std::vector<int64_t> unmatched;

@@ -31,6 +31,11 @@ const char* const kStableNames[] = {
     "exec.agg.refreshes",
     "exec.agg.span_hits",
     "exec.crypto.digests_hashed",
+    "exec.bloom.probes",
+    "exec.bloom.block_hits",
+    "exec.bloom.fp_fallbacks",
+    "exec.bloom.delta_merges",
+    "exec.bloom.full_rebuilds",
     "exec.cache.retunes",
     "exec.last_epoch",
     "admission.enabled",

@@ -96,12 +96,16 @@ class QueryExecTest : public ::testing::Test {
   void PublishPeriod() {
     clock_.AdvanceSeconds(1.0);
     DataAggregator::PeriodOutput out = da_->PublishSummary();
-    server_->AddSummary(out.summary);
+    // The sharded server installs the refresh (delta merges + full
+    // rebuilds) in the same descriptor swap as the epoch; the single-node
+    // reference mirrors it through the same ApplyPartitionRefresh.
+    server_->AddSummary(out.summary, out.partition_refresh);
     reference_->AddSummary(out.summary);
     for (const auto& msg : out.recertifications) Apply(msg);
     if (!out.partition_refresh.empty()) {
-      server_->SetJoinPartitions(out.partition_refresh);
-      reference_->SetJoinPartitions(std::move(out.partition_refresh));
+      std::vector<CertifiedPartition> ref = reference_->join_partitions();
+      ASSERT_TRUE(ApplyPartitionRefresh(out.partition_refresh, &ref));
+      reference_->SetJoinPartitions(std::move(ref));
     }
   }
 
